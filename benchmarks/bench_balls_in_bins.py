@@ -1,0 +1,84 @@
+"""Experiment L21/L22: the balls-in-bins lemmas (paper §2.1 + appendix).
+
+- Lemma 2.1: ``T = Omega(P log P)`` balls into ``P`` bins gives
+  ``Theta(T/P)`` per bin whp (max/mean and min/mean near 1).
+- Lemma 2.2: weighted balls capped at ``W/(P log P)`` give ``O(W/P)``
+  per bin whp -- measured for three adversarial weight profiles, next to
+  the appendix's Bernstein-bound envelope.
+- The §2.1 counterexample: only ``P`` balls gives max load
+  ``Theta(log P / log log P)`` -- the reason minimum batch sizes exist.
+"""
+
+import math
+
+from repro.balls import (
+    bernstein_tail_bound,
+    lemma21_experiment,
+    lemma22_experiment,
+)
+from repro.balls.lemmas import small_batch_max_load
+
+from conftest import report
+
+
+def test_lemma21_envelope(benchmark):
+    rows = []
+    for p in (16, 64, 256, 1024):
+        results = lemma21_experiment(p, balls_per_bin_log=4, trials=25,
+                                     seed=p)
+        rows.append([
+            p, results[0].num_balls,
+            max(r.max_over_mean for r in results),
+            min(r.min_over_mean for r in results),
+        ])
+    report(
+        "L21: T = 4 P log P balls into P bins (25 trials each)",
+        ["P", "T", "worst max/mean", "worst min/mean"],
+        rows,
+        notes="Lemma 2.1: Theta(T/P) whp -- both columns near 1.",
+    )
+    for row in rows:
+        assert row[2] < 2.2
+        assert row[3] > 0.3
+    benchmark(lambda: lemma21_experiment(256, trials=5, seed=0))
+
+
+def test_lemma22_weighted_envelope(benchmark):
+    rows = []
+    for profile in ("max-cap", "uniform", "geometric"):
+        for p in (64, 256):
+            results = lemma22_experiment(p, weight_profile=profile,
+                                         trials=25, seed=p)
+            worst = max(r.max_over_mean for r in results)
+            rows.append([profile, p, worst,
+                         bernstein_tail_bound(1.0, p, deviation_factor=2)])
+    report(
+        "L22: weighted balls with cap W/(P log P)",
+        ["profile", "P", "worst max/mean", "Bernstein P[dev>2x]"],
+        rows,
+        notes="Lemma 2.2: O(W/P) whp for any cap-respecting profile.",
+    )
+    for row in rows:
+        assert row[2] < 3.0
+    benchmark(lambda: lemma22_experiment(256, trials=5, seed=0))
+
+
+def test_small_batch_counterexample(benchmark):
+    """P balls into P bins: max load grows ~ log P / log log P."""
+    rows = []
+    for p in (16, 256, 4096):
+        maxima = small_batch_max_load(p, trials=25, seed=p)
+        avg = sum(maxima) / len(maxima)
+        predict = math.log(p) / math.log(math.log(p))
+        rows.append([p, avg, predict, avg / predict])
+    report(
+        "L21-counterexample: only P balls (why min batch sizes exist)",
+        ["P", "mean max load", "log P/log log P", "ratio"],
+        rows,
+        notes="SS2.1: offloading P tasks randomly is NOT PIM-balanced.",
+    )
+    # max load grows with P even though balls/bin stays 1
+    assert rows[-1][1] > rows[0][1]
+    for row in rows:
+        assert 0.5 < row[3] < 3.0
+    benchmark(lambda: small_batch_max_load(1024, trials=5, seed=0))

@@ -1,0 +1,218 @@
+"""Experiment BASE: the comparative claims of §2.2 / §3.1, measured.
+
+Four designs on identical machines and workloads:
+
+- **ours** -- replicated upper part + hashed lower part (the paper);
+- **range partitioning** (Choe et al., Liu et al.) -- serializes when an
+  adversarial batch falls in one partition;
+- **hash partitioning** (coarse, Ziegler et al.) -- balanced points, but
+  every ordered query broadcasts to all P modules;
+- **fine-grained random placement** (Ziegler et al.) -- balanced, but
+  every search hop crosses modules: Theta(log n) messages per query.
+
+The tables report IO time and PIM balance under uniform and adversarial
+batches, plus per-query message counts -- the quantities the paper's
+prose argues about.
+"""
+
+import math
+import random
+
+from repro import PIMMachine, PIMSkipList
+from repro.baselines import (
+    FineGrainedSkipList,
+    HashPartitionedMap,
+    RangePartitionedSkipList,
+)
+from repro.workloads import build_items, single_range_batch, uniform_batch
+
+from conftest import log2i, measure, report
+
+P = 32
+N = 2048
+STRIDE = 1000
+
+
+def build_all(seed=0):
+    out = {}
+    items = build_items(N, stride=STRIDE)
+    for name, cls in (("ours", None), ("range-part", RangePartitionedSkipList),
+                      ("hash-part", HashPartitionedMap),
+                      ("fine-grained", FineGrainedSkipList)):
+        machine = PIMMachine(num_modules=P, seed=seed)
+        if cls is None:
+            st = PIMSkipList(machine)
+        else:
+            st = cls(machine)
+        st.build(items)
+        out[name] = (machine, st)
+    return out, [k for k, _ in items]
+
+
+def test_point_ops_under_skew(benchmark):
+    """Single-range adversarial Gets: range partitioning serializes."""
+    structs, keys = build_all(seed=1)
+    rng = random.Random(1)
+    b = P * log2i(P)
+    adv = single_range_batch(b, lo=STRIDE, hi=40 * STRIDE, rng=rng)
+    uni = uniform_batch(b, N * STRIDE, rng)
+    rows = []
+    for name, (machine, st) in structs.items():
+        if name == "fine-grained":
+            continue  # implements search-based get; separate table below
+        d_adv = measure(machine, lambda: st.batch_get(adv))
+        d_uni = measure(machine, lambda: st.batch_get(uni))
+        rows.append([name, d_uni.io_time, d_uni.pim_balance_ratio,
+                     d_adv.io_time, d_adv.pim_balance_ratio])
+    report(
+        "BASE-a: batched Get, uniform vs single-range adversary (P=32)",
+        ["structure", "uniform IO", "uniform balance", "adversarial IO",
+         "adversarial balance"],
+        rows,
+        notes="Range partitioning serializes (balance ~ P, IO ~ 2B);"
+              " hash-based placements keep balance ~ 1.",
+    )
+    by = {r[0]: r for r in rows}
+    assert by["range-part"][4] > P / 2          # serialized
+    assert by["range-part"][3] >= 1.8 * len(adv)
+    assert by["ours"][4] < 4 and by["hash-part"][4] < 4
+    assert by["ours"][3] < by["range-part"][3] / 3
+
+    machine, st = structs["ours"]
+    benchmark(lambda: st.batch_get(adv))
+
+
+def test_successor_messages_per_query(benchmark):
+    """Ordered queries: per-query messages across the four designs."""
+    structs, keys = build_all(seed=2)
+    rng = random.Random(2)
+    b = P * log2i(P)
+    qs = [rng.randrange(N * STRIDE) for _ in range(b)]
+    rows = []
+    for name, (machine, st) in structs.items():
+        d = measure(machine, lambda: st.batch_successor(qs))
+        rows.append([name, d.messages / b, d.io_time,
+                     d.pim_balance_ratio])
+    report(
+        "BASE-b: batched Successor, uniform keys (P=32, B=P log P)",
+        ["structure", "messages/query", "IO time", "balance"],
+        rows,
+        notes="hash-part pays 2P/query (broadcast); fine-grained pays"
+              " ~log n; ours pays O(log P) after a local upper descent.",
+    )
+    by = {r[0]: r for r in rows}
+    assert by["hash-part"][1] >= 2 * P
+    assert by["fine-grained"][1] > 0.6 * math.log2(N)
+    assert by["ours"][1] < by["hash-part"][1]
+    assert by["ours"][1] < by["fine-grained"][1]
+
+    machine, st = structs["ours"]
+    benchmark(lambda: st.batch_successor(qs))
+
+
+def test_successor_under_adversary(benchmark):
+    """Same-successor adversary: ours stays balanced, range partitioning
+    funnels everything into one partition."""
+    structs, keys = build_all(seed=3)
+    rng = random.Random(3)
+    b = P * log2i(P) ** 2
+    adv = single_range_batch(b, lo=STRIDE + 1, hi=2 * STRIDE, rng=rng)
+    rows = []
+    for name in ("ours", "range-part"):
+        machine, st = structs[name]
+        d = measure(machine, lambda: st.batch_successor(adv))
+        rows.append([name, d.io_time, d.pim_balance_ratio])
+    report(
+        "BASE-c: batched Successor, single-gap adversary (P=32)",
+        ["structure", "IO time", "PIM balance"],
+        rows,
+    )
+    by = {r[0]: r for r in rows}
+    assert by["range-part"][2] > P / 2  # one partition does all the work
+    # ours: the batch is so cheap (shared-successor shortcuts) that the
+    # balance ratio is noise; the load-bearing claim is the IO separation
+    assert by["ours"][1] < by["range-part"][1] / 4
+
+    machine, st = structs["ours"]
+    benchmark(lambda: st.batch_successor(adv))
+
+
+def test_single_small_range_op(benchmark):
+    """One small range op: hash partitioning pays its P-message broadcast
+    floor; our tree execution pays O(K + log P)."""
+    from repro.core.ops_range import range_tree_single
+
+    # The tree's fixed cost is Theta(log-ish) search-area messages; the
+    # broadcast floor is 2P.  Use a machine large enough that the floor
+    # dominates (the THM52b benchmark maps the crossover in detail).
+    big_p = 128
+    items = build_items(N, stride=STRIDE)
+    keys = [k for k, _ in items]
+    lo, hi = keys[100], keys[107]  # K = 8
+    rows = []
+    m_ours = PIMMachine(num_modules=big_p, seed=4)
+    ours = PIMSkipList(m_ours)
+    ours.build(items)
+    d = measure(m_ours,
+                lambda: range_tree_single(ours.struct, lo, hi, func="count"))
+    rows.append(["ours (tree)", d.messages, d.io_time])
+    m_hash = PIMMachine(num_modules=big_p, seed=4)
+    hp = HashPartitionedMap(m_hash)
+    hp.build(items)
+    d = measure(m_hash, lambda: hp.batch_range([(lo, hi)]))
+    rows.append(["hash-part", d.messages, d.io_time])
+    m_rp = PIMMachine(num_modules=big_p, seed=4)
+    rp = RangePartitionedSkipList(m_rp)
+    rp.build(items)
+    d = measure(m_rp, lambda: rp.batch_range([(lo, hi)]))
+    rows.append(["range-part", d.messages, d.io_time])
+    report(
+        f"BASE-d: one small range op (K=8, P={big_p})",
+        ["structure", "messages", "IO time"],
+        rows,
+        notes="hash partitioning broadcasts (>= 2P messages) however"
+              " small the range; the tree traversal pays O(K + log P).",
+    )
+    by = {r[0]: r for r in rows}
+    assert by["hash-part"][1] >= 2 * big_p
+    assert by["ours (tree)"][1] < by["hash-part"][1]
+
+    benchmark(lambda: range_tree_single(ours.struct, lo, hi, func="count"))
+
+
+def test_batched_range_scans_trend(benchmark):
+    """Batched scans: hash partitioning's broadcast floor dominates at
+    small K; our per-piece overhead amortizes as K grows (and for very
+    large K our structure switches to its own broadcast mode, Thm 5.1)."""
+    structs, keys = build_all(seed=5)
+    rng = random.Random(5)
+    b = 4 * P
+    ratios = []
+    rows = []
+    for span in (8, 64, 256):
+        ops = []
+        for _ in range(b):
+            i = rng.randrange(len(keys) - span)
+            ops.append((keys[i], keys[i + span - 1]))
+        machine, st = structs["ours"]
+        d_ours = measure(machine,
+                         lambda: st.batch_range(ops, func="count"))
+        machine, st = structs["hash-part"]
+        d_hash = measure(machine, lambda: st.batch_range(ops))
+        ratio = (d_ours.messages / b) / (d_hash.messages / b)
+        ratios.append(ratio)
+        rows.append([span, d_ours.messages / b, d_hash.messages / b,
+                     ratio])
+    report(
+        "BASE-e: batched range scans, ours(tree) vs hash-part by K (P=32)",
+        ["K", "ours msgs/op", "hash msgs/op", "ours/hash"],
+        rows,
+        notes="The subrange machinery's polylog overhead amortizes with"
+              " K; hash-part's cost is a broadcast floor plus K values.",
+    )
+    assert ratios[-1] < ratios[0]
+
+    machine, st = structs["ours"]
+    ops = [(keys[i], keys[i + 7]) for i in range(0, 512, 16)]
+    benchmark.pedantic(lambda: st.batch_range(ops, func="count"),
+                       rounds=3, iterations=1)

@@ -1,0 +1,48 @@
+"""Experiment FIG2: the pointer structure of Fig. 2, regenerated.
+
+Renders a small live structure exactly the way the paper draws it
+(levels bottom-up, upper part replicated, lower nodes labeled with their
+hash-assigned module, per-module local leaf lists), and checks the
+quantitative facts the figure encodes: the upper part is the high
+levels, lower nodes' owners match the (key, level) hash, and the local
+leaf lists partition the leaves in key order.
+"""
+
+from repro import PIMMachine, PIMSkipList
+from repro.analysis.structure_viz import layout_summary, render_structure
+from repro.core.node import UPPER
+
+from conftest import report
+
+
+def test_fig2_layout(benchmark):
+    machine = PIMMachine(num_modules=4, seed=2)
+    sl = PIMSkipList(machine)
+    keys = [0, 2, 6, 7, 15, 20, 25, 33]  # the figure's own key set
+    sl.build([(k, "V") for k in keys])
+    struct = sl.struct
+
+    picture = render_structure(struct)
+    print("\n" + picture)
+    summary = layout_summary(struct)
+    report(
+        "FIG2: structure layout facts (P=4, the figure's key set)",
+        ["level", "nodes", "part"],
+        [[lvl, cnt, "upper" if lvl >= summary["h_low"] else "lower"]
+         for lvl, cnt in sorted(summary["per_level"].items())],
+        notes=f"h_low={summary['h_low']}; leaves per module="
+              f"{summary['leaves_per_module']}\n\n{picture}",
+    )
+
+    # the figure's structural facts
+    assert summary["per_level"][0] == len(keys)
+    for lvl in range(summary["h_low"]):
+        for node in struct.iter_level(lvl):
+            assert node.owner == struct.owner_of(node.key, lvl)
+    for lvl in range(summary["h_low"], summary["top_level"] + 1):
+        for node in struct.iter_level(lvl):
+            assert node.owner == UPPER
+    assert sum(summary["leaves_per_module"]) == len(keys)
+    sl.check_integrity()
+
+    benchmark(lambda: render_structure(struct))

@@ -1,0 +1,95 @@
+"""Experiment FIG3/L42: Fig. 3's pivot staging and Lemma 4.2's contention.
+
+Claims reproduced:
+
+- Lemma 4.2: in stage 1 of the pivot algorithm no node is accessed more
+  than 3 times per phase (measured per bulk-synchronous round).
+- §4.2 "PIM-imbalanced batch execution": the naive (pivot-free) batch of
+  ``B`` same-successor queries drives per-node contention and IO time to
+  Theta(B) -- "completely eliminating parallelism" -- while the two-stage
+  algorithm keeps per-round contention at O(log P) and IO polylog.
+"""
+
+import random
+
+from repro.baselines import naive_batch_successor
+from repro.workloads import same_successor_batch
+
+from conftest import built_skiplist, log2i, measure, report
+
+PS = [8, 16, 32, 64]
+
+
+def run_contention_sweep():
+    rows = []
+    for p in PS:
+        lg = log2i(p)
+        b = p * lg * lg
+        machine, sl, keys = built_skiplist(p, n=30 * p, seed=p,
+                                           stride=10**6, trace=True)
+        rng = random.Random(p)
+        batch = same_successor_batch(keys, b, rng)
+
+        r0 = machine.tracer.access.num_rounds
+        d_naive = measure(machine,
+                          lambda: naive_batch_successor(sl.struct, batch))
+        cont_naive = machine.tracer.access.max_contention(r0)
+
+        r1 = machine.tracer.access.num_rounds
+        d_piv = measure(machine, lambda: sl.batch_successor(batch))
+        cont_piv = machine.tracer.access.max_contention(r1)
+
+        rows.append({
+            "P": p, "B": b,
+            "naive_cont": cont_naive, "pivot_cont": cont_piv,
+            "naive_io": d_naive.io_time, "pivot_io": d_piv.io_time,
+            "speedup": d_naive.io_time / max(1, d_piv.io_time),
+        })
+    return rows
+
+
+def test_fig3_contention_and_serialization(benchmark):
+    rows = run_contention_sweep()
+    report(
+        "FIG3-L42: per-round node contention, naive vs pivot staging",
+        ["P", "B", "naive max contention", "pivot max contention",
+         "naive IO", "pivot IO", "IO speedup"],
+        [[r["P"], r["B"], r["naive_cont"], r["pivot_cont"], r["naive_io"],
+          r["pivot_io"], r["speedup"]] for r in rows],
+        notes="Lemma 4.2: pivot stage caps contention at 3/phase; naive"
+              " contention ~ Theta(B).",
+    )
+    for r in rows:
+        # naive contention is Theta(B): most of the batch hits one node
+        assert r["naive_cont"] > r["B"] / 3
+        # pivot contention: O(log P)-ish, wildly below B
+        assert r["pivot_cont"] <= 3 * log2i(r["P"])
+        assert r["pivot_cont"] < r["B"] / 8
+        # IO separation grows with P
+        assert r["speedup"] > 3
+    assert rows[-1]["speedup"] > rows[0]["speedup"]
+
+    machine, sl, keys = built_skiplist(16, n=480, seed=99, stride=10**6)
+    batch = same_successor_batch(keys, 16 * 16, random.Random(99))
+    benchmark(lambda: sl.batch_successor(batch))
+    benchmark.extra_info["speedups"] = [(r["P"], r["speedup"]) for r in rows]
+
+
+def test_lemma42_stage1_contention_at_most_3(benchmark):
+    """Direct Lemma 4.2 check: with P=2 every op is a pivot (segment
+    length 1), so the entire execution is stage 1."""
+    machine, sl, keys = built_skiplist(2, n=400, seed=7, stride=10**6,
+                                       trace=True)
+    batch = same_successor_batch(keys, 128, random.Random(7))
+    r0 = machine.tracer.access.num_rounds
+    sl.batch_successor(batch)
+    cont = machine.tracer.access.max_contention(r0)
+    assert cont <= 3, f"Lemma 4.2 violated: contention {cont}"
+    report(
+        "FIG3-L42b: stage-1-only contention (P=2, all ops are pivots)",
+        ["B", "max contention per round", "Lemma 4.2 bound"],
+        [[128, cont, 3]],
+    )
+    machine2, sl2, keys2 = built_skiplist(2, n=400, seed=8, stride=10**6)
+    batch2 = same_successor_batch(keys2, 128, random.Random(8))
+    benchmark(lambda: sl2.batch_successor(batch2))

@@ -1,0 +1,116 @@
+"""Experiment LSM: the log-structured foil vs the paper's skip list.
+
+PIM-LSM (delta skip list + hashed static run blocks + replicated fence
+keys) is the *other* plausible ordered-store design on a PIM machine.
+It matches the skip list where hashing and dedup do the work (point
+Gets), beats it on cold sequential scans (static blocks are contiguous),
+and loses exactly where the paper predicts a range-partitioned layout
+must lose: adversarial batches of distinct ordered queries that funnel
+into one block (§2.2's serialization argument, measured on a second
+design).
+"""
+
+import random
+
+from repro import PIMMachine, PIMSkipList
+from repro.structures import PIMLSMStore
+from repro.workloads import build_items
+
+from conftest import log2i, measure, report
+
+P = 16
+N = P * 64
+
+
+def build_pair(seed):
+    items = build_items(N, stride=1000)
+    m_sl = PIMMachine(num_modules=P, seed=seed)
+    sl = PIMSkipList(m_sl)
+    sl.build(items)
+    m_lsm = PIMMachine(num_modules=P, seed=seed)
+    lsm = PIMLSMStore(m_lsm, block_size=64, flush_threshold=10 ** 9)
+    lsm.batch_upsert(items)
+    lsm.compact()
+    return (m_sl, sl), (m_lsm, lsm), [k for k, _ in items]
+
+
+def test_lsm_vs_skiplist(benchmark):
+    (m_sl, sl), (m_lsm, lsm), keys = build_pair(seed=1)
+    rng = random.Random(1)
+    rows = []
+
+    # uniform point gets
+    batch = rng.sample(keys, P * 8)
+    d_sl = measure(m_sl, lambda: sl.batch_get(batch))
+    d_lsm = measure(m_lsm, lambda: lsm.batch_get(batch))
+    rows.append(["get uniform", d_sl.io_time, d_lsm.io_time,
+                 d_sl.pim_balance_ratio, d_lsm.pim_balance_ratio])
+
+    # uniform successors
+    qs = [rng.randrange(N * 1000) for _ in range(P * 8)]
+    d_sl = measure(m_sl, lambda: sl.batch_successor(qs))
+    d_lsm = measure(m_lsm, lambda: lsm.batch_successor(qs))
+    rows.append(["succ uniform", d_sl.io_time, d_lsm.io_time,
+                 d_sl.pim_balance_ratio, d_lsm.pim_balance_ratio])
+
+    # adversarial successors: distinct keys inside one block's range
+    adv = sorted(rng.sample(range(keys[0] + 1, keys[0] + 999), P * 8))
+    d_sl_a = measure(m_sl, lambda: sl.batch_successor(adv))
+    d_lsm_a = measure(m_lsm, lambda: lsm.batch_successor(adv))
+    rows.append(["succ one-block adversary", d_sl_a.io_time,
+                 d_lsm_a.io_time, d_sl_a.pim_balance_ratio,
+                 d_lsm_a.pim_balance_ratio])
+
+    report(
+        "LSM: skip list vs PIM-LSM (P=16, n=1024, run block=64)",
+        ["workload", "skiplist IO", "LSM IO", "skiplist balance",
+         "LSM balance"],
+        rows,
+        notes="the LSM's run blocks are range partitions: the one-block"
+              " adversary serializes its successor path (SS2.2's argument"
+              " on a second design); the skip list's pivot machinery"
+              " turns the same batch into derivation shortcuts.",
+    )
+    adv_row = rows[2]
+    # the skip list resolves the one-block adversary via derivation
+    # shortcuts; the LSM funnels ~2B messages into one module
+    assert adv_row[2] > 10 * adv_row[1]
+    uni = rows[0]
+    assert uni[2] < 4 * uni[1] + 20         # gets comparable on uniform
+
+    m2 = PIMMachine(num_modules=8, seed=9)
+    lsm2 = PIMLSMStore(m2, block_size=32, flush_threshold=10 ** 9)
+    lsm2.batch_upsert(build_items(256, stride=10))
+    lsm2.compact()
+    probe = [rng.randrange(2560) for _ in range(64)]
+    benchmark(lambda: lsm2.batch_get(probe))
+
+
+def test_lsm_compaction_costs(benchmark):
+    """Compaction is the LSM's periodic tax: ~2 passes over the data."""
+    rows = []
+    for n in (256, 512, 1024):
+        machine = PIMMachine(num_modules=8, seed=n)
+        lsm = PIMLSMStore(machine, block_size=32, flush_threshold=10 ** 9)
+        lsm.batch_upsert(build_items(n, stride=10))
+        d = measure(machine, lambda: lsm.compact())
+        rows.append([n, d.io_time, d.io_time / n, d.rounds])
+    report(
+        "LSM-b: compaction cost vs data size (P=8)",
+        ["n", "IO time", "IO/n", "rounds"],
+        rows,
+        notes="compaction IO is linear in the data (dump + rewrite);"
+              " the delta amortizes it over flush_threshold updates.",
+    )
+    per = [r[2] for r in rows]
+    assert max(per) < 2.5 * min(per)  # linear shape
+
+    machine = PIMMachine(num_modules=8, seed=77)
+    lsm = PIMLSMStore(machine, block_size=32, flush_threshold=10 ** 9)
+    lsm.batch_upsert(build_items(128, stride=10))
+
+    def run():
+        lsm.batch_upsert([(i * 10 + 5, i) for i in range(64)])
+        lsm.compact()
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

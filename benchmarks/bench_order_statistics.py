@@ -1,0 +1,78 @@
+"""Experiment OSTAT: order statistics on the PIM skip list.
+
+Neither operation is in the paper, but both fall out of the model:
+
+- ``rank(key)`` is a broadcast count range: O(1) IO and one round at
+  *any* n (the §5.1 machinery reused);
+- ``select(i)`` is distributed weighted-median selection over the local
+  leaf lists: O(log n) whp probe rounds of 2P constant-size messages.
+
+The sweep verifies both shapes.
+"""
+
+import math
+import random
+
+from repro import PIMMachine, PIMSkipList
+from repro.workloads import build_items
+
+from conftest import measure, report
+
+
+def test_rank_constant_io_in_n(benchmark):
+    rows = []
+    for n in (500, 2000, 8000):
+        machine = PIMMachine(num_modules=16, seed=n)
+        sl = PIMSkipList(machine)
+        sl.build(build_items(n, stride=100))
+        d = measure(machine, lambda: sl.rank(n * 50))
+        rows.append([n, d.io_time, d.rounds, d.pim_time,
+                     d.pim_time / (n / 16)])
+    report(
+        "OSTAT-a: rank(key) vs n (P=16)",
+        ["n", "IO time", "rounds", "PIM time", "PIM/(n/P)"],
+        rows,
+        notes="one broadcast count: O(1) IO and rounds at any n; PIM"
+              " time is the O(n/P) local scan.",
+    )
+    for row in rows:
+        assert row[1] <= 3 and row[2] == 1
+    ios = [r[1] for r in rows]
+    assert max(ios) == min(ios)
+
+    machine = PIMMachine(num_modules=16, seed=1)
+    sl = PIMSkipList(machine)
+    sl.build(build_items(1000, stride=100))
+    benchmark(lambda: sl.rank(50_000))
+
+
+def test_select_rounds_logarithmic(benchmark):
+    rows = []
+    rounds_by_n = {}
+    for n in (512, 2048, 8192):
+        machine = PIMMachine(num_modules=16, seed=n)
+        sl = PIMSkipList(machine)
+        sl.build(build_items(n, stride=100))
+        rng = random.Random(n)
+        worst = 0
+        for _ in range(3):
+            i = rng.randrange(n)
+            d = measure(machine, lambda: sl.select(i))
+            worst = max(worst, d.rounds)
+        rounds_by_n[n] = worst
+        rows.append([n, worst, worst / math.log2(n)])
+    report(
+        "OSTAT-b: select(i) probe rounds vs n (P=16, worst of 3)",
+        ["n", "rounds", "rounds/log2 n"],
+        rows,
+        notes="weighted-median selection: O(log n) whp rounds of 2P"
+              " constant-size probes.",
+    )
+    # 16x the data: rounds grow additively (log), nowhere near 16x
+    assert rounds_by_n[8192] < rounds_by_n[512] + 4 * math.log2(16) + 10
+    assert rounds_by_n[8192] < 3 * rounds_by_n[512]
+
+    machine = PIMMachine(num_modules=8, seed=3)
+    sl = PIMSkipList(machine)
+    sl.build(build_items(1000, stride=100))
+    benchmark(lambda: sl.select(500))

@@ -1,0 +1,78 @@
+"""Experiment THM51: Theorem 5.1 -- range operations by broadcasting.
+
+"For K = Omega(P log P), broadcasting-based range operations can be
+executed in O(1) IO time and O(K/P + log n) whp PIM time.  For range
+operations that return values, the values can be returned in O(K/P) whp
+IO time.  The algorithm uses O(1) bulk-synchronous rounds."
+"""
+
+import math
+import random
+
+from repro.analysis import fit_power
+
+from conftest import built_skiplist, log2i, measure, report
+
+
+def test_broadcast_count_is_constant_io(benchmark):
+    """Pure reductions (count): O(1) IO time and O(1) rounds at any K."""
+    p = 32
+    machine, sl, keys = built_skiplist(p, n=4000, seed=1)
+    rows = []
+    for frac in (0.05, 0.2, 0.5, 1.0):
+        hi = keys[int(frac * (len(keys) - 1))]
+        d = measure(machine,
+                    lambda: sl.range_broadcast(keys[0], hi, func="count"))
+        k_count = int(frac * len(keys))
+        rows.append([k_count, d.rounds, d.io_time, d.pim_time,
+                     d.pim_time / max(1, k_count / p)])
+    report(
+        "THM51a: broadcast count vs K (P=32, n=4000)",
+        ["K", "rounds", "IO time", "PIM time", "PIM/(K/P)"],
+        rows,
+        notes="Thm 5.1: O(1) rounds, O(1) IO; PIM = O(K/P + log n).",
+    )
+    for row in rows:
+        assert row[1] <= 2  # O(1) rounds
+        assert row[2] <= 3  # O(1) io for reductions
+    benchmark(lambda: sl.range_broadcast(keys[0], keys[-1], func="count"))
+
+
+def test_broadcast_read_returns_in_k_over_p_io(benchmark):
+    p = 32
+    machine, sl, keys = built_skiplist(p, n=4000, seed=2)
+    ks, ios, pims = [], [], []
+    for frac in (0.1, 0.2, 0.4, 0.8):
+        hi = keys[int(frac * (len(keys) - 1))]
+        d = measure(machine, lambda: sl.range_broadcast(keys[0], hi))
+        ks.append(int(frac * len(keys)))
+        ios.append(d.io_time)
+        pims.append(d.pim_time)
+    report(
+        "THM51b: broadcast read vs K (P=32, n=4000)",
+        ["K", "IO time", "IO/(K/P)", "PIM time", "PIM/(K/P)"],
+        [[k, io, io / (k / p), pim, pim / (k / p)]
+         for k, io, pim in zip(ks, ios, pims)],
+        notes="Thm 5.1: returned values cost O(K/P) whp IO.",
+    )
+    k_exp, _ = fit_power(ks, ios)
+    assert 0.7 < k_exp < 1.3, f"IO grows like K^{k_exp:.2f}; expected ~K"
+    norm = [io / (k / p) for io, k in zip(ios, ks)]
+    assert max(norm) < 3 * min(norm)
+    benchmark(lambda: sl.range_broadcast(keys[0], keys[400]))
+
+
+def test_broadcast_balanced_across_modules(benchmark):
+    """Lemma 2.1 applied: every module holds Theta(K/P) of the range."""
+    p = 16
+    machine, sl, keys = built_skiplist(p, n=3000, seed=3)
+    d = measure(machine,
+                lambda: sl.range_broadcast(keys[100], keys[2600]))
+    report(
+        "THM51c: per-module balance of one broadcast range (K=2501)",
+        ["P", "K", "PIM balance (max/mean)"],
+        [[p, 2501, d.pim_balance_ratio]],
+    )
+    assert d.pim_balance_ratio < 1.8
+    benchmark(lambda: sl.range_broadcast(keys[100], keys[2600],
+                                         func="count"))

@@ -1,0 +1,117 @@
+"""Experiment THM52: Theorem 5.2 -- range operations by tree structure.
+
+"Tree-structure-based range operations with batch size P log^2 P covering
+a total of kappa = Omega(P log P) key-value pairs can be executed in
+O(kappa/P + log^3 P) IO time and O((kappa/P + log^2 P) log n) PIM time,
+both whp."
+
+Also reproduces §5.2's motivation: for small ranges the tree execution
+beats broadcasting (which always pays P messages), with a crossover as K
+grows.
+"""
+
+import random
+
+from repro.analysis import fit_power
+from repro.core.ops_range import range_tree_single
+
+from conftest import built_skiplist, log2i, measure, report
+
+
+def test_batched_tree_ranges_scale_with_kappa_over_p(benchmark):
+    p = 16
+    machine, sl, keys = built_skiplist(p, n=4000, seed=1)
+    rng = random.Random(1)
+    b = p * log2i(p) ** 2
+    kappas, ios, pims = [], [], []
+    for span in (2, 8, 32):
+        ops = []
+        for _ in range(b):
+            i = rng.randrange(len(keys) - span)
+            ops.append((keys[i], keys[i + span - 1]))
+        d = measure(machine, lambda: sl.batch_range(ops, func="count"))
+        # kappa = total covered pairs over *disjoint* subranges <= b*span
+        kappas.append(b * span)
+        ios.append(d.io_time)
+        pims.append(d.pim_time)
+    report(
+        "THM52a: batched tree ranges vs kappa (P=16, B=256)",
+        ["~kappa", "IO", "IO/(kappa/P + log^3 P)", "PIM"],
+        [[k, io, io / (k / p + log2i(p) ** 3), pim]
+         for k, io, pim in zip(kappas, ios, pims)],
+        notes="Thm 5.2: IO = O(kappa/P + log^3 P) whp.",
+    )
+    norm = [io / (k / p + log2i(p) ** 3) for io, k in zip(ios, kappas)]
+    assert max(norm) < 6 * min(norm)
+
+    ops = [(keys[i], keys[i + 3]) for i in range(0, 4 * b, 4)][:b]
+    benchmark.pedantic(lambda: sl.batch_range(ops, func="count"),
+                       rounds=3, iterations=1)
+
+
+def test_tree_vs_broadcast_crossover(benchmark):
+    """§5.2: 'The above type of range operation is wasteful for small
+    ranges' -- tree wins small K, broadcast wins huge K."""
+    p = 64
+    machine, sl, keys = built_skiplist(p, n=6000, seed=2)
+    rows = []
+    crossover_seen = None
+    for span in (4, 16, 64, 256, 1024, 4000):
+        lo = keys[1000]
+        hi = keys[min(1000 + span - 1, len(keys) - 1)]
+        d_tree = measure(
+            machine,
+            lambda: range_tree_single(sl.struct, lo, hi, func="count"))
+        d_bc = measure(
+            machine,
+            lambda: sl.range_broadcast(lo, hi, func="count"))
+        winner = "tree" if d_tree.messages < d_bc.messages else "broadcast"
+        if winner == "broadcast" and crossover_seen is None:
+            crossover_seen = span
+        rows.append([span, d_tree.messages, d_bc.messages,
+                     d_tree.io_time, d_bc.io_time, winner])
+    report(
+        "THM52b: tree vs broadcast, single op, messages by K (P=64)",
+        ["K", "tree msgs", "bcast msgs", "tree IO", "bcast IO", "winner"],
+        rows,
+        notes="Broadcast always pays >= P messages; the tree pays"
+              " Theta(K + log P): crossover near K ~ P.",
+    )
+    assert rows[0][5] == "tree"       # tiny range: tree wins
+    assert rows[-1][5] == "broadcast"  # whole structure: broadcast wins
+    assert crossover_seen is not None
+    assert 4 < crossover_seen <= 1024
+
+    benchmark(lambda: range_tree_single(sl.struct, keys[10], keys[40],
+                                        func="count"))
+
+
+def test_tree_read_indices_and_write_back(benchmark):
+    """The index pass (the paper's prefix-sum) supports ordered reads and
+    write-backs through one batched operation."""
+    p = 8
+    machine, sl, keys = built_skiplist(p, n=1000, seed=3)
+    rng = random.Random(3)
+    ops = []
+    start = 0
+    for _ in range(p * log2i(p) ** 2 // 2):
+        span = rng.randrange(1, 8)
+        if start + span >= len(keys):
+            break
+        ops.append((keys[start], keys[start + span - 1]))
+        start += span + 2
+    res = sl.batch_range(ops)  # ordered reads
+    for (l, r), rr in zip(ops, res):
+        got = [k for k, _ in rr.values]
+        assert got == sorted(got)
+        assert got and got[0] >= l and got[-1] <= r
+    d = measure(machine,
+                lambda: sl.batch_range(ops, func="fetch_and_add",
+                                       func_arg=1))
+    report(
+        "THM52c: batched ordered reads + write-back",
+        ["ops", "covered", "IO", "rounds"],
+        [[len(ops), sum(r.count for r in res), d.io_time, d.rounds]],
+    )
+    benchmark.pedantic(lambda: sl.batch_range(ops, func="count"),
+                       rounds=3, iterations=1)

@@ -1,0 +1,119 @@
+"""Experiment SESSION: a whole mixed workload, ours vs the baselines.
+
+Micro-benchmarks isolate one operation; real stores see a mix.  This
+macro experiment replays one identical generated session (40%% gets,
+20%% ordered queries, 20%% upserts, 10%% deletes, 10%% range scans)
+against the skip list and the range-partitioned baseline, under a
+uniform key universe and under a skew-concentrated one, and totals the
+model costs per operation class.
+"""
+
+import random
+
+from repro import PIMMachine, PIMSkipList
+from repro.baselines import RangePartitionedSkipList
+from repro.workloads import build_items, generate_session
+from repro.workloads.sessions import replay_session, summarize_replay
+
+from conftest import log2i, report
+
+P = 16
+N = 1024
+
+
+def run_session(structure_cls, session, items, seed):
+    machine = PIMMachine(num_modules=P, seed=seed)
+    if structure_cls is None:
+        st = PIMSkipList(machine)
+    else:
+        st = structure_cls(machine)
+    st.build(items)
+    return summarize_replay(replay_session(machine, st, session))
+
+
+def test_mixed_session_macrobenchmark(benchmark):
+    items = build_items(N, stride=1000)
+    keys = [k for k, _ in items]
+    b = P * log2i(P)
+    session = generate_session(keys, num_batches=30, batch_size=b,
+                               seed=5, key_space=N * 1000)
+    ours = run_session(None, session, items, seed=5)
+    rp = run_session(RangePartitionedSkipList, session, items, seed=5)
+
+    rows = []
+    for op in sorted(set(ours) | set(rp)):
+        rows.append([
+            op, int(ours[op]["batches"]),
+            ours[op]["io_time"], rp[op]["io_time"],
+            ours[op]["pim_time"], rp[op]["pim_time"],
+        ])
+    total_ours = sum(v["io_time"] for v in ours.values())
+    total_rp = sum(v["io_time"] for v in rp.values())
+    rows.append(["TOTAL", int(len(session)), total_ours, total_rp,
+                 sum(v["pim_time"] for v in ours.values()),
+                 sum(v["pim_time"] for v in rp.values())])
+    report(
+        "SESSION: 30 mixed batches, skiplist vs range partitioning (P=16)",
+        ["op", "batches", "ours IO", "range-part IO", "ours PIM",
+         "range-part PIM"],
+        rows,
+        notes="a uniform session is the baseline's best case: comparable"
+              " totals are the expected outcome here -- the adversarial"
+              " benches show the other regime.",
+    )
+    # uniform session: both designs in the same ballpark
+    assert total_ours < 25 * total_rp
+    assert total_rp < 25 * total_ours
+
+    machine = PIMMachine(num_modules=P, seed=6)
+    sl = PIMSkipList(machine)
+    sl.build(items)
+    small = generate_session(keys, num_batches=5, batch_size=b, seed=6,
+                             key_space=N * 1000)
+    benchmark.pedantic(
+        lambda: replay_session(machine, sl, small),
+        rounds=2, iterations=1)
+
+
+def test_skewed_session_macrobenchmark(benchmark):
+    """The same mix, but reads concentrated on 5%% of the key space."""
+    items = build_items(N, stride=1000)
+    keys = [k for k, _ in items]
+    hot = keys[: N // 20]
+    b = P * log2i(P)
+    session = generate_session(hot, num_batches=20, batch_size=b,
+                               seed=7, key_space=hot[-1] + 1000,
+                               mix={"get": 0.6, "successor": 0.4})
+
+    def replay_with_balance(structure_cls):
+        machine = PIMMachine(num_modules=P, seed=7)
+        st = (PIMSkipList(machine) if structure_cls is None
+              else structure_cls(machine))
+        st.build(items)
+        deltas = replay_session(machine, st, session)
+        io = sum(d.io_time for _, d in deltas)
+        worst_balance = max(d.pim_balance_ratio for _, d in deltas)
+        return io, worst_balance
+
+    io_ours, bal_ours = replay_with_balance(None)
+    io_rp, bal_rp = replay_with_balance(RangePartitionedSkipList)
+    report(
+        "SESSION-b: read session on a hot 5% key region (P=16)",
+        ["structure", "total IO", "worst batch balance"],
+        [["ours", io_ours, bal_ours], ["range-part", io_rp, bal_rp]],
+        notes="the hot region lives in one partition: every read batch"
+              " funnels into one module for range partitioning (balance"
+              " ~ P) while the hashed lower part stays spread; at this"
+              " toy scale our pivot overhead masks the IO gap, but the"
+              " serialization is fully visible in the balance column.",
+    )
+    assert bal_rp > P / 2
+    assert bal_ours < P / 2
+    assert io_rp > 0.5 * io_ours  # rp pays at least comparable IO
+
+    machine = PIMMachine(num_modules=P, seed=8)
+    sl = PIMSkipList(machine)
+    sl.build(items)
+    benchmark.pedantic(
+        lambda: replay_session(machine, sl, session),
+        rounds=1, iterations=1)

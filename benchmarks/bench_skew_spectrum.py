@@ -1,0 +1,113 @@
+"""Experiment SKEW: the skew spectrum, uniform -> Zipf -> adversarial.
+
+The paper's guarantees are *distribution-independent*; the baselines'
+failure modes grow with skew.  This experiment sweeps batched Get across
+the spectrum -- uniform, Zipf(1.2), Zipf(2.0), single-hot-key -- for the
+paper's structure and the two coarse partitionings, reporting IO time
+and PIM balance at each point.  The punchline is the *flat row*: ours
+reads the same at every skew level.
+"""
+
+import random
+
+from repro import PIMMachine, PIMSkipList
+from repro.baselines import HashPartitionedMap, RangePartitionedSkipList
+from repro.workloads import build_items, zipf_batch
+
+from conftest import log2i, measure, report
+
+P = 32
+N = 2048
+
+
+def make_batches(keys, b, seed):
+    rng = random.Random(seed)
+    return {
+        "uniform": [rng.choice(keys) for _ in range(b)],
+        "zipf-1.2": zipf_batch(b, keys, alpha=1.2, seed=seed),
+        "zipf-2.0": zipf_batch(b, keys, alpha=2.0, seed=seed),
+        "one-hot": [keys[0]] * b,
+    }
+
+
+def test_skew_spectrum_get(benchmark):
+    items = build_items(N, stride=1000)
+    keys = [k for k, _ in items]
+    b = P * log2i(P)
+    batches = make_batches(keys, b, seed=3)
+
+    structs = {}
+    for name, cls in (("ours", None),
+                      ("range-part", RangePartitionedSkipList),
+                      ("hash-part", HashPartitionedMap)):
+        machine = PIMMachine(num_modules=P, seed=3)
+        st = PIMSkipList(machine) if cls is None else cls(machine)
+        st.build(items)
+        structs[name] = (machine, st)
+
+    rows = []
+    flat = {}
+    for name, (machine, st) in structs.items():
+        ios = {}
+        for skew, batch in batches.items():
+            d = measure(machine, lambda: st.batch_get(batch))
+            ios[skew] = d.io_time
+        rows.append([name] + [ios[s] for s in batches])
+        # flatness relative to the easy (uniform) case: does skew COST?
+        flat[name] = max(ios.values()) / max(1.0, ios["uniform"])
+    report(
+        "SKEW: batched Get IO across the skew spectrum (P=32, B=P log P)",
+        ["structure"] + list(batches),
+        rows,
+        notes="keys are Zipf-ranked over the *stored key order*, so"
+              " zipf skew concentrates on a contiguous key region --"
+              " poison for range partitioning, invisible to hashing +"
+              " dedup.  'flatness' = max/min IO across skew levels:"
+              + ", ".join(f"{k}={v:.1f}" for k, v in flat.items()),
+    )
+    # ours and hash-part never pay for skew; range partitioning does
+    assert flat["ours"] <= 1.5
+    assert flat["hash-part"] <= 1.5
+    assert flat["range-part"] > 2.0
+
+    machine, st = structs["ours"]
+    batch = batches["zipf-2.0"]
+    benchmark(lambda: st.batch_get(batch))
+
+
+def test_skew_spectrum_successor(benchmark):
+    """The same spectrum for ordered queries, where dedup cannot help
+    (distinct keys can still share paths): the pivot staging is what
+    keeps ours flat."""
+    items = build_items(N, stride=1000)
+    keys = [k for k, _ in items]
+    b = P * log2i(P)
+    rng = random.Random(4)
+    batches = {
+        "uniform": [rng.randrange(N * 1000) for _ in range(b)],
+        # zipf over gaps: distinct query keys, skew-concentrated targets
+        "zipf-gaps": [k + 1 + rng.randrange(500)
+                      for k in zipf_batch(b, keys, alpha=1.5, seed=4)],
+        "one-gap": sorted(rng.sample(range(keys[0] + 1, keys[1]), b)),
+    }
+    machine = PIMMachine(num_modules=P, seed=4)
+    sl = PIMSkipList(machine)
+    sl.build(items)
+    rows = []
+    for skew, batch in batches.items():
+        d = measure(machine, lambda: sl.batch_successor(batch))
+        rows.append([skew, d.io_time, d.pim_time, d.pim_balance_ratio])
+    report(
+        "SKEW-b: ours, batched Successor across the spectrum (P=32)",
+        ["skew", "IO time", "PIM time", "balance"],
+        rows,
+        notes="adversarial concentration (one-gap) is *cheaper* than"
+              " uniform: shared paths collapse into pivot derivations.",
+    )
+    ios = {r[0]: r[1] for r in rows}
+    # concentration only ever makes ours cheaper (derivation shortcuts)
+    assert ios["one-gap"] <= ios["uniform"]
+    assert ios["zipf-gaps"] <= 1.5 * ios["uniform"]
+
+    batch = batches["zipf-gaps"]
+    benchmark(lambda: sl.batch_successor(batch))

@@ -1,0 +1,86 @@
+"""Experiment THM31: Theorem 3.1 -- space usage.
+
+"The skip list takes O(n) words in total, and O(n/P) words whp in each
+PIM module."  Measured directly from the modules' word counters: total
+words scale linearly in n (fixed P), per-module words stay balanced
+(max/mean bounded) across P, and the replicated upper part stays at
+O(n/P) nodes per module.
+"""
+
+from repro.analysis import fit_power
+
+from conftest import built_skiplist, log2i, report
+
+
+def test_total_space_linear_in_n(benchmark):
+    ns = [500, 1000, 2000, 4000]
+    rows = []
+    for n in ns:
+        machine, sl, _ = built_skiplist(16, n=n, seed=n)
+        total = sum(m.words_used for m in machine.modules)
+        rows.append([n, total, total / n])
+    report(
+        "THM31a: total words vs n (P=16)",
+        ["n", "total words", "words/key"],
+        rows,
+        notes="Theorem 3.1: O(n) words total -- words/key must be flat.",
+    )
+    k, _ = fit_power(ns, [r[1] for r in rows])
+    assert 0.8 < k < 1.2, f"space grows like n^{k:.2f}; Thm 3.1 says n"
+
+    benchmark.pedantic(lambda: built_skiplist(16, n=1000, seed=1),
+                       rounds=3, iterations=1)
+
+
+def test_per_module_space_balanced_across_p(benchmark):
+    rows = []
+    for p in (8, 16, 32, 64):
+        n = 200 * p
+        machine, sl, _ = built_skiplist(p, n=n, seed=p)
+        words = [m.words_used for m in machine.modules]
+        mean = sum(words) / p
+        s = sl.struct
+        upper_nodes = sum(1 for lvl in range(s.h_low, s.top_level + 1)
+                          for _ in s.iter_level(lvl))
+        rows.append([p, n, mean, max(words) / mean, min(words) / mean,
+                     upper_nodes / (n / p)])
+    report(
+        "THM31b: per-module balance (n = 200 P)",
+        ["P", "n", "mean words", "max/mean", "min/mean",
+         "upper nodes/(n/P)"],
+        rows,
+        notes="Theorem 3.1: O(n/P) whp per module; upper part has O(n/P)"
+              " nodes whp.",
+    )
+    for row in rows:
+        assert row[3] < 2.0, "a module holds far more than its share"
+        assert row[4] > 0.5
+        assert row[5] < 4.0  # upper part stays ~n/P
+
+    benchmark.pedantic(lambda: built_skiplist(32, n=3200, seed=2),
+                       rounds=3, iterations=1)
+
+
+def test_space_returns_after_churn(benchmark):
+    """Insert + delete returns the footprint to (near) baseline."""
+    machine, sl, keys = built_skiplist(8, n=500, seed=3, stride=10**6)
+    w0 = sum(m.words_used for m in machine.modules)
+    fresh = [(k + 1, 0) for k in keys[:200]]
+    sl.batch_upsert(fresh)
+    w1 = sum(m.words_used for m in machine.modules)
+    sl.batch_delete([k for k, _ in fresh])
+    w2 = sum(m.words_used for m in machine.modules)
+    report(
+        "THM31c: words through an insert+delete cycle",
+        ["stage", "total words"],
+        [["built", w0], ["after +200 inserts", w1],
+         ["after deleting them", w2]],
+    )
+    assert w1 > w0
+    assert abs(w2 - w0) <= 0.01 * w0
+
+    def run():
+        sl.batch_upsert(fresh)
+        sl.batch_delete([k for k, _ in fresh])
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,113 @@
+"""Experiment T1-delete: Table 1, row 4 -- batched Delete.
+
+Paper bound (batch size ``P log^2 P``): IO O(log^2 P), PIM O(log^2 P),
+CPU/op O(1) expected, CPU depth O(log P) (Theorem 4.5; the table's
+O(log^2 P) depth entry is the looser bound), M = Theta(P log^2 P), whp.
+Delete is a log-factor cheaper than Upsert because the shortcut skips the
+predecessor search; the hard case is splicing a contiguous run, solved by
+CPU-side parallel list contraction.
+"""
+
+import random
+
+from repro.analysis import fit_polylog
+
+from conftest import built_skiplist, log2i, measure, report
+
+PS = [8, 16, 32, 64]
+
+
+def run_sweep(contiguous: bool):
+    rows = []
+    for p in PS:
+        lg = log2i(p)
+        b = p * lg * lg
+        machine, sl, keys = built_skiplist(p, n=max(3 * b, 50 * p), seed=p)
+        rng = random.Random(p)
+        if contiguous:
+            start = rng.randrange(len(keys) - b)
+            batch = keys[start:start + b]
+        else:
+            batch = rng.sample(keys, b)
+        d = measure(machine, lambda: sl.batch_delete(batch))
+        sl.check_integrity()
+        rows.append({
+            "P": p, "B": b, "io": d.io_time, "pim": d.pim_time,
+            "cpu_per_op": d.cpu_work / b, "depth": d.cpu_depth,
+            "balance": d.pim_balance_ratio, "io_per_op": d.io_time / b,
+        })
+    return rows
+
+
+def render(rows, title):
+    report(
+        title,
+        ["P", "B", "IO", "IO/log2P", "PIM", "PIM/log2P", "CPU/op",
+         "depth/logP", "balance"],
+        [[r["P"], r["B"], r["io"], r["io"] / log2i(r["P"]) ** 2, r["pim"],
+          r["pim"] / log2i(r["P"]) ** 2, r["cpu_per_op"],
+          r["depth"] / log2i(r["P"]), r["balance"]] for r in rows],
+        notes="Paper: IO=O(log^2 P), PIM=O(log^2 P), CPU/op=O(1),"
+              " depth=O(logP) whp (Thm 4.5).",
+    )
+
+
+def test_delete_random_keys(benchmark):
+    rows = run_sweep(contiguous=False)
+    render(rows, "T1-delete: random stored keys")
+    k, _ = fit_polylog(PS, [r["io"] for r in rows])
+    assert k < 3.0, f"delete IO grows like log^{k:.2f} P (bound: ^2)"
+    cpu = [r["cpu_per_op"] for r in rows]
+    assert max(cpu) < 4 * min(cpu)  # O(1) CPU work per op
+    machine, sl, keys = built_skiplist(16, n=2000, seed=21)
+    rng = random.Random(21)
+    pool = list(keys)
+
+    def run():
+        batch = [pool.pop() for _ in range(16 * 16)]
+        sl.batch_delete(batch)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_delete_contiguous_run_spliced_in_parallel(benchmark):
+    """Fig. 4's deletion half: the whole batch is one run of neighbors."""
+    rows = run_sweep(contiguous=True)
+    render(rows, "T1-delete: contiguous run (list-contraction worst case)")
+    for r in rows:
+        assert r["balance"] < 8.0
+    # depth stays logarithmic even though the run has length B
+    depths = [r["depth"] for r in rows]
+    kd, _ = fit_polylog(PS, depths)
+    assert kd < 2.5
+    machine, sl, keys = built_skiplist(16, n=2000, seed=22)
+    state = {"i": 0}
+
+    def run():
+        b = 16 * 16
+        batch = keys[state["i"]:state["i"] + b]
+        state["i"] += b
+        sl.batch_delete(batch)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_delete_cheaper_than_upsert(benchmark):
+    """The shortcut saves the predecessor search (a log P factor)."""
+    p = 32
+    machine, sl, keys = built_skiplist(p, n=3000, seed=23, stride=10**6)
+    rng = random.Random(23)
+    b = p * 25
+    fresh = [(rng.randrange(10**12) * 2 + 1, 0) for _ in range(b)]
+    d_up = measure(machine, lambda: sl.batch_upsert(fresh))
+    d_del = measure(machine,
+                    lambda: sl.batch_delete([k for k, _ in fresh]))
+    assert d_del.io_time < d_up.io_time
+    assert d_del.cpu_work < d_up.cpu_work
+    machine2, sl2, keys2 = built_skiplist(16, n=2000, seed=24)
+    pool = list(keys2)
+
+    def run():
+        sl2.batch_delete([pool.pop() for _ in range(16 * 16)])
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,96 @@
+"""Experiment T1-get: Table 1, row 1 -- batched Get / Update.
+
+Paper bound (batch size ``P log P``): IO time O(log P), PIM time
+O(log P), CPU work/op O(1) expected, CPU depth O(log P), minimum shared
+memory Theta(P log P) -- all whp in P, *independent of the key
+distribution* thanks to semisort deduplication.
+
+The sweep reproduces the row across machine sizes, under a uniform batch
+and under the duplicate-heavy adversarial batch, and reports the measured
+metrics normalized by their bound (flat columns = the bound's shape
+holds).
+"""
+
+import math
+import random
+
+from repro.analysis import fit_polylog
+
+from conftest import built_skiplist, log2i, measure, report
+
+PS = [8, 16, 32, 64, 128]
+
+
+def run_sweep(adversarial: bool):
+    rows = []
+    for p in PS:
+        lg = log2i(p)
+        b = p * lg
+        machine, sl, keys = built_skiplist(p, n=50 * p, seed=p)
+        rng = random.Random(p)
+        if adversarial:
+            batch = [keys[0]] * b  # every query the same hot key
+        else:
+            batch = [rng.choice(keys) for _ in range(b)]
+        d = measure(machine, lambda: sl.batch_get(batch))
+        rows.append({
+            "P": p, "B": b, "io": d.io_time, "pim": d.pim_time,
+            "cpu_per_op": d.cpu_work / b, "depth": d.cpu_depth,
+            "balance": d.pim_balance_ratio,
+        })
+    return rows
+
+
+def render(rows, title):
+    report(
+        title,
+        ["P", "B=PlogP", "IO time", "IO/logP", "PIM time", "PIM/logP",
+         "CPU/op", "depth/logP", "balance"],
+        [[r["P"], r["B"], r["io"], r["io"] / log2i(r["P"]), r["pim"],
+          r["pim"] / log2i(r["P"]), r["cpu_per_op"],
+          r["depth"] / log2i(r["P"]), r["balance"]] for r in rows],
+        notes="Paper: IO=O(logP), PIM=O(logP), CPU/op=O(1), depth=O(logP)"
+              " whp -- normalized columns should stay flat.",
+    )
+
+
+def test_get_uniform_sweep_matches_table1(benchmark):
+    rows = run_sweep(adversarial=False)
+    render(rows, "T1-get: batched Get, uniform batch (Table 1 row 1)")
+    ios = [r["io"] for r in rows]
+    k, _ = fit_polylog(PS, ios)
+    assert k < 2.0, f"IO grows like log^{k:.2f} P; Table 1 says log P"
+    norm = [r["io"] / log2i(r["P"]) for r in rows]
+    assert max(norm) < 4 * min(norm)
+    cpu_per_op = [r["cpu_per_op"] for r in rows]
+    assert max(cpu_per_op) < 4 * min(cpu_per_op)  # O(1) per op
+
+    machine, sl, keys = built_skiplist(32, n=1600, seed=1)
+    rng = random.Random(1)
+    batch = [rng.choice(keys) for _ in range(32 * 5)]
+    benchmark(lambda: sl.batch_get(batch))
+    benchmark.extra_info["sweep"] = [(r["P"], r["io"]) for r in rows]
+
+
+def test_get_adversarial_duplicates_identical_shape(benchmark):
+    """Hot-key batches behave like uniform ones (dedup kills the skew)."""
+    adv = run_sweep(adversarial=True)
+    render(adv, "T1-get: batched Get, duplicate-heavy adversary")
+    for r in adv:
+        # One distinct key after dedup: O(1) messages, perfect balance.
+        assert r["io"] <= 4
+    machine, sl, keys = built_skiplist(32, n=1600, seed=2)
+    batch = [keys[0]] * (32 * 5)
+    benchmark(lambda: sl.batch_get(batch))
+
+
+def test_update_costs_match_get(benchmark):
+    p = 32
+    machine, sl, keys = built_skiplist(p, n=1600, seed=3)
+    rng = random.Random(3)
+    batch_k = [rng.choice(keys) for _ in range(p * log2i(p))]
+    d_get = measure(machine, lambda: sl.batch_get(batch_k))
+    d_upd = measure(
+        machine, lambda: sl.batch_update([(k, 0) for k in batch_k]))
+    assert abs(d_upd.io_time - d_get.io_time) <= 0.3 * d_get.io_time + 4
+    benchmark(lambda: sl.batch_update([(k, 1) for k in batch_k]))

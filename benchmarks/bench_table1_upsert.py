@@ -1,0 +1,100 @@
+"""Experiment T1-upsert: Table 1, row 3 -- batched Upsert.
+
+Paper bound (batch size ``P log^2 P``): same as Successor -- IO
+O(log^3 P), PIM O(log^2 P log n), CPU/op O(log P), depth O(log^2 P),
+M = Theta(P log^2 P) whp.  Three workloads exercise the distinct paths:
+all-updates (hash shortcut only), fresh uniform inserts (full pipeline),
+and a contiguous run (Algorithm 1's segment-chaining worst case).
+"""
+
+import random
+
+from repro.analysis import fit_polylog
+from repro.workloads import contiguous_run
+
+from conftest import built_skiplist, log2i, measure, report
+
+PS = [8, 16, 32, 64]
+
+
+def run_sweep(kind: str):
+    rows = []
+    for p in PS:
+        lg = log2i(p)
+        b = p * lg * lg
+        machine, sl, keys = built_skiplist(p, n=50 * p, seed=p,
+                                           stride=10 ** 6)
+        rng = random.Random(p)
+        if kind == "updates":
+            batch = [(rng.choice(keys), -1) for _ in range(b)]
+        elif kind == "uniform-insert":
+            batch = [(rng.randrange(50 * p * 10**6) * 2 + 1, 0)
+                     for _ in range(b)]
+        else:  # contiguous run past the end
+            batch = [(k, 0) for k in contiguous_run(max(keys) + 5, b)]
+        d = measure(machine, lambda: sl.batch_upsert(batch))
+        sl.check_integrity()
+        rows.append({
+            "P": p, "B": b, "io": d.io_time, "pim": d.pim_time,
+            "cpu_per_op": d.cpu_work / b, "balance": d.pim_balance_ratio,
+            "io_per_op": d.io_time / b,
+        })
+    return rows
+
+
+def render(rows, title):
+    report(
+        title,
+        ["P", "B", "IO", "IO/log3P", "PIM", "CPU/op/logP", "IO/op",
+         "balance"],
+        [[r["P"], r["B"], r["io"], r["io"] / log2i(r["P"]) ** 3, r["pim"],
+          r["cpu_per_op"] / log2i(r["P"]), r["io_per_op"], r["balance"]]
+         for r in rows],
+        notes="Paper: IO=O(log^3 P), PIM=O(log^2 P log n), CPU/op=O(logP)"
+              " whp; IO/op must *fall* with P (PIM-balance).",
+    )
+
+
+def test_upsert_uniform_inserts(benchmark):
+    rows = run_sweep("uniform-insert")
+    render(rows, "T1-upsert: fresh uniform inserts")
+    k, _ = fit_polylog(PS, [r["io"] for r in rows])
+    assert k < 3.8
+    assert rows[-1]["io_per_op"] < rows[0]["io_per_op"]
+    machine, sl, keys = built_skiplist(16, n=800, seed=5, stride=10**6)
+    rng = random.Random(5)
+
+    def run():
+        sl.batch_upsert([(rng.randrange(10**12) * 2 + 1, 0)
+                         for _ in range(16 * 16)])
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_upsert_contiguous_run(benchmark):
+    """Fig. 4 workload: every new node's neighbor is another new node."""
+    rows = run_sweep("contiguous")
+    render(rows, "T1-upsert: contiguous run (Algorithm 1 worst case)")
+    for r in rows:
+        assert r["balance"] < 6.0  # stays PIM-balanced despite adversary
+    assert rows[-1]["io_per_op"] < rows[0]["io_per_op"]
+    machine, sl, keys = built_skiplist(16, n=800, seed=6, stride=10**6)
+    start = [max(keys) + 5]
+
+    def run():
+        sl.batch_upsert([(k, 0) for k in contiguous_run(start[0], 16 * 16)])
+        start[0] += 16 * 16 + 3
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_upsert_pure_updates_cost_like_get(benchmark):
+    rows = run_sweep("updates")
+    render(rows, "T1-upsert: all-updates batch (shortcut path)")
+    for r in rows:
+        # update-only upserts skip the insert pipeline entirely
+        assert r["io"] < log2i(r["P"]) ** 2 * 8
+    machine, sl, keys = built_skiplist(16, n=800, seed=7, stride=10**6)
+    rng = random.Random(7)
+    batch = [(rng.choice(keys), 1) for _ in range(16 * 16)]
+    benchmark(lambda: sl.batch_upsert(batch))

@@ -1,0 +1,125 @@
+"""Experiment WHP: the bounds hold *with high probability* -- envelopes.
+
+The paper's bounds are whp in P: across random placements (the structure
+seed draws the hash family and coin flips), the metric must concentrate.
+This experiment runs each headline metric over 12 seeds per machine size
+via the :class:`repro.analysis.Sweep` runner and reports the
+(min, median, max) envelope -- a tight max/median ratio is the empirical
+whp statement.
+"""
+
+import math
+import random
+
+from repro import PIMMachine, PIMSkipList
+from repro.analysis import Sweep
+from repro.workloads import build_items, same_successor_batch
+
+from conftest import log2i, report
+
+PS = [8, 16, 32]
+REPEATS = 12
+
+
+def run_sweep(op_factory):
+    sweep = Sweep("whp", params=PS, repeats=REPEATS, base_seed=100)
+
+    @sweep.point
+    def point(p, seed):
+        machine = PIMMachine(num_modules=p, seed=seed)
+        sl = PIMSkipList(machine)
+        items = build_items(40 * p, stride=10 ** 6)
+        sl.build(items)
+        op = op_factory(p, seed, [k for k, _ in items])
+        before = machine.snapshot()
+        op(sl)
+        return machine.delta_since(before)
+
+    return sweep.run()
+
+
+def test_successor_io_envelope(benchmark):
+    def factory(p, seed, keys):
+        rng = random.Random(seed)
+        batch = same_successor_batch(keys, p * log2i(p) ** 2, rng)
+        return lambda sl: sl.batch_successor(batch)
+
+    table = run_sweep(factory)
+    env = table.envelope("io_time")
+    rows = [[p, *env[p], env[p][2] / max(1.0, env[p][1])] for p in PS]
+    report(
+        "WHP-a: adversarial Successor IO envelope (12 seeds per P)",
+        ["P", "min IO", "median IO", "max IO", "max/median"],
+        rows,
+        notes="whp concentration: the worst seed stays within a small"
+              " factor of the median.",
+    )
+    for row in rows:
+        assert row[4] < 3.0
+
+    machine = PIMMachine(num_modules=8, seed=0)
+    sl = PIMSkipList(machine)
+    items = build_items(320, stride=10**6)
+    sl.build(items)
+    batch = same_successor_batch([k for k, _ in items], 72,
+                                 random.Random(0))
+    benchmark(lambda: sl.batch_successor(batch))
+
+
+def test_get_and_balance_envelopes(benchmark):
+    def factory(p, seed, keys):
+        rng = random.Random(seed)
+        batch = [rng.choice(keys) for _ in range(p * log2i(p))]
+        return lambda sl: sl.batch_get(batch)
+
+    table = run_sweep(factory)
+    rows = []
+    for p in PS:
+        io = table.envelope("io_time")[p]
+        bal = table.envelope("pim_balance_ratio")[p]
+        rows.append([p, io[1], io[2] / max(1.0, io[1]), bal[1], bal[2]])
+    report(
+        "WHP-b: uniform Get IO + balance envelopes (12 seeds per P)",
+        ["P", "median IO", "IO max/median", "median balance",
+         "max balance"],
+        rows,
+    )
+    for row in rows:
+        assert row[2] < 3.0   # IO concentrates
+        assert row[4] < 8.0   # even the worst seed stays balanced
+
+    machine = PIMMachine(num_modules=8, seed=1)
+    sl = PIMSkipList(machine)
+    items = build_items(320, stride=10**6)
+    sl.build(items)
+    rng = random.Random(1)
+    batch = [rng.choice([k for k, _ in items]) for _ in range(24)]
+    benchmark(lambda: sl.batch_get(batch))
+
+
+def test_space_envelope(benchmark):
+    """Theorem 3.1's per-module O(n/P) whp across placements."""
+    rows = []
+    for p in PS:
+        ratios = []
+        for seed in range(REPEATS):
+            machine = PIMMachine(num_modules=p, seed=200 + seed)
+            sl = PIMSkipList(machine)
+            sl.build(build_items(80 * p, stride=1000))
+            words = [m.words_used for m in machine.modules]
+            ratios.append(max(words) / (sum(words) / p))
+        rows.append([p, min(ratios), sorted(ratios)[len(ratios) // 2],
+                     max(ratios)])
+    report(
+        "WHP-c: per-module space max/mean envelope (12 seeds per P)",
+        ["P", "min", "median", "max"],
+        rows,
+        notes="Thm 3.1: O(n/P) whp per module.",
+    )
+    for row in rows:
+        assert row[3] < 1.6
+
+    benchmark.pedantic(
+        lambda: PIMSkipList(PIMMachine(num_modules=8, seed=3)).build(
+            build_items(320, stride=1000)),
+        rounds=3, iterations=1)

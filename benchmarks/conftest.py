@@ -1,0 +1,67 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module reproduces one table/figure/theorem from the paper
+(see DESIGN.md's experiment index).  Pattern:
+
+- a module-level *experiment* function runs the parameter sweep on the
+  model simulator and renders the paper-style table (printed to stdout
+  and archived under ``benchmarks/out/``);
+- one or more ``test_*`` functions attach a representative configuration
+  to the ``benchmark`` fixture (so ``pytest benchmarks/ --benchmark-only``
+  also reports wall-clock timings) and assert the *shape* claims --
+  growth exponents, balance ratios, crossovers -- hold.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+import pytest
+
+from repro import PIMMachine, PIMSkipList
+from repro.analysis import render_table
+from repro.workloads import build_items
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def log2i(p: int) -> int:
+    return max(1, int(round(math.log2(p)))) if p > 1 else 1
+
+
+def built_skiplist(p: int, n: int, seed: int = 0, stride: int = 1000,
+                   trace: bool = False, **kw):
+    """A machine + built PIMSkipList + its sorted key list."""
+    machine = PIMMachine(num_modules=p, seed=seed, trace_accesses=trace)
+    sl = PIMSkipList(machine, **kw)
+    items = build_items(n, stride=stride)
+    sl.build(items)
+    return machine, sl, [k for k, _ in items]
+
+
+def measure(machine, fn) -> "MetricsDelta":  # noqa: F821
+    before = machine.snapshot()
+    fn()
+    return machine.delta_since(before)
+
+
+def report(title: str, headers, rows, notes: str = "") -> str:
+    """Render, print, and archive one experiment table."""
+    table = render_table(headers, rows, title=title)
+    if notes:
+        table += "\n" + notes
+    print("\n" + table)
+    os.makedirs(OUT_DIR, exist_ok=True)
+    fname = title.strip().lower().replace(" ", "_")[:72]
+    fname = "".join(c for c in fname if c.isalnum() or c in "._-")
+    with open(os.path.join(OUT_DIR, fname + ".txt"), "w") as f:
+        f.write(table + "\n")
+    return table
+
+
+@pytest.fixture
+def rng():
+    return random.Random(12345)

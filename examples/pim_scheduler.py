@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""A PIM-resident job scheduler: priority queue + dependency graph.
+
+Composes the extension structures into a recognizable system:
+
+- jobs carry priorities and dependencies (a DAG);
+- the DAG lives in a :class:`PIMGraph` (vertices hashed across modules);
+- ready jobs wait in a :class:`PIMPriorityQueue` (hot-spot-free even
+  when many jobs share a priority);
+- the scheduler loop extracts a batch of the highest-priority ready
+  jobs, "runs" them, and releases their dependents.
+
+Every phase prints its model costs.  The point: once the machine and
+the balanced placement idioms exist, building *systems* on the PIM
+model is ordinary code.
+
+Run:  python examples/pim_scheduler.py
+"""
+
+import random
+
+from repro import PIMMachine
+from repro.algorithms import PIMGraph
+from repro.structures import PIMPriorityQueue
+
+P = 8
+NUM_JOBS = 400
+
+
+def main():
+    rng = random.Random(42)
+    machine = PIMMachine(num_modules=P, seed=42)
+
+    # --- build a random DAG of jobs (edges point dep -> dependent) ----
+    edges = []
+    indegree = {j: 0 for j in range(NUM_JOBS)}
+    dependents = {j: [] for j in range(NUM_JOBS)}
+    for j in range(1, NUM_JOBS):
+        for _ in range(rng.randrange(0, 3)):
+            dep = rng.randrange(j)
+            edges.append((dep, j))
+            indegree[j] += 1
+            dependents[dep].append(j)
+    dag = PIMGraph(machine, edges, directed=True, name="dag")
+    priority = {j: rng.randrange(10) for j in range(NUM_JOBS)}
+    print(f"DAG with {NUM_JOBS} jobs, {len(edges)} dependencies, "
+          f"distributed over P={P} modules")
+
+    # --- the ready queue ------------------------------------------------
+    ready = PIMPriorityQueue(machine, name="readyq")
+    roots = [(priority[j], j) for j in range(NUM_JOBS) if indegree[j] == 0]
+    ready.insert_batch(roots)
+    print(f"{len(roots)} root jobs enqueued\n")
+
+    completed = []
+    waves = 0
+    while len(ready):
+        waves += 1
+        before = machine.snapshot()
+        batch = ready.extract_min_batch(max(8, P * 2))
+        d_extract = machine.delta_since(before)
+
+        # "run" the jobs; release dependents whose last dep completed
+        newly_ready = []
+        for prio, job in batch:
+            completed.append(job)
+            for dep in dependents[job]:
+                indegree[dep] -= 1
+                if indegree[dep] == 0:
+                    newly_ready.append((priority[dep], dep))
+        before = machine.snapshot()
+        if newly_ready:
+            ready.insert_batch(newly_ready)
+        d_insert = machine.delta_since(before)
+
+        print(f"wave {waves:>3}: ran {len(batch):>3} jobs "
+              f"(min prio {batch[0][0]}, max {batch[-1][0]})  "
+              f"extract io={d_extract.io_time:5.0f} "
+              f"insert io={d_insert.io_time:5.0f} "
+              f"released {len(newly_ready)}")
+
+    assert sorted(completed) == list(range(NUM_JOBS))
+    print(f"\nall {NUM_JOBS} jobs completed in {waves} waves")
+
+    # --- post-mortem analytics on the DAG itself ----------------------
+    before = machine.snapshot()
+    depth = dag.bfs(0)
+    d = machine.delta_since(before)
+    print(f"dependency depth from job 0: {max(depth.values())} "
+          f"(BFS over the PIM-resident DAG: io={d.io_time:.0f}, "
+          f"rounds={d.rounds})")
+
+
+if __name__ == "__main__":
+    main()

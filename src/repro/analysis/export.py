@@ -1,0 +1,71 @@
+"""JSONL export of runs: metric deltas and round logs.
+
+Benchmarks archive human tables; this module archives *machine-readable*
+runs, one JSON object per line, so results can be diffed between
+revisions or plotted externally:
+
+- :func:`export_delta` — one measured region's scalar metrics;
+- :func:`export_rounds` — the per-round h / work / task series;
+- :func:`read_jsonl` — load either back.
+
+The format is deliberately boring: flat dicts, stable keys, an explicit
+``kind`` discriminator, and a free-form ``meta`` field for workload
+parameters.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.sim.metrics import MetricsDelta
+from repro.sim.tracing import RoundLog
+
+
+def export_delta(path: str, label: str, delta: MetricsDelta,
+                 meta: Optional[Dict[str, Any]] = None,
+                 append: bool = True) -> None:
+    """Append one measured region to a JSONL file."""
+    record = {
+        "kind": "delta",
+        "label": label,
+        "meta": meta or {},
+        "metrics": delta.as_dict(),
+        "num_modules": delta.num_modules,
+        "pim_work_per_module": list(delta.pim_work_per_module),
+    }
+    with open(path, "a" if append else "w") as f:
+        f.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def export_rounds(path: str, label: str, rounds: Sequence[RoundLog],
+                  meta: Optional[Dict[str, Any]] = None,
+                  append: bool = True) -> None:
+    """Append a round-log series to a JSONL file (one line per run)."""
+    record = {
+        "kind": "rounds",
+        "label": label,
+        "meta": meta or {},
+        "series": [
+            {"index": r.index, "h": r.h, "messages": r.messages,
+             "pim_work_max": r.pim_work_max, "tasks": r.tasks_executed}
+            for r in rounds
+        ],
+    }
+    with open(path, "a" if append else "w") as f:
+        f.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def read_jsonl(path: str, kind: Optional[str] = None,
+               ) -> List[Dict[str, Any]]:
+    """Load exported records, optionally filtered by ``kind``."""
+    out: List[Dict[str, Any]] = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if kind is None or record.get("kind") == kind:
+                out.append(record)
+    return out

@@ -1,0 +1,101 @@
+"""Text rendering of the skip list's layout -- Fig. 2, executable.
+
+The paper's Fig. 2 drawing encodes the design: levels stacked bottom-up,
+upper-part nodes replicated (white), lower-part nodes colored by module,
+plus the dashed local-leaf-list / next-leaf pointers.  This module
+renders the *actual* structure the same way, in text: one row per level,
+each node shown as ``key/owner`` (``R`` for replicated), with per-module
+local leaf lists printed below.
+
+Used by ``bench_fig2_layout.py`` (archiving the layout of a small
+structure as the Fig. 2 artifact) and handy when debugging a structure
+in a REPL.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.node import UPPER
+from repro.core.structure import SkipListStructure
+
+
+def render_structure(struct: SkipListStructure,
+                     max_keys: int = 24) -> str:
+    """Fig. 2-style text rendering (levels top-down, owners labeled).
+
+    Structures wider than ``max_keys`` are elided in the middle -- the
+    rendering is for inspection, not bulk export.
+    """
+    leaves = list(struct.iter_level(0))
+    keys = [leaf.key for leaf in leaves]
+    if len(keys) > max_keys:
+        half = max_keys // 2
+        shown = keys[:half] + keys[-half:]
+        elided = True
+    else:
+        shown = keys
+        elided = False
+    columns = {key: i for i, key in enumerate(shown)}
+    width = max([len(_cell(k, 0)) for k in shown] + [6]) + 1
+
+    lines: List[str] = []
+    for lvl in range(struct.top_level, -1, -1):
+        cells = [" " * width] * len(shown)
+        count = 0
+        for node in struct.iter_level(lvl):
+            count += 1
+            if node.key in columns:
+                cells[columns[node.key]] = _cell(
+                    node.key, 0, node.owner).ljust(width)
+        marker = "U" if struct.is_upper_level(lvl) else "L"
+        lines.append(f"level {lvl:>2} [{marker}] -inf "
+                     + "".join(cells)
+                     + (f"  (+{count - sum(1 for c in cells if c.strip())}"
+                        " elided)" if elided and count else ""))
+    lines.append("")
+    lines.append(f"h_low = {struct.h_low} (levels >= h_low are replicated"
+                 " in every module; below, owner = hash(key, level))")
+    lines.append("")
+    for mid in range(struct.num_modules):
+        ml = struct.mlocal(mid)
+        chain = []
+        leaf = ml.first_leaf
+        while leaf is not None and len(chain) <= max_keys:
+            chain.append(str(leaf.key))
+            leaf = leaf.local_right
+        lines.append(f"module {mid} local leaf list: "
+                     + " -> ".join(chain[:max_keys])
+                     + (" ..." if len(chain) > max_keys else ""))
+    return "\n".join(lines)
+
+
+def _cell(key, _lvl, owner=None) -> str:
+    if owner is None:
+        return str(key)
+    tag = "R" if owner == UPPER else str(owner)
+    return f"{key}/{tag}"
+
+
+def layout_summary(struct: SkipListStructure) -> dict:
+    """Counts behind the picture: nodes per level, upper/lower split,
+    per-module leaf counts."""
+    per_level = {}
+    upper_nodes = 0
+    lower_nodes = 0
+    for lvl in range(struct.top_level + 1):
+        cnt = sum(1 for _ in struct.iter_level(lvl))
+        per_level[lvl] = cnt
+        if struct.is_upper_level(lvl):
+            upper_nodes += cnt
+        else:
+            lower_nodes += cnt
+    return {
+        "per_level": per_level,
+        "upper_nodes": upper_nodes,
+        "lower_nodes": lower_nodes,
+        "leaves_per_module": [struct.mlocal(m).leaf_count
+                              for m in range(struct.num_modules)],
+        "h_low": struct.h_low,
+        "top_level": struct.top_level,
+    }

@@ -1,0 +1,34 @@
+"""ASCII table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.01:
+            return f"{v:.3g}"
+        return f"{v:.2f}"
+    return str(v)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: Optional[str] = None) -> str:
+    """Render an ASCII table (used by every benchmark's report)."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

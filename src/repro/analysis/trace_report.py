@@ -1,0 +1,87 @@
+"""Round-timeline reports from the machine's tracer.
+
+After a measured region, the tracer's :class:`RoundLog` records tell the
+execution's story: where the h-relations spiked, which rounds were
+compute-heavy, how contention evolved.  This module renders those logs
+as text (a terminal-friendly bar timeline plus summary statistics), the
+debugging view used when a batch misbehaves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.sim.tracing import RoundLog
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Aggregates of a run's rounds."""
+
+    rounds: int
+    io_time: float
+    max_h: float
+    mean_h: float
+    busiest_round: int
+    pim_time: float
+    tasks: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"rounds={self.rounds} io={self.io_time:.0f} "
+                f"max_h={self.max_h:.0f} (round {self.busiest_round}) "
+                f"pim={self.pim_time:.0f} tasks={self.tasks}")
+
+
+def summarize(rounds: Sequence[RoundLog]) -> TraceSummary:
+    """Summary statistics of a slice of round logs."""
+    if not rounds:
+        return TraceSummary(0, 0.0, 0.0, 0.0, -1, 0.0, 0)
+    hs = [r.h for r in rounds]
+    busiest = max(range(len(rounds)), key=lambda i: hs[i])
+    return TraceSummary(
+        rounds=len(rounds),
+        io_time=float(sum(hs)),
+        max_h=float(max(hs)),
+        mean_h=sum(hs) / len(rounds),
+        busiest_round=rounds[busiest].index,
+        pim_time=float(sum(r.pim_work_max for r in rounds)),
+        tasks=sum(r.tasks_executed for r in rounds),
+    )
+
+
+def render_timeline(rounds: Sequence[RoundLog], width: int = 50,
+                    max_rows: int = 40) -> str:
+    """A text bar chart: one row per round, bar length ~ that round's h.
+
+    Long runs are bucketed down to ``max_rows`` rows (each row then shows
+    the bucket's max h and total tasks), so pathologies stay visible
+    without kilometer-long output.
+    """
+    if not rounds:
+        return "(no rounds)"
+    buckets: List[List[RoundLog]] = []
+    if len(rounds) <= max_rows:
+        buckets = [[r] for r in rounds]
+    else:
+        per = math.ceil(len(rounds) / max_rows)
+        for i in range(0, len(rounds), per):
+            buckets.append(list(rounds[i:i + per]))
+    peak = max(max(r.h for r in b) for b in buckets)
+    peak = max(peak, 1)
+    lines = []
+    for b in buckets:
+        h = max(r.h for r in b)
+        tasks = sum(r.tasks_executed for r in b)
+        label = (f"r{b[0].index}" if len(b) == 1
+                 else f"r{b[0].index}-{b[-1].index}")
+        bar = "#" * max(1, round(width * h / peak)) if h else ""
+        lines.append(f"{label:>12} |{bar:<{width}}| h={h:<6g} tasks={tasks}")
+    return "\n".join(lines)
+
+
+def hotspot_rounds(rounds: Sequence[RoundLog], top: int = 5,
+                   ) -> List[RoundLog]:
+    """The ``top`` rounds by h (ties broken by earliest round)."""
+    return sorted(rounds, key=lambda r: (-r.h, r.index))[:top]

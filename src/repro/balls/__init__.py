@@ -1,0 +1,40 @@
+"""Balls-in-bins machinery: hash families and the paper's load lemmas.
+
+The PIM skip list's load-balance guarantees rest on two balls-in-bins
+facts (paper §2.1):
+
+- **Lemma 2.1** (Raab & Steger): throwing ``T = Omega(P log P)`` balls
+  into ``P`` bins uniformly yields ``Theta(T/P)`` balls in every bin whp.
+- **Lemma 2.2** (weighted): throwing balls of total weight ``W`` with
+  per-ball weight at most ``W/(P log P)`` yields ``O(W/P)`` weight in
+  every bin whp (the paper proves the whp version via Bernstein's
+  inequality in its appendix).
+
+:mod:`repro.balls.hashing` provides the deterministic hash family used to
+map ``(key, level)`` pairs to PIM modules; :mod:`repro.balls.lemmas`
+provides experiment harnesses that measure max/mean load envelopes across
+seeds, which the tests and the ``bench_balls_in_bins`` benchmark use to
+check both lemmas empirically.
+"""
+
+from repro.balls.hashing import KeyLevelHash, mix64, stable_hash
+from repro.balls.lemmas import (
+    BallsResult,
+    bernstein_tail_bound,
+    lemma21_experiment,
+    lemma22_experiment,
+    throw_balls,
+    throw_weighted_balls,
+)
+
+__all__ = [
+    "BallsResult",
+    "KeyLevelHash",
+    "bernstein_tail_bound",
+    "lemma21_experiment",
+    "lemma22_experiment",
+    "mix64",
+    "stable_hash",
+    "throw_balls",
+    "throw_weighted_balls",
+]

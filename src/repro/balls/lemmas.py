@@ -1,0 +1,162 @@
+"""Empirical harnesses for the paper's balls-in-bins lemmas.
+
+These functions throw (possibly weighted) balls into bins with NumPy and
+summarize the load distribution, so tests and benchmarks can check:
+
+- Lemma 2.1: ``T = Omega(P log P)`` uniform balls give every bin
+  ``Theta(T/P)`` whp -- i.e. max/mean and mean/min stay bounded by small
+  constants across seeds;
+- Lemma 2.2: weighted balls with per-ball cap ``W/(P log P)`` give every
+  bin ``O(W/P)`` whp -- i.e. max/mean stays bounded even for adversarial
+  weight profiles that respect the cap;
+- the *failure* mode the paper warns about: only ``P`` balls (small
+  balls-to-bins ratio) drives the max load to ``Theta(log P / log log P)``
+  -- motivating minimum batch sizes.
+
+Also provides the Bernstein tail bound used in the paper's appendix proof,
+for plotting the analytic envelope next to the measurements.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BallsResult:
+    """Summary of one balls-in-bins trial."""
+
+    num_bins: int
+    num_balls: int
+    total_weight: float
+    max_load: float
+    min_load: float
+    mean_load: float
+
+    @property
+    def max_over_mean(self) -> float:
+        return self.max_load / self.mean_load if self.mean_load else float("inf")
+
+    @property
+    def min_over_mean(self) -> float:
+        return self.min_load / self.mean_load if self.mean_load else 0.0
+
+
+def throw_balls(num_bins: int, num_balls: int, rng: np.random.Generator) -> np.ndarray:
+    """Throw ``num_balls`` unit balls uniformly; return per-bin counts."""
+    choices = rng.integers(0, num_bins, size=num_balls)
+    return np.bincount(choices, minlength=num_bins)
+
+
+def throw_weighted_balls(num_bins: int, weights: Sequence[float],
+                         rng: np.random.Generator) -> np.ndarray:
+    """Throw one ball per weight uniformly; return per-bin total weights."""
+    w = np.asarray(weights, dtype=np.float64)
+    choices = rng.integers(0, num_bins, size=len(w))
+    return np.bincount(choices, weights=w, minlength=num_bins)
+
+
+def _summarize(loads: np.ndarray, num_balls: int) -> BallsResult:
+    return BallsResult(
+        num_bins=len(loads),
+        num_balls=num_balls,
+        total_weight=float(loads.sum()),
+        max_load=float(loads.max()),
+        min_load=float(loads.min()),
+        mean_load=float(loads.mean()),
+    )
+
+
+def lemma21_experiment(num_bins: int, balls_per_bin_log: float = 1.0,
+                       trials: int = 20, seed: int = 0) -> List[BallsResult]:
+    """Run Lemma 2.1 trials: ``T = c * P log P`` balls into ``P`` bins.
+
+    ``balls_per_bin_log`` is the constant ``c``; the lemma needs
+    ``T = Omega(P log P)``, and the returned per-trial summaries let the
+    caller check the ``Theta(T/P)`` envelope (max/mean and min/mean ratios
+    bounded away from ``log P`` growth).
+    """
+    log_p = max(1.0, math.log2(num_bins))
+    num_balls = max(1, int(round(balls_per_bin_log * num_bins * log_p)))
+    out = []
+    for t in range(trials):
+        rng = np.random.default_rng(seed + t)
+        loads = throw_balls(num_bins, num_balls, rng)
+        out.append(_summarize(loads, num_balls))
+    return out
+
+
+def lemma22_experiment(num_bins: int, weight_profile: str = "max-cap",
+                       total_weight: float = 1.0, trials: int = 20,
+                       seed: int = 0) -> List[BallsResult]:
+    """Run Lemma 2.2 trials: weighted balls with cap ``W/(P log P)``.
+
+    ``weight_profile`` selects the adversary's weight vector (all profiles
+    respect the lemma's cap):
+
+    - ``"max-cap"``: every ball at the cap (fewest, heaviest balls --
+      the extremal case for the Bernstein bound);
+    - ``"uniform"``: many equal small balls;
+    - ``"geometric"``: geometrically decreasing weights, truncated at the
+      cap (a skewed profile like skip-list path lengths).
+    """
+    log_p = max(1.0, math.log2(num_bins))
+    cap = total_weight / (num_bins * log_p)
+    if weight_profile == "max-cap":
+        k = int(math.ceil(total_weight / cap))
+        weights = [cap] * k
+    elif weight_profile == "uniform":
+        k = 16 * int(math.ceil(total_weight / cap))
+        weights = [total_weight / k] * k
+    elif weight_profile == "geometric":
+        weights = []
+        remaining = total_weight
+        w = cap
+        while remaining > 1e-12 * total_weight:
+            w = min(w, remaining)
+            weights.append(w)
+            remaining -= w
+            w = max(w * 0.999, cap / 1024)
+    else:
+        raise ValueError(f"unknown weight_profile {weight_profile!r}")
+    out = []
+    for t in range(trials):
+        rng = np.random.default_rng(seed + t)
+        loads = throw_weighted_balls(num_bins, weights, rng)
+        out.append(_summarize(loads, len(weights)))
+    return out
+
+
+def bernstein_tail_bound(total_weight: float, num_bins: int,
+                         deviation_factor: float) -> float:
+    """Bernstein tail bound from the paper's appendix proof of Lemma 2.2.
+
+    Probability that one fixed bin's weight deviates from its mean
+    ``S = W/P`` by more than ``c * 2S``, with ball-weight cap
+    ``R = W/(P log P)``: at most ``exp(-c log P)`` = ``P^{-c}``.
+    Returns the union bound over all ``P`` bins.
+    """
+    c = deviation_factor
+    log_p = max(1.0, math.log2(num_bins))
+    per_bin = math.exp(-c * log_p)
+    return min(1.0, num_bins * per_bin)
+
+
+def small_batch_max_load(num_bins: int, trials: int = 50,
+                         seed: int = 0) -> List[int]:
+    """Max load when throwing only ``P`` balls into ``P`` bins.
+
+    Exhibits the ``Theta(log P / log log P)`` max load the paper cites as
+    the reason random offloading of only ``P`` tasks is *not* PIM-balanced
+    (§2.1) -- the motivation for minimum batch sizes.
+    """
+    out = []
+    for t in range(trials):
+        rng = np.random.default_rng(seed + t)
+        loads = throw_balls(num_bins, num_bins, rng)
+        out.append(int(loads.max()))
+    return out

@@ -1,0 +1,36 @@
+"""Baseline structures the paper compares against (§2.2, §3.1).
+
+Each baseline runs on the same :class:`repro.sim.machine.PIMMachine` with
+the same cost accounting, so the comparative claims can be measured:
+
+- :class:`~repro.baselines.range_partition.RangePartitionedSkipList` --
+  coarse partitioning by disjoint key ranges (Choe et al. [11], Liu et
+  al. [19]).  Great on uniform workloads, serializes when an adversarial
+  batch falls inside one partition's range.
+- :class:`~repro.baselines.hash_partition.HashPartitionedMap` -- coarse
+  partitioning by key hash (Ziegler et al. [34]'s hash scheme).  Point
+  operations balance even under skew, but every ordered query
+  (successor/range) must broadcast to all ``P`` modules.
+- :class:`~repro.baselines.fine_grained.FineGrainedSkipList` -- every
+  node placed on a random module with no replication (Ziegler et al.'s
+  fine-grained scheme).  Balanced, but every search pays ``Theta(log n)``
+  messages because each pointer hop crosses modules.
+- :func:`~repro.baselines.naive_batch.naive_batch_successor` -- the
+  pivot-free batched search on the *paper's own structure* (§4.2's
+  "PIM-imbalanced batch execution"), the contention strawman that
+  motivates the two-stage algorithm.
+"""
+
+from repro.baselines.fine_grained import FineGrainedSkipList
+from repro.baselines.hash_partition import HashPartitionedMap
+from repro.baselines.local_skiplist import LocalSkipList
+from repro.baselines.naive_batch import naive_batch_successor
+from repro.baselines.range_partition import RangePartitionedSkipList
+
+__all__ = [
+    "FineGrainedSkipList",
+    "HashPartitionedMap",
+    "LocalSkipList",
+    "RangePartitionedSkipList",
+    "naive_batch_successor",
+]

@@ -1,0 +1,139 @@
+"""Fine-grained random placement baseline (Ziegler et al. [34]).
+
+One global skip list whose *every* node -- including the topmost levels
+and the sentinel tower -- lives on a uniformly random module, with no
+replication.  Load is perfectly balanced (that part the paper's structure
+keeps for its lower part), but a search from the root crosses a module
+boundary on essentially every one of its ``Theta(log n)`` hops: per-query
+IO is ``Theta(log n)`` messages instead of the ``O(log P)`` the replicated
+upper part buys.  This is §3.1's "fine-grained partitioning causes too
+much IO because every key search would access nodes in many different PIM
+modules."
+
+Only the operations the comparison benchmarks need are implemented:
+build, batched Get (search-based -- no leaf hash shortcut exists in the
+cited design), and batched Successor.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.balls.hashing import KeyLevelHash
+from repro.core.node import NEG_INF, NODE_WORDS, Node
+from repro.sim.machine import PIMMachine
+
+
+class FineGrainedSkipList:
+    """Globally distributed skip list, random node placement, no replicas."""
+
+    def __init__(self, machine: PIMMachine, name: str = "finegrained") -> None:
+        self.machine = machine
+        self.name = name
+        self.hash = KeyLevelHash(machine.num_modules,
+                                 seed=machine.spawn_rng(0xF1E).getrandbits(32))
+        self.rng: random.Random = machine.spawn_rng(0xF2A)
+        self.num_keys = 0
+        self.sentinels: List[Node] = []
+        self.top_level = 0
+        machine.register_all(self._handlers())
+
+    # -- structure ------------------------------------------------------------
+
+    def _owner(self, key: Hashable, level: int) -> int:
+        return self.hash.module_of(("fg", key), level)
+
+    def build(self, items: Iterable[Tuple[Hashable, Any]]) -> None:
+        """Initialize from sorted unique (key, value) pairs."""
+        items = list(items)
+        heights = []
+        for _ in items:
+            h = 0
+            while h < 48 and self.rng.random() < 0.5:
+                h += 1
+            heights.append(h)
+        self.top_level = max(heights, default=0) + 1
+        prev_s: Optional[Node] = None
+        for lvl in range(self.top_level + 1):
+            s = Node(NEG_INF, lvl, owner=self._owner("SENTINEL", lvl))
+            self.machine.modules[s.owner].alloc_words(NODE_WORDS)
+            if prev_s is not None:
+                s.down = prev_s
+                prev_s.up = s
+            self.sentinels.append(s)
+            prev_s = s
+        tails: List[Node] = list(self.sentinels)
+        for (key, value), h in zip(items, heights):
+            below: Optional[Node] = None
+            for lvl in range(h + 1):
+                node = Node(key, lvl, owner=self._owner(key, lvl),
+                            value=value if lvl == 0 else None)
+                self.machine.modules[node.owner].alloc_words(NODE_WORDS)
+                tails[lvl].right = node
+                node.left = tails[lvl]
+                tails[lvl] = node
+                if below is not None:
+                    below.up = node
+                    node.down = below
+                below = node
+        self.num_keys = len(items)
+
+    @property
+    def root(self) -> Node:
+        return self.sentinels[-1]
+
+    # -- search ---------------------------------------------------------------
+
+    def _handlers(self) -> Dict[str, Any]:
+        name = self.name
+
+        def h_step(ctx, node, key, opid, tag=None):
+            x = node
+            while True:
+                ctx.charge(1)
+                ctx.touch(("fg", x.nid))
+                if x.right is not None and x.right.key <= key:
+                    nxt = x.right
+                elif x.level > 0:
+                    nxt = x.down
+                else:
+                    ctx.reply(("done", opid, x, x.right), size=1)
+                    return
+                if nxt.owner == ctx.mid:
+                    x = nxt
+                else:
+                    ctx.forward(nxt.owner, f"{name}:step", (nxt, key, opid))
+                    return
+
+        return {f"{name}:step": h_step}
+
+    def _batch_search(self, keys: Sequence[Hashable]) -> List[Node]:
+        machine = self.machine
+        root = self.root
+        for i, key in enumerate(keys):
+            machine.send(root.owner, f"{self.name}:step", (root, key, i))
+        results: List[Optional[Tuple[Node, Optional[Node]]]] = [None] * len(keys)
+        for r in machine.drain():
+            _, opid, pred, right = r.payload
+            results[opid] = (pred, right)
+        return results  # type: ignore[return-value]
+
+    def batch_get(self, keys: Sequence[Hashable]) -> List[Optional[Any]]:
+        out: List[Optional[Any]] = []
+        for key, (pred, _right) in zip(keys, self._batch_search(keys)):
+            out.append(pred.value if (not pred.is_sentinel and pred.key == key)
+                       else None)
+        return out
+
+    def batch_successor(self, keys: Sequence[Hashable],
+                        ) -> List[Optional[Tuple[Hashable, Any]]]:
+        out: List[Optional[Tuple[Hashable, Any]]] = []
+        for key, (pred, right) in zip(keys, self._batch_search(keys)):
+            if not pred.is_sentinel and pred.key == key:
+                out.append((pred.key, pred.value))
+            elif right is not None:
+                out.append((right.key, right.value))
+            else:
+                out.append(None)
+        return out

@@ -1,0 +1,161 @@
+"""Hash-partitioned ordered map baseline (Ziegler et al. [34]'s coarse
+partitioning by hash).
+
+Every key hashes to one module, which keeps a sequential skip list over
+its (scattered) keys.  Point operations are perfectly balanced even under
+adversarial skew -- the same property our structure gets for its lower
+part -- but *order* is destroyed: a Successor query cannot be routed, so
+it must broadcast to all ``P`` modules and min-combine the local answers;
+likewise every range scan touches all modules no matter how small the
+range.  This is §3.1's "coarse-grain partitioning by hash has low range
+query performance because range queries must be broadcasted."
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.balls.hashing import KeyLevelHash
+from repro.baselines.local_skiplist import LocalSkipList
+from repro.cpuside.semisort import group_by
+from repro.sim.machine import PIMMachine
+
+
+class HashPartitionedMap:
+    """Coarse partitioning by key hash with per-module skip lists."""
+
+    def __init__(self, machine: PIMMachine, name: str = "hashpart") -> None:
+        self.machine = machine
+        self.name = name
+        self.num_modules = machine.num_modules
+        self.hash = KeyLevelHash(machine.num_modules,
+                                 seed=machine.spawn_rng(0x4A5).getrandbits(32))
+        self.num_keys = 0
+        for mid in range(machine.num_modules):
+            module = machine.modules[mid]
+            module.state[name] = LocalSkipList(
+                rng=machine.spawn_rng(0x9B0 + mid), charge=module.charge,
+            )
+        machine.register_all(self._handlers())
+
+    def _handlers(self) -> Dict[str, Any]:
+        name = self.name
+
+        def h_get(ctx, key, tag=None):
+            ctx.charge(1)
+            ctx.reply((key, ctx.state(name).get(key)), tag=tag)
+
+        def h_upsert(ctx, key, value, tag=None):
+            ctx.charge(1)
+            created = ctx.state(name).upsert(key, value)
+            if created:
+                ctx.module.alloc_words(4)
+            ctx.reply((key, created), tag=tag)
+
+        def h_delete(ctx, key, tag=None):
+            ctx.charge(1)
+            removed = ctx.state(name).delete(key)
+            if removed:
+                ctx.module.free_words(4)
+            ctx.reply((key, removed), tag=tag)
+
+        def h_local_succ(ctx, key, opid, tag=None):
+            ctx.charge(1)
+            ctx.reply(("succ", opid, ctx.state(name).successor(key)), tag=tag)
+
+        def h_range(ctx, lkey, rkey, opid, tag=None):
+            ctx.charge(1)
+            vals = ctx.state(name).range_scan(lkey, rkey)
+            ctx.reply(("range", opid, vals), size=max(1, len(vals)), tag=tag)
+
+        return {
+            f"{name}:get": h_get,
+            f"{name}:upsert": h_upsert,
+            f"{name}:delete": h_delete,
+            f"{name}:lsucc": h_local_succ,
+            f"{name}:range": h_range,
+        }
+
+    def owner(self, key: Hashable) -> int:
+        return self.hash.module_of(key)
+
+    def build(self, items: Iterable[Tuple[Hashable, Any]]) -> None:
+        for k, v in items:
+            mid = self.owner(k)
+            self.machine.modules[mid].state[self.name].upsert(k, v)
+            self.machine.modules[mid].alloc_words(4)
+            self.num_keys += 1
+
+    # -- batched operations -------------------------------------------------
+
+    def batch_get(self, keys: Sequence[Hashable]) -> List[Optional[Any]]:
+        machine = self.machine
+        groups = group_by(machine.cpu, list(range(len(keys))),
+                          key=lambda i: keys[i])
+        for key in groups:
+            machine.send(self.owner(key), f"{self.name}:get", (key,))
+        results: List[Optional[Any]] = [None] * len(keys)
+        for r in machine.drain():
+            key, value = r.payload
+            for i in groups[key]:
+                results[i] = value
+        return results
+
+    def batch_upsert(self, pairs: Sequence[Tuple[Hashable, Any]]) -> int:
+        machine = self.machine
+        groups = group_by(machine.cpu, list(pairs), key=lambda kv: kv[0])
+        for key, occ in groups.items():
+            machine.send(self.owner(key), f"{self.name}:upsert",
+                         (key, occ[-1][1]))
+        created = sum(1 for r in machine.drain() if r.payload[1])
+        self.num_keys += created
+        return created
+
+    def batch_delete(self, keys: Sequence[Hashable]) -> int:
+        machine = self.machine
+        groups = group_by(machine.cpu, list(keys), key=lambda k: k)
+        for key in groups:
+            machine.send(self.owner(key), f"{self.name}:delete", (key,))
+        removed = sum(1 for r in machine.drain() if r.payload[1])
+        self.num_keys -= removed
+        return removed
+
+    def batch_successor(self, keys: Sequence[Hashable],
+                        ) -> List[Optional[Tuple[Hashable, Any]]]:
+        """Every query broadcasts: P messages out + P local searches + P
+        answers back, then a CPU min-combine.  IO ~ B (not B/P)."""
+        machine = self.machine
+        for i, key in enumerate(keys):
+            machine.broadcast(f"{self.name}:lsucc", (key, i))
+        best: List[Optional[Tuple[Hashable, Any]]] = [None] * len(keys)
+        for r in machine.drain():
+            _, opid, res = r.payload
+            if res is not None and (best[opid] is None or res[0] < best[opid][0]):
+                best[opid] = res
+        machine.cpu.charge(
+            len(keys) * self.num_modules,
+            max(1.0, math.log2(self.num_modules + 1)),
+        )
+        return best
+
+    def batch_range(self, ops: Sequence[Tuple[Hashable, Hashable]],
+                    ) -> List[List[Tuple[Hashable, Any]]]:
+        """Every range op broadcasts to all modules; the CPU merge-sorts
+        the scattered partial results."""
+        machine = self.machine
+        for i, (l, r) in enumerate(ops):
+            machine.broadcast(f"{self.name}:range", (l, r, i))
+        parts: Dict[int, List[Tuple[Hashable, Any]]] = {}
+        for rep in machine.drain():
+            _, opid, vals = rep.payload
+            parts.setdefault(opid, []).extend(vals)
+        out: List[List[Tuple[Hashable, Any]]] = []
+        for i in range(len(ops)):
+            vals = sorted(parts.get(i, []))
+            machine.cpu.charge(
+                (len(vals) + 1) * max(1.0, math.log2(len(vals) + 2)),
+                max(1.0, math.log2(len(vals) + 2)),
+            )
+            out.append(vals)
+        return out

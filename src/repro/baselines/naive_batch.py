@@ -1,0 +1,46 @@
+"""The pivot-free batched search on the paper's own structure (§4.2).
+
+"PIM-imbalanced batch execution": send every query's search into the
+structure at once, each stepping one node per round.  Correct -- but an
+adversarial same-successor batch funnels all ``B = P log^2 P`` searches
+through the same ``O(log P)`` lower-part nodes, so single nodes see
+``Theta(B)`` contention, one module does ``Theta(B)`` of the work, and IO
+time degenerates to ``Theta(B)`` (no parallelism).  The Fig. 3 / Lemma
+4.2 benchmark contrasts this directly with the two-stage pivot algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.ops_search import launch_search
+from repro.core.structure import SkipListStructure
+
+
+def naive_batch_search(sl: SkipListStructure, keys: Sequence[Hashable]):
+    """All searches at once, no pivots, no hints.  Returns (pred, right)
+    pairs aligned with ``keys``."""
+    machine = sl.machine
+    for i, key in enumerate(keys):
+        launch_search(sl, key, opid=i, record=False)
+    results: List[Optional[Tuple[Any, Any]]] = [None] * len(keys)
+    for r in machine.drain():
+        payload = r.payload
+        if payload[0] == "done":
+            _, opid, pred, right = payload
+            results[opid] = (pred, right)
+    return results
+
+
+def naive_batch_successor(sl: SkipListStructure, keys: Sequence[Hashable],
+                          ) -> List[Optional[Tuple[Hashable, Any]]]:
+    """Successor semantics over :func:`naive_batch_search`."""
+    out: List[Optional[Tuple[Hashable, Any]]] = []
+    for key, (pred, right) in zip(keys, naive_batch_search(sl, keys)):
+        if not pred.is_sentinel and pred.key == key:
+            out.append((pred.key, pred.value))
+        elif right is not None:
+            out.append((right.key, right.value))
+        else:
+            out.append(None)
+    return out

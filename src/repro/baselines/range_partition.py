@@ -1,0 +1,190 @@
+"""Range-partitioned skip list baseline (Choe et al. [11], Liu et al. [19]).
+
+Keys are split into ``P`` contiguous ranges by splitters chosen at build
+time; each PIM module keeps an ordinary sequential skip list over its
+range.  Routing is a CPU-side binary search over the splitters, so point
+and ordered operations each cost one message and ``O(log n_local)`` local
+work -- *if* the batch spreads across ranges.
+
+This is exactly the design §2.2 critiques: "it would serialize (i.e., no
+parallelism) ... whenever all keys fall within the range hosted by a
+single PIM-module."  The ``bench_baselines`` benchmark reproduces that
+serialization with a single-range adversarial batch (h-relation ~ B
+instead of ~ B/P), and its strength on uniform workloads and range scans.
+
+No dynamic repartitioning is implemented; the cited systems offer data
+migration heuristics but the paper's point -- an adversary beats any
+fixed range assignment -- stands regardless.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.baselines.local_skiplist import LocalSkipList
+from repro.cpuside.semisort import group_by
+from repro.sim.machine import PIMMachine
+
+
+class RangePartitionedSkipList:
+    """Coarse range partitioning: module ``i`` owns keys in
+    ``[splitters[i-1], splitters[i])``."""
+
+    def __init__(self, machine: PIMMachine, name: str = "rangepart") -> None:
+        self.machine = machine
+        self.name = name
+        self.num_modules = machine.num_modules
+        self.splitters: List[Hashable] = []
+        self.num_keys = 0
+        for mid in range(self.num_modules):
+            module = machine.modules[mid]
+            module.state[name] = LocalSkipList(
+                rng=machine.spawn_rng(0x2A9E + mid), charge=module.charge,
+            )
+        machine.register_all(self._handlers())
+
+    # -- handlers -----------------------------------------------------------
+
+    def _handlers(self) -> Dict[str, Any]:
+        name = self.name
+
+        def local(ctx) -> LocalSkipList:
+            return ctx.state(name)
+
+        def h_get(ctx, key, tag=None):
+            ctx.charge(1)
+            sl = local(ctx)
+            ctx.reply((key, sl.get(key)), tag=tag)
+
+        def h_upsert(ctx, key, value, tag=None):
+            ctx.charge(1)
+            created = local(ctx).upsert(key, value)
+            words = 4
+            if created:
+                ctx.module.alloc_words(words)
+            ctx.reply((key, created), tag=tag)
+
+        def h_delete(ctx, key, tag=None):
+            ctx.charge(1)
+            removed = local(ctx).delete(key)
+            if removed:
+                ctx.module.free_words(4)
+            ctx.reply((key, removed), tag=tag)
+
+        def h_succ(ctx, key, opid, tag=None):
+            ctx.charge(1)
+            res = local(ctx).successor(key)
+            if res is None and ctx.mid + 1 < ctx.num_modules:
+                # The successor lives in a later range; forward rightward.
+                ctx.forward(ctx.mid + 1, f"{name}:succ", (key, opid))
+            else:
+                ctx.reply(("succ", opid, res), tag=tag)
+
+        def h_range(ctx, lkey, rkey, opid, tag=None):
+            ctx.charge(1)
+            vals = local(ctx).range_scan(lkey, rkey)
+            ctx.reply(("range", opid, ctx.mid, vals),
+                      size=max(1, len(vals)), tag=tag)
+
+        return {
+            f"{name}:get": h_get,
+            f"{name}:upsert": h_upsert,
+            f"{name}:delete": h_delete,
+            f"{name}:succ": h_succ,
+            f"{name}:range": h_range,
+        }
+
+    # -- routing ---------------------------------------------------------------
+
+    def route(self, key: Hashable) -> int:
+        """Module owning ``key``'s range (CPU binary search, charged)."""
+        self.machine.cpu.charge(max(1.0, math.log2(self.num_modules)), 1.0)
+        return bisect.bisect_right(self.splitters, key)
+
+    # -- construction ------------------------------------------------------------
+
+    def build(self, items: Iterable[Tuple[Hashable, Any]]) -> None:
+        """Initialize from sorted unique (key, value) pairs, choosing
+        equal-count splitters (the best case for the baseline)."""
+        items = list(items)
+        p = self.num_modules
+        per = max(1, math.ceil(len(items) / p))
+        self.splitters = [
+            items[i * per][0] for i in range(1, p) if i * per < len(items)
+        ]
+        for i, (k, v) in enumerate(items):
+            mid = min(i // per, p - 1)
+            self.machine.modules[mid].state[self.name].upsert(k, v)
+            self.machine.modules[mid].alloc_words(4)
+        self.num_keys = len(items)
+
+    # -- batch operations -----------------------------------------------------------
+
+    def batch_get(self, keys: Sequence[Hashable]) -> List[Optional[Any]]:
+        machine = self.machine
+        groups = group_by(machine.cpu, list(range(len(keys))),
+                          key=lambda i: keys[i])
+        for key in groups:
+            machine.send(self.route(key), f"{self.name}:get", (key,))
+        results: List[Optional[Any]] = [None] * len(keys)
+        for r in machine.drain():
+            key, value = r.payload
+            for i in groups[key]:
+                results[i] = value
+        return results
+
+    def batch_upsert(self, pairs: Sequence[Tuple[Hashable, Any]]) -> int:
+        machine = self.machine
+        groups = group_by(machine.cpu, list(pairs), key=lambda kv: kv[0])
+        for key, occ in groups.items():
+            machine.send(self.route(key), f"{self.name}:upsert",
+                         (key, occ[-1][1]))
+        created = sum(1 for r in machine.drain() if r.payload[1])
+        self.num_keys += created
+        return created
+
+    def batch_delete(self, keys: Sequence[Hashable]) -> int:
+        machine = self.machine
+        groups = group_by(machine.cpu, list(keys), key=lambda k: k)
+        for key in groups:
+            machine.send(self.route(key), f"{self.name}:delete", (key,))
+        removed = sum(1 for r in machine.drain() if r.payload[1])
+        self.num_keys -= removed
+        return removed
+
+    def batch_successor(self, keys: Sequence[Hashable],
+                        ) -> List[Optional[Tuple[Hashable, Any]]]:
+        machine = self.machine
+        for i, key in enumerate(keys):
+            machine.send(self.route(key), f"{self.name}:succ", (key, i))
+        results: List[Optional[Tuple[Hashable, Any]]] = [None] * len(keys)
+        for r in machine.drain():
+            _, opid, res = r.payload
+            results[opid] = res
+        return results
+
+    def batch_range(self, ops: Sequence[Tuple[Hashable, Hashable]],
+                    ) -> List[List[Tuple[Hashable, Any]]]:
+        """Range scans; each op contacts only the modules its range spans
+        (the baseline's strong suit)."""
+        machine = self.machine
+        for i, (l, r) in enumerate(ops):
+            lo, hi = self.route(l), self.route(r)
+            for mid in range(lo, hi + 1):
+                machine.send(mid, f"{self.name}:range", (l, r, i))
+        parts: Dict[int, List[Tuple[int, List]]] = {}
+        for rep in machine.drain():
+            _, opid, mid, vals = rep.payload
+            parts.setdefault(opid, []).append((mid, vals))
+        out: List[List[Tuple[Hashable, Any]]] = []
+        for i in range(len(ops)):
+            chunks = sorted(parts.get(i, []))
+            merged: List[Tuple[Hashable, Any]] = []
+            for _, vals in chunks:
+                merged.extend(vals)
+            machine.cpu.charge(len(merged) + 1,
+                               max(1.0, math.log2(len(merged) + 2)))
+            out.append(merged)
+        return out

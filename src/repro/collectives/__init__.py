@@ -1,0 +1,19 @@
+"""BSP-style collectives on the PIM model.
+
+The machine model implies a family of communication primitives whose
+costs follow directly from the h-relation accounting: scatter/gather
+(h = per-module payload), broadcast (h = 1 down, or message-size for
+fat values), reductions and scans (one gather + CPU combine + optional
+scatter), all-to-all exchanges (h = max row/column mass of the transfer
+matrix), and a PIM-balanced histogram.  These are the building blocks
+"other algorithms for the PIM model" (the paper's future work) are made
+of; :mod:`repro.algorithms` uses them for distributed sorting and the
+PRAM-emulation comparison.
+
+All collectives run against per-module *slots*: each module holds one
+value (any Python object) per collective instance, in its local state.
+"""
+
+from repro.collectives.core import Collectives
+
+__all__ = ["Collectives"]

@@ -1,0 +1,241 @@
+"""Collective operations over per-module value slots."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
+
+from repro.sim.machine import PIMMachine
+
+
+class Collectives:
+    """A collective-communication context on a PIM machine.
+
+    Each module holds one *slot* (an arbitrary value) per context.  The
+    collectives move and combine slots with the model's costs:
+
+    - :meth:`scatter` / :meth:`gather`: CPU <-> modules, ``h`` = the
+      largest per-module payload;
+    - :meth:`broadcast`: one (possibly fat) message per module;
+    - :meth:`reduce` / :meth:`allreduce`: gather local values, combine on
+      the CPU with an ``O(P)``-work, ``O(log P)``-depth tree;
+    - :meth:`exscan`: exclusive prefix across module ids -- gather,
+      CPU scan, scatter;
+    - :meth:`alltoall`: module-to-module exchange of a payload matrix;
+      ``h`` = the max over modules of (words sent + received), matching
+      the h-relation definition exactly;
+    - :meth:`map_slots`: run a local function on every slot (PIM work
+      charged per module via the function's returned cost).
+    """
+
+    def __init__(self, machine: PIMMachine, name: str = "coll") -> None:
+        self.machine = machine
+        self.name = name
+        self.num_modules = machine.num_modules
+        for module in machine.modules:
+            module.state.setdefault(name, {"slot": None, "inbox": []})
+        # Handlers are stateless w.r.t. this instance (all state lives in
+        # the modules), so re-creating a context with the same name on
+        # the same machine is allowed.
+        if f"{name}:put" not in machine._handlers:
+            machine.register_all(self._handlers())
+
+    # -- handlers ----------------------------------------------------------
+
+    def _handlers(self) -> Dict[str, Any]:
+        name = self.name
+
+        def st(ctx):
+            return ctx.module.state[name]
+
+        def h_put(ctx, value, tag=None):
+            ctx.charge(1)
+            st(ctx)["slot"] = value
+            ctx.reply(("ack",), tag=tag)
+
+        def h_get(ctx, tag=None):
+            ctx.charge(1)
+            ctx.reply(("slot", ctx.mid, st(ctx)["slot"]),
+                      size=_words(st(ctx)["slot"]), tag=tag)
+
+        def h_apply(ctx, fn, tag=None):
+            slot = st(ctx)["slot"]
+            out, cost = fn(ctx.mid, slot)
+            ctx.charge(max(1, cost))
+            st(ctx)["slot"] = out
+            ctx.reply(("ack",), tag=tag)
+
+        def h_send_row(ctx, row, tag=None):
+            # all-to-all phase 1: this module forwards its row pieces.
+            ctx.charge(len(row) + 1)
+            for dest, piece in row.items():
+                if piece:
+                    ctx.forward(dest, f"{name}:recv_piece", (piece,),
+                                size=_words(piece))
+            ctx.reply(("ack",), tag=tag)
+
+        def h_recv_piece(ctx, piece, tag=None):
+            ctx.charge(max(1, _words(piece)))
+            st(ctx)["inbox"].append(piece)
+
+        def h_collect_inbox(ctx, tag=None):
+            inbox = st(ctx)["inbox"]
+            ctx.charge(len(inbox) + 1)
+            st(ctx)["inbox"] = []
+            ctx.reply(("inbox", ctx.mid, inbox),
+                      size=max(1, sum(_words(p) for p in inbox)), tag=tag)
+
+        return {
+            f"{name}:put": h_put,
+            f"{name}:get": h_get,
+            f"{name}:apply": h_apply,
+            f"{name}:send_row": h_send_row,
+            f"{name}:recv_piece": h_recv_piece,
+            f"{name}:collect_inbox": h_collect_inbox,
+        }
+
+    # -- data movement -----------------------------------------------------
+
+    def scatter(self, values: Sequence[Any]) -> None:
+        """Store ``values[i]`` into module ``i``'s slot."""
+        if len(values) != self.num_modules:
+            raise ValueError("scatter needs one value per module")
+        for mid, value in enumerate(values):
+            self.machine.send(mid, f"{self.name}:put", (value,),
+                              size=_words(value))
+        self.machine.drain()
+
+    def gather(self) -> List[Any]:
+        """Return every module's slot (ordered by module id)."""
+        self.machine.broadcast(f"{self.name}:get", ())
+        out: List[Any] = [None] * self.num_modules
+        for r in self.machine.drain():
+            _, mid, value = r.payload
+            out[mid] = value
+        self.machine.cpu.charge(self.num_modules,
+                                max(1.0, math.log2(self.num_modules)))
+        return out
+
+    def broadcast(self, value: Any) -> None:
+        """Store ``value`` into every module's slot."""
+        self.machine.broadcast(f"{self.name}:put", (value,),
+                               size=_words(value))
+        self.machine.drain()
+
+    def map_slots(self, fn: Callable[[int, Any], Any]) -> None:
+        """Apply ``fn(mid, slot) -> (new_slot, pim_work)`` on each module."""
+        self.machine.broadcast(f"{self.name}:apply", (fn,))
+        self.machine.drain()
+
+    # -- combining collectives --------------------------------------------
+
+    def reduce(self, op: Callable[[Any, Any], Any], identity: Any) -> Any:
+        """Combine all slots on the CPU (O(P) work, O(log P) depth)."""
+        values = self.gather()
+        acc = identity
+        for v in values:
+            acc = op(acc, v)
+        self.machine.cpu.charge(self.num_modules,
+                                max(1.0, math.log2(self.num_modules)))
+        return acc
+
+    def allreduce(self, op: Callable[[Any, Any], Any], identity: Any) -> Any:
+        """Reduce, then broadcast the result back to every slot."""
+        total = self.reduce(op, identity)
+        self.broadcast(total)
+        return total
+
+    def exscan(self, op: Callable[[Any, Any], Any], identity: Any,
+               ) -> List[Any]:
+        """Exclusive prefix over module ids; result lands in each slot.
+
+        Module ``i`` receives ``op(slot_0, ..., slot_{i-1})``.  Two
+        rounds: gather + scatter (the CPU scan is O(P)/O(log P)).
+        """
+        values = self.gather()
+        prefixes: List[Any] = []
+        acc = identity
+        for v in values:
+            prefixes.append(acc)
+            acc = op(acc, v)
+        self.machine.cpu.charge(2 * self.num_modules,
+                                2 * max(1.0, math.log2(self.num_modules)))
+        self.scatter(prefixes)
+        return prefixes
+
+    # -- all-to-all ---------------------------------------------------------
+
+    def alltoall(self, matrix: Sequence[Dict[int, Any]]) -> List[List[Any]]:
+        """Exchange ``matrix[i][j]`` from module ``i`` to module ``j``.
+
+        Phase 1 scatters each row to its source module; phase 2 the
+        sources forward the pieces (this is the charged exchange: ``h`` =
+        max over modules of words sent + received); phase 3 gathers each
+        module's inbox back to the CPU for inspection.  Returns the
+        received pieces per destination module.
+        """
+        if len(matrix) != self.num_modules:
+            raise ValueError("alltoall needs one row per module")
+        for mid, row in enumerate(matrix):
+            self.machine.send(mid, f"{self.name}:send_row", (dict(row),),
+                              size=max(1, sum(_words(v) for v in row.values())))
+        self.machine.drain()
+        self.machine.broadcast(f"{self.name}:collect_inbox", ())
+        out: List[List[Any]] = [[] for _ in range(self.num_modules)]
+        for r in self.machine.drain():
+            _, mid, inbox = r.payload
+            out[mid] = inbox
+        return out
+
+    # -- histogram ------------------------------------------------------------
+
+    def histogram(self, records: Sequence[Hashable],
+                  placement: Callable[[Hashable], int]) -> Counter:
+        """PIM-balanced counting: scatter records by ``placement``, count
+        locally, gather the partial counters.
+
+        With a hash placement, Lemma 2.1 makes both the scatter and the
+        local work balanced whp for any input distribution.
+        """
+        name = self.name
+        fn_count = f"{name}:hist_count"
+        fn_flush = f"{name}:hist_flush"
+        if fn_count not in self.machine._handlers:
+            def h_count(ctx, bucket, tag=None):
+                ctx.charge(1)
+                counts = ctx.module.state[name].setdefault(
+                    "hist", Counter())
+                counts[bucket] += 1
+
+            def h_flush(ctx, tag=None):
+                counts = ctx.module.state[name].pop("hist", Counter())
+                ctx.charge(len(counts) + 1)
+                ctx.reply(("hist", dict(counts)),
+                          size=max(1, len(counts)), tag=tag)
+
+            self.machine.register(fn_count, h_count)
+            self.machine.register(fn_flush, h_flush)
+        for rec in records:
+            self.machine.send(placement(rec), fn_count, (rec,))
+        self.machine.drain()
+        self.machine.broadcast(fn_flush, ())
+        total: Counter = Counter()
+        for r in self.machine.drain():
+            total.update(r.payload[1])
+        self.machine.cpu.charge(
+            len(records) // max(1, self.num_modules) + self.num_modules,
+            max(1.0, math.log2(len(records) + 2)),
+        )
+        return total
+
+
+def _words(value: Any) -> int:
+    """Accounted message size of a payload, in constant-size units."""
+    if value is None:
+        return 1
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return max(1, len(value))
+    if isinstance(value, dict):
+        return max(1, len(value))
+    return 1

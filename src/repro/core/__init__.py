@@ -1,0 +1,40 @@
+"""The paper's primary contribution: the PIM-balanced skip list.
+
+Public API
+----------
+
+:class:`~repro.core.skiplist.PIMSkipList` is the batch-parallel ordered
+map.  Construct it over a :class:`repro.sim.machine.PIMMachine` and drive
+it with batches (all operations in a batch share one type, as the model
+requires):
+
+- ``batch_get(keys)`` / ``batch_update(pairs)`` -- point lookups/updates
+  via the (key, level)->module hash shortcut (paper §4.1);
+- ``batch_successor(keys)`` / ``batch_predecessor(keys)`` -- two-stage
+  pivot searches with provably bounded node contention (paper §4.2);
+- ``batch_upsert(pairs)`` -- update-or-insert with Algorithm 1's parallel
+  horizontal-pointer construction (paper §4.3);
+- ``batch_delete(keys)`` -- shortcut deletion plus list-contraction
+  splicing (paper §4.4);
+- ``batch_range(ops)`` / ``range_broadcast(...)`` -- range operations by
+  tree structure (§5.2) or by broadcast (§5.1).
+
+Supporting pieces: the node/address layer (:mod:`repro.core.node`), the
+replicated-upper/hashed-lower structure (:mod:`repro.core.structure`),
+per-module de-amortized cuckoo hash tables (:mod:`repro.core.hash_table`),
+and one module per operation family (``ops_*``).
+"""
+
+from repro.core.hash_table import CuckooHashTable
+from repro.core.node import Node, NodeId, UPPER
+from repro.core.skiplist import PIMSkipList
+from repro.core.structure import SkipListStructure
+
+__all__ = [
+    "CuckooHashTable",
+    "Node",
+    "NodeId",
+    "PIMSkipList",
+    "SkipListStructure",
+    "UPPER",
+]

@@ -1,0 +1,280 @@
+"""De-amortized cuckoo hash table (one per PIM module).
+
+Paper §4.1: "within a PIM module, we use a de-amortized hash table
+supporting O(1) whp work operations [Goodrich et al.].  The table supports
+the O(n/P) keys stored in this PIM node in O(1) whp PIM work per Get,
+Update, Delete, and Insert operation."  The table maps keys to the
+module's level-0 (leaf) nodes so point operations can shortcut straight to
+the leaf without touching the pointer structure.
+
+Implementation: classic two-table cuckoo hashing with a small stash, plus
+a pending-placement queue processed a constant number of steps per public
+operation (the de-amortization of Goodrich et al.: evictions triggered by
+an insert are not chased to completion immediately but drained at O(1)
+steps per subsequent operation).  Lookups probe T1[h1(k)], T2[h2(k)], the
+stash, and the pending queue -- all O(1).  When the stash or load factor
+overflows, the table rebuilds with fresh hash seeds and doubled capacity;
+rebuild work is charged for real (it amortizes to O(1) per insert and the
+whp-O(1) claim is checked empirically in the tests).
+
+Work accounting: the table charges a caller-provided ``charge`` callable
+one unit per probe/move, so when embedded in a PIM module the cost lands
+in that module's local-work counter.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, Iterator, List, Optional, Tuple
+
+from repro.balls.hashing import mix64, stable_hash
+
+_ABSENT = object()
+
+
+class CuckooHashTable:
+    """A de-amortized cuckoo hash table with stash and pending queue.
+
+    Parameters
+    ----------
+    rng:
+        Source of hash seeds (rebuilds draw fresh seeds from it).
+    charge:
+        Optional ``charge(units)`` callable; every probe, move, and
+        rebuild step charges through it (defaults to a no-op for
+        standalone use).
+    initial_capacity:
+        Starting size of *each* of the two tables.
+    stash_limit:
+        Maximum stash size before a rebuild is triggered.
+    moves_per_op:
+        De-amortization constant: pending-eviction steps executed per
+        public operation.
+    """
+
+    MAX_LOAD = 0.45  # per-table load factor triggering growth
+
+    def __init__(self, rng: random.Random,
+                 charge: Optional[Callable[[float], None]] = None,
+                 initial_capacity: int = 8, stash_limit: int = 8,
+                 moves_per_op: int = 4) -> None:
+        self._rng = rng
+        self._charge = charge if charge is not None else (lambda w: None)
+        self._capacity = max(4, initial_capacity)
+        self._stash_limit = stash_limit
+        self._moves_per_op = moves_per_op
+        self._count = 0
+        self._new_seeds()
+        self._t1: List[Optional[Tuple[Hashable, Any]]] = [None] * self._capacity
+        self._t2: List[Optional[Tuple[Hashable, Any]]] = [None] * self._capacity
+        self._stash: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._pending: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    # -- internals -----------------------------------------------------
+
+    def _new_seeds(self) -> None:
+        self._seed1 = self._rng.getrandbits(63)
+        self._seed2 = self._rng.getrandbits(63)
+
+    def _h1(self, key: Hashable) -> int:
+        return stable_hash(key, seed=self._seed1) % self._capacity
+
+    def _h2(self, key: Hashable) -> int:
+        return stable_hash(key, seed=self._seed2) % self._capacity
+
+    def _max_chase(self) -> int:
+        """Eviction-chain cutoff before an item is stashed (cycle break)."""
+        return max(8, 2 * self._capacity.bit_length())
+
+    def _drain_pending(self, steps: int) -> None:
+        """Run up to ``steps`` cuckoo placement moves from the queue.
+
+        Queue entries carry the table the item should try next, so a
+        chase interrupted by the step budget resumes where it left off
+        (losing the alternation state would ping-pong forever at small
+        ``moves_per_op``).
+        """
+        max_chase = self._max_chase()
+        while steps > 0 and self._pending:
+            key, (value, use_t1) = self._pending.popitem(last=False)
+            item: Optional[Tuple[Hashable, Any]] = (key, value)
+            chase = 0
+            # Chase evictions within both the op budget and the cycle cutoff.
+            while item is not None and steps > 0 and chase < max_chase:
+                steps -= 1
+                chase += 1
+                self._charge(1)
+                k, v = item
+                idx = self._h1(k) if use_t1 else self._h2(k)
+                table = self._t1 if use_t1 else self._t2
+                evicted = table[idx]
+                table[idx] = (k, v)
+                item = evicted
+                use_t1 = not use_t1
+            if item is not None:
+                if chase >= max_chase:
+                    # Suspected eviction cycle: park it in the stash.
+                    self._stash[item[0]] = item[1]
+                else:
+                    # Step budget exhausted mid-chase: requeue at the front,
+                    # remembering which table the displaced item tries next.
+                    self._pending[item[0]] = (item[1], use_t1)
+                    self._pending.move_to_end(item[0], last=False)
+        if len(self._stash) > self._stash_limit:
+            self._rebuild(self._capacity * 2)
+
+    def _rebuild(self, new_capacity: int) -> None:
+        """Rehash everything with fresh seeds; grow until the stash fits."""
+        items = list(self.items())
+        capacity = max(4, new_capacity)
+        while True:
+            self._capacity = capacity
+            self._new_seeds()
+            self._t1 = [None] * self._capacity
+            self._t2 = [None] * self._capacity
+            self._stash = OrderedDict()
+            self._pending = OrderedDict()
+            self._charge(len(items) + 1)
+            for k, v in items:
+                self._place_eager(k, v)
+            if len(self._stash) <= self._stash_limit:
+                break
+            capacity *= 2
+        self._count = len(items)
+
+    def _place_eager(self, key: Hashable, value: Any) -> None:
+        """Eager cuckoo placement used during rebuilds (overflow -> stash)."""
+        item: Optional[Tuple[Hashable, Any]] = (key, value)
+        use_t1 = True
+        for _ in range(self._max_chase()):
+            if item is None:
+                return
+            self._charge(1)
+            k, v = item
+            idx = self._h1(k) if use_t1 else self._h2(k)
+            table = self._t1 if use_t1 else self._t2
+            evicted = table[idx]
+            table[idx] = (k, v)
+            item = evicted
+            use_t1 = not use_t1
+        if item is not None:
+            self._stash[item[0]] = item[1]
+
+    # -- public API ---------------------------------------------------------
+
+    def lookup(self, key: Hashable, default: Any = None) -> Any:
+        """Return the value for ``key`` or ``default``.  O(1) probes.
+
+        Like every public operation, a lookup also advances the pending
+        placement queue by O(1) moves (the de-amortization schedule).
+        """
+        self._drain_pending(self._moves_per_op)
+        self._charge(1)
+        slot = self._t1[self._h1(key)]
+        if slot is not None and slot[0] == key:
+            return slot[1]
+        self._charge(1)
+        slot = self._t2[self._h2(key)]
+        if slot is not None and slot[0] == key:
+            return slot[1]
+        if key in self._stash:
+            self._charge(1)
+            return self._stash[key]
+        if key in self._pending:
+            self._charge(1)
+            return self._pending[key][0]
+        return default
+
+    def __contains__(self, key: Hashable) -> bool:
+        return self.lookup(key, _ABSENT) is not _ABSENT
+
+    def insert(self, key: Hashable, value: Any) -> None:
+        """Insert or overwrite ``key``.  O(1) de-amortized moves."""
+        if self._update_in_place(key, value):
+            self._drain_pending(self._moves_per_op)
+            return
+        self._pending[key] = (value, True)
+        self._count += 1
+        self._charge(1)
+        if self._count > 2 * self.MAX_LOAD * self._capacity:
+            self._rebuild(self._capacity * 2)
+        self._drain_pending(self._moves_per_op)
+
+    def _update_in_place(self, key: Hashable, value: Any) -> bool:
+        self._charge(1)
+        i1 = self._h1(key)
+        slot = self._t1[i1]
+        if slot is not None and slot[0] == key:
+            self._t1[i1] = (key, value)
+            return True
+        self._charge(1)
+        i2 = self._h2(key)
+        slot = self._t2[i2]
+        if slot is not None and slot[0] == key:
+            self._t2[i2] = (key, value)
+            return True
+        if key in self._stash:
+            self._stash[key] = value
+            return True
+        if key in self._pending:
+            self._pending[key] = (value, self._pending[key][1])
+            return True
+        return False
+
+    def delete(self, key: Hashable) -> bool:
+        """Remove ``key``; returns whether it was present.  O(1) probes."""
+        removed = False
+        self._charge(1)
+        i1 = self._h1(key)
+        slot = self._t1[i1]
+        if slot is not None and slot[0] == key:
+            self._t1[i1] = None
+            removed = True
+        if not removed:
+            self._charge(1)
+            i2 = self._h2(key)
+            slot = self._t2[i2]
+            if slot is not None and slot[0] == key:
+                self._t2[i2] = None
+                removed = True
+        if not removed and key in self._stash:
+            del self._stash[key]
+            self._charge(1)
+            removed = True
+        if not removed and key in self._pending:
+            del self._pending[key]
+            self._charge(1)
+            removed = True
+        if removed:
+            self._count -= 1
+        self._drain_pending(self._moves_per_op)
+        return removed
+
+    def __len__(self) -> int:
+        return self._count
+
+    def items(self) -> Iterator[Tuple[Hashable, Any]]:
+        """All (key, value) pairs, in no particular order."""
+        for slot in self._t1:
+            if slot is not None:
+                yield slot
+        for slot in self._t2:
+            if slot is not None:
+                yield slot
+        yield from self._stash.items()
+        for k, (v, _) in self._pending.items():
+            yield (k, v)
+
+    @property
+    def capacity(self) -> int:
+        """Current size of each of the two tables."""
+        return self._capacity
+
+    @property
+    def stash_size(self) -> int:
+        return len(self._stash)
+
+    @property
+    def pending_size(self) -> int:
+        return len(self._pending)

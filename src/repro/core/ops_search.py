@@ -1,0 +1,88 @@
+"""The skip-list search walk (shared by Successor/Predecessor/Upsert).
+
+A search for key ``k`` finds the leaf holding the largest key <= ``k``
+(the predecessor leaf; the successor is that leaf or its right neighbor).
+The upper part is replicated, so the descent from the root to the
+upper-part leaf is local on whatever module executes it (``search_entry``)
+and costs ``O(log n)`` whp local work.  Entering the lower part, every hop
+to a node owned by a different module is a ``TaskSend`` continuation --
+one message, one round -- realizing the paper's "push each query one node
+further per step" execution; runs of same-module (or replicated sentinel)
+nodes are walked locally.
+
+When ``record`` is set, every visited lower-part node is streamed back to
+shared memory (one constant-size message per node), which is how stage 1
+of the batched Successor saves the pivots' lower-part search paths.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Optional
+
+from repro.core.node import Node, UPPER
+from repro.core.structure import SkipListStructure
+
+
+def lower_walk(ctx, sl: SkipListStructure, x: Node, key: Hashable,
+               opid: Any, record: bool) -> None:
+    """Walk the lower part from ``x`` toward ``key``'s predecessor leaf.
+
+    Processes the run of locally-available nodes (this module's, plus
+    replicated sentinels), then either forwards to the next owner or
+    replies ``("done", opid, pred_leaf, pred_right)``.
+    """
+    name = sl.name
+    while True:
+        ctx.charge(1)
+        ctx.touch(x.nid)
+        if record:
+            ctx.reply(("path", opid, x, x.level, x.right), size=1)
+        if x.right is not None and x.right.key <= key:
+            nxt = x.right
+        elif x.level > 0:
+            nxt = x.down
+        else:
+            ctx.reply(("done", opid, x, x.right), size=1)
+            return
+        if nxt.owner == UPPER or nxt.owner == ctx.mid:
+            x = nxt
+        else:
+            ctx.forward(nxt.owner, f"{name}:search_step",
+                        (nxt, key, opid, record))
+            return
+
+
+def make_handlers(sl: SkipListStructure) -> Dict[str, Any]:
+    """PIM-side handlers for the search walk on ``sl``."""
+
+    def h_search_entry(ctx, key, opid, record, tag=None):
+        # Upper-part descent is local: all touched nodes are replicated.
+        u = sl.upper_descend(key, ctx.charge)
+        x = u.down  # first lower-part node on the path
+        if x.owner == UPPER or x.owner == ctx.mid:
+            lower_walk(ctx, sl, x, key, opid, record)
+        else:
+            ctx.forward(x.owner, f"{sl.name}:search_step",
+                        (x, key, opid, record))
+
+    def h_search_step(ctx, node, key, opid, record, tag=None):
+        lower_walk(ctx, sl, node, key, opid, record)
+
+    return {
+        f"{sl.name}:search_entry": h_search_entry,
+        f"{sl.name}:search_step": h_search_step,
+    }
+
+
+def launch_search(sl: SkipListStructure, key: Hashable, opid: Any,
+                  record: bool = False,
+                  start: Optional[Node] = None) -> None:
+    """Queue one search: from ``start`` (a lower-part hint node) if given,
+    else from the root on a random module."""
+    machine = sl.machine
+    if start is not None:
+        dest = start.owner if start.owner != UPPER else machine.random_module()
+        machine.send(dest, f"{sl.name}:search_step", (start, key, opid, record))
+    else:
+        machine.send(machine.random_module(), f"{sl.name}:search_entry",
+                     (key, opid, record))

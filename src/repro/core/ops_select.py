@@ -1,0 +1,209 @@
+"""Order statistics on the PIM skip list: rank and selection.
+
+The paper's structure carries no subtree counts, but the PIM model
+offers two good routes to order statistics anyway:
+
+- ``rank(key)`` -- the number of stored keys strictly below ``key`` --
+  is one broadcast *count* range (§5.1): O(1) IO time, O(1) rounds,
+  O(n/P + log n) whp PIM time.
+- ``select(i)`` -- the i-th smallest key (0-indexed) -- runs the classic
+  distributed weighted-median selection over the modules' local leaf
+  lists: each module snapshots its sorted local keys once (O(n/P) PIM
+  work), then O(log n) whp rounds of constant-size probes narrow
+  per-module windows around the target.  Every round:
+
+  1. each module reports its window's size and median (one message);
+  2. the CPU picks the weighted median of the medians as pivot
+     (discards >= 1/4 of the remaining candidates, so O(log n) rounds);
+  3. each module reports the pivot's rank within its window;
+  4. the CPU keeps the side containing the target.
+
+  When few candidates remain they are gathered and indexed directly.
+  Total: O(P log n) messages => O(log n) whp IO time, O(log n) rounds.
+
+The CPU holds the per-module window bounds (2P words << M), so modules
+stay stateless between probes beyond their one snapshot.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.core.probes import just_above
+from repro.core.structure import SkipListStructure
+
+
+def make_handlers(sl: SkipListStructure) -> Dict[str, Any]:
+    name = sl.name
+
+    def snapshots(ctx):
+        return ctx.module.state.setdefault(name + ":sel", {})
+
+    def h_begin(ctx, opid, tag=None):
+        ml = sl.mlocal(ctx.mid)
+        keys: List[Hashable] = []
+        leaf = ml.first_leaf
+        while leaf is not None:
+            keys.append(leaf.key)
+            leaf = leaf.local_right
+        ctx.charge(len(keys) + 1)
+        ctx.module.alloc_words(len(keys))
+        snapshots(ctx)[opid] = keys
+        ctx.reply(("sel_size", ctx.mid, len(keys)), tag=tag)
+
+    def h_probe(ctx, opid, lo, hi, tag=None):
+        keys = snapshots(ctx)[opid]
+        ctx.charge(max(1, int(math.log2(len(keys) + 2))))
+        window = keys[lo:hi]
+        if window:
+            med = window[len(window) // 2]
+        else:
+            med = None
+        ctx.reply(("sel_probe", ctx.mid, hi - lo, med), tag=tag)
+
+    def h_rank_of(ctx, opid, lo, hi, pivot, tag=None):
+        keys = snapshots(ctx)[opid]
+        ctx.charge(max(1, int(math.log2(len(keys) + 2))))
+        r = bisect.bisect_left(keys, pivot, lo, hi) - lo
+        ctx.reply(("sel_rank", ctx.mid, r), tag=tag)
+
+    def h_gather(ctx, opid, lo, hi, tag=None):
+        keys = snapshots(ctx)[opid]
+        window = keys[lo:hi]
+        ctx.charge(len(window) + 1)
+        ctx.reply(("sel_gather", ctx.mid, window),
+                  size=max(1, len(window)), tag=tag)
+
+    def h_end(ctx, opid, tag=None):
+        keys = snapshots(ctx).pop(opid, [])
+        ctx.charge(1)
+        ctx.module.free_words(len(keys))
+        ctx.reply(("ack",), tag=tag)
+
+    return {
+        f"{name}:sel_begin": h_begin,
+        f"{name}:sel_probe": h_probe,
+        f"{name}:sel_rank": h_rank_of,
+        f"{name}:sel_gather": h_gather,
+        f"{name}:sel_end": h_end,
+    }
+
+
+def rank(sl: SkipListStructure, key: Hashable) -> int:
+    """The number of stored keys strictly below ``key``."""
+    from repro.core import ops_range
+    from repro.core.probes import BELOW_ALL
+
+    res = ops_range.range_broadcast(sl, BELOW_ALL, key, func="count",
+                                    inclusive=(False, False))
+    return res.count
+
+
+def select(sl: SkipListStructure, index: int,
+           gather_threshold: Optional[int] = None) -> Hashable:
+    """The key of 0-indexed ``index`` in sorted order.
+
+    Raises IndexError when out of range.  See the module docstring for
+    the algorithm and its costs.
+    """
+    machine = sl.machine
+    p = sl.num_modules
+    if not (0 <= index < sl.num_keys):
+        raise IndexError(f"index {index} out of range 0..{sl.num_keys - 1}")
+    threshold = gather_threshold if gather_threshold is not None else 4 * p
+    opid = getattr(sl, "_sel_seq", 0)
+    sl._sel_seq = opid + 1
+    name = sl.name
+
+    # snapshot phase
+    machine.broadcast(f"{name}:sel_begin", (opid,))
+    sizes = [0] * p
+    for r in machine.drain():
+        _, mid, size = r.payload
+        sizes[mid] = size
+    lo = [0] * p
+    hi = list(sizes)
+    target = index
+    machine.cpu.alloc(2 * p)
+
+    try:
+        while True:
+            remaining = sum(h - l for l, h in zip(lo, hi))
+            if remaining <= threshold:
+                break
+            meds: List[Tuple[Hashable, int]] = []
+            for mid in range(p):
+                machine.send(mid, f"{name}:sel_probe",
+                             (opid, lo[mid], hi[mid]))
+            for r in machine.drain():
+                _, mid, size, med = r.payload
+                if med is not None:
+                    meds.append((med, size))
+            machine.cpu.charge(p, max(1.0, math.log2(p + 1)))
+            # 2. weighted median of medians
+            meds.sort()
+            half = sum(w for _, w in meds) / 2
+            acc = 0
+            pivot = meds[-1][0]
+            for med, w in meds:
+                acc += w
+                if acc >= half:
+                    pivot = med
+                    break
+            # 3. pivot's rank within every window
+            for mid in range(p):
+                machine.send(mid, f"{name}:sel_rank",
+                             (opid, lo[mid], hi[mid], pivot))
+            below = [0] * p
+            for r in machine.drain():
+                _, mid, cnt = r.payload
+                below[mid] = cnt
+            machine.cpu.charge(p, max(1.0, math.log2(p + 1)))
+            total_below = sum(below)
+            # 4. keep the side containing the target
+            if target < total_below:
+                for mid in range(p):
+                    hi[mid] = lo[mid] + below[mid]
+            else:
+                target -= total_below
+                for mid in range(p):
+                    lo[mid] = lo[mid] + below[mid]
+            if total_below == 0:
+                # pivot is the global minimum of the remaining windows;
+                # it is the answer iff target == 0
+                if target == 0:
+                    return pivot
+                # otherwise discard it explicitly to guarantee progress
+                for mid in range(p):
+                    machine.send(mid, f"{name}:sel_rank",
+                                 (opid, lo[mid], hi[mid],
+                                  just_above(pivot)))
+                skip = [0] * p
+                for r in machine.drain():
+                    _, mid, cnt = r.payload
+                    skip[mid] = cnt
+                dropped = sum(skip)
+                target -= dropped
+                for mid in range(p):
+                    lo[mid] += skip[mid]
+
+        # gather the few remaining candidates
+        for mid in range(p):
+            machine.send(mid, f"{name}:sel_gather", (opid, lo[mid], hi[mid]))
+        candidates: List[Hashable] = []
+        for r in machine.drain():
+            _, mid, window = r.payload
+            candidates.extend(window)
+        with machine.cpu.region(len(candidates)):
+            candidates.sort()
+            machine.cpu.charge(
+                len(candidates) * max(1.0, math.log2(len(candidates) + 1)),
+                max(1.0, math.log2(len(candidates) + 1)),
+            )
+        return candidates[target]
+    finally:
+        machine.cpu.free(2 * p)
+        machine.broadcast(f"{name}:sel_end", (opid,))
+        machine.drain()

@@ -1,0 +1,241 @@
+"""Batched Upsert (paper §4.3): Update falling back to batched Insert.
+
+An Upsert first attempts an Update through the hash shortcut; keys not
+found become a batched Insert.  The insert pipeline (following the paper's
+single-operation steps 1-6 plus the batch pointer construction):
+
+1. Deduplicate and sort the missing keys; draw each tower's height from
+   the geometric coin (CPU side -- the adversary never sees the coins).
+2. Create the tower nodes with their vertical (up/down) pointers, the
+   leaf's up-chain record, and the has-upper flag (step 5 of the paper).
+3. Deliver lower-part nodes to their hash-designated modules (one message
+   per node); leaves are inserted into the module's local leaf list and
+   hash table, repairing the module's next-leaf pointers.
+4. Run the batched Predecessor (the two-stage pivot search of §4.2) with
+   path recording trimmed to the last ``l_i`` nodes per operation,
+   obtaining each insert's per-level predecessor *in the old structure*.
+5. Grow the sentinel tower if needed, then install upper-part nodes by
+   broadcast: every module charges its replica's storage, links the node
+   into its (shared, idempotently-mutated) upper level by a local
+   descent, and computes the new upper leaf's next-leaf pointer for
+   itself.
+6. Run Algorithm 1 to construct the lower levels' horizontal pointers:
+   within each level, runs of new nodes that share an old (pred, succ)
+   segment are chained to each other and the run ends are linked to pred
+   and succ -- every pointer is RemoteWritten exactly once.
+
+Bounds (Theorem 4.4): same as Successor -- ``O(log^3 P)`` IO time,
+``O(log^2 P log n)`` PIM time, ``O(P log^3 P)`` expected CPU work,
+``O(log^2 P)`` CPU depth, ``Theta(P log^2 P)`` shared memory, whp.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.node import NODE_WORDS, Node
+from repro.core.ops_successor import batch_search
+from repro.core.ops_write import remote_write
+from repro.core.structure import SkipListStructure
+from repro.cpuside.semisort import group_by
+from repro.cpuside.sort import parallel_sort
+from repro.sim.cpu import WorkDepth
+
+
+@dataclass
+class UpsertStats:
+    """What a batched Upsert did."""
+
+    updated: int
+    inserted: int
+
+
+def make_handlers(sl: SkipListStructure) -> Dict[str, Any]:
+    def h_try_update(ctx, key, value, tag=None):
+        ml = sl.mlocal(ctx.mid)
+        leaf = ml.table.lookup(key)
+        ctx.charge(1)
+        if leaf is not None:
+            ctx.touch(leaf.nid)
+            leaf.value = value
+        ctx.reply((key, leaf is not None), tag=tag)
+
+    def h_insert_lower(ctx, node, tag=None):
+        sl.account_lower_alloc(node)
+        ctx.charge(1)
+        ctx.touch(node.nid)
+        if node.level == 0:
+            sl.local_insert_leaf(ctx.mid, node, ctx.charge)
+        ctx.reply(("ack",), tag=tag)
+
+    def h_upper_prepare(ctx, node, tag=None):
+        # Round 1 of upper installation: charge this module's replica
+        # storage and -- for new upper leaves -- compute this module's
+        # next-leaf pointer *against the old upper part* (nothing is
+        # linked yet, so the descent sees a consistent structure).
+        sl.account_upper_alloc_on(ctx.mid, node)
+        ctx.charge(1)
+        if node.level == sl.h_low:
+            sl.compute_next_leaf(ctx.mid, node, ctx.charge)
+        ctx.reply(("ack",), tag=tag)
+
+    def h_upper_link(ctx, node, tag=None):
+        # Round 2: idempotent horizontal linking of the shared replica.
+        sl.link_upper_node(node, ctx.charge)
+        ctx.reply(("ack",), tag=tag)
+
+    return {
+        f"{sl.name}:ups_try_update": h_try_update,
+        f"{sl.name}:ups_insert_lower": h_insert_lower,
+        f"{sl.name}:ups_upper_prepare": h_upper_prepare,
+        f"{sl.name}:ups_upper_link": h_upper_link,
+    }
+
+
+@dataclass
+class _Tower:
+    key: Hashable
+    height: int
+    nodes: List[Node]  # levels 0..height
+
+
+def _build_tower(sl: SkipListStructure, key: Hashable, value: Any,
+                 height: int) -> _Tower:
+    """Create a tower's nodes with vertical pointers and leaf metadata."""
+    nodes: List[Node] = []
+    below: Optional[Node] = None
+    for lvl in range(height + 1):
+        if sl.is_upper_level(lvl):
+            node = sl.make_upper_node(key, lvl)
+        else:
+            node = sl.make_lower_node(key, lvl, value if lvl == 0 else None)
+        if below is not None:
+            below.up = node
+            node.down = below
+        nodes.append(node)
+        below = node
+    leaf = nodes[0]
+    leaf.up_chain = [n for n in nodes[1:] if not sl.is_upper_level(n.level)]
+    leaf.has_upper = height >= sl.h_low
+    return _Tower(key=key, height=height, nodes=nodes)
+
+
+def batch_upsert(sl: SkipListStructure,
+                 pairs: Sequence[Tuple[Hashable, Any]]) -> UpsertStats:
+    """Execute a batch of Upsert operations.
+
+    Duplicate keys in the batch collapse to the last occurrence.
+    """
+    machine = sl.machine
+    cpu = machine.cpu
+    n = len(pairs)
+    if n == 0:
+        return UpsertStats(updated=0, inserted=0)
+
+    shared_words = 2 * n
+    cpu.alloc(shared_words)
+    try:
+        # -- phase A: deduplicate, try Update through the hash shortcut --
+        groups = group_by(cpu, list(pairs), key=lambda kv: kv[0])
+        wanted: Dict[Hashable, Any] = {k: occ[-1][1] for k, occ in groups.items()}
+        cpu.charge(len(groups), max(1.0, math.log2(len(groups) + 1)))
+        for key, value in wanted.items():
+            machine.send(sl.leaf_owner(key), f"{sl.name}:ups_try_update",
+                         (key, value))
+        found = {r.payload[0] for r in machine.drain() if r.payload[1]}
+        missing = [(k, v) for k, v in wanted.items() if k not in found]
+        updated = len(wanted) - len(missing)
+        if not missing:
+            return UpsertStats(updated=updated, inserted=0)
+
+        # -- phase B: sort, draw heights, build towers --------------------
+        missing = parallel_sort(cpu, missing, key=lambda kv: kv[0])
+        heights = [sl.draw_height() for _ in missing]
+        towers = [
+            _build_tower(sl, k, v, h)
+            for (k, v), h in zip(missing, heights)
+        ]
+        tower_words = sum(t.height + 1 for t in towers)
+        cpu.alloc(tower_words)
+        shared_words += tower_words
+        cpu.charge_wd(WorkDepth(tower_words,
+                                max(1.0, math.log2(len(towers) + 1)) + 8))
+
+        # -- phase C: deliver lower-part nodes ---------------------------
+        for t in towers:
+            for node in t.nodes:
+                if not sl.is_upper_level(node.level):
+                    machine.send(node.owner, f"{sl.name}:ups_insert_lower",
+                                 (node,))
+        machine.drain()
+
+        # -- phase D: batched Predecessor on the old structure -----------
+        keys = [k for k, _ in missing]
+        outcomes = batch_search(sl, keys, record_all=True,
+                                record_levels=heights)
+
+        # -- phase E: sentinel growth + upper-part installation ----------
+        max_h = max(heights)
+        if max_h + 1 > sl.top_level:
+            added = (max_h + 1) - sl.top_level
+            machine.broadcast(f"{sl.name}:grow", (max_h, added))
+            machine.drain()
+        upper_nodes = [
+            node for t in towers for node in t.nodes
+            if sl.is_upper_level(node.level)
+        ]
+        if upper_nodes:
+            for node in upper_nodes:
+                machine.broadcast(f"{sl.name}:ups_upper_prepare", (node,))
+            machine.drain()
+            for node in upper_nodes:
+                machine.broadcast(f"{sl.name}:ups_upper_link", (node,))
+            machine.drain()
+
+        # -- phase F: Algorithm 1 (lower-level horizontal pointers) ------
+        _algorithm1(sl, towers, outcomes)
+        machine.drain()
+
+        sl.num_keys += len(missing)
+        return UpsertStats(updated=updated, inserted=len(missing))
+    finally:
+        cpu.free(shared_words)
+
+
+def _algorithm1(sl: SkipListStructure, towers: List[_Tower],
+                outcomes) -> None:
+    """Issue the RemoteWrites of the paper's Algorithm 1.
+
+    ``towers`` are key-sorted; ``outcomes[j].by_level[i]`` holds the old
+    structure's (pred, pred.right) at level ``i`` for tower ``j``.  For
+    each lower level, runs of new nodes sharing an old segment are chained
+    together; the run ends attach to the old pred/succ.
+    """
+    cpu = sl.machine.cpu
+    total = 0
+    for lvl in range(sl.h_low):
+        row: List[Tuple[Node, Node, Optional[Node]]] = []
+        for t, outcome in zip(towers, outcomes):
+            if t.height < lvl:
+                continue
+            pred, succ = outcome.by_level[lvl]
+            row.append((t.nodes[lvl], pred, succ))
+        m = len(row)
+        for j, (cur, pred, succ) in enumerate(row):
+            right_end = (j == m - 1) or (row[j + 1][2] is not succ)
+            if right_end:
+                remote_write(sl, cur, "right", succ)
+                if succ is not None:
+                    remote_write(sl, succ, "left", cur)
+            else:
+                nxt = row[j + 1][0]
+                remote_write(sl, cur, "right", nxt)
+                remote_write(sl, nxt, "left", cur)
+            left_end = (j == 0) or (row[j - 1][1] is not pred)
+            if left_end:
+                remote_write(sl, pred, "right", cur)
+                remote_write(sl, cur, "left", pred)
+        total += m
+    cpu.charge_wd(WorkDepth(2 * total + 1, max(1.0, math.log2(total + 2)) + 8))

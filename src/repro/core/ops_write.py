@@ -1,0 +1,54 @@
+"""RemoteWrite and sentinel-growth handlers shared by Upsert and Delete.
+
+A ``RemoteWrite`` is performed by sending a write task to the module that
+owns the target node (paper §3.2).  Writes to replicated nodes (sentinels,
+upper-part nodes) are broadcast to every module; the handler's mutation is
+idempotent (it stores a fixed value), so replaying it per replica is safe
+and each replica's work is charged on its own module.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.core.node import NODE_WORDS, Node, UPPER
+from repro.core.structure import SkipListStructure
+
+_FIELDS = ("left", "right", "up", "down", "local_left", "local_right")
+
+
+def make_handlers(sl: SkipListStructure) -> Dict[str, Any]:
+    def h_write_ptr(ctx, node, field, value, tag=None):
+        if field not in _FIELDS:
+            raise ValueError(f"bad pointer field {field!r}")
+        ctx.charge(1)
+        ctx.touch(node.nid)
+        setattr(node, field, value)
+        ctx.reply(("ack",), tag=tag)
+
+    def h_grow(ctx, target_level, added_levels, tag=None):
+        # Idempotent shared mutation; every module charges its replica's
+        # share of the new sentinel storage.
+        sl.grow_to_level(target_level, ctx.charge)
+        ctx.module.alloc_words(added_levels * NODE_WORDS)
+        ctx.reply(("ack",), tag=tag)
+
+    return {
+        f"{sl.name}:write_ptr": h_write_ptr,
+        f"{sl.name}:grow": h_grow,
+    }
+
+
+def remote_write(sl: SkipListStructure, node: Node, field: str,
+                 value: Optional[Node]) -> None:
+    """Queue a RemoteWrite of ``node.field = value``.
+
+    Owned nodes get one message to their owner; replicated nodes get a
+    broadcast (one message per module, an h=1 relation contribution each).
+    """
+    machine = sl.machine
+    fn = f"{sl.name}:write_ptr"
+    if node.owner == UPPER:
+        machine.broadcast(fn, (node, field, value))
+    else:
+        machine.send(node.owner, fn, (node, field, value))

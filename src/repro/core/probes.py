@@ -1,0 +1,99 @@
+"""Probe keys: sentinels that compare below/above every real key.
+
+Useful for open-ended queries against ordered structures whose key type
+is arbitrary: ``successor(BELOW_ALL)`` is the global minimum,
+``predecessor(ABOVE_ALL)`` the global maximum, without knowing anything
+about the key space.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class BelowAll:
+    """Compares strictly below every non-BelowAll value."""
+
+    def __lt__(self, other: Any) -> bool:
+        return not isinstance(other, BelowAll)
+
+    def __le__(self, other: Any) -> bool:
+        return True
+
+    def __gt__(self, other: Any) -> bool:
+        return False
+
+    def __ge__(self, other: Any) -> bool:
+        return isinstance(other, BelowAll)
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, BelowAll)
+
+    def __hash__(self) -> int:
+        return 0x10_BE10
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "BelowAll()"
+
+
+class AboveAll:
+    """Compares strictly above every non-AboveAll value."""
+
+    def __lt__(self, other: Any) -> bool:
+        return False
+
+    def __le__(self, other: Any) -> bool:
+        return isinstance(other, AboveAll)
+
+    def __gt__(self, other: Any) -> bool:
+        return not isinstance(other, AboveAll)
+
+    def __ge__(self, other: Any) -> bool:
+        return True
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, AboveAll)
+
+    def __hash__(self) -> int:
+        return 0x0A_B0FE
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "AboveAll()"
+
+
+BELOW_ALL = BelowAll()
+ABOVE_ALL = AboveAll()
+
+
+def just_above(key: Any):
+    """A virtual key immediately above ``key`` (complement of
+    :class:`repro.core.ops_range.JustBelow`): predecessor(just_above(k))
+    is the largest key <= k *including* k, and searches treat stored
+    keys equal to ``key`` as strictly below the probe."""
+    from repro.core.ops_range import JustBelow
+
+    class _Above(JustBelow):
+        def __lt__(self, other):
+            if isinstance(other, JustBelow):
+                return self.key < other.key
+            return self.key < other
+
+        def __le__(self, other):
+            if isinstance(other, JustBelow):
+                return self.key <= other.key
+            return self.key < other
+
+        def __gt__(self, other):
+            if isinstance(other, JustBelow):
+                return self.key > other.key
+            return self.key >= other
+
+        def __ge__(self, other):
+            if isinstance(other, JustBelow):
+                return self.key >= other.key
+            return self.key >= other
+
+        def __repr__(self):
+            return f"JustAbove({self.key!r})"
+
+    return _Above(key)

@@ -1,0 +1,50 @@
+"""CPU-side parallel substrate.
+
+The paper's batched algorithms rely on a handful of shared-memory parallel
+primitives with known work/depth bounds in the binary-forking model it
+cites (Blelloch et al. [9]):
+
+- parallel map / filter / reduce / scan (:mod:`repro.cpuside.primitives`);
+- comparison sorting with ``O(n log n)`` expected work and ``O(log n)``
+  whp depth (:mod:`repro.cpuside.sort`);
+- semisorting / grouping by hash with ``O(n)`` expected work and
+  ``O(log n)`` whp depth, used to deduplicate batches
+  (:mod:`repro.cpuside.semisort`);
+- randomized parallel list contraction with ``O(n)`` expected work and
+  ``O(log n)`` whp depth, used by batched Delete to splice runs of deleted
+  nodes out of the horizontal linked lists
+  (:mod:`repro.cpuside.list_contraction`).
+
+Each primitive *executes* the real computation (sequentially, in Python)
+and *charges* the canonical work/depth of the parallel algorithm to the
+machine's CPU-side accountant -- the same separation the paper's analysis
+uses (real results, model costs).
+"""
+
+from repro.cpuside.list_contraction import ContractionList, splice_out_marked
+from repro.cpuside.primitives import (
+    pfilter,
+    pflatten,
+    pmap,
+    preduce,
+    pscan_exclusive,
+    ppack,
+)
+from repro.cpuside.semisort import dedup, group_by, semisort
+from repro.cpuside.sort import merge_sorted, parallel_sort
+
+__all__ = [
+    "ContractionList",
+    "dedup",
+    "group_by",
+    "merge_sorted",
+    "parallel_sort",
+    "pfilter",
+    "pflatten",
+    "pmap",
+    "ppack",
+    "preduce",
+    "pscan_exclusive",
+    "semisort",
+    "splice_out_marked",
+]

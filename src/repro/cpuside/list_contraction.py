@@ -1,0 +1,206 @@
+"""Randomized parallel list contraction on the CPU side.
+
+Batched Delete (paper §4.4) must splice runs of deleted nodes out of the
+horizontal linked lists.  Up to the whole batch can be *consecutive* nodes
+of one list, so independent parallel splicing would conflict.  The paper's
+solution: copy the marked nodes (plus the flanking unmarked node at each
+end of every run) into shared memory, run a randomized parallel list
+contraction there (``O(B)`` expected work, ``O(log B)`` whp depth, Shun et
+al. [28] / Blelloch et al. [9]), and then splice remotely in parallel.
+
+This module implements the shared-memory contraction with the classic
+random-mate scheme: in each round every still-live marked node flips a
+coin, and a marked node splices itself out when its coin is heads and its
+left neighbor is either unmarked or flipped tails.  Adjacent marked nodes
+never splice in the same round, so all updates are conflict-free; each
+live node leaves with probability >= 1/4 per round, giving ``O(log B)``
+rounds whp.
+
+The simulator executes the rounds for real (so correctness is tested, not
+assumed) and charges the *measured* work (sum of live nodes over rounds)
+and depth (rounds + fork-tree ``log``), which realizes the canonical
+bounds.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.sim.cpu import CPUSide, WorkDepth
+
+
+@dataclass
+class _CNode:
+    ident: Hashable
+    marked: bool
+    left: Optional["_CNode"] = None
+    right: Optional["_CNode"] = None
+    alive: bool = True
+
+
+@dataclass
+class ContractionStats:
+    """Measured cost of one contraction run."""
+
+    rounds: int
+    work: int
+    spliced: int
+
+
+class ContractionList:
+    """A collection of doubly linked chains of (ident, marked) nodes.
+
+    Build with :meth:`add_chain` (each chain is an independent linked list
+    segment, e.g. the copied region of one skip-list level), then call
+    :meth:`contract`.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: List[_CNode] = []
+        self._by_ident: Dict[Hashable, _CNode] = {}
+
+    def add_chain(self, chain: Sequence[Tuple[Hashable, bool]]) -> None:
+        """Append a chain of ``(ident, marked)`` pairs, linked in order.
+
+        Idents must be globally unique across chains.
+        """
+        prev: Optional[_CNode] = None
+        for ident, marked in chain:
+            if ident in self._by_ident:
+                raise ValueError(f"duplicate ident {ident!r}")
+            node = _CNode(ident=ident, marked=marked)
+            self._by_ident[ident] = node
+            self._nodes.append(node)
+            if prev is not None:
+                prev.right = node
+                node.left = prev
+            prev = node
+
+    def add_adjacency(
+        self,
+        entries: Sequence[Tuple[Hashable, Optional[Hashable], Optional[Hashable]]],
+    ) -> None:
+        """Build chains from *marked-node adjacency* records.
+
+        Each entry is ``(ident, left_ident, right_ident)`` for one marked
+        node; idents referenced as neighbors but not present as entries
+        are created as unmarked boundary nodes.  This is how batched
+        Delete assembles its chains: each marking task reports its node's
+        neighbors, and no sequential run-walking is needed (O(B) work,
+        O(log B) depth on the CPU side).
+        """
+        # First pass: create all marked nodes.
+        for ident, _, _ in entries:
+            if ident in self._by_ident:
+                raise ValueError(f"duplicate ident {ident!r}")
+            node = _CNode(ident=ident, marked=True)
+            self._by_ident[ident] = node
+            self._nodes.append(node)
+        # Second pass: link, creating unmarked boundaries on demand.
+        for ident, left, right in entries:
+            node = self._by_ident[ident]
+            if left is not None:
+                lnode = self._by_ident.get(left)
+                if lnode is None:
+                    lnode = _CNode(ident=left, marked=False)
+                    self._by_ident[left] = lnode
+                    self._nodes.append(lnode)
+                node.left = lnode
+                lnode.right = node
+            if right is not None:
+                rnode = self._by_ident.get(right)
+                if rnode is None:
+                    rnode = _CNode(ident=right, marked=False)
+                    self._by_ident[right] = rnode
+                    self._nodes.append(rnode)
+                node.right = rnode
+                rnode.left = node
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def contract(self, rng: random.Random) -> ContractionStats:
+        """Splice out all marked nodes; returns measured cost.
+
+        After contraction, surviving (unmarked) nodes' ``left``/``right``
+        pointers bypass every marked node.  Query the result with
+        :meth:`links`.
+        """
+        live = [n for n in self._nodes if n.marked]
+        rounds = 0
+        work = 0
+        spliced_total = 0
+        while live:
+            rounds += 1
+            coins = {id(n): rng.getrandbits(1) for n in live}
+            work += len(live)
+            to_splice: List[_CNode] = []
+            for n in live:
+                if not coins[id(n)]:
+                    continue  # tails: wait this round
+                lf = n.left
+                if lf is not None and lf.marked and coins.get(id(lf), 0):
+                    continue  # left marked neighbor also heads: defer to it
+                to_splice.append(n)
+            for n in to_splice:
+                lf, rt = n.left, n.right
+                if lf is not None:
+                    lf.right = rt
+                if rt is not None:
+                    rt.left = lf
+                n.alive = False
+            spliced_total += len(to_splice)
+            live = [n for n in live if n.alive]
+        return ContractionStats(rounds=rounds, work=work, spliced=spliced_total)
+
+    def links(self) -> List[Tuple[Optional[Hashable], Optional[Hashable]]]:
+        """New (left_ident, right_ident) adjacencies between survivors.
+
+        One pair per surviving node and its (possibly new) right neighbor,
+        including ``(ident, None)`` for chain tails -- exactly the remote
+        pointer writes batched Delete must issue.
+        """
+        out: List[Tuple[Optional[Hashable], Optional[Hashable]]] = []
+        for n in self._nodes:
+            if n.marked or not n.alive:
+                continue
+            rt = n.right
+            out.append((n.ident, rt.ident if rt is not None else None))
+        return out
+
+    def neighbor_of(self, ident: Hashable) -> Tuple[Optional[Hashable], Optional[Hashable]]:
+        """Post-contraction (left, right) neighbor idents of a survivor."""
+        n = self._by_ident[ident]
+        if n.marked:
+            raise ValueError("marked nodes have no post-contraction neighbors")
+        lf = n.left.ident if n.left is not None else None
+        rt = n.right.ident if n.right is not None else None
+        return lf, rt
+
+
+def splice_out_marked(
+    cpu: CPUSide,
+    rng: random.Random,
+    chains: Sequence[Sequence[Tuple[Hashable, bool]]],
+) -> Tuple[List[Tuple[Optional[Hashable], Optional[Hashable]]], ContractionStats]:
+    """Contract ``chains`` in shared memory; return new links + stats.
+
+    Charges the measured contraction work and ``rounds + log2(total)``
+    depth to the CPU accountant, and accounts the shared-memory footprint
+    of the copied nodes for the duration of the call.
+    """
+    clist = ContractionList()
+    total = 0
+    for chain in chains:
+        clist.add_chain(chain)
+        total += len(chain)
+    words = 4 * total  # ident + left + right + mark per copied node
+    with cpu.region(words):
+        stats = clist.contract(rng)
+        links = clist.links()
+    logt = max(1.0, math.log2(total)) if total > 1 else 1.0
+    cpu.charge_wd(WorkDepth(max(total, stats.work), stats.rounds + logt))
+    return links, stats

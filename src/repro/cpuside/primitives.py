@@ -1,0 +1,99 @@
+"""Basic CPU-side parallel primitives with work/depth accounting.
+
+All primitives follow the binary-forking model's canonical bounds: a
+parallel loop of ``n`` constant-work iterations costs ``O(n)`` work and
+``O(log n)`` depth (the fork tree); reductions and scans cost ``O(n)``
+work and ``O(log n)`` depth.
+
+Every function takes the machine's :class:`repro.sim.cpu.CPUSide`
+accountant as its first argument, performs the real computation, and
+charges the canonical cost.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.sim.cpu import CPUSide, WorkDepth
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+
+def _log2(n: int) -> float:
+    """``log2(n)`` floored at 1.0 (fork-tree depth of an n-way loop)."""
+    return max(1.0, math.log2(n)) if n > 1 else 1.0
+
+
+def pmap(cpu: CPUSide, items: Sequence[T], fn: Callable[[T], U],
+         work_per_item: float = 1.0) -> List[U]:
+    """Parallel map: ``O(n * w)`` work, ``O(log n + w)`` depth."""
+    out = [fn(x) for x in items]
+    n = len(items)
+    if n:
+        cpu.charge_wd(WorkDepth(n * work_per_item, _log2(n) + work_per_item))
+    return out
+
+
+def pfilter(cpu: CPUSide, items: Sequence[T], pred: Callable[[T], bool],
+            work_per_item: float = 1.0) -> List[T]:
+    """Parallel filter (map + pack): ``O(n)`` work, ``O(log n)`` depth."""
+    out = [x for x in items if pred(x)]
+    n = len(items)
+    if n:
+        cpu.charge_wd(WorkDepth(n * (work_per_item + 1), _log2(n) + work_per_item))
+    return out
+
+
+def ppack(cpu: CPUSide, items: Sequence[T], flags: Sequence[bool]) -> List[T]:
+    """Pack the items whose flag is set: ``O(n)`` work, ``O(log n)`` depth."""
+    if len(items) != len(flags):
+        raise ValueError("items and flags must have equal length")
+    out = [x for x, f in zip(items, flags) if f]
+    n = len(items)
+    if n:
+        cpu.charge_wd(WorkDepth(n, _log2(n)))
+    return out
+
+
+def preduce(cpu: CPUSide, items: Sequence[T], fn: Callable[[T, T], T],
+            identity: T, work_per_combine: float = 1.0) -> T:
+    """Parallel reduction: ``O(n)`` work, ``O(log n)`` depth."""
+    acc = identity
+    for x in items:
+        acc = fn(acc, x)
+    n = len(items)
+    if n:
+        cpu.charge_wd(WorkDepth(n * work_per_combine, _log2(n) * work_per_combine))
+    return acc
+
+
+def pscan_exclusive(cpu: CPUSide, items: Sequence[float]) -> Tuple[List[float], float]:
+    """Exclusive prefix sum: returns (prefixes, total).
+
+    ``O(n)`` work, ``O(log n)`` depth (Blelloch scan).
+    """
+    out: List[float] = []
+    acc = 0.0
+    for x in items:
+        out.append(acc)
+        acc += x
+    n = len(items)
+    if n:
+        cpu.charge_wd(WorkDepth(2 * n, 2 * _log2(n)))
+    return out, acc
+
+
+def pflatten(cpu: CPUSide, lists: Sequence[Sequence[T]]) -> List[T]:
+    """Flatten nested sequences: scan over sizes + parallel copy.
+
+    ``O(total)`` work, ``O(log total)`` depth.
+    """
+    out: List[T] = []
+    for sub in lists:
+        out.extend(sub)
+    total = len(out) + len(lists)
+    if total:
+        cpu.charge_wd(WorkDepth(total, _log2(total)))
+    return out

@@ -1,0 +1,55 @@
+"""The PIM machine simulator.
+
+This package is an executable instantiation of the Processing-in-Memory
+model of Kang et al. (SPAA 2021).  It provides:
+
+- :class:`~repro.sim.machine.PIMMachine` -- the machine: ``P`` PIM modules,
+  a CPU side with a small shared memory of ``M`` words, and a
+  bulk-synchronous network between the two sides.
+- :class:`~repro.sim.metrics.Metrics` -- the model's cost metrics (CPU
+  work, CPU depth, PIM time, IO time, rounds, synchronization cost,
+  shared-memory footprint), charged exactly as the paper defines them.
+- :class:`~repro.sim.module.PIMModule` / :class:`~repro.sim.module.ModuleContext`
+  -- a PIM module's local memory, task queue and handler registry.
+- :class:`~repro.sim.cpu.CPUSide` -- work/depth accounting and shared
+  memory allocation for the CPU side.
+
+Algorithms are written as CPU-side orchestration code that offloads
+``(function id, args)`` tasks to PIM modules via ``TaskSend`` messages; the
+machine executes one bulk-synchronous round per :meth:`PIMMachine.step`
+call and accounts the round's ``h``-relation toward IO time.
+"""
+
+from repro.sim.config import MachineConfig
+from repro.sim.cpu import CPUSide, WorkDepth
+from repro.sim.errors import (
+    LocalMemoryExceeded,
+    SharedMemoryExceeded,
+    SimulationError,
+    UnknownHandlerError,
+)
+from repro.sim.machine import PIMMachine
+from repro.sim.metrics import Metrics, MetricsDelta
+from repro.sim.module import ModuleContext, PIMModule
+from repro.sim.task import Message, Reply, Task
+from repro.sim.tracing import AccessTrace, RoundLog
+
+__all__ = [
+    "AccessTrace",
+    "CPUSide",
+    "LocalMemoryExceeded",
+    "MachineConfig",
+    "Message",
+    "Metrics",
+    "MetricsDelta",
+    "ModuleContext",
+    "PIMMachine",
+    "PIMModule",
+    "Reply",
+    "RoundLog",
+    "SharedMemoryExceeded",
+    "SimulationError",
+    "Task",
+    "UnknownHandlerError",
+    "WorkDepth",
+]

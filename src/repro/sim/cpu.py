@@ -1,0 +1,130 @@
+"""The CPU side: work/depth accounting and shared-memory tracking.
+
+The paper analyzes the CPU side with work--depth analysis (assuming a
+work-stealing scheduler, so time on ``P'`` cores is ``O(W/P' + D)``).  The
+simulator therefore executes CPU-side code sequentially but charges
+``(work, depth)`` pairs that compose the way the analysis composes them:
+
+- sequential composition adds both components;
+- parallel composition adds work and takes the max depth.
+
+:class:`WorkDepth` is a small value type supporting these compositions
+(``+`` for sequential, ``|`` for parallel); the parallel primitives in
+:mod:`repro.cpuside` compute real results *and* the canonical work/depth
+of the algorithm that would produce them, then charge the total here.
+
+Shared memory is the model's small ``M``-word CPU-side memory.  CPU code
+declares footprints with :meth:`CPUSide.alloc` / :meth:`CPUSide.free` (or
+the :meth:`CPUSide.region` context manager); the peak is the "minimum M
+needed" column of Table 1.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.sim.errors import SharedMemoryExceeded
+
+
+@dataclass(frozen=True)
+class WorkDepth:
+    """An immutable (work, depth) pair with the standard compositions.
+
+    ``a + b`` is sequential composition (work and depth both add);
+    ``a | b`` is parallel composition (work adds, depth maxes);
+    ``wd * k`` scales both components (``k`` repetitions in sequence).
+    """
+
+    work: float = 0.0
+    depth: float = 0.0
+
+    def __add__(self, other: "WorkDepth") -> "WorkDepth":
+        return WorkDepth(self.work + other.work, self.depth + other.depth)
+
+    def __or__(self, other: "WorkDepth") -> "WorkDepth":
+        return WorkDepth(self.work + other.work, max(self.depth, other.depth))
+
+    def __mul__(self, k: float) -> "WorkDepth":
+        return WorkDepth(self.work * k, self.depth * k)
+
+    __rmul__ = __mul__
+
+    @staticmethod
+    def zero() -> "WorkDepth":
+        return WorkDepth(0.0, 0.0)
+
+    @staticmethod
+    def unit(w: float = 1.0) -> "WorkDepth":
+        """A sequential block of ``w`` unit instructions."""
+        return WorkDepth(w, w)
+
+    @staticmethod
+    def flat(work: float, depth: float) -> "WorkDepth":
+        return WorkDepth(work, depth)
+
+
+class CPUSide:
+    """Accounting state for the CPU side of a PIM machine."""
+
+    def __init__(self, metrics: "Metrics", shared_memory_words: int,  # noqa: F821
+                 enforce: bool = False) -> None:
+        self.metrics = metrics
+        self.shared_memory_words = shared_memory_words
+        self.enforce = enforce
+
+    # -- work/depth -----------------------------------------------------
+
+    def charge(self, work: float, depth: Optional[float] = None) -> None:
+        """Charge CPU work and depth.
+
+        ``depth`` defaults to ``work`` (a sequential block).  Parallel
+        CPU-side algorithms compute a :class:`WorkDepth` and call
+        :meth:`charge_wd`.
+        """
+        if depth is None:
+            depth = work
+        self.metrics.cpu_work += work
+        self.metrics.cpu_depth += depth
+
+    def charge_wd(self, wd: WorkDepth) -> None:
+        """Charge a composed :class:`WorkDepth` value."""
+        self.metrics.cpu_work += wd.work
+        self.metrics.cpu_depth += wd.depth
+
+    # -- shared memory -----------------------------------------------------
+
+    def alloc(self, words: int) -> None:
+        """Claim ``words`` of CPU-side shared memory."""
+        self.metrics.shared_mem_in_use += words
+        if self.metrics.shared_mem_in_use > self.metrics.shared_mem_peak:
+            self.metrics.shared_mem_peak = self.metrics.shared_mem_in_use
+        if self.enforce and self.metrics.shared_mem_in_use > self.shared_memory_words:
+            raise SharedMemoryExceeded(
+                f"{self.metrics.shared_mem_in_use} words in use, "
+                f"M = {self.shared_memory_words}"
+            )
+
+    def free(self, words: int) -> None:
+        """Release ``words`` of CPU-side shared memory."""
+        self.metrics.shared_mem_in_use -= words
+        if self.metrics.shared_mem_in_use < 0:
+            raise ValueError("negative shared memory usage")
+
+    @contextmanager
+    def region(self, words: int) -> Iterator[None]:
+        """Scoped allocation: ``with cpu.region(n): ...``."""
+        self.alloc(words)
+        try:
+            yield
+        finally:
+            self.free(words)
+
+    def reset_peak(self) -> None:
+        """Reset the shared-memory high-water mark to current usage.
+
+        Call before a measured region so the region's reported peak is its
+        own (peaks are high-water marks and do not subtract).
+        """
+        self.metrics.shared_mem_peak = self.metrics.shared_mem_in_use

@@ -1,0 +1,42 @@
+"""Exception types raised by the PIM machine simulator."""
+
+
+class SimulationError(RuntimeError):
+    """Base class for all simulator errors."""
+
+
+class SharedMemoryExceeded(SimulationError):
+    """Raised when CPU-side shared memory usage would exceed ``M`` words.
+
+    The PIM model assumes the CPU-side shared memory is small (it models
+    the last-level cache): ``M = O(n/P)`` and ``M = Omega(P polylog P)``.
+    Algorithms declare their shared-memory footprint through
+    :meth:`repro.sim.cpu.CPUSide.alloc`, and machines constructed with
+    ``enforce_shared_memory=True`` raise this error on overflow.
+    """
+
+
+class LocalMemoryExceeded(SimulationError):
+    """Raised when a PIM module's local memory exceeds its budget.
+
+    Each PIM module has ``Theta(n/P)`` words of local memory.  Enforcement
+    is optional (see :class:`repro.sim.config.MachineConfig`) because the
+    constant in the Theta is an engineering choice, but the footprint is
+    always tracked so tests can assert Theorem 3.1's O(n/P)-per-module
+    bound.
+    """
+
+
+class UnknownHandlerError(SimulationError):
+    """Raised when a task names a function id with no registered handler."""
+
+
+class InvalidBatchError(SimulationError):
+    """Raised when a batch violates the model's batch constraints.
+
+    The paper requires (i) all operations in a batch have the same type and
+    (ii) a minimum batch size, typically ``P polylog(P)``.  Data structures
+    raise this error when asked to run a batch that violates a constraint
+    they rely on for their bounds (callers may opt out via
+    ``enforce_batch_size=False`` to run ablations).
+    """

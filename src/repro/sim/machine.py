@@ -1,0 +1,258 @@
+"""The PIM machine: modules + CPU side + bulk-synchronous network.
+
+Execution model
+---------------
+
+Algorithms are CPU-side orchestration code that:
+
+1. enqueues ``TaskSend`` messages with :meth:`PIMMachine.send` (or
+   :meth:`PIMMachine.send_all` / :meth:`PIMMachine.broadcast`);
+2. advances the network one bulk-synchronous round with
+   :meth:`PIMMachine.step`, which delivers the pending messages, runs every
+   delivered task on its module (charging PIM work), collects replies, and
+   accounts the round's ``h``-relation toward IO time;
+3. or calls :meth:`PIMMachine.drain` to step until quiescence, collecting
+   all replies (continuation tasks forwarded module-to-module keep the
+   network busy for multiple rounds, exactly like the paper's step-by-step
+   "push each query one node further" execution).
+
+Handlers are plain functions ``handler(ctx, *args) -> None`` registered
+under a function id; they receive a :class:`repro.sim.module.ModuleContext`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.sim.config import MachineConfig
+from repro.sim.cpu import CPUSide
+from repro.sim.errors import UnknownHandlerError
+from repro.sim.metrics import Metrics, MetricsDelta
+from repro.sim.module import ModuleContext, PIMModule
+from repro.sim.task import CPU_SIDE, Message, Reply, Task
+from repro.sim.tracing import RoundLog, Tracer
+
+Handler = Callable[..., None]
+
+
+class PIMMachine:
+    """A simulated PIM system with ``P`` modules and an ``M``-word cache.
+
+    Parameters mirror :class:`repro.sim.config.MachineConfig`; pass either a
+    config or keyword arguments.
+
+    Examples
+    --------
+    >>> m = PIMMachine(num_modules=4, seed=1)
+    >>> def hello(ctx, x, tag=None):  # handlers must accept tag
+    ...     ctx.charge(1)
+    ...     ctx.reply(x * 2, tag=tag)
+    >>> m.register("hello", hello)
+    >>> m.send(2, "hello", (21,))
+    >>> [r.payload for r in m.drain()]
+    [42]
+    """
+
+    def __init__(self, num_modules: Optional[int] = None,
+                 config: Optional[MachineConfig] = None, **kwargs: Any) -> None:
+        if config is None:
+            if num_modules is None:
+                raise ValueError("num_modules or config required")
+            config = MachineConfig(num_modules=num_modules, **kwargs)
+        elif num_modules is not None and num_modules != config.num_modules:
+            raise ValueError("num_modules conflicts with config")
+        self.config = config
+        self.num_modules = config.num_modules
+        self.rng = random.Random(config.seed)
+        self.metrics = Metrics(num_modules=self.num_modules)
+        self.cpu = CPUSide(
+            self.metrics,
+            shared_memory_words=config.resolved_shared_memory_words,
+            enforce=config.enforce_shared_memory,
+        )
+        self.modules: List[PIMModule] = [
+            PIMModule(
+                mid,
+                local_memory_words=config.local_memory_words,
+                enforce=config.enforce_local_memory,
+            )
+            for mid in range(self.num_modules)
+        ]
+        self.tracer = Tracer(trace_accesses=config.trace_accesses)
+        self.qrqw = config.contention_model == "qrqw"
+        self._handlers: Dict[str, Handler] = {}
+        self._outbox: List[Message] = []      # CPU->PIM, next round
+        self._forwards: List[Message] = []    # module->module, next round
+
+    # -- handler registry ---------------------------------------------------
+
+    def register(self, fn: str, handler: Handler) -> None:
+        """Register ``handler`` under function id ``fn``.
+
+        Re-registering the same id with a different handler is an error
+        (two structures must not collide on a function id); re-registering
+        the identical handler is a no-op so structures can be constructed
+        repeatedly on one machine.
+        """
+        existing = self._handlers.get(fn)
+        if existing is not None and existing is not handler:
+            raise ValueError(f"handler id {fn!r} already registered")
+        self._handlers[fn] = handler
+
+    def register_all(self, handlers: Dict[str, Handler]) -> None:
+        """Register every (function id, handler) pair in ``handlers``."""
+        for fn, h in handlers.items():
+            self.register(fn, h)
+
+    # -- message issue ----------------------------------------------------
+
+    def send(self, dest: int, fn: str, args: tuple = (), tag: Any = None,
+             size: int = 1) -> None:
+        """Queue a ``TaskSend`` from the CPU side to module ``dest``."""
+        if not (0 <= dest < self.num_modules):
+            raise ValueError(f"bad module id {dest}")
+        self._outbox.append(
+            Message(dest=dest, task=Task(fn=fn, args=args, tag=tag), size=size)
+        )
+
+    def send_all(self, messages: Iterable[Tuple[int, str, tuple, Any]]) -> None:
+        """Queue many CPU->PIM messages: iterable of (dest, fn, args, tag)."""
+        for dest, fn, args, tag in messages:
+            self.send(dest, fn, args, tag)
+
+    def broadcast(self, fn: str, args: tuple = (), tag: Any = None,
+                  size: int = 1) -> None:
+        """Queue one message to every module (an h=1 relation by itself)."""
+        for mid in range(self.num_modules):
+            self.send(mid, fn, args, tag=tag, size=size)
+
+    # -- round execution -----------------------------------------------------
+
+    def step(self) -> List[Reply]:
+        """Execute one bulk-synchronous round; return replies to the CPU.
+
+        Delivers all pending messages (CPU-issued plus continuations
+        forwarded during the previous round), executes each module's tasks,
+        and charges the round's ``h``-relation: ``h`` is the maximum over
+        modules of messages sent plus received this round (the CPU side is
+        not counted, per the model).  Also charges ``log2 P`` of barrier
+        synchronization cost and advances the per-round PIM-time maximum.
+        """
+        incoming, self._outbox, self._forwards = (
+            self._outbox + self._forwards, [], []
+        )
+        if not incoming:
+            return []
+
+        recv = [0] * self.num_modules
+        sent = [0] * self.num_modules
+        queues: List[List[Task]] = [[] for _ in range(self.num_modules)]
+        for msg in incoming:
+            recv[msg.dest] += msg.size
+            queues[msg.dest].append(msg.task)
+
+        for module in self.modules:
+            module.round_work = 0.0
+            if self.qrqw:
+                module.round_touch.clear()
+
+        replies: List[Reply] = []
+        tasks_executed = 0
+        for mid, queue in enumerate(queues):
+            if not queue:
+                continue
+            module = self.modules[mid]
+            ctx = ModuleContext(self, module)
+            for task in queue:
+                handler = self._handlers.get(task.fn)
+                if handler is None:
+                    raise UnknownHandlerError(f"no handler for {task.fn!r}")
+                handler(ctx, *task.args, tag=task.tag)
+                tasks_executed += 1
+            replies.extend(ctx._replies)
+            self._forwards.extend(ctx._forwards)
+            sent[mid] += ctx._sent_size
+
+        h = max(r + s for r, s in zip(recv, sent))
+        # A module->module forward is counted once at send (in `sent` this
+        # round) and once at receive (in the round it is delivered).
+        total_msgs = sum(msg.size for msg in incoming) + sum(sent)
+        if self.qrqw:
+            # Queue-write variant (paper §2.1 Discussion): a module's
+            # effective round time is at least its hottest object's
+            # access-queue length.
+            round_pim_max = max(
+                max(m.round_work,
+                    max(m.round_touch.values()) if m.round_touch else 0.0)
+                for m in self.modules
+            )
+        else:
+            round_pim_max = max(m.round_work for m in self.modules)
+
+        self.metrics.io_time += h
+        self.metrics.rounds += 1
+        self.metrics.messages += total_msgs
+        self.metrics.sync_cost += self.config.log_p
+        self.metrics.pim_time += round_pim_max
+        for mid, module in enumerate(self.modules):
+            self.metrics.pim_work_per_module[mid] = module.work
+
+        self.tracer.log_round(
+            RoundLog(
+                index=self.metrics.rounds - 1,
+                h=h,
+                messages=total_msgs,
+                pim_work_max=round_pim_max,
+                tasks_executed=tasks_executed,
+            )
+        )
+        return replies
+
+    def drain(self, max_rounds: int = 1_000_000) -> List[Reply]:
+        """Step until the network is quiescent; return all replies."""
+        replies: List[Reply] = []
+        rounds = 0
+        while self._outbox or self._forwards:
+            replies.extend(self.step())
+            rounds += 1
+            if rounds > max_rounds:
+                raise RuntimeError("drain exceeded max_rounds; livelock?")
+        return replies
+
+    @property
+    def pending(self) -> bool:
+        """True if messages await delivery in a future round."""
+        return bool(self._outbox or self._forwards)
+
+    # -- measurement helpers ------------------------------------------------
+
+    def _sync_pim_work(self) -> None:
+        """Pull per-module cumulative work into the metrics accumulator.
+
+        Work can be charged outside a network round (e.g. bulk
+        construction charges module work directly); syncing here keeps
+        snapshots exact.
+        """
+        for mid, module in enumerate(self.modules):
+            self.metrics.pim_work_per_module[mid] = module.work
+
+    def snapshot(self) -> MetricsDelta:
+        """Snapshot metrics (see :meth:`repro.sim.metrics.Metrics.snapshot`)."""
+        self._sync_pim_work()
+        return self.metrics.snapshot()
+
+    def delta_since(self, before: MetricsDelta) -> MetricsDelta:
+        """Metrics accumulated since ``before`` (a prior snapshot)."""
+        self._sync_pim_work()
+        return self.metrics.delta_since(before)
+
+    # -- randomness ---------------------------------------------------------
+
+    def random_module(self) -> int:
+        """A uniformly random module id (from the machine's seeded stream)."""
+        return self.rng.randrange(self.num_modules)
+
+    def spawn_rng(self, salt: int) -> random.Random:
+        """A deterministic child RNG (for structures sharing the machine)."""
+        return random.Random((self.config.seed << 20) ^ salt)

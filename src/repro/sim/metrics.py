@@ -1,0 +1,187 @@
+"""Cost metrics of the PIM model.
+
+The model (paper §2.1) analyzes an algorithm by four primary quantities:
+
+- **CPU work** -- total work summed over all CPU cores.
+- **CPU depth** -- work on the CPU-side critical path (a.k.a. CPU span).
+- **PIM time** -- the maximum local work on any one PIM core.  With
+  bulk-synchronous barriers, the elapsed quantity the paper's per-phase
+  proofs bound is the *sum over rounds of the per-round maximum*; we track
+  that as :attr:`Metrics.pim_time` and additionally expose
+  :attr:`Metrics.pim_work_max` (maximum cumulative work on one module) and
+  :attr:`Metrics.pim_work_total` (sum over modules, the ``W`` in the
+  PIM-balance definition).
+- **IO time** -- the network operates in bulk-synchronous rounds; round
+  ``i`` realizes an ``h_i``-relation where ``h_i`` is the maximum number of
+  messages to/from any one PIM module (the CPU side is ignored).  IO time
+  is ``sum_i h_i``.
+
+Secondary quantities: the number of rounds, the synchronization cost
+``rounds * log2(P)``, the total message count ``I`` (for PIM-balance:
+an algorithm is PIM-balanced if PIM time is ``O(W/P)`` and IO time is
+``O(I/P)``), and the peak CPU-side shared memory usage in words (the
+"minimum M needed" column of Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class Metrics:
+    """Mutable accumulator for the model's cost metrics.
+
+    One instance lives on each :class:`repro.sim.machine.PIMMachine`; the
+    machine and the CPU side charge into it as the simulation progresses.
+    Use :meth:`snapshot` / :meth:`delta_since` to measure a region of a
+    program (e.g. one batch operation).
+    """
+
+    num_modules: int
+    cpu_work: float = 0.0
+    cpu_depth: float = 0.0
+    io_time: float = 0.0
+    rounds: int = 0
+    messages: int = 0
+    sync_cost: float = 0.0
+    pim_time: float = 0.0
+    pim_work_per_module: List[float] = field(default_factory=list)
+    shared_mem_in_use: int = 0
+    shared_mem_peak: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.pim_work_per_module:
+            self.pim_work_per_module = [0.0] * self.num_modules
+
+    # -- PIM-side aggregates ------------------------------------------------
+
+    @property
+    def pim_work_total(self) -> float:
+        """Total PIM work ``W`` summed over all modules."""
+        return float(sum(self.pim_work_per_module))
+
+    @property
+    def pim_work_max(self) -> float:
+        """Maximum cumulative local work on any one PIM module."""
+        return float(max(self.pim_work_per_module)) if self.pim_work_per_module else 0.0
+
+    @property
+    def pim_balance_ratio(self) -> float:
+        """``max / mean`` of per-module PIM work; ~1 means perfectly balanced.
+
+        A PIM-balanced algorithm keeps this O(1); a serialized one drives it
+        toward ``P``.
+        """
+        total = self.pim_work_total
+        if total == 0:
+            return 1.0
+        mean = total / self.num_modules
+        return self.pim_work_max / mean
+
+    # -- snapshots ----------------------------------------------------------
+
+    def snapshot(self) -> "MetricsDelta":
+        """Freeze current values (as a delta from zero)."""
+        return MetricsDelta(
+            num_modules=self.num_modules,
+            cpu_work=self.cpu_work,
+            cpu_depth=self.cpu_depth,
+            io_time=self.io_time,
+            rounds=self.rounds,
+            messages=self.messages,
+            sync_cost=self.sync_cost,
+            pim_time=self.pim_time,
+            pim_work_per_module=tuple(self.pim_work_per_module),
+            shared_mem_peak=self.shared_mem_peak,
+        )
+
+    def delta_since(self, before: "MetricsDelta") -> "MetricsDelta":
+        """Metrics accumulated since ``before`` (a prior :meth:`snapshot`)."""
+        now = self.snapshot()
+        return now - before
+
+
+@dataclass(frozen=True)
+class MetricsDelta:
+    """Immutable metric values: either a snapshot or a difference of two.
+
+    Subtraction is componentwise; ``shared_mem_peak`` is the *end* peak (a
+    high-water mark does not subtract meaningfully, so deltas carry the
+    later peak -- callers that need the peak within a region should reset
+    the peak via :meth:`repro.sim.cpu.CPUSide.reset_peak` first).
+    """
+
+    num_modules: int
+    cpu_work: float
+    cpu_depth: float
+    io_time: float
+    rounds: int
+    messages: int
+    sync_cost: float
+    pim_time: float
+    pim_work_per_module: tuple
+    shared_mem_peak: int
+
+    @property
+    def pim_work_total(self) -> float:
+        return float(sum(self.pim_work_per_module))
+
+    @property
+    def pim_work_max(self) -> float:
+        return float(max(self.pim_work_per_module)) if self.pim_work_per_module else 0.0
+
+    @property
+    def pim_balance_ratio(self) -> float:
+        total = self.pim_work_total
+        if total == 0:
+            return 1.0
+        return self.pim_work_max / (total / self.num_modules)
+
+    @property
+    def io_balance_bound(self) -> float:
+        """``I / P``: the IO time a PIM-balanced execution would achieve."""
+        return self.messages / self.num_modules
+
+    def __sub__(self, other: "MetricsDelta") -> "MetricsDelta":
+        if self.num_modules != other.num_modules:
+            raise ValueError("cannot subtract metrics from different machines")
+        return MetricsDelta(
+            num_modules=self.num_modules,
+            cpu_work=self.cpu_work - other.cpu_work,
+            cpu_depth=self.cpu_depth - other.cpu_depth,
+            io_time=self.io_time - other.io_time,
+            rounds=self.rounds - other.rounds,
+            messages=self.messages - other.messages,
+            sync_cost=self.sync_cost - other.sync_cost,
+            pim_time=self.pim_time - other.pim_time,
+            pim_work_per_module=tuple(
+                a - b for a, b in zip(self.pim_work_per_module, other.pim_work_per_module)
+            ),
+            shared_mem_peak=self.shared_mem_peak,
+        )
+
+    def as_dict(self) -> dict:
+        """Flat dictionary of scalar metrics (for tables and CSV output)."""
+        return {
+            "cpu_work": self.cpu_work,
+            "cpu_depth": self.cpu_depth,
+            "io_time": self.io_time,
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "sync_cost": self.sync_cost,
+            "pim_time": self.pim_time,
+            "pim_work_total": self.pim_work_total,
+            "pim_work_max": self.pim_work_max,
+            "pim_balance_ratio": self.pim_balance_ratio,
+            "shared_mem_peak": self.shared_mem_peak,
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MetricsDelta(io_time={self.io_time:.0f}, pim_time={self.pim_time:.0f}, "
+            f"cpu_work={self.cpu_work:.0f}, cpu_depth={self.cpu_depth:.0f}, "
+            f"rounds={self.rounds}, messages={self.messages}, "
+            f"balance={self.pim_balance_ratio:.2f})"
+        )

@@ -1,0 +1,142 @@
+"""PIM modules and the handler execution context.
+
+Each PIM module has a core and a local memory of ``Theta(n/P)`` words.  A
+module repeatedly pops tasks from its queue and executes them; handlers
+charge local work explicitly (one unit per RAM instruction at the model's
+granularity -- in practice one unit per pointer hop / probe / node touch),
+and may emit replies to the CPU side or forward continuation tasks to other
+modules.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, Hashable, List, Optional
+
+from repro.sim.errors import LocalMemoryExceeded
+from repro.sim.task import CPU_SIDE, Message, Reply, Task
+
+
+class PIMModule:
+    """State of one PIM module: local memory accounting + structure state.
+
+    Data structures keep their per-module local state (node stores, hash
+    tables, list heads, ...) in :attr:`state`, a dict keyed by structure
+    name.  The module only tracks the *footprint* in words; structures call
+    :meth:`alloc_words` / :meth:`free_words` when they create or destroy
+    local objects.
+    """
+
+    def __init__(self, mid: int, local_memory_words: Optional[int] = None,
+                 enforce: bool = False) -> None:
+        self.mid = mid
+        self.local_memory_words = local_memory_words
+        self.enforce = enforce
+        self.words_used = 0
+        self.words_peak = 0
+        self.work = 0.0          # cumulative local work
+        self.round_work = 0.0    # work in the current round (machine resets)
+        self.round_touch: Counter = Counter()  # per-round object accesses
+        self.state: Dict[str, Any] = {}
+
+    # -- memory ----------------------------------------------------------
+
+    def alloc_words(self, n: int) -> None:
+        """Charge ``n`` words of local memory to this module."""
+        self.words_used += n
+        if self.words_used > self.words_peak:
+            self.words_peak = self.words_used
+        if (
+            self.enforce
+            and self.local_memory_words is not None
+            and self.words_used > self.local_memory_words
+        ):
+            raise LocalMemoryExceeded(
+                f"module {self.mid}: {self.words_used} words used, "
+                f"budget {self.local_memory_words}"
+            )
+
+    def free_words(self, n: int) -> None:
+        """Release ``n`` words of local memory."""
+        self.words_used -= n
+        if self.words_used < 0:
+            raise ValueError(f"module {self.mid}: negative local memory")
+
+    # -- work --------------------------------------------------------------
+
+    def charge(self, w: float = 1.0) -> None:
+        """Charge ``w`` units of local work to this module's core."""
+        self.work += w
+        self.round_work += w
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PIMModule(mid={self.mid}, words={self.words_used}, work={self.work:.0f})"
+
+
+class ModuleContext:
+    """Handler-facing view of a module during one task execution.
+
+    Provides work charging, access tracing, reply emission (a message back
+    to the CPU-side shared memory) and continuation forwarding (a message
+    to another module, routed via the CPU side per the paper, accounted as
+    one send now + one receive next round).
+    """
+
+    def __init__(self, machine: "PIMMachine", module: PIMModule) -> None:  # noqa: F821
+        self.machine = machine
+        self.module = module
+        self._replies: List[Reply] = []
+        self._forwards: List[Message] = []
+        self._sent_size = 0
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def mid(self) -> int:
+        """This module's id."""
+        return self.module.mid
+
+    @property
+    def num_modules(self) -> int:
+        return self.machine.num_modules
+
+    # -- cost accounting ----------------------------------------------------
+
+    def charge(self, w: float = 1.0) -> None:
+        """Charge ``w`` units of PIM local work."""
+        self.module.charge(w)
+
+    def touch(self, obj: Hashable, count: int = 1) -> None:
+        """Record an access to ``obj`` for contention tracing and, under
+        the qrqw contention model, for this module's queue accounting."""
+        self.machine.tracer.access.touch(obj, count)
+        if self.machine.qrqw:
+            self.module.round_touch[obj] += count
+
+    # -- local state ----------------------------------------------------------
+
+    def state(self, structure: str) -> Any:
+        """Fetch this module's local state for ``structure``."""
+        return self.module.state[structure]
+
+    # -- communication -------------------------------------------------------
+
+    def reply(self, payload: Any, tag: Any = None, size: int = 1) -> None:
+        """Send a return value (``size`` message units) back to the CPU side."""
+        self._replies.append(Reply(payload=payload, tag=tag, src=self.mid))
+        self._sent_size += size
+
+    def forward(self, dest: int, fn: str, args: tuple = (), tag: Any = None,
+                size: int = 1) -> None:
+        """Offload a continuation task to module ``dest``.
+
+        Per the paper, module-to-module offload is performed by returning a
+        value to shared memory which triggers a ``TaskSend`` from the CPU
+        side; the simulator accounts it as one message sent by this module
+        this round and one received by ``dest`` next round.
+        """
+        self._forwards.append(
+            Message(dest=dest, task=Task(fn=fn, args=args, tag=tag), size=size,
+                    src=self.mid)
+        )
+        self._sent_size += size

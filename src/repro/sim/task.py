@@ -1,0 +1,66 @@
+"""Tasks and messages.
+
+A CPU core offloads work to a PIM core with a ``TaskSend`` instruction that
+names a PIM-module id and a task (function id + arguments).  The network
+routes the task to the module's queue.  Tasks specify where to put their
+return value; in the simulator, return values come back to the CPU side as
+:class:`Reply` objects from :meth:`repro.sim.machine.PIMMachine.step`.
+
+Messages have a ``size`` in constant-size message units: the model's
+messages carry a constant number of words, so a payload of ``k`` words is
+accounted as ``k`` messages (used e.g. when a pivot search streams its
+lower-part path back to shared memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+CPU_SIDE = -1
+"""Pseudo module id for the CPU side (the shared memory)."""
+
+
+@dataclass
+class Task:
+    """A unit of offloaded work: a function id plus arguments.
+
+    ``fn`` must name a handler registered on the machine (see
+    :meth:`repro.sim.machine.PIMMachine.register`).  ``args`` is an
+    arbitrary tuple passed to the handler.  ``tag`` is an opaque value the
+    issuer can use to match replies to requests (e.g. the index of the
+    operation within a batch).
+    """
+
+    fn: str
+    args: Tuple[Any, ...] = ()
+    tag: Any = None
+
+
+@dataclass
+class Message:
+    """A routed message: a task headed to ``dest`` of a given ``size``.
+
+    ``src`` is the sending side: :data:`CPU_SIDE` for CPU-issued offloads or
+    a module id for module-to-module continuations (which the paper routes
+    via the shared memory; the simulator accounts them as one send at the
+    source round and one receive at the destination round).
+    """
+
+    dest: int
+    task: Task
+    size: int = 1
+    src: int = CPU_SIDE
+
+
+@dataclass
+class Reply:
+    """A task's return value, written back to CPU-side shared memory.
+
+    ``payload`` is the returned value, ``tag`` echoes the originating
+    task's tag, and ``src`` is the module that produced the reply.
+    """
+
+    payload: Any
+    tag: Any = None
+    src: int = CPU_SIDE

@@ -1,0 +1,98 @@
+"""Execution tracing: per-round access counts and round logs.
+
+The contention argument at the heart of the paper's pivot-based Successor
+algorithm (Lemma 4.2: *no node is accessed more than 3 times in each phase
+of stage 1*) is a statement about per-round access multiplicity.  The
+simulator can record, for every bulk-synchronous round, how many tasks
+touched each traced object, so tests and benchmarks can verify the lemma
+directly and exhibit the Θ(batch) contention of the naive algorithm.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List
+
+
+@dataclass
+class RoundLog:
+    """Accounting for one bulk-synchronous round."""
+
+    index: int
+    h: int
+    messages: int
+    pim_work_max: float
+    tasks_executed: int
+
+
+class AccessTrace:
+    """Records per-round access counts for traced objects.
+
+    Handlers call :meth:`repro.sim.module.ModuleContext.touch` with a
+    hashable object key; the trace accumulates a ``Counter`` per round.
+    Tracing is enabled via ``MachineConfig(trace_accesses=True)``; when
+    disabled, ``touch`` is a no-op and no memory is used.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._rounds: List[Counter] = []
+        self._current: Counter = Counter()
+
+    def touch(self, obj: Hashable, count: int = 1) -> None:
+        """Record ``count`` accesses to ``obj`` in the current round."""
+        if self.enabled:
+            self._current[obj] += count
+
+    def end_round(self) -> None:
+        """Seal the current round's counter (called by the machine)."""
+        if self.enabled:
+            self._rounds.append(self._current)
+            self._current = Counter()
+
+    # -- queries --------------------------------------------------------
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self._rounds)
+
+    def round_counter(self, i: int) -> Counter:
+        """Access counter for round ``i`` (0-indexed)."""
+        return self._rounds[i]
+
+    def max_contention_per_round(self) -> List[int]:
+        """For each round, the maximum access count on any single object."""
+        return [max(c.values()) if c else 0 for c in self._rounds]
+
+    def max_contention(self, start_round: int = 0, end_round: int = None) -> int:
+        """Max per-object access count over rounds ``[start, end)``."""
+        per_round = self.max_contention_per_round()[start_round:end_round]
+        return max(per_round) if per_round else 0
+
+    def total_accesses(self) -> Counter:
+        """Aggregate access counts over all rounds."""
+        total: Counter = Counter()
+        for c in self._rounds:
+            total.update(c)
+        return total
+
+    def reset(self) -> None:
+        self._rounds = []
+        self._current = Counter()
+
+
+class Tracer:
+    """Aggregates the machine's trace state: round logs + access trace."""
+
+    def __init__(self, trace_accesses: bool = False) -> None:
+        self.rounds: List[RoundLog] = []
+        self.access = AccessTrace(enabled=trace_accesses)
+
+    def log_round(self, log: RoundLog) -> None:
+        self.rounds.append(log)
+        self.access.end_round()
+
+    def reset(self) -> None:
+        self.rounds = []
+        self.access.reset()

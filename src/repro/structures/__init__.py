@@ -1,0 +1,23 @@
+"""Additional batch-parallel data structures on the PIM model.
+
+§2.2 notes that Choe et al. studied PIM-aware linked lists, FIFO queues,
+and skip lists empirically.  This package provides model-native versions
+of the simpler structures, built on the same placement ideas as the
+skip list (hash placement for balance, CPU-side coordination state):
+
+- :class:`~repro.structures.fifo.PIMQueue` -- a batch-parallel FIFO
+  queue with exact FIFO semantics and PIM-balanced batches;
+- :class:`~repro.structures.priority_queue.PIMPriorityQueue` -- a
+  batch-parallel min-priority queue composed on the PIM skip list,
+  hot-spot-free even under colliding priorities;
+- :class:`~repro.structures.lsm.PIMLSMStore` -- an LSM-style ordered
+  store (skip-list delta + hashed static blocks + compaction), built as
+  a foil: its run side is range-partitioned, so adversarial successor
+  batches serialize exactly the way §2.2 predicts.
+"""
+
+from repro.structures.fifo import PIMQueue
+from repro.structures.lsm import PIMLSMStore
+from repro.structures.priority_queue import PIMPriorityQueue
+
+__all__ = ["PIMLSMStore", "PIMPriorityQueue", "PIMQueue"]

@@ -1,0 +1,102 @@
+"""A batch-parallel FIFO queue on the PIM model.
+
+Design: every enqueued item gets a global sequence number from a CPU-side
+tail counter; the item is stored on the module chosen by hashing its
+sequence number.  Dequeues read off a CPU-side head counter.  Because
+consecutive sequence numbers hash to uniformly random modules, *any*
+batch of ``B = Omega(P log P)`` enqueues or dequeues touches every module
+``O(B/P)`` times whp (Lemma 2.1) -- there is no hot tail module, the
+classic scalability failure of centralized queues.
+
+Costs per batch of ``B``: ``O(B/P)`` whp IO time, ``O(B/P)`` whp PIM
+time, O(1) rounds, O(B) CPU work, O(log B) CPU depth.  FIFO semantics
+are exact (the sequence counter orders items globally; batches are the
+unit of concurrency, as everywhere in the model).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.balls.hashing import KeyLevelHash
+from repro.sim.machine import PIMMachine
+
+
+class PIMQueue:
+    """Batch-parallel FIFO queue with hash-placed slots."""
+
+    def __init__(self, machine: PIMMachine, name: str = "fifo") -> None:
+        self.machine = machine
+        self.name = name
+        self.head = 0  # next sequence number to dequeue
+        self.tail = 0  # next sequence number to assign
+        self.hash = KeyLevelHash(
+            machine.num_modules,
+            seed=machine.spawn_rng(0xF1F0).getrandbits(32),
+        )
+        for module in machine.modules:
+            module.state.setdefault(name, {})
+        if f"{name}:store" not in machine._handlers:
+            machine.register_all(self._handlers())
+
+    def _handlers(self) -> Dict[str, Any]:
+        name = self.name
+
+        def h_store(ctx, seq, value, tag=None):
+            ctx.charge(1)
+            ctx.module.state[name][seq] = value
+            ctx.module.alloc_words(2)
+            ctx.reply(("ack",), tag=tag)
+
+        def h_take(ctx, seq, tag=None):
+            ctx.charge(1)
+            slots = ctx.module.state[name]
+            if seq not in slots:
+                raise KeyError(f"queue slot {seq} missing (counter bug)")
+            value = slots.pop(seq)
+            ctx.module.free_words(2)
+            ctx.reply(("item", seq, value), tag=tag)
+
+        return {f"{name}:store": h_store, f"{name}:take": h_take}
+
+    def _owner(self, seq: int) -> int:
+        return self.hash.module_of(("fifo", seq))
+
+    def __len__(self) -> int:
+        return self.tail - self.head
+
+    def enqueue_batch(self, values: Sequence[Any]) -> None:
+        """Append ``values`` in order (one balanced round)."""
+        machine = self.machine
+        base = self.tail
+        self.tail += len(values)
+        machine.cpu.charge(len(values),
+                           max(1.0, math.log2(len(values) + 1)))
+        for i, value in enumerate(values):
+            seq = base + i
+            machine.send(self._owner(seq), f"{self.name}:store",
+                         (seq, value))
+        machine.drain()
+
+    def dequeue_batch(self, count: int) -> List[Any]:
+        """Remove and return up to ``count`` oldest items, in order."""
+        count = min(count, len(self))
+        if count == 0:
+            return []
+        machine = self.machine
+        base = self.head
+        self.head += count
+        machine.cpu.charge(count, max(1.0, math.log2(count + 1)))
+        for i in range(count):
+            seq = base + i
+            machine.send(self._owner(seq), f"{self.name}:take", (seq,))
+        out: List[Optional[Any]] = [None] * count
+        for r in machine.drain():
+            _, seq, value = r.payload
+            out[seq - base] = value
+        return out
+
+    def peek_depth(self) -> int:
+        """Items currently queued (CPU-side counters; free)."""
+        return len(self)

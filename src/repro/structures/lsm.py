@@ -1,0 +1,402 @@
+"""An LSM-style ordered store on the PIM model ("PIM-LSM").
+
+A log-structured merge design composed from this repository's parts --
+and a foil for the paper's skip list:
+
+- **delta**: recent updates live in a :class:`PIMSkipList` (all its
+  PIM-balance guarantees apply to the write path);
+- **run**: the bulk of the data is one static sorted run, chopped into
+  blocks of ``block_size`` keys; blocks are placed on modules by a
+  seeded hash (Lemma 2.1 balance for the *storage*), and the fence keys
+  (each block's first key) are replicated on every module -- the same
+  replicate-the-top idea as the skip list's upper part, so routing a
+  query costs a local binary search plus **one** message;
+- **compaction**: when the delta outgrows ``flush_threshold``, its
+  contents (including tombstones) merge with the run through
+  :func:`repro.algorithms.sorting.pim_sample_sort`-style machinery --
+  here a CPU-coordinated merge of already-sorted block stream + sorted
+  delta, rewritten into fresh hashed blocks.
+
+Why it is a foil: the run's *blocks* are range partitions.  Point Gets
+stay balanced (dedup + hashed blocks), but an adversarial batch of
+distinct Successor keys that all land in one block funnels into that
+block's module -- the serialization the paper's pivot machinery was
+invented to avoid.  ``bench_lsm.py`` measures exactly that gap.
+
+Semantics: an ordered map (upsert/delete/get/successor/range), with
+deletes as tombstones until the next compaction.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.balls.hashing import KeyLevelHash
+from repro.core.skiplist import PIMSkipList
+from repro.cpuside.semisort import group_by
+from repro.sim.machine import PIMMachine
+
+TOMBSTONE = ("__lsm_tombstone__",)
+
+
+class PIMLSMStore:
+    """Delta skip list + static hashed-block run, with compaction."""
+
+    def __init__(self, machine: PIMMachine, name: str = "lsm",
+                 block_size: int = 64,
+                 flush_threshold: Optional[int] = None) -> None:
+        self.machine = machine
+        self.name = name
+        self.block_size = max(4, block_size)
+        p = machine.num_modules
+        log_p = max(1, int(round(math.log2(p)))) if p > 1 else 1
+        self.flush_threshold = (flush_threshold if flush_threshold
+                                is not None else 4 * p * log_p * log_p)
+        self.delta = PIMSkipList(machine, name=f"{name}:delta")
+        self.hash = KeyLevelHash(p, seed=machine.spawn_rng(0x15A).getrandbits(32))
+        self.generation = 0
+        self.fences: List[Hashable] = []   # replicated: first key per block
+        self.block_owner: List[int] = []
+        self.run_size = 0
+        for module in machine.modules:
+            module.state.setdefault(name, {})
+        if f"{name}:blk_get" not in machine._handlers:
+            machine.register_all(self._handlers())
+
+    # ------------------------------------------------------------------
+    # handlers (block storage)
+    # ------------------------------------------------------------------
+
+    def _handlers(self) -> Dict[str, Any]:
+        name = self.name
+
+        def blocks(ctx):
+            return ctx.module.state[name]
+
+        def h_store(ctx, bid, block, tag=None):
+            ctx.charge(len(block) + 1)
+            blocks(ctx)[bid] = block
+            ctx.module.alloc_words(2 * len(block))
+            ctx.reply(("ack",), tag=tag)
+
+        def h_drop(ctx, bid, tag=None):
+            ctx.charge(1)
+            block = blocks(ctx).pop(bid, None)
+            if block is not None:
+                ctx.module.free_words(2 * len(block))
+            ctx.reply(("ack",), tag=tag)
+
+        def h_get(ctx, bid, key, tag=None):
+            block = blocks(ctx)[bid]
+            ctx.charge(max(1, int(math.log2(len(block) + 1))))
+            i = bisect.bisect_left(block, (key,))
+            hit = i < len(block) and block[i][0] == key
+            ctx.reply(("blk", key, block[i][1] if hit else None, hit),
+                      tag=tag)
+
+        def h_succ(ctx, bid, key, opid, tag=None):
+            block = blocks(ctx)[bid]
+            ctx.charge(max(1, int(math.log2(len(block) + 1))))
+            ctx.touch((self.name, "blk", bid))
+            i = bisect.bisect_left(block, (key,))
+            found = block[i] if i < len(block) else None
+            ctx.reply(("bsucc", opid, found), tag=tag)
+
+        def h_scan(ctx, bid, lo, hi, opid, tag=None):
+            block = blocks(ctx)[bid]
+            i = bisect.bisect_left(block, (lo,))
+            out = []
+            while i < len(block) and block[i][0] <= hi:
+                out.append(block[i])
+                i += 1
+            ctx.charge(len(out) + max(1, int(math.log2(len(block) + 1))))
+            ctx.reply(("bscan", opid, bid, out),
+                      size=max(1, len(out)), tag=tag)
+
+        def h_dump(ctx, bid, tag=None):
+            block = blocks(ctx)[bid]
+            ctx.charge(len(block) + 1)
+            ctx.reply(("bdump", bid, block), size=max(1, len(block)),
+                      tag=tag)
+
+        return {
+            f"{name}:blk_store": h_store,
+            f"{name}:blk_drop": h_drop,
+            f"{name}:blk_get": h_get,
+            f"{name}:blk_succ": h_succ,
+            f"{name}:blk_scan": h_scan,
+            f"{name}:blk_dump": h_dump,
+        }
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def _block_of(self, key: Hashable) -> Optional[int]:
+        """The run block that could contain ``key`` (fence routing is a
+        local/CPU binary search over the replicated fences)."""
+        if not self.fences:
+            return None
+        self.machine.cpu.charge(max(1.0, math.log2(len(self.fences) + 1)),
+                                1.0)
+        i = bisect.bisect_right(self.fences, key) - 1
+        return max(0, i)
+
+    @property
+    def size_estimate(self) -> int:
+        """Run size + delta size (tombstones make this an upper bound)."""
+        return self.run_size + self.delta.size
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+
+    def batch_upsert(self, pairs: Sequence[Tuple[Hashable, Any]]) -> None:
+        """Upsert into the delta (flushing when it outgrows the threshold)."""
+        self.delta.batch_upsert(list(pairs))
+        self._maybe_flush()
+
+    def batch_delete(self, keys: Sequence[Hashable]) -> None:
+        """Tombstone the keys (physical removal happens at compaction)."""
+        self.delta.batch_upsert([(k, TOMBSTONE) for k in set(keys)])
+        self._maybe_flush()
+
+    def _maybe_flush(self) -> None:
+        if self.delta.size > self.flush_threshold:
+            self.compact()
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def batch_get(self, keys: Sequence[Hashable]) -> List[Optional[Any]]:
+        """Point lookups: delta first (shadowing), then one fence-routed
+        block probe per miss."""
+        machine = self.machine
+        groups = group_by(machine.cpu, list(range(len(keys))),
+                          key=lambda i: keys[i])
+        out: List[Optional[Any]] = [None] * len(keys)
+        delta_vals = self.delta.batch_get(list(groups))
+        delta_hit: Dict[Hashable, Any] = {}
+        misses: List[Hashable] = []
+        for key, dv in zip(groups, delta_vals):
+            if dv is not None:
+                delta_hit[key] = None if dv == TOMBSTONE else dv
+            else:
+                misses.append(key)
+        for key in misses:
+            bid = self._block_of(key)
+            if bid is None:
+                delta_hit[key] = None
+                continue
+            machine.send(self.block_owner[bid],
+                         f"{self.name}:blk_get", (bid, key))
+        for r in machine.drain():
+            _, key, value, hit = r.payload
+            delta_hit[key] = value if hit else None
+        for key, idxs in groups.items():
+            for i in idxs:
+                out[i] = delta_hit.get(key)
+        machine.cpu.charge(len(keys), max(1.0, math.log2(len(keys) + 1)))
+        return out
+
+    def batch_successor(self, keys: Sequence[Hashable],
+                        ) -> List[Optional[Tuple[Hashable, Any]]]:
+        """Min of the delta's successor and the run's successor.
+
+        The run side routes each query to one block (possibly spilling
+        to the next block when the first holds nothing at/after the
+        key) -- a range-partitioned access pattern with the imbalance
+        that entails under adversarial batches.
+        """
+        machine = self.machine
+        n = len(keys)
+        delta_succ = self._delta_successor_skipping_tombstones(keys)
+        run_succ: List[Optional[Tuple[Hashable, Any]]] = [None] * n
+        pending: Dict[int, int] = {}
+        for i, key in enumerate(keys):
+            bid = self._block_of(key)
+            if bid is None:
+                continue
+            machine.send(self.block_owner[bid], f"{self.name}:blk_succ",
+                         (bid, key, i))
+            pending[i] = bid
+        while pending:
+            for r in machine.drain():
+                _, opid, found = r.payload
+                bid = pending.pop(opid)
+                if found is not None:
+                    run_succ[opid] = found
+                elif bid + 1 < len(self.block_owner):
+                    machine.send(self.block_owner[bid + 1],
+                                 f"{self.name}:blk_succ",
+                                 (bid + 1, keys[opid], opid))
+                    pending[opid] = bid + 1
+        out: List[Optional[Tuple[Hashable, Any]]] = []
+        for i, key in enumerate(keys):
+            cands = [c for c in (delta_succ[i], run_succ[i])
+                     if c is not None]
+            if not cands:
+                out.append(None)
+                continue
+            best = min(cands, key=lambda kv: kv[0])
+            out.append(best)
+        machine.cpu.charge(2 * n, max(1.0, math.log2(n + 1)))
+        return self._resolve_shadowed(keys, out)
+
+    def _delta_successor_skipping_tombstones(self, keys):
+        """Delta successors, stepping over tombstoned entries."""
+        res = self.delta.batch_successor(list(keys))
+        out = []
+        for key, cand in zip(keys, res):
+            probe = key
+            while cand is not None and cand[1] == TOMBSTONE:
+                probe = cand[0]
+                nxt = self.delta.batch_successor([self._just_above(probe)])
+                cand = nxt[0]
+            out.append(cand)
+        return out
+
+    def _resolve_shadowed(self, keys, merged):
+        """A run successor may be tombstoned or shadowed in the delta."""
+        out = []
+        for key, cand in zip(keys, merged):
+            while cand is not None:
+                dv = self.delta.batch_get([cand[0]])[0]
+                if dv == TOMBSTONE:
+                    nxt = self.batch_successor_one_past(cand[0])
+                    cand = nxt
+                    continue
+                if dv is not None:
+                    cand = (cand[0], dv)
+                break
+            out.append(cand)
+        return out
+
+    def batch_successor_one_past(self, key: Hashable,
+                                 ) -> Optional[Tuple[Hashable, Any]]:
+        """Successor strictly after ``key`` (tombstone-skipping helper)."""
+        return self.batch_successor([self._just_above(key)])[0]
+
+    @staticmethod
+    def _just_above(key: Hashable):
+        from repro.core.probes import just_above
+        return just_above(key)
+
+    def batch_range(self, ops: Sequence[Tuple[Hashable, Hashable]],
+                    ) -> List[List[Tuple[Hashable, Any]]]:
+        """Merge delta ranges with block scans, dropping tombstones."""
+        machine = self.machine
+        delta_res = self.delta.batch_range(list(ops))
+        run_parts: Dict[int, Dict[int, List]] = {}
+        for i, (lo, hi) in enumerate(ops):
+            b0 = self._block_of(lo)
+            if b0 is None:
+                continue
+            b1 = self._block_of(hi)
+            for bid in range(b0, (b1 if b1 is not None else b0) + 1):
+                machine.send(self.block_owner[bid], f"{self.name}:blk_scan",
+                             (bid, lo, hi, i))
+        for r in machine.drain():
+            _, opid, bid, items = r.payload
+            run_parts.setdefault(opid, {})[bid] = items
+        out: List[List[Tuple[Hashable, Any]]] = []
+        work = 0
+        for i, (lo, hi) in enumerate(ops):
+            run_items: List[Tuple[Hashable, Any]] = []
+            for bid in sorted(run_parts.get(i, {})):
+                run_items.extend(run_parts[i][bid])
+            delta_items = delta_res[i].values
+            delta_map = dict(delta_items)
+            merged: List[Tuple[Hashable, Any]] = []
+            for k, v in run_items:
+                if k in delta_map:
+                    continue  # shadowed (update or tombstone)
+                merged.append((k, v))
+            merged.extend((k, v) for k, v in delta_items
+                          if v != TOMBSTONE)
+            merged.sort(key=lambda kv: kv[0])
+            work += len(merged) + 1
+            out.append(merged)
+        machine.cpu.charge(
+            work * max(1.0, math.log2(work + 1)),
+            max(1.0, math.log2(work + 1)),
+        )
+        return out
+
+    # ------------------------------------------------------------------
+    # compaction
+    # ------------------------------------------------------------------
+
+    def compact(self) -> None:
+        """Merge delta into the run; rewrite hashed blocks; clear delta."""
+        machine = self.machine
+        # 1. stream the old blocks back (balanced: each block one reply)
+        old_blocks: Dict[int, List] = {}
+        for bid, owner in enumerate(self.block_owner):
+            machine.send(owner, f"{self.name}:blk_dump", (bid,))
+        for r in machine.drain():
+            _, bid, block = r.payload
+            old_blocks[bid] = block
+        run_items: List[Tuple[Hashable, Any]] = []
+        for bid in sorted(old_blocks):
+            run_items.extend(old_blocks[bid])
+        # 2. delta contents, sorted, via a full-range read
+        delta_items = []
+        if self.delta.size:
+            res = self.delta.range_broadcast(
+                self._min_key_probe(), self._max_key_probe())
+            delta_items = res.values
+        # 3. CPU merge with shadowing + tombstone elimination
+        merged: List[Tuple[Hashable, Any]] = []
+        di = dict(delta_items)
+        for k, v in run_items:
+            if k not in di:
+                merged.append((k, v))
+        merged.extend((k, v) for k, v in delta_items if v != TOMBSTONE)
+        merged.sort(key=lambda kv: kv[0])
+        n = len(merged)
+        machine.cpu.charge(n * max(1.0, math.log2(n + 1)),
+                           max(1.0, math.log2(n + 1)))
+        # 4. rewrite fresh blocks under a new generation
+        for bid, owner in enumerate(self.block_owner):
+            machine.send(owner, f"{self.name}:blk_drop", (bid,))
+        machine.drain()
+        self.generation += 1
+        self.fences = []
+        self.block_owner = []
+        for start in range(0, n, self.block_size):
+            block = merged[start:start + self.block_size]
+            bid = len(self.fences)
+            owner = self.hash.module_of((self.generation, bid))
+            self.fences.append(block[0][0])
+            self.block_owner.append(owner)
+            machine.send(owner, f"{self.name}:blk_store", (bid, block),
+                         size=max(1, len(block)))
+        machine.drain()
+        self.run_size = n
+        # 5. clear the delta
+        if self.delta.size:
+            remaining = [k for k, _ in delta_items]
+            self.delta.batch_delete(remaining)
+
+    def _min_key_probe(self):
+        # smallest key present in the delta
+        first = self.delta.successor(self._neg_probe())
+        return first[0] if first else 0
+
+    def _max_key_probe(self):
+        last = self.delta.predecessor(self._pos_probe())
+        return last[0] if last else 0
+
+    @staticmethod
+    def _neg_probe():
+        from repro.core.probes import BELOW_ALL
+        return BELOW_ALL
+
+    @staticmethod
+    def _pos_probe():
+        from repro.core.probes import ABOVE_ALL
+        return ABOVE_ALL

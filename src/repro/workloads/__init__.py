@@ -1,0 +1,52 @@
+"""Workload generators, including the paper's adversarial patterns.
+
+The model's batches are adversary-controlled subject to three constraints
+(paper §2.1): one operation type per batch, a minimum batch size, and no
+dependence on the algorithm's random choices.  These generators produce
+exactly the workloads the paper reasons about:
+
+- uniform batches (the *easy* case all partitioning schemes handle);
+- duplicate-heavy Get batches (defeated by semisort deduplication);
+- same-successor batches -- distinct keys that share one successor,
+  the adversarial pattern that serializes naive batched search (§4.2);
+- single-range batches -- keys concentrated in one contiguous key
+  interval, the pattern that serializes range-partitioned structures
+  (§2.2/§3.1);
+- Zipf-skewed batches (a realistic middle ground);
+- contiguous insert/delete runs (the worst case for batch pointer
+  construction and splicing, Fig. 4).
+"""
+
+from repro.workloads.sessions import (
+    Session,
+    SessionBatch,
+    generate_session,
+    replay_session,
+    summarize_replay,
+)
+from repro.workloads.generators import (
+    build_items,
+    contiguous_run,
+    duplicate_heavy_batch,
+    same_successor_batch,
+    single_range_batch,
+    uniform_batch,
+    uniform_fresh_keys,
+    zipf_batch,
+)
+
+__all__ = [
+    "Session",
+    "SessionBatch",
+    "build_items",
+    "generate_session",
+    "replay_session",
+    "summarize_replay",
+    "contiguous_run",
+    "duplicate_heavy_batch",
+    "same_successor_batch",
+    "single_range_batch",
+    "uniform_batch",
+    "uniform_fresh_keys",
+    "zipf_batch",
+]

@@ -1,0 +1,117 @@
+"""Concrete workload generators (see package docstring)."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+KEY_STRIDE = 1 << 20
+"""Default spacing between built keys: leaves room for 2^20 adversarial
+in-gap keys between any two stored keys."""
+
+
+def build_items(n: int, stride: int = KEY_STRIDE, value_of=lambda k: k,
+                ) -> List[Tuple[int, int]]:
+    """``n`` sorted (key, value) pairs spaced ``stride`` apart.
+
+    Wide spacing lets adversarial generators place arbitrarily many
+    distinct query keys inside a single gap.
+    """
+    return [(i * stride, value_of(i * stride)) for i in range(1, n + 1)]
+
+
+def uniform_batch(batch_size: int, key_space: int, rng: random.Random,
+                  ) -> List[int]:
+    """Uniformly random (possibly repeating) keys in [0, key_space)."""
+    return [rng.randrange(key_space) for _ in range(batch_size)]
+
+
+def uniform_fresh_keys(batch_size: int, existing: Sequence[int],
+                       rng: random.Random, key_space: Optional[int] = None,
+                       ) -> List[int]:
+    """``batch_size`` distinct keys not present in ``existing``."""
+    taken = set(existing)
+    space = key_space if key_space is not None else (
+        (max(taken) if taken else 0) + KEY_STRIDE * (batch_size + 1)
+    )
+    out: set = set()
+    while len(out) < batch_size:
+        k = rng.randrange(space)
+        if k not in taken and k not in out:
+            out.add(k)
+    return sorted(out)
+
+
+def duplicate_heavy_batch(batch_size: int, hot_key: int,
+                          rng: random.Random, distinct: int = 1,
+                          ) -> List[int]:
+    """A Get batch dominated by one (or a few) hot keys.
+
+    Without semisort deduplication, every duplicate lands on the hot
+    key's module: PIM time and IO time degenerate to ``Theta(B)``.
+    """
+    if distinct <= 1:
+        return [hot_key] * batch_size
+    keys = [hot_key + i for i in range(distinct)]
+    return [keys[rng.randrange(distinct)] for _ in range(batch_size)]
+
+
+def same_successor_batch(stored_keys: Sequence[int], batch_size: int,
+                         rng: random.Random) -> List[int]:
+    """Distinct keys that all share one successor (paper §4.2's adversary).
+
+    Picks a gap between adjacent stored keys wide enough for the batch
+    and draws distinct keys inside it: every Successor search funnels
+    into the same path, which serializes the naive batched algorithm
+    while the pivot algorithm stays PIM-balanced.
+    """
+    ks = sorted(stored_keys)
+    gaps = [(ks[0] - 0, 0, ks[0])] if ks and ks[0] > batch_size else []
+    for a, b in zip(ks, ks[1:]):
+        if b - a - 1 >= batch_size:
+            gaps.append((b - a, a + 1, b))
+    if not gaps:
+        raise ValueError("no gap wide enough for the adversarial batch")
+    _, lo, hi = gaps[rng.randrange(len(gaps))]
+    if hi - lo == batch_size:
+        return list(range(lo, hi))
+    out: set = set()
+    while len(out) < batch_size:
+        out.add(rng.randrange(lo, hi))
+    return sorted(out)
+
+
+def single_range_batch(batch_size: int, lo: int, hi: int,
+                       rng: random.Random, distinct: bool = True,
+                       ) -> List[int]:
+    """Keys concentrated inside one key interval [lo, hi).
+
+    Against a range-partitioned structure, the whole batch routes to the
+    single module owning that interval (§2.2's serialization argument).
+    """
+    if distinct:
+        if hi - lo < batch_size:
+            raise ValueError("interval too narrow for distinct keys")
+        out: set = set()
+        while len(out) < batch_size:
+            out.add(rng.randrange(lo, hi))
+        return sorted(out)
+    return [rng.randrange(lo, hi) for _ in range(batch_size)]
+
+
+def zipf_batch(batch_size: int, stored_keys: Sequence[int], alpha: float,
+               seed: int) -> List[int]:
+    """Zipf-distributed references over the stored keys (rank-skewed)."""
+    ks = list(stored_keys)
+    n = len(ks)
+    rng = np.random.default_rng(seed)
+    ranks = rng.zipf(alpha, size=batch_size)
+    return [ks[min(int(r) - 1, n - 1)] for r in ranks]
+
+
+def contiguous_run(start: int, count: int, step: int = 1) -> List[int]:
+    """``count`` consecutive keys from ``start`` (worst case for batch
+    pointer construction / splicing: all new nodes are neighbors)."""
+    return [start + i * step for i in range(count)]

@@ -1,0 +1,89 @@
+"""Shared fixtures and reference-model helpers for the test suite."""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import pytest
+
+from repro import PIMMachine, PIMSkipList
+from repro.workloads import build_items
+
+
+class ReferenceMap:
+    """Oracle: a sorted-list + dict model of the ordered map."""
+
+    def __init__(self, items: Sequence[Tuple[int, int]] = ()) -> None:
+        self.data: Dict[int, int] = dict(items)
+        self._sorted: List[int] = sorted(self.data)
+
+    def upsert(self, key: int, value: int) -> None:
+        if key not in self.data:
+            bisect.insort(self._sorted, key)
+        self.data[key] = value
+
+    def delete(self, key: int) -> bool:
+        if key not in self.data:
+            return False
+        del self.data[key]
+        self._sorted.remove(key)
+        return True
+
+    def get(self, key: int) -> Optional[int]:
+        return self.data.get(key)
+
+    def successor(self, key: int) -> Optional[Tuple[int, int]]:
+        i = bisect.bisect_left(self._sorted, key)
+        if i == len(self._sorted):
+            return None
+        k = self._sorted[i]
+        return (k, self.data[k])
+
+    def predecessor(self, key: int) -> Optional[Tuple[int, int]]:
+        i = bisect.bisect_right(self._sorted, key)
+        if i == 0:
+            return None
+        k = self._sorted[i - 1]
+        return (k, self.data[k])
+
+    def range(self, lkey: int, rkey: int) -> List[Tuple[int, int]]:
+        lo = bisect.bisect_left(self._sorted, lkey)
+        hi = bisect.bisect_right(self._sorted, rkey)
+        return [(k, self.data[k]) for k in self._sorted[lo:hi]]
+
+    def as_dict(self) -> Dict[int, int]:
+        return dict(self.data)
+
+
+@pytest.fixture
+def machine8() -> PIMMachine:
+    return PIMMachine(num_modules=8, seed=42)
+
+
+@pytest.fixture
+def machine4() -> PIMMachine:
+    return PIMMachine(num_modules=4, seed=7)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(1234)
+
+
+def make_skiplist(num_modules: int = 8, n: int = 200, seed: int = 42,
+                  stride: int = 1000, trace: bool = False,
+                  ) -> Tuple[PIMMachine, PIMSkipList, ReferenceMap]:
+    """A built skip list + its oracle."""
+    machine = PIMMachine(num_modules=num_modules, seed=seed,
+                         trace_accesses=trace)
+    sl = PIMSkipList(machine)
+    items = build_items(n, stride=stride)
+    sl.build(items)
+    return machine, sl, ReferenceMap(items)
+
+
+@pytest.fixture
+def built8() -> Tuple[PIMMachine, PIMSkipList, ReferenceMap]:
+    return make_skiplist(num_modules=8, n=200, seed=42)

@@ -1,0 +1,134 @@
+"""Tests for the PIM-model algorithms (sorting, PRAM emulation)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro import PIMMachine
+from repro.algorithms import PRAMEmulation, pim_sample_sort, sort_within_cache
+from repro.algorithms.pram import native_prefix_sum
+from repro.sim.errors import SharedMemoryExceeded
+
+
+class TestSortWithinCache:
+    def test_sorts_with_zero_io(self):
+        machine = PIMMachine(num_modules=8, seed=0)
+        data = [5, 3, 9, 1, 1, 7]
+        before = machine.snapshot()
+        assert sort_within_cache(machine, data) == sorted(data)
+        d = machine.delta_since(before)
+        assert d.io_time == 0 and d.messages == 0 and d.rounds == 0
+        assert d.cpu_work > 0
+
+    def test_rejects_oversized_input(self):
+        machine = PIMMachine(num_modules=2, seed=0,
+                             shared_memory_words=16)
+        with pytest.raises(SharedMemoryExceeded):
+            sort_within_cache(machine, list(range(17)))
+        # non-strict mode still sorts (for ablation use)
+        out = sort_within_cache(machine, list(range(17))[::-1],
+                                strict=False)
+        assert out == list(range(17))
+
+
+class TestSampleSort:
+    @pytest.mark.parametrize("p,n,seed", [(4, 400, 0), (8, 2000, 1),
+                                          (16, 3000, 2)])
+    def test_sorts_and_balances(self, p, n, seed):
+        rng = random.Random(seed)
+        machine = PIMMachine(num_modules=p, seed=seed)
+        data = [rng.randrange(10 ** 6) for _ in range(n)]
+        parts = [data[i::p] for i in range(p)]
+        before = machine.snapshot()
+        result = pim_sample_sort(machine, parts, seed=seed)
+        d = machine.delta_since(before)
+        assert [x for part in result for x in part] == sorted(data)
+        sizes = [len(part) for part in result]
+        assert max(sizes) < 4 * (n / p)  # O(n/P) whp buckets
+        assert d.pim_balance_ratio < 3.0
+
+    def test_duplicates_and_empty_parts(self):
+        machine = PIMMachine(num_modules=4, seed=3)
+        parts = [[7] * 50, [], [7, 3, 3], [9] * 10]
+        result = pim_sample_sort(machine, parts, seed=3)
+        flat = [x for part in result for x in part]
+        assert flat == sorted([7] * 50 + [7, 3, 3] + [9] * 10)
+
+    def test_wrong_arity(self):
+        machine = PIMMachine(num_modules=4, seed=4)
+        with pytest.raises(ValueError):
+            pim_sample_sort(machine, [[1], [2]])
+
+    def test_io_scales_with_n_over_p(self):
+        """Doubling n doubles IO (the exchange dominates); rounds O(1)."""
+        ios = {}
+        for n in (1000, 2000):
+            rng = random.Random(9)
+            machine = PIMMachine(num_modules=8, seed=9)
+            data = [rng.randrange(10 ** 6) for _ in range(n)]
+            parts = [data[i::8] for i in range(8)]
+            before = machine.snapshot()
+            pim_sample_sort(machine, parts, seed=9)
+            d = machine.delta_since(before)
+            ios[n] = d.io_time
+            assert d.rounds < 15
+        assert 1.4 < ios[2000] / ios[1000] < 2.8
+
+
+class TestPRAMEmulation:
+    def test_write_read_roundtrip(self):
+        machine = PIMMachine(num_modules=4, seed=0)
+        pram = PRAMEmulation(machine)
+        pram.write_many([(i, i * i) for i in range(20)])
+        assert pram.read_many(list(range(20))) == [i * i for i in range(20)]
+        assert pram.read_many([999]) == [None]
+
+    def test_step_semantics_are_synchronous(self):
+        """All reads observe the pre-step state (EREW PRAM semantics)."""
+        machine = PIMMachine(num_modules=4, seed=1)
+        pram = PRAMEmulation(machine)
+        pram.write_many([(0, 1), (1, 2)])
+        # swap cells 0 and 1 with two processors
+        pram.step([
+            ([1], lambda b: [(0, b)]),
+            ([0], lambda a: [(1, a)]),
+        ])
+        assert pram.read_many([0, 1]) == [2, 1]
+
+    def test_prefix_sum_correct(self):
+        machine = PIMMachine(num_modules=8, seed=2)
+        pram = PRAMEmulation(machine)
+        vals = [1.0] * 37
+        out = pram.prefix_sum(vals)
+        assert out == [float(i + 1) for i in range(37)]
+
+    def test_emulation_pays_n_log_n_messages(self):
+        """§2.2 quantified: the emulated prefix sum moves Theta(n log n)
+        messages; the native one moves Theta(n + P)."""
+        n, p = 64, 8
+        rng = random.Random(3)
+        vals = [rng.random() for _ in range(n)]
+        expect = list(itertools.accumulate(vals))
+
+        m1 = PIMMachine(num_modules=p, seed=3)
+        before = m1.snapshot()
+        got = PRAMEmulation(m1).prefix_sum(vals)
+        d_em = m1.delta_since(before)
+        assert all(abs(a - b) < 1e-9 for a, b in zip(got, expect))
+
+        m2 = PIMMachine(num_modules=p, seed=3)
+        chunks = [vals[i * n // p:(i + 1) * n // p] for i in range(p)]
+        before = m2.snapshot()
+        native = native_prefix_sum(m2, chunks)
+        d_nat = m2.delta_since(before)
+        flat = [x for c in native for x in c]
+        assert all(abs(a - b) < 1e-9 for a, b in zip(flat, expect))
+
+        assert d_em.messages > 5 * d_nat.messages
+        assert d_em.messages > n * 3  # every access remote, log n sweeps
+
+    def test_native_prefix_arity(self):
+        machine = PIMMachine(num_modules=4, seed=4)
+        with pytest.raises(ValueError):
+            native_prefix_sum(machine, [[1.0]])

@@ -1,0 +1,78 @@
+"""Empirical checks of the balls-in-bins lemmas (paper §2.1).
+
+These tests ARE small-scale versions of the Lemma 2.1/2.2 experiments the
+benchmark harness runs at larger sizes.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.balls import (
+    bernstein_tail_bound,
+    lemma21_experiment,
+    lemma22_experiment,
+    throw_balls,
+    throw_weighted_balls,
+)
+from repro.balls.lemmas import small_batch_max_load
+
+
+class TestThrows:
+    def test_throw_balls_conserves_count(self):
+        rng = np.random.default_rng(0)
+        loads = throw_balls(16, 1000, rng)
+        assert loads.sum() == 1000
+        assert len(loads) == 16
+
+    def test_throw_weighted_conserves_weight(self):
+        rng = np.random.default_rng(0)
+        loads = throw_weighted_balls(8, [0.5, 1.5, 2.0], rng)
+        assert loads.sum() == pytest.approx(4.0)
+
+
+class TestLemma21:
+    def test_theta_t_over_p_envelope(self):
+        """T = 8 P log P balls: max/mean and min/mean stay near 1 whp."""
+        results = lemma21_experiment(num_bins=64, balls_per_bin_log=8,
+                                     trials=30, seed=1)
+        assert max(r.max_over_mean for r in results) < 2.0
+        assert min(r.min_over_mean for r in results) > 0.3
+
+    def test_envelope_tightens_with_more_balls(self):
+        loose = lemma21_experiment(64, balls_per_bin_log=1, trials=20, seed=2)
+        tight = lemma21_experiment(64, balls_per_bin_log=32, trials=20, seed=2)
+        assert (max(r.max_over_mean for r in tight)
+                < max(r.max_over_mean for r in loose))
+
+
+class TestLemma22:
+    @pytest.mark.parametrize("profile", ["max-cap", "uniform", "geometric"])
+    def test_weighted_envelope(self, profile):
+        results = lemma22_experiment(num_bins=64, weight_profile=profile,
+                                     trials=20, seed=3)
+        # O(W/P) whp: max-over-mean bounded by a small constant
+        assert max(r.max_over_mean for r in results) < 3.0
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            lemma22_experiment(8, weight_profile="nope")
+
+    def test_bernstein_bound_decreases_with_c(self):
+        b1 = bernstein_tail_bound(1.0, 64, deviation_factor=1)
+        b3 = bernstein_tail_bound(1.0, 64, deviation_factor=3)
+        assert b3 < b1 <= 1.0
+
+
+class TestSmallBatchFailure:
+    def test_p_balls_in_p_bins_overloads_a_bin(self):
+        """Only P balls -> max load ~ log P / log log P > the T/P mean of 1.
+
+        This is the paper's §2.1 argument for minimum batch sizes.
+        """
+        p = 256
+        maxima = small_batch_max_load(p, trials=30, seed=4)
+        expected = math.log(p) / math.log(math.log(p))
+        assert sum(maxima) / len(maxima) > 0.6 * expected
+        assert max(maxima) >= 3

@@ -1,0 +1,178 @@
+"""Tests for the baseline structures and §2.2/§3.1's comparative claims."""
+
+import math
+import random
+
+import pytest
+
+from repro import PIMMachine, PIMSkipList
+from repro.baselines import (
+    FineGrainedSkipList,
+    HashPartitionedMap,
+    LocalSkipList,
+    RangePartitionedSkipList,
+)
+from repro.workloads import build_items, single_range_batch, uniform_batch
+from tests.conftest import ReferenceMap
+
+
+def built_pair(cls, p=8, n=256, seed=5, stride=1000):
+    machine = PIMMachine(num_modules=p, seed=seed)
+    struct = cls(machine)
+    items = build_items(n, stride=stride)
+    struct.build(items)
+    return machine, struct, ReferenceMap(items)
+
+
+class TestLocalSkipList:
+    def test_dict_equivalence_under_churn(self):
+        rng = random.Random(0)
+        sl = LocalSkipList(random.Random(1))
+        ref = {}
+        for step in range(2000):
+            k = rng.randrange(300)
+            if rng.random() < 0.6:
+                sl.upsert(k, step)
+                ref[k] = step
+            else:
+                assert sl.delete(k) == (k in ref)
+                ref.pop(k, None)
+        assert dict(sl.items()) == ref
+        assert len(sl) == len(ref)
+
+    def test_ordered_queries(self):
+        sl = LocalSkipList(random.Random(2))
+        for k in (10, 20, 30):
+            sl.upsert(k, k)
+        assert sl.successor(15) == (20, 20)
+        assert sl.successor(20) == (20, 20)
+        assert sl.successor(31) is None
+        assert sl.predecessor(15) == (10, 10)
+        assert sl.predecessor(5) is None
+        assert sl.range_scan(10, 20) == [(10, 10), (20, 20)]
+        assert sl.range_scan(11, 19) == []
+
+    def test_charges_logarithmic(self):
+        acc = []
+        sl = LocalSkipList(random.Random(3), charge=acc.append)
+        for k in range(1024):
+            sl.upsert(k, k)
+        acc.clear()
+        sl.get(512)
+        assert sum(acc) < 120  # ~ a few * log2(1024)
+
+
+@pytest.mark.parametrize("cls", [RangePartitionedSkipList, HashPartitionedMap])
+class TestPartitionedCorrectness:
+    def test_point_ops(self, cls):
+        _, st, ref = built_pair(cls)
+        keys = [1000, 999, 256000, -4]
+        assert st.batch_get(keys) == [ref.get(k) for k in keys]
+        st.batch_upsert([(999, 1), (1000, 2)])
+        assert st.batch_get([999, 1000]) == [1, 2]
+        st.batch_delete([999, 12345])
+        assert st.batch_get([999]) == [None]
+
+    def test_successor(self, cls):
+        _, st, ref = built_pair(cls)
+        rng = random.Random(7)
+        keys = [rng.randrange(-10, 300000) for _ in range(80)]
+        assert st.batch_successor(keys) == [ref.successor(k) for k in keys]
+
+    def test_range(self, cls):
+        _, st, ref = built_pair(cls)
+        got = st.batch_range([(2500, 60000), (0, 100)])
+        assert got[0] == ref.range(2500, 60000)
+        assert got[1] == ref.range(0, 100)
+
+
+class TestFineGrainedCorrectness:
+    def test_get_and_successor(self):
+        _, fg, ref = built_pair(FineGrainedSkipList)
+        rng = random.Random(8)
+        keys = [rng.randrange(-10, 300000) for _ in range(80)]
+        assert fg.batch_successor(keys) == [ref.successor(k) for k in keys]
+        assert fg.batch_get([1000, 1001]) == [1000, None]
+
+
+class TestComparativeClaims:
+    """The quantitative statements of §2.2/§3.1, measured."""
+
+    def test_range_partition_serializes_under_single_range_adversary(self):
+        p = 16
+        mach_rp, rp, _ = built_pair(RangePartitionedSkipList, p=p, n=1024)
+        mach_sl = PIMMachine(num_modules=p, seed=5)
+        sl = PIMSkipList(mach_sl)
+        sl.build(build_items(1024, stride=1000))
+
+        rng = random.Random(9)
+        adv = single_range_batch(p * 8, lo=1000, hi=30000, rng=rng)
+        s = mach_rp.snapshot()
+        rp.batch_get(adv)
+        d_rp = mach_rp.delta_since(s)
+        s = mach_sl.snapshot()
+        sl.batch_get(adv)
+        d_sl = mach_sl.delta_since(s)
+        # all messages funnel to one module: h ~ 2B vs ours ~ 2B/P
+        assert d_rp.io_time >= 2 * len(adv)
+        assert d_sl.io_time < d_rp.io_time / 3
+        assert d_rp.pim_balance_ratio > p / 2
+        assert d_sl.pim_balance_ratio < 4
+
+    def test_range_partition_fine_on_uniform(self):
+        p = 16
+        mach_rp, rp, _ = built_pair(RangePartitionedSkipList, p=p, n=1024)
+        rng = random.Random(10)
+        uni = uniform_batch(p * 8, 1024 * 1000, rng)
+        s = mach_rp.snapshot()
+        rp.batch_get(uni)
+        d = mach_rp.delta_since(s)
+        assert d.pim_balance_ratio < 4
+
+    def test_hash_partition_broadcasts_ordered_queries(self):
+        """Hash partitioning pays >= 2P messages *per successor query*
+        (broadcast + replies), so its IO time is Theta(B) however large P
+        is; ours spends O(log P) messages per query spread over random
+        modules, so IO time grows like B/P."""
+        p = 16
+        mach_hp, hp, _ = built_pair(HashPartitionedMap, p=p, n=512)
+        mach_sl = PIMMachine(num_modules=p, seed=6)
+        sl = PIMSkipList(mach_sl)
+        sl.build(build_items(512, stride=1000))
+        rng = random.Random(11)
+        ios_hp, ios_sl = [], []
+        for b in (p * 4, p * 16):
+            keys = [rng.randrange(512000) for _ in range(b)]
+            s = mach_hp.snapshot()
+            hp.batch_successor(keys)
+            d_hp = mach_hp.delta_since(s)
+            s = mach_sl.snapshot()
+            sl.batch_successor(keys)
+            d_sl = mach_sl.delta_since(s)
+            assert d_hp.messages >= 2 * p * b  # per-query broadcast
+            assert d_sl.messages < d_hp.messages  # O(log P) < 2P per query
+            ios_hp.append(d_hp.io_time)
+            ios_sl.append(d_sl.io_time)
+        # 4x the batch: hash partition's IO scales ~4x, ours much slower
+        assert ios_hp[1] >= 3.5 * ios_hp[0]
+        assert ios_sl[1] < 2.5 * ios_sl[0]
+
+    def test_fine_grained_pays_log_n_messages_per_search(self):
+        p = 8
+        mach_fg, fg, _ = built_pair(FineGrainedSkipList, p=p, n=2048)
+        mach_sl = PIMMachine(num_modules=p, seed=7)
+        sl = PIMSkipList(mach_sl)
+        sl.build(build_items(2048, stride=1000))
+        rng = random.Random(12)
+        keys = [rng.randrange(2048000) for _ in range(64)]
+        s = mach_fg.snapshot()
+        fg.batch_successor(keys)
+        d_fg = mach_fg.delta_since(s)
+        s = mach_sl.snapshot()
+        sl.batch_successor(keys)
+        d_sl = mach_sl.delta_since(s)
+        # fine-grained: ~log2(2048)=11 hops/search; ours: O(log P) remote
+        # hops after a local (replicated) upper descent.
+        per_q_fg = d_fg.messages / len(keys)
+        assert per_q_fg > 0.6 * math.log2(2048)
+        assert d_sl.messages < d_fg.messages

@@ -1,0 +1,94 @@
+"""Tests for batch_contains, union_into, and split."""
+
+import pytest
+
+from repro import PIMMachine, PIMSkipList
+from repro.workloads import build_items
+from tests.conftest import make_skiplist
+
+
+class TestContains:
+    def test_distinguishes_stored_none_from_missing(self):
+        machine = PIMMachine(num_modules=4, seed=0)
+        sl = PIMSkipList(machine)
+        sl.build([(1, None), (2, "x")])
+        assert sl.batch_contains([1, 2, 3]) == [True, True, False]
+        assert sl.batch_get([1, 3]) == [None, None]  # the ambiguity
+
+    def test_dedup_and_alignment(self, built8):
+        _, sl, ref = built8
+        keys = [1000, 999, 1000, 2000]
+        assert sl.batch_contains(keys) == [True, False, True, True]
+
+    def test_empty(self, built8):
+        _, sl, _ = built8
+        assert sl.batch_contains([]) == []
+
+
+class TestUnion:
+    def test_union_absorbs_and_overwrites(self):
+        machine = PIMMachine(num_modules=8, seed=1)
+        a = PIMSkipList(machine, name="a")
+        b = PIMSkipList(machine, name="b")
+        a.build([(1, "a1"), (3, "a3"), (5, "a5")])
+        b.build([(3, "b3"), (4, "b4")])
+        n = a.union_into(b)
+        assert n == 2
+        a.check_integrity()
+        assert a.to_dict() == {1: "a1", 3: "b3", 4: "b4", 5: "a5"}
+        # other side untouched
+        b.check_integrity()
+        assert b.to_dict() == {3: "b3", 4: "b4"}
+
+    def test_union_with_empty(self):
+        machine = PIMMachine(num_modules=4, seed=2)
+        a = PIMSkipList(machine, name="a")
+        b = PIMSkipList(machine, name="b")
+        a.build([(1, 1)])
+        assert a.union_into(b) == 0
+        assert b.union_into(a) == 1
+        assert b.to_dict() == {1: 1}
+
+
+class TestSplit:
+    def test_split_moves_the_suffix(self):
+        machine, sl, ref = make_skiplist(num_modules=8, n=100, seed=3)
+        keys = sorted(ref.data)
+        pivot = keys[60]
+        right = sl.split(pivot)
+        sl.check_integrity()
+        right.check_integrity()
+        assert sl.struct.keys_in_order() == keys[:60]
+        assert right.struct.keys_in_order() == keys[60:]
+        assert right.batch_get([pivot]) == [ref.get(pivot)]
+        assert sl.batch_get([pivot]) == [None]
+
+    def test_split_key_between_stored_keys(self):
+        machine, sl, ref = make_skiplist(num_modules=4, n=50, seed=4)
+        keys = sorted(ref.data)
+        right = sl.split(keys[25] + 1)
+        assert sl.size == 26 and right.size == 24
+
+    def test_split_everything_and_nothing(self):
+        machine, sl, ref = make_skiplist(num_modules=4, n=30, seed=5)
+        keys = sorted(ref.data)
+        everything = sl.split(keys[0])
+        assert sl.size == 0 and everything.size == 30
+        nothing = everything.split(keys[-1] + 10 ** 9)
+        assert nothing.size == 0 and everything.size == 30
+        everything.check_integrity()
+        nothing.check_integrity()
+
+    def test_repeated_splits_get_unique_names(self):
+        machine, sl, ref = make_skiplist(num_modules=4, n=60, seed=6)
+        keys = sorted(ref.data)
+        r1 = sl.split(keys[40])
+        r2 = sl.split(keys[20])
+        assert r1.struct.name != r2.struct.name
+        assert sl.size + r1.size + r2.size == 60
+        # all three remain usable
+        sl.batch_upsert([(keys[10] + 1, 0)])
+        r1.batch_upsert([(keys[50] + 1, 0)])
+        sl.check_integrity()
+        r1.check_integrity()
+        r2.check_integrity()

@@ -1,0 +1,114 @@
+"""Tests for the CPU-side parallel substrate (primitives, sort, semisort)."""
+
+import math
+
+import pytest
+
+from repro.cpuside import (
+    dedup,
+    group_by,
+    merge_sorted,
+    parallel_sort,
+    pfilter,
+    pflatten,
+    pmap,
+    ppack,
+    preduce,
+    pscan_exclusive,
+    semisort,
+)
+from repro.sim.cpu import CPUSide
+from repro.sim.metrics import Metrics
+
+
+@pytest.fixture
+def cpu():
+    return CPUSide(Metrics(num_modules=4), shared_memory_words=1000)
+
+
+class TestPrimitives:
+    def test_pmap(self, cpu):
+        assert pmap(cpu, [1, 2, 3], lambda x: x * 2) == [2, 4, 6]
+        assert cpu.metrics.cpu_work == 3
+        assert cpu.metrics.cpu_depth == pytest.approx(math.log2(3) + 1)
+
+    def test_pmap_empty_charges_nothing(self, cpu):
+        assert pmap(cpu, [], lambda x: x) == []
+        assert cpu.metrics.cpu_work == 0
+
+    def test_pfilter(self, cpu):
+        assert pfilter(cpu, range(10), lambda x: x % 2 == 0) == [0, 2, 4, 6, 8]
+
+    def test_ppack(self, cpu):
+        assert ppack(cpu, "abcd", [True, False, True, False]) == ["a", "c"]
+        with pytest.raises(ValueError):
+            ppack(cpu, "abc", [True])
+
+    def test_preduce(self, cpu):
+        assert preduce(cpu, [1, 2, 3, 4], lambda a, b: a + b, 0) == 10
+        assert cpu.metrics.cpu_depth == pytest.approx(2.0)  # log2(4)
+
+    def test_pscan_exclusive(self, cpu):
+        prefixes, total = pscan_exclusive(cpu, [1, 2, 3, 4])
+        assert prefixes == [0, 1, 3, 6]
+        assert total == 10
+
+    def test_pscan_empty(self, cpu):
+        prefixes, total = pscan_exclusive(cpu, [])
+        assert prefixes == [] and total == 0
+
+    def test_pflatten(self, cpu):
+        assert pflatten(cpu, [[1], [], [2, 3]]) == [1, 2, 3]
+
+
+class TestSort:
+    def test_parallel_sort_correct_and_stable(self, cpu):
+        data = [(3, "a"), (1, "b"), (3, "c"), (2, "d")]
+        out = parallel_sort(cpu, data, key=lambda t: t[0])
+        assert out == [(1, "b"), (2, "d"), (3, "a"), (3, "c")]
+
+    def test_parallel_sort_charges_nlogn_work_logn_depth(self, cpu):
+        parallel_sort(cpu, list(range(16)))
+        assert cpu.metrics.cpu_work == pytest.approx(16 * 4)
+        assert cpu.metrics.cpu_depth == pytest.approx(4)
+
+    def test_reverse(self, cpu):
+        assert parallel_sort(cpu, [1, 3, 2], reverse=True) == [3, 2, 1]
+
+    def test_merge_sorted(self, cpu):
+        assert merge_sorted(cpu, [1, 4, 9], [2, 3, 10]) == [1, 2, 3, 4, 9, 10]
+        assert merge_sorted(cpu, [], [1]) == [1]
+        assert merge_sorted(cpu, [1], []) == [1]
+
+    def test_merge_sorted_with_key(self, cpu):
+        out = merge_sorted(cpu, [(1, "x")], [(0, "y"), (2, "z")],
+                           key=lambda t: t[0])
+        assert [t[0] for t in out] == [0, 1, 2]
+
+
+class TestSemisort:
+    def test_group_by_preserves_first_seen_order(self, cpu):
+        groups = group_by(cpu, [3, 1, 3, 2, 1], key=lambda x: x)
+        assert list(groups) == [3, 1, 2]
+        assert groups[3] == [3, 3]
+
+    def test_semisort_gathers_equal_keys(self, cpu):
+        out = semisort(cpu, [5, 1, 5, 2, 1, 5], key=lambda x: x)
+        # equal keys adjacent
+        seen = []
+        for x in out:
+            if not seen or seen[-1] != x:
+                seen.append(x)
+        assert len(seen) == len(set(out))
+
+    def test_dedup(self, cpu):
+        reps, groups = dedup(cpu, [("a", 1), ("b", 2), ("a", 3)],
+                             key=lambda t: t[0])
+        assert reps == [("a", 1), ("b", 2)]
+        assert groups["a"] == [("a", 1), ("a", 3)]
+
+    def test_semisort_charges_linear_work(self, cpu):
+        semisort(cpu, list(range(64)), key=lambda x: x % 4)
+        # 2n for grouping (+ scatter already included)
+        assert cpu.metrics.cpu_work == pytest.approx(2 * 64)
+        assert cpu.metrics.cpu_depth == pytest.approx(6)

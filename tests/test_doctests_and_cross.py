@@ -1,0 +1,58 @@
+"""Doctests on modules that embed runnable examples, plus cross-structure
+session replay (the LSM speaks the same batch API as the skip list)."""
+
+import doctest
+
+import pytest
+
+import repro.sim.machine as sim_machine
+from repro import PIMMachine
+from repro.structures import PIMLSMStore
+from repro.workloads import build_items, generate_session
+from repro.workloads.sessions import replay_session, summarize_replay
+from tests.conftest import ReferenceMap
+
+
+def test_module_doctests():
+    for mod in (sim_machine,):
+        results = doctest.testmod(mod, verbose=False)
+        assert results.failed == 0, f"doctest failures in {mod.__name__}"
+        assert results.attempted > 0
+
+
+class TestCrossStructureSessions:
+    def test_session_replays_on_lsm(self):
+        items = build_items(120, stride=50)
+        machine = PIMMachine(num_modules=8, seed=9)
+        lsm = PIMLSMStore(machine, block_size=16, flush_threshold=64)
+        lsm.batch_upsert(items)
+        lsm.compact()
+        session = generate_session([k for k, _ in items], num_batches=12,
+                                   batch_size=8, seed=9,
+                                   key_space=120 * 50)
+        deltas = replay_session(machine, lsm, session)
+        summary = summarize_replay(deltas)
+        assert sum(int(v["batches"]) for v in summary.values()) == 12
+
+    def test_lsm_end_state_matches_oracle_after_session(self):
+        items = build_items(100, stride=50)
+        machine = PIMMachine(num_modules=8, seed=10)
+        lsm = PIMLSMStore(machine, block_size=16, flush_threshold=40)
+        lsm.batch_upsert(items)
+        lsm.compact()
+        ref = ReferenceMap(items)
+        session = generate_session([k for k, _ in items], num_batches=10,
+                                   batch_size=8, seed=10,
+                                   key_space=100 * 50,
+                                   mix={"upsert": 0.5, "delete": 0.5})
+        replay_session(machine, lsm, session)
+        for batch in session.batches:
+            if batch.op == "upsert":
+                for k, v in dict(batch.payload).items():
+                    ref.upsert(k, v)
+            else:
+                for k in set(batch.payload):
+                    ref.delete(k)
+        keys = sorted(set(ref.data) | set(k for k, _ in items))
+        probe = keys + [keys[-1] + 1]
+        assert lsm.batch_get(probe) == [ref.get(k) for k in probe]

@@ -1,0 +1,104 @@
+"""Tests for the batch-parallel FIFO queue."""
+
+import random
+from collections import deque
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import PIMMachine
+from repro.structures import PIMQueue
+
+
+def make_queue(p=8, seed=0):
+    machine = PIMMachine(num_modules=p, seed=seed)
+    return machine, PIMQueue(machine)
+
+
+class TestSemantics:
+    def test_fifo_order(self):
+        _, q = make_queue()
+        q.enqueue_batch(list(range(10)))
+        assert q.dequeue_batch(4) == [0, 1, 2, 3]
+        q.enqueue_batch([10, 11])
+        assert q.dequeue_batch(100) == [4, 5, 6, 7, 8, 9, 10, 11]
+        assert len(q) == 0
+
+    def test_dequeue_empty(self):
+        _, q = make_queue()
+        assert q.dequeue_batch(5) == []
+
+    def test_interleaved_batches(self):
+        _, q = make_queue(seed=3)
+        ref = deque()
+        rng = random.Random(3)
+        for step in range(30):
+            if rng.random() < 0.6:
+                items = [step * 100 + i for i in range(rng.randrange(1, 9))]
+                q.enqueue_batch(items)
+                ref.extend(items)
+            else:
+                k = rng.randrange(1, 12)
+                got = q.dequeue_batch(k)
+                expect = [ref.popleft() for _ in range(min(k, len(ref)))]
+                assert got == expect
+            assert len(q) == len(ref)
+
+    def test_arbitrary_values(self):
+        _, q = make_queue()
+        payloads = [None, {"a": 1}, (1, 2), "s"]
+        q.enqueue_batch(payloads)
+        assert q.dequeue_batch(4) == payloads
+
+
+class TestBalance:
+    def test_batches_are_pim_balanced(self):
+        p = 16
+        machine, q = make_queue(p=p, seed=5)
+        before = machine.snapshot()
+        q.enqueue_batch(list(range(p * 16)))
+        d = machine.delta_since(before)
+        # h ~ 2B/P, not 2B: no hot tail module
+        assert d.io_time < 6 * (2 * p * 16) / p
+        assert d.pim_balance_ratio < 2.5
+        before = machine.snapshot()
+        q.dequeue_batch(p * 16)
+        d = machine.delta_since(before)
+        assert d.io_time < 6 * (2 * p * 16) / p
+
+    def test_memory_returns_after_drain(self):
+        machine, q = make_queue()
+        w0 = sum(m.words_used for m in machine.modules)
+        q.enqueue_batch(list(range(100)))
+        assert sum(m.words_used for m in machine.modules) == w0 + 200
+        q.dequeue_batch(100)
+        assert sum(m.words_used for m in machine.modules) == w0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("enq"), st.integers(min_value=0, max_value=10)),
+            st.tuples(st.just("deq"), st.integers(min_value=0, max_value=12)),
+        ),
+        max_size=25,
+    ),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_queue_matches_deque(ops, seed):
+    machine = PIMMachine(num_modules=4, seed=seed)
+    q = PIMQueue(machine)
+    ref = deque()
+    counter = 0
+    for kind, k in ops:
+        if kind == "enq":
+            items = list(range(counter, counter + k))
+            counter += k
+            q.enqueue_batch(items)
+            ref.extend(items)
+        else:
+            got = q.dequeue_batch(k)
+            expect = [ref.popleft() for _ in range(min(k, len(ref)))]
+            assert got == expect
+    assert len(q) == len(ref)

@@ -1,0 +1,120 @@
+"""End-to-end sessions at canonical (paper-sized) batch sizes."""
+
+import random
+
+import pytest
+
+from repro import PIMMachine, PIMSkipList
+from repro.workloads import build_items, same_successor_batch, uniform_fresh_keys
+from tests.conftest import ReferenceMap
+
+
+def test_full_session_at_canonical_batch_sizes():
+    """A complete workload at the paper's minimum batch sizes, with
+    enforcement on: build, point ops, ordered ops, updates, ranges."""
+    p = 4
+    machine = PIMMachine(num_modules=p, seed=100)
+    sl = PIMSkipList(machine, enforce_batch_size=True)
+    items = build_items(600, stride=1000)
+    sl.build(items)
+    ref = ReferenceMap(items)
+    rng = random.Random(0)
+
+    b_point = sl.min_point_batch        # P log P = 8
+    b_search = sl.min_search_batch      # P log^2 P = 16
+
+    # Get batch (canonical size)
+    keys = rng.sample(sorted(ref.data), b_point)
+    assert sl.batch_get(keys) == [ref.get(k) for k in keys]
+
+    # Successor batch, adversarial
+    batch = same_successor_batch(sorted(ref.data), b_search, rng)
+    assert sl.batch_successor(batch) == [ref.successor(k) for k in batch]
+
+    # Upsert batch: half updates, half inserts
+    olds = rng.sample(sorted(ref.data), b_search // 2)
+    news = uniform_fresh_keys(b_search - len(olds), list(ref.data), rng,
+                              key_space=10**7)
+    pairs = [(k, -k) for k in olds + news]
+    stats = sl.batch_upsert(pairs)
+    assert stats.updated == len(olds) and stats.inserted == len(news)
+    for k, v in pairs:
+        ref.upsert(k, v)
+    sl.check_integrity()
+    assert sl.to_dict() == ref.as_dict()
+
+    # Delete batch
+    dels = rng.sample(sorted(ref.data), b_search)
+    sl.batch_delete(dels)
+    for k in dels:
+        ref.delete(k)
+    sl.check_integrity()
+    assert sl.to_dict() == ref.as_dict()
+
+    # Batched range ops
+    ops = []
+    for _ in range(b_search):
+        a = rng.randrange(0, 600_000)
+        ops.append((a, a + rng.randrange(0, 20_000)))
+    res = sl.batch_range(ops)
+    for (l, r), rr in zip(ops, res):
+        assert rr.values == ref.range(l, r)
+
+
+def test_metrics_monotone_and_consistent_across_session():
+    machine = PIMMachine(num_modules=8, seed=101)
+    sl = PIMSkipList(machine)
+    sl.build(build_items(300, stride=1000))
+    last_io, last_rounds = 0.0, 0
+    rng = random.Random(1)
+    for _ in range(5):
+        sl.batch_successor([rng.randrange(10**6) for _ in range(40)])
+        m = machine.metrics
+        assert m.io_time >= last_io and m.rounds >= last_rounds
+        last_io, last_rounds = m.io_time, m.rounds
+        # pim_time (sum of round maxima) can never exceed total PIM work
+        machine._sync_pim_work()
+        assert m.pim_time <= m.pim_work_total + 1e-9
+        # ... and is at least the max single-module share of any round
+        assert m.pim_time >= m.pim_work_total / (m.rounds * 8 + 1)
+
+
+def test_interleaved_structures_and_baseline_on_one_machine():
+    """The simulator supports several structures sharing one machine."""
+    from repro.baselines import RangePartitionedSkipList
+
+    machine = PIMMachine(num_modules=4, seed=102)
+    sl = PIMSkipList(machine, name="main")
+    rp = RangePartitionedSkipList(machine, name="rp")
+    items = build_items(120, stride=50)
+    sl.build(items)
+    rp.build(items)
+    rng = random.Random(2)
+    qs = [rng.randrange(8000) for _ in range(50)]
+    assert sl.batch_successor(qs) == rp.batch_successor(qs)
+    sl.batch_delete([k for k, _ in items[:20]])
+    rp.batch_delete([k for k, _ in items[:20]])
+    assert sl.batch_get(qs) == rp.batch_get(qs)
+
+
+def test_values_can_be_arbitrary_objects():
+    machine = PIMMachine(num_modules=4, seed=103)
+    sl = PIMSkipList(machine)
+    payload = {"nested": [1, 2, 3]}
+    sl.build([(1, payload), (2, "text"), (3, None)])
+    got = sl.batch_get([1, 2, 3])
+    assert got[0] is payload and got[1] == "text" and got[2] is None
+    assert sl.batch_successor([0])[0] == (1, payload)
+
+
+def test_single_module_machine_degenerates_gracefully():
+    """P=1: everything lands on one module but semantics hold."""
+    machine = PIMMachine(num_modules=1, seed=104)
+    sl = PIMSkipList(machine)
+    sl.build([(k, k) for k in range(0, 100, 2)])
+    ref = ReferenceMap([(k, k) for k in range(0, 100, 2)])
+    qs = list(range(-3, 105, 7))
+    assert sl.batch_successor(qs) == [ref.successor(q) for q in qs]
+    sl.batch_upsert([(k, k) for k in range(1, 100, 2)])
+    sl.batch_delete(list(range(0, 100, 4)))
+    sl.check_integrity()

@@ -1,0 +1,78 @@
+"""Key-type generality: the structure works for any ordered, hashable key.
+
+The model's keys are abstract ordered values; placement uses the
+process-stable blake2b fallback for non-integer keys, so strings, floats
+and tuples all work -- deterministically across runs.
+"""
+
+import random
+
+import pytest
+
+from repro import PIMMachine, PIMSkipList
+
+
+def build(items, p=8, seed=70):
+    machine = PIMMachine(num_modules=p, seed=seed)
+    sl = PIMSkipList(machine)
+    sl.build(items)
+    return machine, sl
+
+
+class TestStringKeys:
+    WORDS = sorted(["apple", "banana", "cherry", "date", "elder",
+                    "fig", "grape", "kiwi", "lemon", "mango",
+                    "nectarine", "olive", "peach", "quince"])
+
+    def test_full_lifecycle(self):
+        machine, sl = build([(w, w.upper()) for w in self.WORDS])
+        assert sl.batch_get(["fig", "zzz"]) == ["FIG", None]
+        assert sl.batch_successor(["e"])[0] == ("elder", "ELDER")
+        assert sl.batch_predecessor(["e"])[0] == ("date", "DATE")
+        sl.batch_upsert([("coconut", "C"), ("fig", "F2")])
+        assert sl.batch_get(["coconut", "fig"]) == ["C", "F2"]
+        sl.batch_delete(["apple", "quince"])
+        sl.check_integrity()
+        r = sl.range_broadcast("c", "g")
+        assert [k for k, _ in r.values] == [
+            "cherry", "coconut", "date", "elder", "fig"]
+        r2 = sl.batch_range([("c", "g")])
+        assert r2[0].values == r.values
+
+    def test_placement_is_deterministic_across_machines(self):
+        a = build([(w, 0) for w in self.WORDS], seed=5)[1]
+        b = build([(w, 0) for w in self.WORDS], seed=5)[1]
+        owners_a = [a.struct.leaf_owner(w) for w in self.WORDS]
+        owners_b = [b.struct.leaf_owner(w) for w in self.WORDS]
+        assert owners_a == owners_b
+
+
+class TestFloatKeys:
+    def test_lifecycle(self):
+        rng = random.Random(0)
+        keys = sorted(rng.random() for _ in range(60))
+        machine, sl = build([(k, i) for i, k in enumerate(keys)])
+        assert sl.batch_get([keys[5]]) == [5]
+        assert sl.batch_successor([keys[5] + 1e-12])[0][0] == keys[6]
+        sl.batch_delete(keys[10:20])
+        sl.check_integrity()
+        assert sl.size == 50
+
+    def test_mixed_int_float_order(self):
+        machine, sl = build([(1, "a"), (1.5, "b"), (2, "c")])
+        assert sl.batch_successor([1.1])[0] == (1.5, "b")
+        assert sl.batch_predecessor([1.9])[0] == (1.5, "b")
+
+
+class TestTupleKeys:
+    def test_composite_keys(self):
+        items = sorted(((u, i), u * 10 + i)
+                       for u in range(5) for i in range(4))
+        machine, sl = build(items)
+        assert sl.batch_get([(2, 3)]) == [23]
+        # range over one "user": all of u=2
+        r = sl.batch_range([((2, 0), (2, 999))])
+        assert [k for k, _ in r[0].values] == [(2, i) for i in range(4)]
+        sl.batch_upsert([((2, 9), 29)])
+        assert sl.successor((2, 4)) == ((2, 9), 29)
+        sl.check_integrity()

@@ -1,0 +1,161 @@
+"""Tests for the LSM-style store (delta + hashed static blocks)."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import PIMMachine
+from repro.structures.lsm import PIMLSMStore
+from tests.conftest import ReferenceMap
+
+
+def make_store(p=8, seed=0, block_size=16, flush_threshold=48):
+    machine = PIMMachine(num_modules=p, seed=seed)
+    return machine, PIMLSMStore(machine, block_size=block_size,
+                                flush_threshold=flush_threshold)
+
+
+class TestBasics:
+    def test_upserts_and_gets_before_any_flush(self):
+        _, store = make_store()
+        store.batch_upsert([(3, 30), (1, 10)])
+        assert store.batch_get([1, 3, 2]) == [10, 30, None]
+
+    def test_compaction_moves_data_to_run(self):
+        _, store = make_store(flush_threshold=8)
+        store.batch_upsert([(k, k) for k in range(20)])  # forces a flush
+        assert store.delta.size == 0
+        assert store.run_size == 20
+        assert store.batch_get(list(range(20))) == list(range(20))
+        assert len(store.fences) == 2  # 20 keys / block_size 16
+
+    def test_updates_shadow_the_run(self):
+        _, store = make_store(flush_threshold=8)
+        store.batch_upsert([(k, k) for k in range(20)])
+        store.batch_upsert([(5, -5)])
+        assert store.batch_get([5, 6]) == [-5, 6]
+
+    def test_tombstones_hide_run_keys(self):
+        _, store = make_store(flush_threshold=8)
+        store.batch_upsert([(k, k) for k in range(20)])
+        store.batch_delete([5, 19])
+        assert store.batch_get([5, 19, 6]) == [None, None, 6]
+        store.compact()
+        assert store.batch_get([5, 19, 6]) == [None, None, 6]
+        assert store.run_size == 18
+
+    def test_successor_merges_delta_and_run(self):
+        _, store = make_store(flush_threshold=10)
+        store.batch_upsert([(k, k) for k in range(0, 40, 2)])  # flushed
+        store.batch_upsert([(5, 50)])                          # in delta
+        assert store.batch_successor([4])[0] == (4, 4)
+        assert store.batch_successor([4.5])[0] == (5, 50)
+        assert store.batch_successor([5.5])[0] == (6, 6)
+        assert store.batch_successor([39])[0] is None
+
+    def test_successor_skips_tombstones(self):
+        _, store = make_store(flush_threshold=10)
+        store.batch_upsert([(k, k) for k in range(0, 30, 2)])
+        store.batch_delete([10, 12])
+        assert store.batch_successor([9])[0] == (14, 14)
+
+    def test_range_merges_and_drops_tombstones(self):
+        _, store = make_store(flush_threshold=10)
+        store.batch_upsert([(k, k) for k in range(0, 30, 2)])
+        store.batch_upsert([(7, 70)])
+        store.batch_delete([8])
+        out = store.batch_range([(4, 12)])[0]
+        assert out == [(4, 4), (6, 6), (7, 70), (10, 10), (12, 12)]
+
+    def test_empty_store(self):
+        _, store = make_store()
+        assert store.batch_get([1]) == [None]
+        assert store.batch_successor([1]) == [None]
+        assert store.batch_range([(0, 10)]) == [[]]
+
+    def test_multiple_compactions(self):
+        _, store = make_store(flush_threshold=16, block_size=8)
+        ref = ReferenceMap()
+        rng = random.Random(1)
+        for wave in range(6):
+            batch = [(rng.randrange(200), wave * 1000 + i)
+                     for i in range(12)]
+            store.batch_upsert(batch)
+            for k, v in dict(batch).items():
+                ref.upsert(k, v)
+        store.compact()
+        keys = sorted(ref.data)
+        assert store.batch_get(keys) == [ref.get(k) for k in keys]
+        assert store.run_size == len(keys)
+
+
+class TestBalance:
+    def test_get_batches_balanced_after_flush(self):
+        p = 16
+        machine, store = make_store(p=p, seed=2, block_size=32,
+                                    flush_threshold=10**9)
+        store.batch_upsert([(k, k) for k in range(p * 64)])
+        store.compact()
+        rng = random.Random(2)
+        batch = rng.sample(range(p * 64), p * 8)
+        before = machine.snapshot()
+        store.batch_get(batch)
+        d = machine.delta_since(before)
+        assert d.pim_balance_ratio < 4.0
+
+    def test_adversarial_successors_funnel_into_one_block(self):
+        """The foil: distinct keys inside one block serialize the LSM's
+        run side -- the contention the skip list's pivots avoid."""
+        p = 16
+        machine, store = make_store(p=p, seed=3, block_size=64,
+                                    flush_threshold=10**9)
+        store.batch_upsert([(k * 1000, k) for k in range(p * 64)])
+        store.compact()
+        rng = random.Random(3)
+        # distinct keys all inside block 0's key range
+        adv = rng.sample(range(1, 999), p * 8)
+        before = machine.snapshot()
+        store.batch_successor(adv)
+        d = machine.delta_since(before)
+        assert d.io_time >= p * 8  # ~2B messages on one module
+        assert d.pim_balance_ratio > 3.0
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    waves=st.lists(
+        st.one_of(
+            st.tuples(st.just("up"),
+                      st.lists(st.tuples(st.integers(0, 40), st.integers()),
+                               max_size=8)),
+            st.tuples(st.just("del"),
+                      st.lists(st.integers(0, 40), max_size=6)),
+            st.tuples(st.just("compact"), st.none()),
+        ),
+        max_size=8,
+    ),
+    seed=st.integers(0, 200),
+)
+def test_lsm_matches_reference(waves, seed):
+    machine = PIMMachine(num_modules=4, seed=seed)
+    store = PIMLSMStore(machine, block_size=8, flush_threshold=20)
+    ref = ReferenceMap()
+    for kind, payload in waves:
+        if kind == "up":
+            store.batch_upsert(payload)
+            for k, v in dict(payload).items():
+                ref.upsert(k, v)
+        elif kind == "del":
+            store.batch_delete(payload)
+            for k in set(payload):
+                ref.delete(k)
+        else:
+            store.compact()
+        probes = list(range(-1, 42, 3))
+        assert store.batch_get(probes) == [ref.get(k) for k in probes]
+        assert store.batch_successor(probes) == [
+            ref.successor(k) for k in probes]
+        got = store.batch_range([(0, 40)])[0]
+        assert got == ref.range(0, 40)

@@ -1,0 +1,136 @@
+"""Cost-shape tests: small-scale versions of the benchmark claims.
+
+Each test measures a model metric across machine sizes or workload sizes
+and checks the *growth shape* the paper proves (Table 1 and Theorems
+4.1-5.2) -- constants are free, shapes are not.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis import fit_polylog
+from repro.workloads import build_items, same_successor_batch
+from tests.conftest import make_skiplist
+
+
+def measure(op, ps, batch_factor, seed=0):
+    """Run `op(sl, ref, batch_size, rng)` across P; return io/pim lists."""
+    ios, pims = [], []
+    for p in ps:
+        logp = max(1, round(math.log2(p)))
+        machine, sl, ref = make_skiplist(num_modules=p, n=60 * p,
+                                         seed=seed + p)
+        rng = random.Random(seed + p)
+        b = batch_factor(p, logp)
+        before = machine.snapshot()
+        op(sl, ref, b, rng)
+        d = machine.delta_since(before)
+        ios.append(d.io_time)
+        pims.append(d.pim_time)
+    return ios, pims
+
+
+class TestGetScaling:
+    def test_get_io_time_polylog_in_p(self):
+        """Table 1 row 1: batch P log P -> IO time O(log P) whp."""
+        ps = [4, 8, 16, 32]
+
+        def op(sl, ref, b, rng):
+            sl.batch_get(rng.sample(sorted(ref.data), b))
+
+        ios, pims = measure(op, ps, lambda p, lg: p * lg, seed=1)
+        # IO time normalized by log P must not grow with P
+        norm = [io / math.log2(p) for io, p in zip(ios, ps)]
+        assert max(norm) < 4 * min(norm)
+        # the fraction of the serialized cost (2B) shrinks as P grows
+        fracs = [io / (2 * p * math.log2(p)) for io, p in zip(ios, ps)]
+        assert fracs[-1] < 0.5 * fracs[0]
+
+
+class TestSuccessorScaling:
+    def test_successor_io_normalized_by_log3(self):
+        """Table 1 row 2: batch P log^2 P -> IO time O(log^3 P) whp."""
+        ps = [4, 8, 16, 32]
+
+        def op(sl, ref, b, rng):
+            batch = same_successor_batch(sorted(ref.data), b, rng)
+            sl.batch_successor(batch)
+
+        ios, _ = measure(op, ps, lambda p, lg: p * lg * lg, seed=2)
+        k, _ = fit_polylog(ps, ios)
+        # exponent of log P must stay at/below ~3 (B itself would be
+        # log^2 * P: super-polylog)
+        assert k < 3.6
+        # normalized by the serialized cost Theta(B), IO must *shrink*
+        fracs = [io / (p * round(math.log2(p)) ** 2)
+                 for io, p in zip(ios, ps)]
+        assert fracs[-1] < 0.3 * fracs[0]
+
+
+class TestUpsertDeleteScaling:
+    def test_upsert_io_polylog(self):
+        ps = [4, 8, 16]
+
+        def op(sl, ref, b, rng):
+            top = max(ref.data)
+            sl.batch_upsert([(top + 1 + i, i) for i in range(b)])
+
+        ios, _ = measure(op, ps, lambda p, lg: p * lg * lg, seed=3)
+        # per-op IO cost falls well below serialized Theta(B) as P grows
+        fracs = [io / (p * round(math.log2(p)) ** 2)
+                 for io, p in zip(ios, ps)]
+        assert fracs[-1] < fracs[0]
+        assert fracs[-1] < 3.0
+
+    def test_delete_io_polylog(self):
+        ps = [4, 8, 16]
+
+        def op(sl, ref, b, rng):
+            sl.batch_delete(rng.sample(sorted(ref.data), b))
+
+        ios, _ = measure(op, ps, lambda p, lg: p * lg * lg, seed=4)
+        fracs = [io / (p * round(math.log2(p)) ** 2)
+                 for io, p in zip(ios, ps)]
+        assert fracs[-1] < fracs[0]
+        assert fracs[-1] < 2.0
+
+
+class TestPIMBalanceDefinition:
+    def test_batches_are_pim_balanced(self):
+        """§2.1: PIM-balanced = O(W/P) PIM time and O(I/P) IO time."""
+        p = 16
+        machine, sl, ref = make_skiplist(num_modules=p, n=1500, seed=5)
+        rng = random.Random(6)
+        checks = []
+        before = machine.snapshot()
+        sl.batch_get(rng.sample(sorted(ref.data), p * 8))
+        checks.append(machine.delta_since(before))
+        before = machine.snapshot()
+        sl.batch_successor([rng.randrange(10**7) for _ in range(p * 16)])
+        checks.append(machine.delta_since(before))
+        for d in checks:
+            assert d.io_time < 8 * d.messages / p
+            assert d.pim_time < 8 * d.pim_work_total / p + 30
+
+
+class TestSharedMemoryFootprint:
+    def test_successor_peak_is_theta_p_log2p(self):
+        """Table 1's 'minimum M needed' column for Successor."""
+        peaks = {}
+        for p in (8, 32):
+            machine, sl, ref = make_skiplist(num_modules=p, n=60 * p,
+                                             seed=7 + p)
+            rng = random.Random(8 + p)
+            logp = round(math.log2(p))
+            batch = [rng.randrange(10**8) for _ in range(p * logp * logp)]
+            machine.cpu.reset_peak()
+            sl.batch_successor(batch)
+            peaks[p] = machine.metrics.shared_mem_peak
+        # P log^2 P ratio between P=32 and P=8: (32*25)/(8*9) ~ 11; the
+        # peak must grow (it holds pivot paths) but stay within a small
+        # factor of that prediction
+        ratio = peaks[32] / peaks[8]
+        predicted = (32 * 25) / (8 * 9)
+        assert 0.25 * predicted < ratio < 4 * predicted

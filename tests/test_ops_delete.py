@@ -1,0 +1,146 @@
+"""Tests for batched Delete (paper §4.4, Theorem 4.5)."""
+
+import random
+
+import pytest
+
+from repro.workloads import contiguous_run
+from tests.conftest import make_skiplist
+
+
+class TestBasics:
+    def test_delete_existing_and_missing(self, built8):
+        _, sl, ref = built8
+        stats = sl.batch_delete([1000, 2000, 1500])
+        assert (stats.deleted, stats.not_found) == (2, 1)
+        sl.check_integrity()
+        assert sl.batch_get([1000, 2000, 3000]) == [None, None, ref.get(3000)]
+        assert sl.size == len(ref.data) - 2
+
+    def test_duplicates_collapse(self, built8):
+        _, sl, _ = built8
+        stats = sl.batch_delete([1000] * 10)
+        assert stats.deleted == 1
+        sl.check_integrity()
+
+    def test_empty_batch(self, built8):
+        _, sl, _ = built8
+        stats = sl.batch_delete([])
+        assert (stats.deleted, stats.not_found) == (0, 0)
+
+    def test_delete_then_query_routes_around(self, built8):
+        _, sl, ref = built8
+        sl.batch_delete([2000, 3000, 4000])
+        assert sl.batch_successor([1500])[0] == (5000, ref.get(5000))
+        assert sl.batch_predecessor([4500])[0] == (1000, ref.get(1000))
+
+    def test_delete_then_reinsert(self, built8):
+        _, sl, _ = built8
+        sl.batch_delete([1000, 2000])
+        sl.batch_upsert([(1000, -1), (2000, -2)])
+        sl.check_integrity()
+        assert sl.batch_get([1000, 2000]) == [-1, -2]
+
+
+class TestSplicingHardCases:
+    """Fig. 4's other half: long runs of consecutive deletions."""
+
+    def test_contiguous_run_deletion(self):
+        machine, sl, ref = make_skiplist(num_modules=8, n=300, seed=30)
+        run = sorted(ref.data)[50:150]  # 100 consecutive stored keys
+        stats = sl.batch_delete(run)
+        assert stats.deleted == 100
+        sl.check_integrity()
+        left, right = sorted(ref.data)[49], sorted(ref.data)[150]
+        assert sl.batch_successor([run[0]])[0] == (right, ref.get(right))
+        assert sl.batch_predecessor([run[-1]])[0] == (left, ref.get(left))
+
+    def test_delete_prefix_and_suffix(self):
+        machine, sl, ref = make_skiplist(num_modules=8, n=120, seed=31)
+        ks = sorted(ref.data)
+        sl.batch_delete(ks[:30] + ks[-30:])
+        sl.check_integrity()
+        assert sl.struct.keys_in_order() == ks[30:-30]
+
+    def test_delete_everything(self):
+        machine, sl, ref = make_skiplist(num_modules=8, n=150, seed=32)
+        stats = sl.batch_delete(list(ref.data))
+        assert stats.deleted == 150
+        sl.check_integrity()
+        assert sl.size == 0
+        assert sl.struct.keys_in_order() == []
+        assert sl.batch_successor([0])[0] is None
+
+    def test_delete_everything_then_rebuild_by_upsert(self):
+        machine, sl, ref = make_skiplist(num_modules=4, n=100, seed=33)
+        sl.batch_delete(list(ref.data))
+        sl.batch_upsert([(k, v + 1) for k, v in ref.data.items()])
+        sl.check_integrity()
+        assert sl.to_dict() == {k: v + 1 for k, v in ref.data.items()}
+
+    def test_alternating_deletion(self):
+        machine, sl, ref = make_skiplist(num_modules=8, n=200, seed=34)
+        ks = sorted(ref.data)
+        sl.batch_delete(ks[::2])
+        sl.check_integrity()
+        assert sl.struct.keys_in_order() == ks[1::2]
+
+
+class TestUpperPartDeletes:
+    def test_tall_towers_fully_removed(self):
+        machine, sl, ref = make_skiplist(num_modules=4, n=500, seed=35)
+        s = sl.struct
+        # find keys whose towers reach the upper part
+        tall = [n.key for n in s.iter_level(s.h_low) if not n.is_sentinel]
+        assert tall, "500 keys at P=4 must produce upper towers"
+        sl.batch_delete(tall)
+        sl.check_integrity()
+        assert [n for n in s.iter_level(s.h_low)] == []
+
+    def test_memory_words_freed(self):
+        machine, sl, ref = make_skiplist(num_modules=8, n=400, seed=36)
+        w0 = sum(m.words_used for m in machine.modules)
+        sl.batch_delete(list(ref.data))
+        w1 = sum(m.words_used for m in machine.modules)
+        # everything except the sentinel tower is released
+        assert w1 < w0 / 4
+
+
+class TestReferenceChurn:
+    @pytest.mark.parametrize("p,seed", [(2, 0), (8, 1), (16, 2)])
+    def test_randomized_delete_churn(self, p, seed):
+        machine, sl, ref = make_skiplist(num_modules=p, n=250, seed=seed)
+        rng = random.Random(seed + 50)
+        for _ in range(4):
+            pool = list(ref.data)
+            dels = rng.sample(pool, min(60, len(pool)))
+            sl.batch_delete(dels)
+            for k in dels:
+                ref.delete(k)
+            sl.check_integrity()
+            assert sl.to_dict() == ref.as_dict()
+            fresh = [(rng.randrange(10**7) * 2 + 1, 7) for _ in range(30)]
+            sl.batch_upsert(fresh)
+            for k, v in dict(fresh).items():
+                ref.upsert(k, v)
+            sl.check_integrity()
+            assert sl.to_dict() == ref.as_dict()
+
+
+class TestCosts:
+    def test_shared_memory_restored(self, built8):
+        machine, sl, ref = built8
+        base = machine.metrics.shared_mem_in_use
+        sl.batch_delete(list(ref.data)[:80])
+        assert machine.metrics.shared_mem_in_use == base
+
+    def test_io_balanced_for_random_deletes(self):
+        p = 16
+        machine, sl, ref = make_skiplist(num_modules=p, n=2000, seed=37)
+        rng = random.Random(38)
+        batch = rng.sample(list(ref.data), p * 16)
+        before = machine.snapshot()
+        sl.batch_delete(batch)
+        d = machine.delta_since(before)
+        assert d.io_time < 8 * d.messages / p
+        assert d.pim_balance_ratio < 5.0

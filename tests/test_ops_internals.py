@@ -1,0 +1,124 @@
+"""Unit tests for op-module internals: write handlers, tower building,
+Algorithm 1 row segmentation, and the CPU-side general range function."""
+
+import pytest
+
+from repro import PIMMachine, PIMSkipList
+from repro.core.node import UPPER
+from repro.core.ops_upsert import _build_tower
+from repro.core.ops_write import remote_write
+from tests.conftest import make_skiplist
+
+
+class TestWriteHandlers:
+    def test_remote_write_to_owned_node_is_one_message(self):
+        machine, sl, ref = make_skiplist(num_modules=8, n=20, seed=50)
+        leaf = next(sl.struct.iter_level(0))
+        other = leaf.right
+        before = machine.snapshot()
+        remote_write(sl.struct, leaf, "right", other)
+        machine.drain()
+        d = machine.delta_since(before)
+        assert leaf.right is other
+        assert d.messages == 2  # write + ack
+
+    def test_remote_write_to_replicated_node_broadcasts(self):
+        machine, sl, _ = make_skiplist(num_modules=8, n=20, seed=51)
+        sentinel = sl.struct.sentinels[0]
+        target = sentinel.right
+        before = machine.snapshot()
+        remote_write(sl.struct, sentinel, "right", target)
+        machine.drain()
+        d = machine.delta_since(before)
+        assert d.messages == 16  # 8 writes + 8 acks
+        assert sentinel.right is target
+
+    def test_invalid_field_rejected(self):
+        machine, sl, _ = make_skiplist(num_modules=4, n=10, seed=52)
+        leaf = next(sl.struct.iter_level(0))
+        machine.send(leaf.owner, f"{sl.struct.name}:write_ptr",
+                     (leaf, "key", None))
+        with pytest.raises(ValueError):
+            machine.drain()
+
+    def test_grow_handler_idempotent_across_modules(self):
+        machine, sl, _ = make_skiplist(num_modules=4, n=10, seed=53)
+        s = sl.struct
+        top0 = s.top_level
+        machine.broadcast(f"{s.name}:grow", (top0 + 2, 3))
+        machine.drain()
+        assert s.top_level == top0 + 3
+        # each module charged its share of the new sentinel words
+        machine.broadcast(f"{s.name}:grow", (top0 + 2, 0))
+        machine.drain()
+        assert s.top_level == top0 + 3  # no further growth
+
+
+class TestBuildTower:
+    def test_short_tower_all_lower(self):
+        machine, sl, _ = make_skiplist(num_modules=16, n=10, seed=54)
+        s = sl.struct
+        t = _build_tower(s, key=999, value="v", height=1)
+        assert [n.level for n in t.nodes] == [0, 1]
+        assert all(n.owner != UPPER for n in t.nodes)
+        leaf = t.nodes[0]
+        assert leaf.value == "v"
+        assert leaf.up_chain == [t.nodes[1]]
+        assert leaf.has_upper is False
+        assert t.nodes[0].up is t.nodes[1]
+        assert t.nodes[1].down is t.nodes[0]
+
+    def test_tall_tower_crosses_into_upper_part(self):
+        machine, sl, _ = make_skiplist(num_modules=16, n=10, seed=55)
+        s = sl.struct  # h_low = 4
+        t = _build_tower(s, key=999, value="v", height=6)
+        lowers = [n for n in t.nodes if n.level < s.h_low]
+        uppers = [n for n in t.nodes if n.level >= s.h_low]
+        assert len(lowers) == 4 and len(uppers) == 3
+        assert all(n.owner == UPPER for n in uppers)
+        leaf = t.nodes[0]
+        assert leaf.has_upper is True
+        assert leaf.up_chain == lowers[1:]
+        # vertical chain is continuous across the boundary
+        for below, above in zip(t.nodes, t.nodes[1:]):
+            assert below.up is above and above.down is below
+        # the new upper leaf carries a per-module next-leaf array
+        boundary = t.nodes[s.h_low]
+        assert boundary.next_leaf is not None
+        assert len(boundary.next_leaf) == 16
+
+    def test_owners_follow_the_hash(self):
+        machine, sl, _ = make_skiplist(num_modules=8, n=10, seed=56)
+        s = sl.struct
+        t = _build_tower(s, key=555, value=None, height=2)
+        for n in t.nodes:
+            if n.level < s.h_low:
+                assert n.owner == s.owner_of(555, n.level)
+
+
+class TestApplyRangeCPU:
+    def test_applies_and_returns_old_values(self, built8):
+        machine, sl, ref = built8
+        old = sl.apply_range(2000, 5000, lambda k, v: v * 2)
+        assert old.values == ref.range(2000, 5000)
+        assert sl.batch_get([2000, 5000, 6000]) == [
+            ref.get(2000) * 2, ref.get(5000) * 2, ref.get(6000)]
+
+    def test_small_range_uses_tree(self, built8):
+        machine, sl, ref = built8
+        before = machine.snapshot()
+        sl.apply_range(2000, 3000, lambda k, v: v, use_broadcast=False)
+        d = machine.delta_since(before)
+        assert d.messages < 2 * machine.num_modules + 60
+
+    def test_large_range_auto_broadcasts(self, built8):
+        machine, sl, ref = built8
+        old = sl.apply_range(0, 10 ** 9, lambda k, v: -v)
+        assert old.count == sl.size
+        keys = sorted(ref.data)[:4]
+        assert sl.batch_get(keys) == [-ref.get(k) for k in keys]
+
+    def test_empty_range_noop(self, built8):
+        machine, sl, _ = built8
+        res = sl.apply_range(2001, 2999, lambda k, v: 0)
+        assert res.count == 0

@@ -1,0 +1,101 @@
+"""Tests for batched Get/Update (paper §4.1, Theorem 4.1)."""
+
+import math
+import random
+
+import pytest
+
+from repro.workloads import build_items, duplicate_heavy_batch
+from tests.conftest import make_skiplist
+
+
+class TestGet:
+    def test_hits_and_misses_aligned(self, built8):
+        _, sl, ref = built8
+        keys = [1000, 1001, 2000, -5, 2000000, 1000]
+        got = sl.batch_get(keys)
+        assert got == [ref.get(k) for k in keys]
+
+    def test_empty_batch(self, built8):
+        _, sl, _ = built8
+        assert sl.batch_get([]) == []
+
+    def test_all_duplicates_get_same_answer(self, built8):
+        _, sl, ref = built8
+        got = sl.batch_get([1000] * 17)
+        assert got == [ref.get(1000)] * 17
+
+    def test_shortcut_routes_to_leaf_owner_only(self):
+        """A single Get touches exactly one module: 1 msg out, 1 back."""
+        machine, sl, _ = make_skiplist(n=100)
+        before = machine.snapshot()
+        sl.batch_get([1000])
+        d = machine.delta_since(before)
+        assert d.messages == 2
+        assert d.io_time == 2  # both on the same module
+        assert d.rounds == 1
+
+    def test_dedup_collapses_hot_key_io(self):
+        """Theorem 4.1 needs semisort dedup: B duplicates -> O(1) messages."""
+        machine, sl, _ = make_skiplist(n=100)
+        hot = duplicate_heavy_batch(64, hot_key=1000, rng=random.Random(0))
+        before = machine.snapshot()
+        sl.batch_get(hot)
+        d = machine.delta_since(before)
+        assert d.messages == 2  # one distinct key -> one query + one reply
+        assert d.cpu_work >= 64  # the semisort still pays O(B) CPU work
+
+    def test_shared_memory_restored(self, built8):
+        machine, sl, _ = built8
+        base = machine.metrics.shared_mem_in_use
+        sl.batch_get(list(range(0, 3000, 7)))
+        assert machine.metrics.shared_mem_in_use == base
+
+
+class TestUpdate:
+    def test_updates_existing_ignores_missing(self, built8):
+        _, sl, ref = built8
+        found = sl.batch_update([(1000, -1), (999, -2), (2000, -3)])
+        assert found == 2
+        assert sl.batch_get([1000, 999, 2000]) == [-1, None, -3]
+
+    def test_duplicate_key_last_wins(self, built8):
+        _, sl, _ = built8
+        sl.batch_update([(1000, 1), (1000, 2), (1000, 3)])
+        assert sl.batch_get([1000]) == [3]
+
+    def test_empty_batch(self, built8):
+        _, sl, _ = built8
+        assert sl.batch_update([]) == 0
+
+    def test_update_does_not_change_structure(self, built8):
+        _, sl, ref = built8
+        sl.batch_update([(k, 0) for k in list(ref.data)[:50]])
+        sl.check_integrity()
+        assert sl.size == len(ref.data)
+
+
+class TestTheorem41Costs:
+    def test_io_time_near_b_over_p_for_distinct_uniform_keys(self):
+        """PIM-balance: IO time O(B/P * logish), not O(B)."""
+        p = 16
+        machine, sl, ref = make_skiplist(num_modules=p, n=2000, seed=2)
+        batch = list(ref.data)[: p * 4 * 4]  # B = P log^2 P distinct keys
+        before = machine.snapshot()
+        sl.batch_get(batch)
+        d = machine.delta_since(before)
+        assert d.messages == 2 * len(batch)
+        # h-relation max should be within a small factor of the mean
+        assert d.io_time < 6 * d.messages / p
+        assert d.pim_balance_ratio < 4.0
+
+    def test_io_independent_of_n(self):
+        """Get cost depends on P, not on the number of stored keys."""
+        costs = {}
+        for n in (500, 4000):
+            machine, sl, ref = make_skiplist(num_modules=8, n=n, seed=3)
+            batch = list(ref.data)[:96]
+            before = machine.snapshot()
+            sl.batch_get(batch)
+            costs[n] = machine.delta_since(before).io_time
+        assert costs[4000] <= 1.6 * costs[500]

@@ -1,0 +1,176 @@
+"""Tests for batched Upsert (paper §4.3, Theorem 4.4, Algorithm 1)."""
+
+import random
+
+import pytest
+
+from repro.workloads import build_items, contiguous_run
+from tests.conftest import ReferenceMap, make_skiplist
+
+
+class TestBasics:
+    def test_insert_into_empty(self):
+        machine, sl, _ = make_skiplist(n=0)
+        stats = sl.batch_upsert([(5, 50), (1, 10), (9, 90)])
+        assert (stats.updated, stats.inserted) == (0, 3)
+        sl.check_integrity()
+        assert sl.to_dict() == {5: 50, 1: 10, 9: 90}
+
+    def test_mixed_update_and_insert(self, built8):
+        _, sl, ref = built8
+        stats = sl.batch_upsert([(1000, -1), (1500, 15), (2000, -2)])
+        assert (stats.updated, stats.inserted) == (2, 1)
+        sl.check_integrity()
+        assert sl.batch_get([1000, 1500, 2000]) == [-1, 15, -2]
+
+    def test_duplicate_keys_last_wins(self, built8):
+        _, sl, _ = built8
+        stats = sl.batch_upsert([(77, 1), (77, 2), (77, 3)])
+        assert stats.inserted == 1
+        assert sl.batch_get([77]) == [3]
+
+    def test_empty_batch(self, built8):
+        _, sl, _ = built8
+        stats = sl.batch_upsert([])
+        assert (stats.updated, stats.inserted) == (0, 0)
+
+    def test_size_tracks_inserts(self, built8):
+        _, sl, ref = built8
+        n0 = sl.size
+        sl.batch_upsert([(11, 1), (13, 2), (1000, 3)])
+        assert sl.size == n0 + 2
+
+
+class TestAlgorithm1PointerConstruction:
+    """Fig. 4's hard case: runs of *adjacent* new nodes at every level."""
+
+    def test_contiguous_run_between_existing_keys(self, built8):
+        _, sl, ref = built8
+        run = contiguous_run(1500, 64)  # between stored keys 1000 and 2000
+        sl.batch_upsert([(k, k) for k in run])
+        sl.check_integrity()
+        for k in run:
+            ref.upsert(k, k)
+        assert sl.to_dict() == ref.as_dict()
+        # horizontal neighbors correct through the run
+        assert sl.batch_successor([1500])[0] == (1500, 1500)
+        assert sl.batch_predecessor([1499])[0] == (1000, 1000)
+
+    def test_run_at_far_left(self, built8):
+        """New nodes whose predecessor is the sentinel at every level."""
+        _, sl, ref = built8
+        run = contiguous_run(-100, 32)
+        sl.batch_upsert([(k, k) for k in run])
+        sl.check_integrity()
+        assert sl.batch_successor([-1000])[0] == (-100, -100)
+
+    def test_run_at_far_right(self, built8):
+        _, sl, ref = built8
+        top = max(ref.data)
+        run = contiguous_run(top + 10, 32)
+        sl.batch_upsert([(k, k) for k in run])
+        sl.check_integrity()
+        assert sl.batch_predecessor([top + 10**9])[0] == (run[-1], run[-1])
+
+    def test_interleaved_runs(self, built8):
+        """Multiple disjoint runs in one batch: segments must not merge."""
+        _, sl, ref = built8
+        batch = (contiguous_run(1100, 20) + contiguous_run(5100, 20)
+                 + contiguous_run(9100, 20))
+        sl.batch_upsert([(k, k) for k in batch])
+        sl.check_integrity()
+        for k in batch:
+            ref.upsert(k, k)
+        assert sl.to_dict() == ref.as_dict()
+
+    def test_singleton_segments(self, built8):
+        """Every new node in its own segment (all separated by old keys)."""
+        _, sl, ref = built8
+        batch = [k + 500 for k in sorted(ref.data)[:40]]
+        sl.batch_upsert([(k, k) for k in batch])
+        sl.check_integrity()
+
+
+class TestUpperPartInserts:
+    def test_tall_towers_replicate_and_link(self):
+        """Enough inserts that some towers must reach the upper part."""
+        machine, sl, _ = make_skiplist(num_modules=4, n=0, seed=9)
+        rng = random.Random(10)
+        keys = rng.sample(range(10**6), 400)
+        sl.batch_upsert([(k, k) for k in keys])
+        sl.check_integrity()
+        s = sl.struct
+        upper = [n for n in s.iter_level(s.h_low)]
+        assert upper, "400 keys at P=4 must reach level 2"
+        # every upper leaf has a next-leaf pointer per module
+        for u in upper:
+            assert u.next_leaf is not None
+            assert len(u.next_leaf) == 4
+
+    def test_sentinel_grows_with_tall_tower(self):
+        machine, sl, _ = make_skiplist(num_modules=4, n=0, seed=11)
+        s = sl.struct
+        top0 = s.top_level
+        rng = random.Random(12)
+        sl.batch_upsert([(k, k) for k in rng.sample(range(10**6), 600)])
+        assert s.top_level >= top0
+        sl.check_integrity()
+
+    def test_incremental_batches_match_bulk_build(self):
+        """Inserting everything via batches == building directly."""
+        items = build_items(150, stride=17)
+        machine_a, sl_a, _ = make_skiplist(num_modules=8, n=0, seed=13)
+        rng = random.Random(14)
+        shuffled = items[:]
+        rng.shuffle(shuffled)
+        for i in range(0, len(shuffled), 50):
+            sl_a.batch_upsert(shuffled[i:i + 50])
+            sl_a.check_integrity()
+        assert sl_a.to_dict() == dict(items)
+        assert sl_a.struct.keys_in_order() == [k for k, _ in items]
+
+
+class TestReferenceChurn:
+    @pytest.mark.parametrize("p,seed", [(2, 0), (8, 1), (16, 2)])
+    def test_randomized_upsert_churn(self, p, seed):
+        machine, sl, ref = make_skiplist(num_modules=p, n=50, seed=seed)
+        rng = random.Random(seed)
+        for step in range(5):
+            batch = [(rng.randrange(200000), step * 1000 + i)
+                     for i in range(60)]
+            sl.batch_upsert(batch)
+            seen = {}
+            for k, v in batch:
+                seen[k] = v
+            for k, v in seen.items():
+                ref.upsert(k, v)
+            sl.check_integrity()
+            assert sl.to_dict() == ref.as_dict()
+
+
+class TestCosts:
+    def test_shared_memory_restored(self, built8):
+        machine, sl, _ = built8
+        base = machine.metrics.shared_mem_in_use
+        sl.batch_upsert([(k, k) for k in range(50, 5000, 97)])
+        assert machine.metrics.shared_mem_in_use == base
+
+    def test_memory_words_grow_with_inserts(self, built8):
+        machine, sl, _ = built8
+        w0 = sum(m.words_used for m in machine.modules)
+        stats = sl.batch_upsert([(k, k) for k in range(11, 3000, 53)])
+        w1 = sum(m.words_used for m in machine.modules)
+        assert w1 > w0
+        # at least one node (8 words) per inserted key
+        assert w1 - w0 >= 8 * stats.inserted
+
+    def test_io_time_independent_of_n(self):
+        ios = {}
+        for n in (300, 2400):
+            machine, sl, _ = make_skiplist(num_modules=8, n=n, seed=15)
+            rng = random.Random(16)
+            batch = [(rng.randrange(n * 2000) * 2 + 1, 0) for _ in range(72)]
+            before = machine.snapshot()
+            sl.batch_upsert(batch)
+            ios[n] = machine.delta_since(before).io_time
+        assert ios[2400] < 2.0 * ios[300]

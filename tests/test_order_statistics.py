@@ -1,0 +1,97 @@
+"""Tests for rank and distributed selection on the skip list."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import PIMMachine, PIMSkipList
+from tests.conftest import make_skiplist
+
+
+class TestRank:
+    def test_rank_matches_sorted_position(self, built8):
+        machine, sl, ref = built8
+        keys = sorted(ref.data)
+        assert sl.rank(keys[0]) == 0
+        assert sl.rank(keys[0] + 1) == 1
+        assert sl.rank(keys[10]) == 10     # strictly below
+        assert sl.rank(keys[-1] + 10**9) == len(keys)
+        assert sl.rank(-10**9) == 0
+
+    def test_rank_is_constant_io(self, built8):
+        machine, sl, _ = built8
+        before = machine.snapshot()
+        sl.rank(5000)
+        d = machine.delta_since(before)
+        assert d.rounds == 1
+        assert d.io_time <= 3
+
+    def test_rank_select_roundtrip(self, built8):
+        _, sl, ref = built8
+        keys = sorted(ref.data)
+        for i in (0, 7, 100, len(keys) - 1):
+            assert sl.rank(sl.select(i)) == i
+
+
+class TestSelect:
+    def test_select_matches_sorted(self):
+        machine, sl, ref = make_skiplist(num_modules=8, n=257, seed=7)
+        keys = sorted(ref.data)
+        for i in (0, 1, 64, 128, 200, 256):
+            assert sl.select(i) == keys[i]
+
+    def test_select_out_of_range(self, built8):
+        _, sl, _ = built8
+        with pytest.raises(IndexError):
+            sl.select(sl.size)
+        with pytest.raises(IndexError):
+            sl.select(-1)
+
+    def test_select_logarithmic_rounds(self):
+        machine, sl, ref = make_skiplist(num_modules=16, n=4000, seed=8)
+        sl.select(1)  # warm nothing; every call snapshots fresh
+        before = machine.snapshot()
+        sl.select(2000)
+        d = machine.delta_since(before)
+        # snapshot + O(log n) probe rounds (x2 messages each) + gather
+        assert d.rounds < 4 * 13 + 6
+        # and IO stays polylogarithmic-ish: ~2P per probe round + gather
+        assert d.io_time < d.rounds * 6 + 16 * 6
+
+    def test_select_releases_module_state(self):
+        machine, sl, ref = make_skiplist(num_modules=8, n=300, seed=9)
+        sl.select(100)
+        sl.select(5)
+        for mid in range(8):
+            snap = machine.modules[mid].state.get(
+                sl.struct.name + ":sel", {})
+            assert snap == {}
+
+    def test_select_after_mutations(self):
+        machine, sl, ref = make_skiplist(num_modules=8, n=100, seed=10)
+        keys = sorted(ref.data)
+        sl.batch_delete(keys[:10])
+        sl.batch_upsert([(keys[-1] + 5, 0), (keys[-1] + 6, 0)])
+        expect = keys[10:] + [keys[-1] + 5, keys[-1] + 6]
+        assert sl.select(0) == expect[0]
+        assert sl.select(len(expect) - 1) == expect[-1]
+        assert sl.select(50) == expect[50]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=120),
+    picks=st.lists(st.integers(min_value=0, max_value=10**6), min_size=1,
+                   max_size=5),
+    seed=st.integers(0, 500),
+)
+def test_select_property(n, picks, seed):
+    machine = PIMMachine(num_modules=4, seed=seed)
+    sl = PIMSkipList(machine)
+    rng = random.Random(seed)
+    keys = sorted(rng.sample(range(10**6), n))
+    sl.build([(k, None) for k in keys])
+    for pick in picks:
+        i = pick % n
+        assert sl.select(i) == keys[i]

@@ -1,0 +1,103 @@
+"""Property-based tests: the skip list against a dict/sorted oracle.
+
+Hypothesis drives randomized batch sequences over small machines and
+checks full structural integrity plus observable equivalence after every
+batch.  These are the strongest correctness tests in the suite: every
+invariant in :meth:`SkipListStructure.check_integrity` (pointer symmetry,
+tower continuity, placement, local leaf lists, next-leaf pointers, hash
+tables, key count) is asserted after each adversarially-chosen batch.
+"""
+
+import bisect
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import PIMMachine, PIMSkipList
+from tests.conftest import ReferenceMap
+
+KEYS = st.integers(min_value=-50, max_value=50)
+
+BATCH = st.one_of(
+    st.tuples(st.just("upsert"),
+              st.lists(st.tuples(KEYS, st.integers()), max_size=12)),
+    st.tuples(st.just("delete"), st.lists(KEYS, max_size=12)),
+    st.tuples(st.just("get"), st.lists(KEYS, max_size=8)),
+    st.tuples(st.just("succ"), st.lists(KEYS, max_size=8)),
+    st.tuples(st.just("pred"), st.lists(KEYS, max_size=8)),
+    st.tuples(st.just("range"),
+              st.lists(st.tuples(KEYS, KEYS), max_size=4)),
+)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    batches=st.lists(BATCH, max_size=8),
+    p=st.sampled_from([1, 2, 4, 8]),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_skiplist_equals_oracle_under_batch_sequences(batches, p, seed):
+    machine = PIMMachine(num_modules=p, seed=seed)
+    sl = PIMSkipList(machine)
+    ref = ReferenceMap()
+    for kind, payload in batches:
+        if kind == "upsert":
+            sl.batch_upsert(payload)
+            for k, v in dict(payload).items():
+                ref.upsert(k, v)
+        elif kind == "delete":
+            sl.batch_delete(payload)
+            for k in set(payload):
+                ref.delete(k)
+        elif kind == "get":
+            assert sl.batch_get(payload) == [ref.get(k) for k in payload]
+        elif kind == "succ":
+            assert sl.batch_successor(payload) == [
+                ref.successor(k) for k in payload]
+        elif kind == "pred":
+            assert sl.batch_predecessor(payload) == [
+                ref.predecessor(k) for k in payload]
+        else:
+            ops = [(min(a, b), max(a, b)) for a, b in payload]
+            res = sl.batch_range(ops)
+            for (l, r), rr in zip(ops, res):
+                assert rr.values == ref.range(l, r)
+        sl.check_integrity()
+        assert sl.to_dict() == ref.as_dict()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    keys=st.sets(st.integers(min_value=0, max_value=10**6), max_size=80),
+    queries=st.lists(st.integers(min_value=-10, max_value=10**6 + 10),
+                     max_size=30),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_bulk_build_then_query(keys, queries, seed):
+    machine = PIMMachine(num_modules=4, seed=seed)
+    sl = PIMSkipList(machine)
+    items = [(k, k * 3) for k in sorted(keys)]
+    sl.build(items)
+    sl.check_integrity()
+    ref = ReferenceMap(items)
+    assert sl.batch_get(queries) == [ref.get(q) for q in queries]
+    assert sl.batch_successor(queries) == [ref.successor(q) for q in queries]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=0, max_value=60),
+    dels=st.lists(st.integers(min_value=0, max_value=59), max_size=60),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_build_delete_rebuild_cycle(n, dels, seed):
+    machine = PIMMachine(num_modules=4, seed=seed)
+    sl = PIMSkipList(machine)
+    sl.build([(k, k) for k in range(n)])
+    sl.batch_delete(dels)
+    survivors = [k for k in range(n) if k not in set(dels)]
+    assert sl.struct.keys_in_order() == survivors
+    sl.check_integrity()
+    sl.batch_upsert([(k, -k) for k in set(dels) if k < n])
+    sl.check_integrity()
+    assert sl.struct.keys_in_order() == list(range(n))

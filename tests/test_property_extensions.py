@@ -1,0 +1,147 @@
+"""Property-based tests for collectives, sorting, and failure injection.
+
+The failure-injection section corrupts one invariant at a time and
+asserts the structure's self-check catches it -- evidence that the
+integrity checker (which the property suite relies on) actually has
+teeth for every invariant class.
+"""
+
+import operator
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import PIMMachine, PIMSkipList
+from repro.algorithms import pim_sample_sort
+from repro.collectives import Collectives
+from repro.workloads import build_items
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(st.integers(-10**6, 10**6), min_size=0, max_size=200),
+    p=st.sampled_from([1, 2, 4, 8]),
+    seed=st.integers(0, 10**4),
+)
+def test_sample_sort_property(values, p, seed):
+    machine = PIMMachine(num_modules=p, seed=seed)
+    parts = [values[i::p] for i in range(p)]
+    result = pim_sample_sort(machine, parts, seed=seed)
+    assert [x for part in result for x in part] == sorted(values)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(st.integers(-100, 100), min_size=4, max_size=4),
+    seed=st.integers(0, 100),
+)
+def test_collectives_algebra(values, seed):
+    machine = PIMMachine(num_modules=4, seed=seed)
+    coll = Collectives(machine)
+    coll.scatter(values)
+    assert coll.reduce(operator.add, 0) == sum(values)
+    prefixes = coll.exscan(operator.add, 0)
+    assert prefixes == [sum(values[:i]) for i in range(4)]
+    coll.scatter(values)
+    assert coll.allreduce(max, -10**9) == max(values)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    matrix_vals=st.lists(
+        st.lists(st.integers(0, 9), min_size=4, max_size=4),
+        min_size=4, max_size=4,
+    ),
+    seed=st.integers(0, 100),
+)
+def test_alltoall_is_a_transpose(matrix_vals, seed):
+    machine = PIMMachine(num_modules=4, seed=seed)
+    coll = Collectives(machine)
+    matrix = [{j: (i, j, matrix_vals[i][j]) for j in range(4)}
+              for i in range(4)]
+    received = coll.alltoall(matrix)
+    for j in range(4):
+        assert sorted(received[j]) == sorted(
+            (i, j, matrix_vals[i][j]) for i in range(4))
+
+
+class TestFailureInjection:
+    """Corrupt one invariant at a time; check_integrity must object."""
+
+    def setup_method(self):
+        self.machine = PIMMachine(num_modules=8, seed=80)
+        self.sl = PIMSkipList(self.machine)
+        self.sl.build(build_items(300, stride=100))
+        self.s = self.sl.struct
+
+    def some_tall_node(self):
+        for node in self.s.iter_level(1):
+            return node
+        raise AssertionError("no level-1 node")
+
+    def test_broken_left_pointer(self):
+        node = self.some_tall_node()
+        node.right.left = None if node.right is not None else None
+        victim = next(self.s.iter_level(0))
+        victim.right.left = victim.right.right
+        with pytest.raises(AssertionError):
+            self.sl.check_integrity()
+
+    def test_tower_gap(self):
+        node = self.some_tall_node()
+        node.down = None
+        with pytest.raises(AssertionError):
+            self.sl.check_integrity()
+
+    def test_up_down_asymmetry(self):
+        node = self.some_tall_node()
+        node.down.up = None
+        with pytest.raises(AssertionError):
+            self.sl.check_integrity()
+
+    def test_wrong_owner(self):
+        leaf = next(self.s.iter_level(0))
+        leaf.owner = (leaf.owner + 1) % 8
+        with pytest.raises(AssertionError):
+            self.sl.check_integrity()
+
+    def test_local_list_out_of_order(self):
+        for mid in range(8):
+            ml = self.s.mlocal(mid)
+            if ml.leaf_count >= 2:
+                a = ml.first_leaf
+                b = a.local_right
+                a.key, b.key = b.key, a.key
+                break
+        with pytest.raises(AssertionError):
+            self.sl.check_integrity()
+
+    def test_hash_table_divergence(self):
+        for mid in range(8):
+            ml = self.s.mlocal(mid)
+            if ml.leaf_count:
+                ml.table.delete(ml.first_leaf.key)
+                break
+        with pytest.raises(AssertionError):
+            self.sl.check_integrity()
+
+    def test_key_count_divergence(self):
+        self.s.num_keys += 1
+        with pytest.raises(AssertionError):
+            self.sl.check_integrity()
+
+    def test_linked_deleted_node(self):
+        leaf = next(self.s.iter_level(0))
+        leaf.deleted = True
+        with pytest.raises(AssertionError):
+            self.sl.check_integrity()
+
+    def test_stale_next_leaf(self):
+        u = self.s.upper_leaf_sentinel
+        for mid in range(8):
+            if self.s.mlocal(mid).first_leaf is not None:
+                u.next_leaf[mid] = None
+                break
+        with pytest.raises(AssertionError):
+            self.sl.check_integrity()

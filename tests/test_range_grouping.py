@@ -1,0 +1,85 @@
+"""Tests for §5.2 step 4's group-sequenced result fetching.
+
+Batched tree ranges must consume their results in groups that fit the
+shared memory: the peak CPU footprint is bounded by the group size even
+when the batch returns far more data than M.
+"""
+
+import pytest
+
+from repro import PIMMachine, PIMSkipList
+from repro.workloads import build_items
+from tests.conftest import ReferenceMap
+
+
+def build(m_words, n=400, p=8, seed=60):
+    machine = PIMMachine(num_modules=p, seed=seed,
+                         shared_memory_words=m_words)
+    sl = PIMSkipList(machine)
+    items = build_items(n, stride=100)
+    sl.build(items)
+    return machine, sl, ReferenceMap(items)
+
+
+class TestGroupedFetch:
+    def test_results_correct_across_groups(self):
+        machine, sl, ref = build(m_words=256)
+        keys = sorted(ref.data)
+        # 16 ops of ~25 keys each: ~400 result words >> M/2 = 128
+        ops = [(keys[i * 25], keys[i * 25 + 24]) for i in range(16)]
+        res = sl.batch_range(ops)
+        for (l, r), rr in zip(ops, res):
+            assert rr.values == ref.range(l, r)
+
+    def test_peak_footprint_bounded_by_group_size(self):
+        machine, sl, ref = build(m_words=256)
+        keys = sorted(ref.data)
+        ops = [(keys[i * 25], keys[i * 25 + 24]) for i in range(16)]
+        machine.cpu.reset_peak()
+        sl.batch_range(ops)
+        peak = machine.metrics.shared_mem_peak
+        total_results = 16 * 25
+        # without grouping the fetch alone would hold ~400 words; with
+        # grouping the peak stays near M/2 plus the batch's own buffers
+        assert peak < total_results
+        assert peak <= 256 + 100
+
+    def test_single_oversized_op_fits_one_group(self):
+        """One op larger than a group still works (a group of one)."""
+        machine, sl, ref = build(m_words=64)
+        keys = sorted(ref.data)
+        res = sl.batch_range([(keys[0], keys[200])])
+        assert res[0].values == ref.range(keys[0], keys[200])
+
+    def test_count_mode_skips_the_fetch_pass(self):
+        machine, sl, ref = build(m_words=256)
+        keys = sorted(ref.data)
+        ops = [(keys[0], keys[-1])]
+        before = machine.snapshot()
+        res = sl.batch_range(ops, func="count")
+        d = machine.delta_since(before)
+        assert res[0].count == len(keys)
+        # no item traffic at all: messages ~ traversal + counts only
+        before2 = machine.snapshot()
+        res2 = sl.batch_range(ops)
+        d2 = machine.delta_since(before2)
+        assert d2.messages > d.messages + len(keys) * 0.8
+
+    def test_zero_result_ops_are_released(self):
+        """Empty subranges' held roots are freed by their group's go."""
+        machine, sl, ref = build(m_words=256)
+        ops = [(1, 50), (55, 99)]  # gaps between stored keys
+        res = sl.batch_range(ops)
+        assert [r.count for r in res] == [0, 0]
+        # no leaked traversal state on any module
+        for mid in range(machine.num_modules):
+            assert sl.struct.mlocal(mid).range_ctx == {}
+
+    def test_no_leaked_state_after_grouped_batches(self):
+        machine, sl, ref = build(m_words=128)
+        keys = sorted(ref.data)
+        for _ in range(3):
+            ops = [(keys[i * 30], keys[i * 30 + 20]) for i in range(10)]
+            sl.batch_range(ops)
+        for mid in range(machine.num_modules):
+            assert sl.struct.mlocal(mid).range_ctx == {}

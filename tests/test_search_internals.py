@@ -1,0 +1,182 @@
+"""White-box tests for the two-stage search internals (ops_successor).
+
+These protect the most intricate logic in the repository: hint
+computation from recorded paths, the squeeze derivation, pivot
+selection, and path recording -- each exercised in isolation with
+synthetic paths, plus structural assertions against live searches.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.node import Node
+from repro.core.ops_successor import _lca_hint, batch_search
+from repro.workloads import build_items, same_successor_batch
+from tests.conftest import make_skiplist
+
+
+def mknode(key, level):
+    return Node(key, level, owner=0)
+
+
+def path_of(*entries):
+    """entries: (node, level, right) triples already constructed."""
+    return list(entries)
+
+
+class TestLCAHint:
+    def setup_method(self):
+        # a synthetic pair of search paths sharing a prefix
+        self.n3 = mknode(10, 3)
+        self.n2 = mknode(10, 2)
+        self.a1 = mknode(12, 1)
+        self.b1 = mknode(20, 1)
+        self.a0 = mknode(13, 0)
+        self.b0 = mknode(21, 0)
+        self.path_a = [(self.n3, 3, None), (self.n2, 2, None),
+                       (self.a1, 1, None), (self.a0, 0, None)]
+        self.path_b = [(self.n3, 3, None), (self.n2, 2, None),
+                       (self.b1, 1, None), (self.b0, 0, None)]
+
+    def test_lowest_common_node(self):
+        hint = _lca_hint(self.path_a, self.path_b)
+        assert hint == ("node", self.n2, None)
+
+    def test_shared_leaf_shortcut(self):
+        leaf = mknode(30, 0)
+        right = mknode(40, 0)
+        pa = [(self.n2, 2, None), (leaf, 0, right)]
+        pb = [(self.n2, 2, None), (leaf, 0, right)]
+        hint = _lca_hint(pa, pb)
+        assert hint == ("leaf", leaf, right)
+
+    def test_disjoint_paths_go_to_root(self):
+        other = [(mknode(99, 2), 2, None), (mknode(99, 0), 0, None)]
+        assert _lca_hint(self.path_a, other) is None
+
+    def test_missing_path_goes_to_root(self):
+        assert _lca_hint(None, self.path_b) is None
+        assert _lca_hint(self.path_a, []) is None
+
+    def test_min_level_picks_left_paths_lowest_admissible(self):
+        # min_level 1: the lowest node on path_a at level >= 1 is a1
+        hint = _lca_hint(self.path_a, self.path_b, min_level=1)
+        assert hint == ("node", self.a1, None)
+        # min_level 2: climbs to the shared prefix
+        hint = _lca_hint(self.path_a, self.path_b, min_level=2)
+        assert hint == ("node", self.n2, None)
+
+    def test_min_level_above_path_top_goes_to_root(self):
+        hint = _lca_hint(self.path_a, self.path_b, min_level=7)
+        assert hint is None
+
+    def test_min_level_suppresses_leaf_shortcut(self):
+        leaf = mknode(30, 0)
+        pa = [(self.a1, 1, None), (leaf, 0, None)]
+        pb = [(self.b1, 1, None), (leaf, 0, None)]
+        hint = _lca_hint(pa, pb, min_level=1)
+        assert hint == ("node", self.a1, None)
+
+
+class TestBatchSearchStructure:
+    def test_results_align_with_unsorted_input(self):
+        machine, sl, ref = make_skiplist(num_modules=8, n=200, seed=90)
+        keys = [99999, 5, 70000, 5, 42]
+        out = batch_search(sl.struct, keys)
+        for key, res in zip(keys, out):
+            expect = ref.predecessor(key)
+            got = None if res.pred.is_sentinel else (res.pred.key,
+                                                     res.pred.value)
+            assert got == expect
+
+    def test_pred_right_snapshot_is_the_successor_node(self):
+        machine, sl, ref = make_skiplist(num_modules=8, n=200, seed=91)
+        keys = sorted(ref.data)
+        res = batch_search(sl.struct, [keys[3] + 1])[0]
+        assert res.pred.key == keys[3]
+        assert res.pred_right.key == keys[4]
+
+    def test_record_levels_trims_retention(self):
+        machine, sl, ref = make_skiplist(num_modules=16, n=400, seed=92)
+        rng = random.Random(92)
+        keys = [rng.randrange(10 ** 8) for _ in range(40)]
+        zero = batch_search(sl.struct, keys, record_all=True,
+                            record_levels=[0] * len(keys))
+        # non-pivot ops are trimmed to their requested level; pivots keep
+        # full paths by design (they are the shared hint pool).  With
+        # segment length log P = 4, at most ceil(40/4)+1 pivots exist.
+        trimmed = sum(1 for o in zero if set(o.by_level) == {0})
+        assert trimmed >= len(keys) - 12
+        for o in zero:
+            assert 0 in o.by_level
+        full = batch_search(sl.struct, keys, record_all=True)
+        h_cap = sl.struct.h_low - 1
+        for out in full:
+            assert set(out.by_level) == set(range(h_cap + 1))
+
+    def test_derivation_resolves_shared_pred_without_searches(self):
+        """On a same-successor batch most stage-2 ops must be settled on
+        the CPU: far fewer searches are launched than ops."""
+        import repro.core.ops_successor as osu
+
+        machine, sl, ref = make_skiplist(num_modules=16, n=800, seed=93,
+                                         stride=10 ** 6)
+        batch = same_successor_batch(sorted(ref.data), 16 * 16,
+                                     random.Random(93))
+        launched = {"n": 0}
+        orig = osu.launch_search
+
+        def counting(*a, **k):
+            launched["n"] += 1
+            return orig(*a, **k)
+
+        osu.launch_search = counting
+        try:
+            batch_search(sl.struct, batch, record_all=True,
+                         record_levels=[2] * len(batch))
+        finally:
+            osu.launch_search = orig
+        # pivots must search; nearly all of stage 2 derives
+        assert launched["n"] < len(batch) / 2
+
+    def test_pivot_positions_cover_extremes(self):
+        """The smallest and largest ops are always pivots: their results
+        exist even when every other op is derived from them."""
+        machine, sl, ref = make_skiplist(num_modules=8, n=300, seed=94)
+        keys = sorted(ref.data)
+        batch = [keys[0] - 1, keys[10] + 1, keys[-1] + 10 ** 9]
+        out = batch_search(sl.struct, batch)
+        assert out[0].pred.is_sentinel
+        assert out[1].pred.key == keys[10]
+        assert out[2].pred.key == keys[-1]
+
+    def test_single_key_batch(self):
+        machine, sl, ref = make_skiplist(num_modules=8, n=100, seed=95)
+        out = batch_search(sl.struct, [1500])
+        assert out[0].pred.key == 1000
+
+    def test_all_identical_keys(self):
+        machine, sl, ref = make_skiplist(num_modules=8, n=100, seed=96)
+        out = batch_search(sl.struct, [1500] * 37)
+        assert all(o.pred.key == 1000 for o in out)
+
+
+class TestSearchCorrectnessUnderHints:
+    """The hint machinery must never change answers, only costs."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_hinted_equals_hintless(self, seed):
+        machine, sl, ref = make_skiplist(num_modules=8, n=300,
+                                         seed=100 + seed)
+        rng = random.Random(seed)
+        # mixtures of clustered and scattered keys stress every hint path
+        batch = []
+        stored = sorted(ref.data)
+        for _ in range(30):
+            batch.append(rng.randrange(stored[-1] + 1000))
+        anchor = rng.choice(stored)
+        batch += [anchor + i for i in range(1, 31)]
+        got = sl.batch_successor(batch)
+        assert got == [ref.successor(k) for k in batch]

@@ -1,0 +1,135 @@
+"""Tests for top-k selection and PIM BFS."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro import PIMMachine
+from repro.algorithms import PIMGraph, TopKSelector
+
+
+class TestTopK:
+    def make(self, data, p=8, seed=0):
+        machine = PIMMachine(num_modules=p, seed=seed)
+        parts = [data[i::p] for i in range(p)]
+        return machine, TopKSelector(machine, parts)
+
+    def test_top_k_matches_sorted(self):
+        rng = random.Random(0)
+        data = [rng.randrange(10 ** 6) for _ in range(1000)]
+        machine, sel = self.make(data)
+        for k in (1, 7, 64, 500, 1000, 2000):
+            assert sel.top_k(k) == sorted(data)[:min(k, 1000)]
+
+    def test_top_k_zero_and_negative(self):
+        machine, sel = self.make([3, 1, 2])
+        assert sel.top_k(0) == []
+        assert sel.top_k(-1) == []
+
+    def test_select_and_median(self):
+        rng = random.Random(1)
+        data = [rng.randrange(1000) for _ in range(501)]
+        machine, sel = self.make(data, seed=1)
+        s = sorted(data)
+        assert sel.select(0) == s[0]
+        assert sel.select(250) == s[250]
+        assert sel.median() == s[250]
+        with pytest.raises(IndexError):
+            sel.select(501)
+
+    def test_skewed_placement_still_safe(self):
+        """One module holds all the small values: the safety loop must
+        re-ask it rather than return a wrong answer."""
+        p = 4
+        machine = PIMMachine(num_modules=p, seed=2)
+        parts = [list(range(100)), list(range(1000, 1100)),
+                 list(range(2000, 2100)), list(range(3000, 3100))]
+        sel = TopKSelector(machine, parts)
+        assert sel.top_k(80) == list(range(80))
+
+    def test_small_k_io_is_polylog(self):
+        p = 16
+        rng = random.Random(3)
+        data = [rng.randrange(10 ** 9) for _ in range(4000)]
+        machine, sel = self.make(data, p=p, seed=3)
+        sel.top_k(1)  # pay the one-time local sorts
+        before = machine.snapshot()
+        sel.top_k(8)
+        d = machine.delta_since(before)
+        assert d.io_time < 80  # ~ quota words per module, one round
+        assert d.rounds <= 3
+
+    def test_arity_check(self):
+        machine = PIMMachine(num_modules=4, seed=4)
+        with pytest.raises(ValueError):
+            TopKSelector(machine, [[1]])
+
+
+class TestBFS:
+    def test_path_graph(self):
+        machine = PIMMachine(num_modules=4, seed=0)
+        g = PIMGraph(machine, [(i, i + 1) for i in range(10)])
+        dist = g.bfs(0)
+        assert dist == {i: i for i in range(11)}
+
+    def test_matches_networkx_on_random_graph(self):
+        rng = random.Random(1)
+        nxg = nx.gnm_random_graph(120, 360, seed=7)
+        machine = PIMMachine(num_modules=8, seed=1)
+        g = PIMGraph(machine, nxg.edges())
+        src = 0
+        dist = g.bfs(src)
+        expect = nx.single_source_shortest_path_length(nxg, src)
+        assert dist == dict(expect)
+
+    def test_directed(self):
+        machine = PIMMachine(num_modules=4, seed=2)
+        g = PIMGraph(machine, [(0, 1), (1, 2)], directed=True)
+        assert g.bfs(0) == {0: 0, 1: 1, 2: 2}
+        assert g.bfs(2) == {2: 0}
+
+    def test_disconnected_and_components(self):
+        machine = PIMMachine(num_modules=4, seed=3)
+        g = PIMGraph(machine, [(0, 1), (2, 3), (3, 4)])
+        assert set(g.bfs(0)) == {0, 1}
+        comp = g.connected_components()
+        assert comp[0] == comp[1]
+        assert comp[2] == comp[3] == comp[4]
+        assert comp[0] != comp[2]
+
+    def test_rounds_track_diameter(self):
+        machine = PIMMachine(num_modules=8, seed=4)
+        g = PIMGraph(machine, [(i, i + 1) for i in range(30)])
+        before = machine.snapshot()
+        g.bfs(0)
+        d = machine.delta_since(before)
+        # one round per level (+ reset round)
+        assert 30 <= d.rounds <= 34
+
+    def test_unknown_source_raises(self):
+        machine = PIMMachine(num_modules=4, seed=5)
+        g = PIMGraph(machine, [(0, 1)])
+        with pytest.raises(KeyError):
+            g.bfs(99)
+
+    def test_balance_random_vs_star(self):
+        """Degree skew, not placement, is BFS's hot-spot on PIM."""
+        p = 8
+        rng = random.Random(6)
+        # random sparse graph
+        m1 = PIMMachine(num_modules=p, seed=6)
+        nxg = nx.gnm_random_graph(200, 600, seed=8)
+        g1 = PIMGraph(m1, nxg.edges())
+        before = m1.snapshot()
+        g1.bfs(0)
+        d_rand = m1.delta_since(before)
+        # star: one hub of degree 199
+        m2 = PIMMachine(num_modules=p, seed=6)
+        g2 = PIMGraph(m2, [(0, i) for i in range(1, 200)])
+        before = m2.snapshot()
+        g2.bfs(0)
+        d_star = m2.delta_since(before)
+        # the hub's module must emit ~199 messages in one round
+        assert d_star.io_time > 199
+        assert d_rand.io_time < d_star.io_time

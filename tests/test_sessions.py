@@ -1,0 +1,114 @@
+"""Tests for session generation and replay."""
+
+import random
+
+import pytest
+
+from repro import PIMMachine, PIMSkipList
+from repro.workloads import build_items
+from repro.workloads.sessions import (
+    DEFAULT_MIX,
+    Session,
+    generate_session,
+    replay_session,
+    summarize_replay,
+)
+from tests.conftest import ReferenceMap
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        keys = list(range(0, 1000, 10))
+        a = generate_session(keys, num_batches=12, batch_size=8, seed=3)
+        b = generate_session(keys, num_batches=12, batch_size=8, seed=3)
+        assert [x.payload for x in a.batches] == [x.payload
+                                                  for x in b.batches]
+        c = generate_session(keys, num_batches=12, batch_size=8, seed=4)
+        assert [x.payload for x in a.batches] != [x.payload
+                                                  for x in c.batches]
+
+    def test_mix_respected(self):
+        keys = list(range(100))
+        s = generate_session(keys, num_batches=200, batch_size=4, seed=1,
+                             mix={"get": 1.0})
+        assert s.op_counts() == {"get": 200}
+
+    def test_invalid_mix(self):
+        with pytest.raises(ValueError):
+            generate_session([1], 1, 1, mix={"get": 0.0})
+        with pytest.raises(ValueError):
+            generate_session([1], 2, 1, seed=0, mix={"bogus": 1.0})
+
+    def test_deletes_target_live_keys(self):
+        keys = list(range(50))
+        s = generate_session(keys, num_batches=40, batch_size=10, seed=2,
+                             mix={"delete": 1.0})
+        seen = set()
+        for b in s.batches:
+            for k in b.payload:
+                assert k not in seen  # never deletes the same key twice
+                seen.add(k)
+        assert seen <= set(keys)
+
+    def test_upserts_mix_fresh_and_existing(self):
+        keys = list(range(100))
+        s = generate_session(keys, num_batches=10, batch_size=20, seed=5,
+                             mix={"upsert": 1.0})
+        all_keys = [k for b in s.batches for k, _ in b.payload]
+        fresh = [k for k in all_keys if k not in set(keys)]
+        updates = [k for k in all_keys if k in set(keys)]
+        assert fresh and updates
+
+
+class TestReplay:
+    def test_replay_on_skiplist_matches_reference(self):
+        items = build_items(150, stride=7)
+        machine = PIMMachine(num_modules=8, seed=6)
+        sl = PIMSkipList(machine)
+        sl.build(items)
+        ref = ReferenceMap(items)
+        session = generate_session([k for k, _ in items], num_batches=15,
+                                   batch_size=10, seed=6)
+        deltas = replay_session(machine, sl, session)
+        assert len(deltas) == 15
+        # re-apply the mutations to the oracle and compare the end state
+        for batch in session.batches:
+            if batch.op == "upsert":
+                for k, v in dict(batch.payload).items():
+                    ref.upsert(k, v)
+            elif batch.op == "delete":
+                for k in set(batch.payload):
+                    ref.delete(k)
+        sl.check_integrity()
+        assert sl.to_dict() == ref.as_dict()
+
+    def test_summary_covers_all_ops(self):
+        items = build_items(100, stride=7)
+        machine = PIMMachine(num_modules=4, seed=7)
+        sl = PIMSkipList(machine)
+        sl.build(items)
+        session = generate_session([k for k, _ in items], num_batches=25,
+                                   batch_size=8, seed=7)
+        summary = summarize_replay(replay_session(machine, sl, session))
+        assert set(summary) == set(session.op_counts())
+        assert sum(int(v["batches"]) for v in summary.values()) == 25
+        assert all(v["io_time"] >= 0 for v in summary.values())
+
+    def test_same_session_on_two_structures(self):
+        """The point of data-first sessions: identical workload, two
+        structures, comparable metrics."""
+        from repro.baselines import RangePartitionedSkipList
+
+        items = build_items(200, stride=11)
+        session = generate_session([k for k, _ in items], num_batches=12,
+                                   batch_size=8, seed=8,
+                                   mix={"get": 0.6, "successor": 0.4})
+        m1 = PIMMachine(num_modules=8, seed=8)
+        sl = PIMSkipList(m1)
+        sl.build(items)
+        m2 = PIMMachine(num_modules=8, seed=8)
+        rp = RangePartitionedSkipList(m2)
+        rp.build(items)
+        d1 = summarize_replay(replay_session(m1, sl, session))
+        d2 = summarize_replay(replay_session(m2, rp, session))
+        assert set(d1) == set(d2)

@@ -1,0 +1,41 @@
+"""Tests for machine configuration validation and defaults."""
+
+import math
+
+import pytest
+
+from repro.sim.config import MachineConfig, default_shared_memory_words
+
+
+def test_default_shared_memory_is_p_log2_squared():
+    assert default_shared_memory_words(16) == 32 * 16 * 4 * 4
+    # tiny machines still get a usable cache (log floored at 1)
+    assert default_shared_memory_words(1) == 32
+
+
+def test_resolved_shared_memory_prefers_explicit():
+    cfg = MachineConfig(num_modules=4, shared_memory_words=999)
+    assert cfg.resolved_shared_memory_words == 999
+    cfg2 = MachineConfig(num_modules=4)
+    assert cfg2.resolved_shared_memory_words == default_shared_memory_words(4)
+
+
+def test_log_p():
+    assert MachineConfig(num_modules=16).log_p == 4.0
+    assert MachineConfig(num_modules=1).log_p == 1.0
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"num_modules": 0},
+    {"num_modules": 4, "shared_memory_words": 0},
+    {"num_modules": 4, "local_memory_words": -1},
+])
+def test_validation(kwargs):
+    with pytest.raises(ValueError):
+        MachineConfig(**kwargs)
+
+
+def test_config_is_frozen():
+    cfg = MachineConfig(num_modules=2)
+    with pytest.raises(Exception):
+        cfg.num_modules = 5

@@ -1,0 +1,108 @@
+"""Tests for CPU-side accounting: WorkDepth algebra and shared memory."""
+
+import pytest
+
+from repro.sim.cpu import CPUSide, WorkDepth
+from repro.sim.errors import SharedMemoryExceeded
+from repro.sim.metrics import Metrics
+
+
+def make_cpu(m_words=100, enforce=False):
+    metrics = Metrics(num_modules=4)
+    return CPUSide(metrics, shared_memory_words=m_words, enforce=enforce), metrics
+
+
+class TestWorkDepth:
+    def test_sequential_composition_adds_both(self):
+        a = WorkDepth(3, 2) + WorkDepth(5, 4)
+        assert (a.work, a.depth) == (8, 6)
+
+    def test_parallel_composition_adds_work_maxes_depth(self):
+        a = WorkDepth(3, 2) | WorkDepth(5, 4)
+        assert (a.work, a.depth) == (8, 4)
+
+    def test_scaling(self):
+        a = WorkDepth(3, 2) * 4
+        assert (a.work, a.depth) == (12, 8)
+        assert (2 * WorkDepth(1, 1)).work == 2
+
+    def test_unit_and_zero(self):
+        assert WorkDepth.zero().work == 0
+        u = WorkDepth.unit(5)
+        assert (u.work, u.depth) == (5, 5)
+
+    def test_algebraic_identity(self):
+        """(a | b) + c has work sum, depth max(da, db) + dc."""
+        a, b, c = WorkDepth(1, 10), WorkDepth(1, 3), WorkDepth(1, 2)
+        r = (a | b) + c
+        assert r.work == 3
+        assert r.depth == 12
+
+
+class TestCharging:
+    def test_charge_default_depth_equals_work(self):
+        cpu, metrics = make_cpu()
+        cpu.charge(7)
+        assert metrics.cpu_work == 7
+        assert metrics.cpu_depth == 7
+
+    def test_charge_explicit_depth(self):
+        cpu, metrics = make_cpu()
+        cpu.charge(100, 3)
+        assert metrics.cpu_work == 100
+        assert metrics.cpu_depth == 3
+
+    def test_charge_wd(self):
+        cpu, metrics = make_cpu()
+        cpu.charge_wd(WorkDepth(4, 2) | WorkDepth(4, 5))
+        assert metrics.cpu_work == 8
+        assert metrics.cpu_depth == 5
+
+
+class TestSharedMemory:
+    def test_alloc_free_and_peak(self):
+        cpu, metrics = make_cpu()
+        cpu.alloc(30)
+        cpu.alloc(20)
+        cpu.free(40)
+        assert metrics.shared_mem_in_use == 10
+        assert metrics.shared_mem_peak == 50
+
+    def test_enforcement(self):
+        cpu, _ = make_cpu(m_words=10, enforce=True)
+        cpu.alloc(10)
+        with pytest.raises(SharedMemoryExceeded):
+            cpu.alloc(1)
+
+    def test_no_enforcement_by_default(self):
+        cpu, metrics = make_cpu(m_words=10, enforce=False)
+        cpu.alloc(1000)
+        assert metrics.shared_mem_peak == 1000
+
+    def test_negative_usage_rejected(self):
+        cpu, _ = make_cpu()
+        with pytest.raises(ValueError):
+            cpu.free(1)
+
+    def test_region_context_manager(self):
+        cpu, metrics = make_cpu()
+        with cpu.region(25):
+            assert metrics.shared_mem_in_use == 25
+        assert metrics.shared_mem_in_use == 0
+        assert metrics.shared_mem_peak == 25
+
+    def test_region_frees_on_exception(self):
+        cpu, metrics = make_cpu()
+        with pytest.raises(RuntimeError):
+            with cpu.region(25):
+                raise RuntimeError("boom")
+        assert metrics.shared_mem_in_use == 0
+
+    def test_reset_peak(self):
+        cpu, metrics = make_cpu()
+        cpu.alloc(50)
+        cpu.free(50)
+        cpu.reset_peak()
+        assert metrics.shared_mem_peak == 0
+        cpu.alloc(5)
+        assert metrics.shared_mem_peak == 5

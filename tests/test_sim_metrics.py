@@ -1,0 +1,74 @@
+"""Tests for the metric accumulator and delta arithmetic."""
+
+import pytest
+
+from repro.sim.metrics import Metrics, MetricsDelta
+
+
+def test_pim_aggregates():
+    m = Metrics(num_modules=4)
+    m.pim_work_per_module = [10.0, 0.0, 0.0, 10.0]
+    assert m.pim_work_total == 20.0
+    assert m.pim_work_max == 10.0
+    assert m.pim_balance_ratio == pytest.approx(2.0)
+
+
+def test_balance_ratio_of_idle_machine_is_one():
+    m = Metrics(num_modules=4)
+    assert m.pim_balance_ratio == 1.0
+
+
+def test_perfect_balance_ratio():
+    m = Metrics(num_modules=4)
+    m.pim_work_per_module = [5.0] * 4
+    assert m.pim_balance_ratio == 1.0
+
+
+def test_snapshot_is_immutable_copy():
+    m = Metrics(num_modules=2)
+    m.cpu_work = 5
+    snap = m.snapshot()
+    m.cpu_work = 50
+    m.pim_work_per_module[0] = 9
+    assert snap.cpu_work == 5
+    assert snap.pim_work_per_module == (0.0, 0.0)
+
+
+def test_delta_subtraction():
+    m = Metrics(num_modules=2)
+    m.cpu_work, m.io_time, m.rounds = 10, 4, 2
+    m.pim_work_per_module = [3.0, 1.0]
+    a = m.snapshot()
+    m.cpu_work, m.io_time, m.rounds = 25, 9, 5
+    m.pim_work_per_module = [8.0, 1.0]
+    d = m.delta_since(a)
+    assert d.cpu_work == 15
+    assert d.io_time == 5
+    assert d.rounds == 3
+    assert d.pim_work_per_module == (5.0, 0.0)
+    assert d.pim_work_total == 5.0
+
+
+def test_delta_cross_machine_rejected():
+    a = Metrics(num_modules=2).snapshot()
+    b = Metrics(num_modules=3).snapshot()
+    with pytest.raises(ValueError):
+        _ = b - a
+
+
+def test_io_balance_bound():
+    d = MetricsDelta(
+        num_modules=4, cpu_work=0, cpu_depth=0, io_time=10, rounds=1,
+        messages=40, sync_cost=0, pim_time=0,
+        pim_work_per_module=(0, 0, 0, 0), shared_mem_peak=0,
+    )
+    assert d.io_balance_bound == 10.0
+
+
+def test_as_dict_contains_all_scalars():
+    m = Metrics(num_modules=2)
+    d = m.snapshot().as_dict()
+    for key in ("cpu_work", "cpu_depth", "io_time", "rounds", "messages",
+                "pim_time", "pim_work_total", "pim_work_max",
+                "pim_balance_ratio", "shared_mem_peak", "sync_cost"):
+        assert key in d

@@ -1,0 +1,88 @@
+"""Tests for PIM module memory/work accounting and the handler context."""
+
+import pytest
+
+from repro.sim.errors import LocalMemoryExceeded
+from repro.sim.machine import PIMMachine
+from repro.sim.module import PIMModule
+
+
+class TestModuleMemory:
+    def test_alloc_free_and_peak(self):
+        mod = PIMModule(0)
+        mod.alloc_words(100)
+        mod.free_words(40)
+        mod.alloc_words(10)
+        assert mod.words_used == 70
+        assert mod.words_peak == 100
+
+    def test_negative_memory_rejected(self):
+        mod = PIMModule(0)
+        with pytest.raises(ValueError):
+            mod.free_words(1)
+
+    def test_enforcement(self):
+        mod = PIMModule(0, local_memory_words=50, enforce=True)
+        mod.alloc_words(50)
+        with pytest.raises(LocalMemoryExceeded):
+            mod.alloc_words(1)
+
+    def test_tracked_but_not_enforced(self):
+        mod = PIMModule(0, local_memory_words=50, enforce=False)
+        mod.alloc_words(500)
+        assert mod.words_used == 500
+
+
+class TestModuleWork:
+    def test_charge_accumulates(self):
+        mod = PIMModule(0)
+        mod.charge(3)
+        mod.charge()
+        assert mod.work == 4
+        assert mod.round_work == 4
+
+
+class TestContext:
+    def test_reply_and_forward_sizes(self):
+        m = PIMMachine(num_modules=3, seed=0)
+
+        def h(ctx, tag=None):
+            ctx.reply("r", size=2)
+            ctx.forward(2, "sink", (), size=3)
+
+        def sink(ctx, tag=None):
+            ctx.charge(1)
+
+        m.register("h", h)
+        m.register("sink", sink)
+        m.send(1, "h", ())
+        m.step()
+        # round 1: module 1 received 1, sent 2 (reply) + 3 (forward) = h=6
+        assert m.metrics.io_time == 6
+        m.step()
+        # round 2: module 2 received 3
+        assert m.metrics.io_time == 9
+
+    def test_context_identity(self):
+        m = PIMMachine(num_modules=5, seed=0)
+        seen = {}
+
+        def h(ctx, tag=None):
+            seen["mid"] = ctx.mid
+            seen["p"] = ctx.num_modules
+
+        m.register("h", h)
+        m.send(3, "h", ())
+        m.step()
+        assert seen == {"mid": 3, "p": 5}
+
+    def test_state_access(self):
+        m = PIMMachine(num_modules=2, seed=0)
+        m.modules[1].state["mystruct"] = {"x": 1}
+
+        def h(ctx, tag=None):
+            ctx.reply(ctx.state("mystruct")["x"])
+
+        m.register("h", h)
+        m.send(1, "h", ())
+        assert m.drain()[0].payload == 1

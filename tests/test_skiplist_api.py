@@ -1,0 +1,81 @@
+"""Tests for the public facade: batch policies, namespacing, diagnostics."""
+
+import pytest
+
+from repro import PIMMachine, PIMSkipList
+from repro.sim.errors import InvalidBatchError
+from repro.workloads import build_items
+from tests.conftest import make_skiplist
+
+
+class TestBatchSizePolicy:
+    def test_minimums(self):
+        m = PIMMachine(num_modules=16, seed=0)
+        sl = PIMSkipList(m)
+        assert sl.min_point_batch == 16 * 4
+        assert sl.min_search_batch == 16 * 16
+
+    def test_enforcement_off_by_default(self, built8):
+        _, sl, _ = built8
+        sl.batch_get([1000])  # no error
+
+    def test_enforcement_rejects_small_batches(self):
+        m = PIMMachine(num_modules=8, seed=0)
+        sl = PIMSkipList(m, enforce_batch_size=True)
+        sl.build(build_items(100))
+        with pytest.raises(InvalidBatchError):
+            sl.batch_get([1])
+        with pytest.raises(InvalidBatchError):
+            sl.batch_successor([1, 2])
+        with pytest.raises(InvalidBatchError):
+            sl.batch_upsert([(1, 1)])
+        with pytest.raises(InvalidBatchError):
+            sl.batch_delete([1])
+        with pytest.raises(InvalidBatchError):
+            sl.batch_range([(1, 2)])
+
+    def test_enforcement_allows_canonical_batches(self):
+        m = PIMMachine(num_modules=4, seed=0)
+        sl = PIMSkipList(m, enforce_batch_size=True)
+        sl.build(build_items(300))
+        b = sl.min_search_batch
+        out = sl.batch_successor(list(range(0, b * 10, 10)))
+        assert len(out) == b * 10 // 10
+
+    def test_empty_batches_always_allowed(self):
+        m = PIMMachine(num_modules=8, seed=0)
+        sl = PIMSkipList(m, enforce_batch_size=True)
+        assert sl.batch_get([]) == []
+
+
+class TestMultipleStructures:
+    def test_two_structures_coexist(self):
+        m = PIMMachine(num_modules=4, seed=1)
+        a = PIMSkipList(m, name="a")
+        b = PIMSkipList(m, name="b")
+        a.build([(1, 10), (2, 20)])
+        b.build([(1, -10), (3, -30)])
+        assert a.batch_get([1, 2, 3]) == [10, 20, None]
+        assert b.batch_get([1, 2, 3]) == [-10, None, -30]
+        a.check_integrity()
+        b.check_integrity()
+
+    def test_same_name_collides(self):
+        m = PIMMachine(num_modules=4, seed=1)
+        PIMSkipList(m, name="x")
+        with pytest.raises(Exception):
+            PIMSkipList(m, name="x")
+
+
+class TestDiagnostics:
+    def test_size_and_to_dict(self, built8):
+        _, sl, ref = built8
+        assert sl.size == len(ref.data)
+        assert sl.to_dict() == ref.as_dict()
+
+    def test_metrics_measurable_around_any_batch(self, built8):
+        machine, sl, _ = built8
+        before = machine.snapshot()
+        sl.batch_get([1000, 2000])
+        d = machine.delta_since(before)
+        assert d.io_time > 0 and d.rounds >= 1

@@ -1,0 +1,102 @@
+"""A bounded soak test: one long adversarially-flavored session.
+
+Runs a few hundred batches mixing every operation type, alternating
+uniform and adversarial shapes, with a full integrity check and oracle
+comparison every few batches.  Bounded to keep the suite fast; its value
+is the *interleavings* (compaction-like churn, contiguous runs next to
+scattered ops, ranges over freshly deleted regions) that targeted tests
+don't produce.
+"""
+
+import random
+
+from repro import PIMMachine, PIMSkipList
+from repro.workloads import build_items, contiguous_run
+from tests.conftest import ReferenceMap
+
+
+def test_soak_session():
+    machine = PIMMachine(num_modules=8, seed=123)
+    sl = PIMSkipList(machine)
+    items = build_items(300, stride=1000)
+    sl.build(items)
+    ref = ReferenceMap(items)
+    rng = random.Random(123)
+    space = 2 * 300 * 1000
+
+    def fresh_keys(k):
+        out = set()
+        while len(out) < k:
+            cand = rng.randrange(space)
+            if cand not in ref.data:
+                out.add(cand)
+        return sorted(out)
+
+    for step in range(120):
+        kind = rng.randrange(8)
+        if kind == 0:  # uniform upserts
+            batch = [(rng.randrange(space), step) for _ in range(24)]
+            sl.batch_upsert(batch)
+            for k, v in dict(batch).items():
+                ref.upsert(k, v)
+        elif kind == 1:  # contiguous insert run
+            start = rng.randrange(space)
+            run = [k for k in contiguous_run(start, 24)
+                   if k not in ref.data]
+            sl.batch_upsert([(k, step) for k in run])
+            for k in run:
+                ref.upsert(k, step)
+        elif kind == 2:  # scattered deletes
+            pool = sorted(ref.data)
+            if pool:
+                batch = rng.sample(pool, min(20, len(pool)))
+                sl.batch_delete(batch)
+                for k in batch:
+                    ref.delete(k)
+        elif kind == 3:  # contiguous delete run
+            pool = sorted(ref.data)
+            if len(pool) > 30:
+                i = rng.randrange(len(pool) - 25)
+                batch = pool[i:i + 25]
+                sl.batch_delete(batch)
+                for k in batch:
+                    ref.delete(k)
+        elif kind == 4:  # gets: mix of hits, misses, duplicates
+            pool = sorted(ref.data)
+            batch = ([rng.choice(pool) for _ in range(10)] if pool else [])
+            batch += fresh_keys(5) + batch[:3]
+            assert sl.batch_get(batch) == [ref.get(k) for k in batch]
+        elif kind == 5:  # ordered queries incl. a same-gap cluster
+            qs = [rng.randrange(space) for _ in range(12)]
+            anchor = rng.randrange(space)
+            qs += [anchor + i for i in range(10)]
+            assert sl.batch_successor(qs) == [ref.successor(q) for q in qs]
+            assert sl.batch_predecessor(qs[:6]) == [
+                ref.predecessor(q) for q in qs[:6]]
+        elif kind == 6:  # range reads incl. overlaps
+            ops = []
+            for _ in range(5):
+                a = rng.randrange(space)
+                ops.append((a, a + rng.randrange(1, space // 8)))
+            res = sl.batch_range(ops)
+            for (l, r), rr in zip(ops, res):
+                assert rr.values == ref.range(l, r)
+        else:  # broadcast sweep + mutating range on a disjoint window
+            a = rng.randrange(space)
+            b = a + rng.randrange(1, space // 10)
+            got = sl.range_broadcast(a, b)
+            assert got.values == ref.range(a, b)
+            sl.batch_range([(a, b)], func="fetch_and_add", func_arg=1)
+            for k, _ in ref.range(a, b):
+                ref.upsert(k, ref.get(k) + 1)
+
+        if step % 10 == 9:
+            sl.check_integrity()
+            assert sl.to_dict() == ref.as_dict()
+
+    sl.check_integrity()
+    assert sl.to_dict() == ref.as_dict()
+    # the machine's invariants also held throughout
+    assert machine.metrics.shared_mem_in_use == 0
+    for mid in range(8):
+        assert sl.struct.mlocal(mid).range_ctx == {}

@@ -1,0 +1,138 @@
+"""Tests for structure rendering, JSONL export, and whole-structure API."""
+
+import json
+import os
+
+import pytest
+
+from repro import PIMMachine, PIMSkipList
+from repro.analysis import (
+    export_delta,
+    export_rounds,
+    layout_summary,
+    read_jsonl,
+    render_structure,
+)
+from repro.core.probes import ABOVE_ALL, BELOW_ALL, AboveAll, BelowAll
+from tests.conftest import make_skiplist
+
+
+class TestProbes:
+    def test_below_all_total_order(self):
+        assert BELOW_ALL < 0 and BELOW_ALL < "z" and BELOW_ALL <= 0
+        assert not (BELOW_ALL > 0) and not (BELOW_ALL >= 0)
+        assert 0 > BELOW_ALL and 0 >= BELOW_ALL
+        assert BELOW_ALL == BelowAll() and BELOW_ALL >= BelowAll()
+
+    def test_above_all_total_order(self):
+        assert ABOVE_ALL > 10**18 and ABOVE_ALL >= "z"
+        assert not (ABOVE_ALL < 0) and 0 < ABOVE_ALL and 0 <= ABOVE_ALL
+        assert ABOVE_ALL == AboveAll() and ABOVE_ALL <= AboveAll()
+
+    def test_probes_sort_to_the_ends(self):
+        xs = [5, ABOVE_ALL, 1, BELOW_ALL, 3]
+        s = sorted(xs)
+        assert s[0] is BELOW_ALL and s[-1] is ABOVE_ALL
+
+
+class TestWholeStructureAPI:
+    def test_min_max_scan(self, built8):
+        _, sl, ref = built8
+        keys = sorted(ref.data)
+        assert sl.min_item() == (keys[0], ref.get(keys[0]))
+        assert sl.max_item() == (keys[-1], ref.get(keys[-1]))
+        assert sl.scan_all() == [(k, ref.get(k)) for k in keys]
+
+    def test_empty_structure(self):
+        machine = PIMMachine(num_modules=4, seed=0)
+        sl = PIMSkipList(machine)
+        assert sl.min_item() is None
+        assert sl.max_item() is None
+        assert sl.scan_all() == []
+
+    def test_scan_all_is_one_round_broadcast(self, built8):
+        machine, sl, _ = built8
+        before = machine.snapshot()
+        sl.scan_all()
+        d = machine.delta_since(before)
+        assert d.rounds == 1
+        # returned values dominate: io ~ n/P + O(1)
+        assert d.io_time < 3 * (sl.size / machine.num_modules) + 10
+
+
+class TestStructureViz:
+    def test_render_contains_every_key_and_owner(self):
+        machine, sl, ref = make_skiplist(num_modules=4, n=10, seed=40)
+        out = render_structure(sl.struct)
+        for k in ref.data:
+            assert str(k) in out
+        assert "h_low" in out
+        assert "local leaf list" in out
+        assert "/R" in out or "level" in out
+
+    def test_render_elides_wide_structures(self):
+        machine, sl, _ = make_skiplist(num_modules=4, n=200, seed=41)
+        out = render_structure(sl.struct, max_keys=10)
+        assert "elided" in out
+
+    def test_layout_summary_consistent(self):
+        machine, sl, ref = make_skiplist(num_modules=8, n=120, seed=42)
+        s = layout_summary(sl.struct)
+        assert s["per_level"][0] == 120
+        assert sum(s["leaves_per_module"]) == 120
+        assert s["upper_nodes"] + s["lower_nodes"] == sum(
+            s["per_level"].values())
+        assert s["h_low"] == sl.struct.h_low
+
+
+class TestJSONLExport:
+    def test_delta_roundtrip(self, tmp_path, built8):
+        machine, sl, _ = built8
+        before = machine.snapshot()
+        sl.batch_get([1000, 2000])
+        d = machine.delta_since(before)
+        path = os.path.join(tmp_path, "runs.jsonl")
+        export_delta(path, "get-batch", d, meta={"B": 2})
+        export_delta(path, "get-batch-2", d)
+        records = read_jsonl(path)
+        assert len(records) == 2
+        r = records[0]
+        assert r["kind"] == "delta"
+        assert r["label"] == "get-batch"
+        assert r["meta"] == {"B": 2}
+        assert r["metrics"]["io_time"] == d.io_time
+        assert len(r["pim_work_per_module"]) == 8
+
+    def test_rounds_roundtrip_and_filter(self, tmp_path, built8):
+        machine, sl, _ = built8
+        r0 = len(machine.tracer.rounds)
+        sl.batch_successor([123, 456])
+        rounds = machine.tracer.rounds[r0:]
+        path = os.path.join(tmp_path, "runs.jsonl")
+        export_rounds(path, "succ", rounds, append=False)
+        before = machine.snapshot()
+        sl.batch_get([1000])
+        export_delta(path, "get", machine.delta_since(before))
+        assert len(read_jsonl(path)) == 2
+        only_rounds = read_jsonl(path, kind="rounds")
+        assert len(only_rounds) == 1
+        series = only_rounds[0]["series"]
+        assert len(series) == len(rounds)
+        assert series[0]["h"] == rounds[0].h
+
+    def test_overwrite_mode(self, tmp_path, built8):
+        machine, sl, _ = built8
+        d = machine.delta_since(machine.snapshot())
+        path = os.path.join(tmp_path, "x.jsonl")
+        export_delta(path, "a", d)
+        export_delta(path, "b", d, append=False)
+        records = read_jsonl(path)
+        assert [r["label"] for r in records] == ["b"]
+
+    def test_export_is_valid_json_lines(self, tmp_path, built8):
+        machine, sl, _ = built8
+        d = machine.delta_since(machine.snapshot())
+        path = os.path.join(tmp_path, "x.jsonl")
+        export_delta(path, "a", d)
+        for line in open(path):
+            json.loads(line)

@@ -1,0 +1,93 @@
+"""Tests for the workload generators' contracts."""
+
+import random
+
+import pytest
+
+from repro.workloads import (
+    build_items,
+    contiguous_run,
+    duplicate_heavy_batch,
+    same_successor_batch,
+    single_range_batch,
+    uniform_batch,
+    uniform_fresh_keys,
+    zipf_batch,
+)
+
+
+class TestBuildItems:
+    def test_sorted_spaced_and_sized(self):
+        items = build_items(10, stride=100)
+        keys = [k for k, _ in items]
+        assert keys == sorted(keys)
+        assert len(items) == 10
+        assert all(b - a == 100 for a, b in zip(keys, keys[1:]))
+
+    def test_value_function(self):
+        items = build_items(3, stride=10, value_of=lambda k: -k)
+        assert items[0] == (10, -10)
+
+
+class TestUniform:
+    def test_uniform_batch_in_range(self):
+        rng = random.Random(0)
+        batch = uniform_batch(100, 500, rng)
+        assert len(batch) == 100
+        assert all(0 <= k < 500 for k in batch)
+
+    def test_fresh_keys_avoid_existing(self):
+        rng = random.Random(1)
+        existing = list(range(0, 1000, 2))
+        fresh = uniform_fresh_keys(50, existing, rng, key_space=100000)
+        assert len(set(fresh)) == 50
+        assert not set(fresh) & set(existing)
+
+
+class TestAdversarial:
+    def test_same_successor_all_in_one_gap(self):
+        rng = random.Random(2)
+        stored = [k for k, _ in build_items(30, stride=1000)]
+        batch = same_successor_batch(stored, 64, rng)
+        assert len(set(batch)) == 64
+        import bisect
+        succs = {bisect.bisect_left(stored, k) for k in batch}
+        assert len(succs) == 1  # single shared successor index
+        assert not set(batch) & set(stored)
+
+    def test_same_successor_needs_wide_gap(self):
+        rng = random.Random(3)
+        with pytest.raises(ValueError):
+            same_successor_batch([1, 2, 3], 100, rng)
+
+    def test_exact_size_gap(self):
+        rng = random.Random(4)
+        batch = same_successor_batch([0, 11], 10, rng)
+        assert batch == list(range(1, 11))
+
+    def test_single_range_distinct(self):
+        rng = random.Random(5)
+        batch = single_range_batch(50, 100, 1000, rng)
+        assert len(set(batch)) == 50
+        assert all(100 <= k < 1000 for k in batch)
+        with pytest.raises(ValueError):
+            single_range_batch(50, 0, 10, rng)
+
+    def test_duplicate_heavy(self):
+        rng = random.Random(6)
+        assert duplicate_heavy_batch(10, 7, rng) == [7] * 10
+        multi = duplicate_heavy_batch(100, 7, rng, distinct=4)
+        assert set(multi) <= {7, 8, 9, 10}
+
+
+class TestOther:
+    def test_zipf_skews_to_low_ranks(self):
+        stored = list(range(100))
+        batch = zipf_batch(2000, stored, alpha=2.0, seed=7)
+        assert all(k in set(stored) for k in batch)
+        head = sum(1 for k in batch if k == stored[0])
+        assert head > 2000 * 0.3  # rank-1 mass for alpha=2 is ~0.6
+
+    def test_contiguous_run(self):
+        assert contiguous_run(5, 3) == [5, 6, 7]
+        assert contiguous_run(0, 3, step=10) == [0, 10, 20]
