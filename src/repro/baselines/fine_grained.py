@@ -87,32 +87,39 @@ class FineGrainedSkipList:
 
     def _handlers(self) -> Dict[str, Any]:
         name = self.name
+        fn_step = f"{name}:step"
 
         def h_step(ctx, node, key, opid, tag=None):
             x = node
+            hops = 0
+            tracing = ctx.tracing
             while True:
-                ctx.charge(1)
-                ctx.touch(("fg", x.nid))
+                hops += 1
+                if tracing:
+                    ctx.touch(("fg", x.nid))
                 if x.right is not None and x.right.key <= key:
                     nxt = x.right
                 elif x.level > 0:
                     nxt = x.down
                 else:
+                    ctx.charge(hops)
                     ctx.reply(("done", opid, x, x.right), size=1)
                     return
                 if nxt.owner == ctx.mid:
                     x = nxt
                 else:
-                    ctx.forward(nxt.owner, f"{name}:step", (nxt, key, opid))
+                    ctx.charge(hops)
+                    ctx.forward(nxt.owner, fn_step, (nxt, key, opid))
                     return
 
-        return {f"{name}:step": h_step}
+        return {fn_step: h_step}
 
     def _batch_search(self, keys: Sequence[Hashable]) -> List[Node]:
         machine = self.machine
         root = self.root
-        for i, key in enumerate(keys):
-            machine.send(root.owner, f"{self.name}:step", (root, key, i))
+        fn_step = f"{self.name}:step"
+        machine.send_all((root.owner, fn_step, (root, key, i), None)
+                         for i, key in enumerate(keys))
         results: List[Optional[Tuple[Node, Optional[Node]]]] = [None] * len(keys)
         for r in machine.drain():
             _, opid, pred, right = r.payload

@@ -93,8 +93,9 @@ class HashPartitionedMap:
         machine = self.machine
         groups = group_by(machine.cpu, list(range(len(keys))),
                           key=lambda i: keys[i])
-        for key in groups:
-            machine.send(self.owner(key), f"{self.name}:get", (key,))
+        fn_get = f"{self.name}:get"
+        machine.send_all((self.owner(key), fn_get, (key,), None)
+                         for key in groups)
         results: List[Optional[Any]] = [None] * len(keys)
         for r in machine.drain():
             key, value = r.payload
@@ -105,9 +106,9 @@ class HashPartitionedMap:
     def batch_upsert(self, pairs: Sequence[Tuple[Hashable, Any]]) -> int:
         machine = self.machine
         groups = group_by(machine.cpu, list(pairs), key=lambda kv: kv[0])
-        for key, occ in groups.items():
-            machine.send(self.owner(key), f"{self.name}:upsert",
-                         (key, occ[-1][1]))
+        fn_upsert = f"{self.name}:upsert"
+        machine.send_all((self.owner(key), fn_upsert, (key, occ[-1][1]), None)
+                         for key, occ in groups.items())
         created = sum(1 for r in machine.drain() if r.payload[1])
         self.num_keys += created
         return created
@@ -115,8 +116,9 @@ class HashPartitionedMap:
     def batch_delete(self, keys: Sequence[Hashable]) -> int:
         machine = self.machine
         groups = group_by(machine.cpu, list(keys), key=lambda k: k)
-        for key in groups:
-            machine.send(self.owner(key), f"{self.name}:delete", (key,))
+        fn_delete = f"{self.name}:delete"
+        machine.send_all((self.owner(key), fn_delete, (key,), None)
+                         for key in groups)
         removed = sum(1 for r in machine.drain() if r.payload[1])
         self.num_keys -= removed
         return removed
@@ -126,8 +128,9 @@ class HashPartitionedMap:
         """Every query broadcasts: P messages out + P local searches + P
         answers back, then a CPU min-combine.  IO ~ B (not B/P)."""
         machine = self.machine
+        fn_lsucc = f"{self.name}:lsucc"
         for i, key in enumerate(keys):
-            machine.broadcast(f"{self.name}:lsucc", (key, i))
+            machine.broadcast(fn_lsucc, (key, i))
         best: List[Optional[Tuple[Hashable, Any]]] = [None] * len(keys)
         for r in machine.drain():
             _, opid, res = r.payload
@@ -144,8 +147,9 @@ class HashPartitionedMap:
         """Every range op broadcasts to all modules; the CPU merge-sorts
         the scattered partial results."""
         machine = self.machine
+        fn_range = f"{self.name}:range"
         for i, (l, r) in enumerate(ops):
-            machine.broadcast(f"{self.name}:range", (l, r, i))
+            machine.broadcast(fn_range, (l, r, i))
         parts: Dict[int, List[Tuple[Hashable, Any]]] = {}
         for rep in machine.drain():
             _, opid, vals = rep.payload

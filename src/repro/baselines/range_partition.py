@@ -49,6 +49,7 @@ class RangePartitionedSkipList:
 
     def _handlers(self) -> Dict[str, Any]:
         name = self.name
+        fn_succ = f"{name}:succ"
 
         def local(ctx) -> LocalSkipList:
             return ctx.state(name)
@@ -78,7 +79,7 @@ class RangePartitionedSkipList:
             res = local(ctx).successor(key)
             if res is None and ctx.mid + 1 < ctx.num_modules:
                 # The successor lives in a later range; forward rightward.
-                ctx.forward(ctx.mid + 1, f"{name}:succ", (key, opid))
+                ctx.forward(ctx.mid + 1, fn_succ, (key, opid))
             else:
                 ctx.reply(("succ", opid, res), tag=tag)
 
@@ -92,7 +93,7 @@ class RangePartitionedSkipList:
             f"{name}:get": h_get,
             f"{name}:upsert": h_upsert,
             f"{name}:delete": h_delete,
-            f"{name}:succ": h_succ,
+            fn_succ: h_succ,
             f"{name}:range": h_range,
         }
 
@@ -126,8 +127,9 @@ class RangePartitionedSkipList:
         machine = self.machine
         groups = group_by(machine.cpu, list(range(len(keys))),
                           key=lambda i: keys[i])
-        for key in groups:
-            machine.send(self.route(key), f"{self.name}:get", (key,))
+        fn_get = f"{self.name}:get"
+        machine.send_all((self.route(key), fn_get, (key,), None)
+                         for key in groups)
         results: List[Optional[Any]] = [None] * len(keys)
         for r in machine.drain():
             key, value = r.payload
@@ -138,9 +140,9 @@ class RangePartitionedSkipList:
     def batch_upsert(self, pairs: Sequence[Tuple[Hashable, Any]]) -> int:
         machine = self.machine
         groups = group_by(machine.cpu, list(pairs), key=lambda kv: kv[0])
-        for key, occ in groups.items():
-            machine.send(self.route(key), f"{self.name}:upsert",
-                         (key, occ[-1][1]))
+        fn_upsert = f"{self.name}:upsert"
+        machine.send_all((self.route(key), fn_upsert, (key, occ[-1][1]), None)
+                         for key, occ in groups.items())
         created = sum(1 for r in machine.drain() if r.payload[1])
         self.num_keys += created
         return created
@@ -148,8 +150,9 @@ class RangePartitionedSkipList:
     def batch_delete(self, keys: Sequence[Hashable]) -> int:
         machine = self.machine
         groups = group_by(machine.cpu, list(keys), key=lambda k: k)
-        for key in groups:
-            machine.send(self.route(key), f"{self.name}:delete", (key,))
+        fn_delete = f"{self.name}:delete"
+        machine.send_all((self.route(key), fn_delete, (key,), None)
+                         for key in groups)
         removed = sum(1 for r in machine.drain() if r.payload[1])
         self.num_keys -= removed
         return removed
@@ -157,8 +160,9 @@ class RangePartitionedSkipList:
     def batch_successor(self, keys: Sequence[Hashable],
                         ) -> List[Optional[Tuple[Hashable, Any]]]:
         machine = self.machine
-        for i, key in enumerate(keys):
-            machine.send(self.route(key), f"{self.name}:succ", (key, i))
+        fn_succ = f"{self.name}:succ"
+        machine.send_all((self.route(key), fn_succ, (key, i), None)
+                         for i, key in enumerate(keys))
         results: List[Optional[Tuple[Hashable, Any]]] = [None] * len(keys)
         for r in machine.drain():
             _, opid, res = r.payload
@@ -170,10 +174,11 @@ class RangePartitionedSkipList:
         """Range scans; each op contacts only the modules its range spans
         (the baseline's strong suit)."""
         machine = self.machine
+        fn_range = f"{self.name}:range"
         for i, (l, r) in enumerate(ops):
             lo, hi = self.route(l), self.route(r)
-            for mid in range(lo, hi + 1):
-                machine.send(mid, f"{self.name}:range", (l, r, i))
+            machine.send_all((mid, fn_range, (l, r, i), None)
+                             for mid in range(lo, hi + 1))
         parts: Dict[int, List[Tuple[int, List]]] = {}
         for rep in machine.drain():
             _, opid, mid, vals = rep.payload

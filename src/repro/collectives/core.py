@@ -45,6 +45,7 @@ class Collectives:
 
     def _handlers(self) -> Dict[str, Any]:
         name = self.name
+        fn_recv_piece = f"{name}:recv_piece"
 
         def st(ctx):
             return ctx.module.state[name]
@@ -71,7 +72,7 @@ class Collectives:
             ctx.charge(len(row) + 1)
             for dest, piece in row.items():
                 if piece:
-                    ctx.forward(dest, f"{name}:recv_piece", (piece,),
+                    ctx.forward(dest, fn_recv_piece, (piece,),
                                 size=_words(piece))
             ctx.reply(("ack",), tag=tag)
 
@@ -91,7 +92,7 @@ class Collectives:
             f"{name}:get": h_get,
             f"{name}:apply": h_apply,
             f"{name}:send_row": h_send_row,
-            f"{name}:recv_piece": h_recv_piece,
+            fn_recv_piece: h_recv_piece,
             f"{name}:collect_inbox": h_collect_inbox,
         }
 
@@ -101,9 +102,9 @@ class Collectives:
         """Store ``values[i]`` into module ``i``'s slot."""
         if len(values) != self.num_modules:
             raise ValueError("scatter needs one value per module")
-        for mid, value in enumerate(values):
-            self.machine.send(mid, f"{self.name}:put", (value,),
-                              size=_words(value))
+        fn_put = f"{self.name}:put"
+        self.machine.send_all((mid, fn_put, (value,), None, _words(value))
+                              for mid, value in enumerate(values))
         self.machine.drain()
 
     def gather(self) -> List[Any]:
@@ -177,9 +178,11 @@ class Collectives:
         """
         if len(matrix) != self.num_modules:
             raise ValueError("alltoall needs one row per module")
-        for mid, row in enumerate(matrix):
-            self.machine.send(mid, f"{self.name}:send_row", (dict(row),),
-                              size=max(1, sum(_words(v) for v in row.values())))
+        fn_send_row = f"{self.name}:send_row"
+        self.machine.send_all(
+            (mid, fn_send_row, (dict(row),), None,
+             max(1, sum(_words(v) for v in row.values())))
+            for mid, row in enumerate(matrix))
         self.machine.drain()
         self.machine.broadcast(f"{self.name}:collect_inbox", ())
         out: List[List[Any]] = [[] for _ in range(self.num_modules)]
@@ -216,8 +219,8 @@ class Collectives:
 
             self.machine.register(fn_count, h_count)
             self.machine.register(fn_flush, h_flush)
-        for rec in records:
-            self.machine.send(placement(rec), fn_count, (rec,))
+        self.machine.send_all((placement(rec), fn_count, (rec,), None)
+                              for rec in records)
         self.machine.drain()
         self.machine.broadcast(fn_flush, ())
         total: Counter = Counter()

@@ -70,10 +70,10 @@ def make_handlers(sl: SkipListStructure) -> Dict[str, Any]:
             up_ref = None
         ctx.reply(("marked", key, leaf, leaf.left, leaf.right, up_ref),
                   size=1, tag=tag)
+        fn_mark_node = f"{sl.name}:del_mark_node"
         for i, node in enumerate(chain):
             is_top = leaf.has_upper and (i == len(chain) - 1)
-            ctx.forward(node.owner, f"{sl.name}:del_mark_node",
-                        (node, is_top), tag=tag)
+            ctx.forward(node.owner, fn_mark_node, (node, is_top), tag=tag)
 
     def h_mark_node(ctx, node, is_top, tag=None):
         ctx.charge(1)
@@ -115,8 +115,9 @@ def batch_delete(sl: SkipListStructure, keys: Sequence[Hashable]) -> DeleteStats
     try:
         # -- stage 1: shortcut marking ------------------------------------
         groups = group_by(cpu, list(keys), key=lambda k: k)
-        for key in groups:
-            machine.send(sl.leaf_owner(key), f"{sl.name}:del_mark", (key,))
+        fn_mark = f"{sl.name}:del_mark"
+        machine.send_all((sl.leaf_owner(key), fn_mark, (key,), None)
+                         for key in groups)
         marked: List[Tuple[Node, Optional[Node], Optional[Node]]] = []
         upper_leaves: List[Node] = []
         not_found = 0

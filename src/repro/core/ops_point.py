@@ -64,8 +64,9 @@ def batch_get(sl: SkipListStructure, keys: Sequence[Hashable]) -> List[Optional[
     with cpu.region(2 * n):
         # Semisort to deduplicate (O(B) expected work, O(log B) whp depth).
         groups = group_by(cpu, list(range(n)), key=lambda i: keys[i])
-        for key in groups:
-            machine.send(sl.leaf_owner(key), f"{sl.name}:pt_get", (key,))
+        fn_get = f"{sl.name}:pt_get"
+        machine.send_all((sl.leaf_owner(key), fn_get, (key,), None)
+                         for key in groups)
         replies = machine.drain()
         results: List[Optional[Any]] = [None] * n
         for r in replies:
@@ -87,8 +88,9 @@ def batch_contains(sl: SkipListStructure,
         return []
     with cpu.region(2 * n):
         groups = group_by(cpu, list(range(n)), key=lambda i: keys[i])
-        for key in groups:
-            machine.send(sl.leaf_owner(key), f"{sl.name}:pt_get", (key,))
+        fn_get = f"{sl.name}:pt_get"
+        machine.send_all((sl.leaf_owner(key), fn_get, (key,), None)
+                         for key in groups)
         results: List[bool] = [False] * n
         for r in machine.drain():
             key, _value, found = r.payload
@@ -114,9 +116,10 @@ def batch_update(sl: SkipListStructure,
         return 0
     with cpu.region(2 * n):
         groups = group_by(cpu, list(pairs), key=lambda kv: kv[0])
-        for key, occurrences in groups.items():
-            value = occurrences[-1][1]
-            machine.send(sl.leaf_owner(key), f"{sl.name}:pt_update", (key, value))
+        fn_update = f"{sl.name}:pt_update"
+        machine.send_all(
+            (sl.leaf_owner(key), fn_update, (key, occurrences[-1][1]), None)
+            for key, occurrences in groups.items())
         replies = machine.drain()
         found = sum(1 for r in replies if r.payload[1])
     return found

@@ -21,56 +21,79 @@ from typing import Any, Dict, Hashable, Optional
 
 from repro.core.node import Node, UPPER
 from repro.core.structure import SkipListStructure
-
-
-def lower_walk(ctx, sl: SkipListStructure, x: Node, key: Hashable,
-               opid: Any, record: bool) -> None:
-    """Walk the lower part from ``x`` toward ``key``'s predecessor leaf.
-
-    Processes the run of locally-available nodes (this module's, plus
-    replicated sentinels), then either forwards to the next owner or
-    replies ``("done", opid, pred_leaf, pred_right)``.
-    """
-    name = sl.name
-    while True:
-        ctx.charge(1)
-        ctx.touch(x.nid)
-        if record:
-            ctx.reply(("path", opid, x, x.level, x.right), size=1)
-        if x.right is not None and x.right.key <= key:
-            nxt = x.right
-        elif x.level > 0:
-            nxt = x.down
-        else:
-            ctx.reply(("done", opid, x, x.right), size=1)
-            return
-        if nxt.owner == UPPER or nxt.owner == ctx.mid:
-            x = nxt
-        else:
-            ctx.forward(nxt.owner, f"{name}:search_step",
-                        (nxt, key, opid, record))
-            return
+from repro.sim.task import Reply
 
 
 def make_handlers(sl: SkipListStructure) -> Dict[str, Any]:
-    """PIM-side handlers for the search walk on ``sl``."""
+    """PIM-side handlers for the search walk on ``sl``.
+
+    ``lower_walk`` is registered directly as the ``search_step`` handler
+    (the hottest function in the whole simulator): it walks the run of
+    locally-available nodes (this module's, plus replicated sentinels),
+    then either forwards to the next owner or replies
+    ``("done", opid, pred_leaf, pred_right)``.  Work is charged once per
+    run (same total as per-node charging) and per-node touches are
+    skipped entirely when neither tracing nor qrqw needs them.
+    """
+    fn_step = sl.fn_search_step
+
+    def lower_walk(ctx, x, key, opid, record, tag=None):
+        hops = 0
+        tracing = ctx.tracing
+        while True:
+            hops += 1
+            if tracing:
+                ctx.touch(x.nid)
+            if record:
+                ctx.reply(("path", opid, x, x.level, x.right), size=1)
+            r = x.right
+            if r is not None and r.key <= key:
+                nxt = r
+            elif x.level > 0:
+                nxt = x.down
+            else:
+                module = ctx.module
+                module.work += hops
+                module.round_work += hops
+                # Inlined ctx.reply: the "done" reply ends every search.
+                ctx._replies.append(Reply(("done", opid, x, r),
+                                          None, ctx.mid))
+                ctx._sent_size += 1
+                return
+            owner = nxt.owner
+            if owner == UPPER or owner == ctx.mid:
+                x = nxt
+            else:
+                module = ctx.module
+                module.work += hops
+                module.round_work += hops
+                # Equivalent to ctx.forward(owner, fn_step, ...), staged
+                # directly: the continuation handler is this function and
+                # the destination comes from the placement hash, so the
+                # per-hop registry lookup and bounds check are skipped.
+                staged = ctx.machine._staged
+                entry = (lower_walk, (nxt, key, opid, record), None, fn_step)
+                slot = staged.get(owner)
+                if slot is None:
+                    staged[owner] = [1, [], [entry]]
+                else:
+                    slot[0] += 1
+                    slot[2].append(entry)
+                ctx._sent_size += 1
+                return
 
     def h_search_entry(ctx, key, opid, record, tag=None):
         # Upper-part descent is local: all touched nodes are replicated.
         u = sl.upper_descend(key, ctx.charge)
         x = u.down  # first lower-part node on the path
         if x.owner == UPPER or x.owner == ctx.mid:
-            lower_walk(ctx, sl, x, key, opid, record)
+            lower_walk(ctx, x, key, opid, record)
         else:
-            ctx.forward(x.owner, f"{sl.name}:search_step",
-                        (x, key, opid, record))
-
-    def h_search_step(ctx, node, key, opid, record, tag=None):
-        lower_walk(ctx, sl, node, key, opid, record)
+            ctx.forward(x.owner, fn_step, (x, key, opid, record))
 
     return {
-        f"{sl.name}:search_entry": h_search_entry,
-        f"{sl.name}:search_step": h_search_step,
+        sl.fn_search_entry: h_search_entry,
+        fn_step: lower_walk,
     }
 
 
@@ -82,7 +105,7 @@ def launch_search(sl: SkipListStructure, key: Hashable, opid: Any,
     machine = sl.machine
     if start is not None:
         dest = start.owner if start.owner != UPPER else machine.random_module()
-        machine.send(dest, f"{sl.name}:search_step", (start, key, opid, record))
+        machine.send(dest, sl.fn_search_step, (start, key, opid, record))
     else:
-        machine.send(machine.random_module(), f"{sl.name}:search_entry",
+        machine.send(machine.random_module(), sl.fn_search_entry,
                      (key, opid, record))

@@ -66,7 +66,8 @@ Hint = Optional[Tuple[str, Any, Any]]  # ("leaf", leaf, right) | ("node", node, 
 
 def _lca_hint(path_a: Optional[List[PathEntry]],
               path_b: Optional[List[PathEntry]],
-              min_level: int = 0) -> Hint:
+              min_level: int = 0,
+              ids_b: Optional[set] = None) -> Hint:
     """Start hint from two recorded lower-part paths (paper, stage 1).
 
     Shared leaf -> the result itself; shared lower node -> the lowest such
@@ -96,7 +97,10 @@ def _lca_hint(path_a: Optional[List[PathEntry]],
     leaf_b = path_b[-1][0]
     if lvl_a == 0 and leaf_a is leaf_b:
         return ("leaf", leaf_a, right_a)
-    ids_b = {id(node) for node, _, _ in path_b}
+    if ids_b is None:
+        # Callers with many ops against the same right pivot pass the
+        # pivot path's id-set in (batch_search caches one per pivot).
+        ids_b = {id(node) for node, _, _ in path_b}
     for node, _, _ in reversed(path_a):
         if id(node) in ids_b:
             return ("node", node, None)
@@ -166,6 +170,15 @@ def batch_search(sl: SkipListStructure, keys: Sequence[Hashable],
     retained_words = b  # the sorted index buffer
 
     piv_level_cache: Dict[int, Dict[int, Tuple[Node, Optional[Node]]]] = {}
+    piv_ids_cache: Dict[int, set] = {}
+
+    def pivot_ids(ppos: int) -> Optional[set]:
+        """Cached ``id()`` set of a pivot's recorded path nodes."""
+        s = piv_ids_cache.get(ppos)
+        if s is None and ppos in paths:
+            s = {id(node) for node, _, _ in paths[ppos]}
+            piv_ids_cache[ppos] = s
+        return s
 
     def level_view(ppos: int):
         """Per-level last (node, right) of a pivot's recorded path."""
@@ -194,7 +207,7 @@ def batch_search(sl: SkipListStructure, keys: Sequence[Hashable],
         lvl_limit = min_lvl(pos)
         pa, pb = paths.get(pa_pos), paths.get(pb_pos)
         if lvl_limit == 0:
-            return (_lca_hint(pa, pb, 0), {})
+            return (_lca_hint(pa, pb, 0, ids_b=pivot_ids(pb_pos)), {})
         la, lb = level_view(pa_pos), level_view(pb_pos)
         derived: Dict[int, Tuple[Node, Optional[Node]]] = {}
         top = -1

@@ -141,9 +141,10 @@ def batch_upsert(sl: SkipListStructure,
         groups = group_by(cpu, list(pairs), key=lambda kv: kv[0])
         wanted: Dict[Hashable, Any] = {k: occ[-1][1] for k, occ in groups.items()}
         cpu.charge(len(groups), max(1.0, math.log2(len(groups) + 1)))
-        for key, value in wanted.items():
-            machine.send(sl.leaf_owner(key), f"{sl.name}:ups_try_update",
-                         (key, value))
+        fn_try_update = f"{sl.name}:ups_try_update"
+        machine.send_all(
+            (sl.leaf_owner(key), fn_try_update, (key, value), None)
+            for key, value in wanted.items())
         found = {r.payload[0] for r in machine.drain() if r.payload[1]}
         missing = [(k, v) for k, v in wanted.items() if k not in found]
         updated = len(wanted) - len(missing)
@@ -164,11 +165,11 @@ def batch_upsert(sl: SkipListStructure,
                                 max(1.0, math.log2(len(towers) + 1)) + 8))
 
         # -- phase C: deliver lower-part nodes ---------------------------
-        for t in towers:
-            for node in t.nodes:
-                if not sl.is_upper_level(node.level):
-                    machine.send(node.owner, f"{sl.name}:ups_insert_lower",
-                                 (node,))
+        fn_insert_lower = f"{sl.name}:ups_insert_lower"
+        machine.send_all(
+            (node.owner, fn_insert_lower, (node,), None)
+            for t in towers for node in t.nodes
+            if not sl.is_upper_level(node.level))
         machine.drain()
 
         # -- phase D: batched Predecessor on the old structure -----------

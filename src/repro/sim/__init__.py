@@ -31,12 +31,14 @@ from repro.sim.errors import (
 from repro.sim.machine import PIMMachine
 from repro.sim.metrics import Metrics, MetricsDelta
 from repro.sim.module import ModuleContext, PIMModule
+from repro.sim.profiling import HandlerProfile, ThroughputProbe, WallTimer
 from repro.sim.task import Message, Reply, Task
 from repro.sim.tracing import AccessTrace, RoundLog
 
 __all__ = [
     "AccessTrace",
     "CPUSide",
+    "HandlerProfile",
     "LocalMemoryExceeded",
     "MachineConfig",
     "Message",
@@ -50,6 +52,8 @@ __all__ = [
     "SharedMemoryExceeded",
     "SimulationError",
     "Task",
+    "ThroughputProbe",
     "UnknownHandlerError",
+    "WallTimer",
     "WorkDepth",
 ]

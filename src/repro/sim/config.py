@@ -52,6 +52,13 @@ class MachineConfig:
         If true, per-round per-object access counts are recorded in
         :class:`repro.sim.tracing.AccessTrace` (needed by the Lemma 4.2
         contention experiments; small overhead otherwise).
+    trace_rounds:
+        If true (the default), every round appends a
+        :class:`repro.sim.tracing.RoundLog` to the machine's tracer (the
+        round-timeline reports need them).  Disable for pure-throughput
+        runs -- the wall-clock benchmarks turn this off -- where the
+        per-round log object and its unbounded list are wasted work;
+        model metrics are unaffected either way.
     contention_model:
         ``"none"`` (default) or ``"qrqw"``.  The paper's §2.1 Discussion
         sketches a queue-read/queue-write variant where ``k`` accesses to
@@ -68,6 +75,7 @@ class MachineConfig:
     enforce_local_memory: bool = False
     seed: int = 0
     trace_accesses: bool = False
+    trace_rounds: bool = True
     contention_model: str = "none"
 
     def __post_init__(self) -> None:

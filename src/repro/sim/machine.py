@@ -18,22 +18,57 @@ Algorithms are CPU-side orchestration code that:
 
 Handlers are plain functions ``handler(ctx, *args) -> None`` registered
 under a function id; they receive a :class:`repro.sim.module.ModuleContext`.
+
+Engine fast path
+----------------
+
+The round engine is the hot loop of every benchmark, so it is built around
+three invariants that keep a round touching ``k`` modules at ``O(k + tasks)``
+Python work rather than ``O(P)``:
+
+- **Staged delivery.**  ``send``/``send_all``/``broadcast``/``forward``
+  route directly into per-destination queues (``_staged``), so ``step``
+  never scans or re-buckets a message list.  Each staged entry carries its
+  handler *callable*, resolved at issue time (an unknown function id
+  raises :class:`~repro.sim.errors.UnknownHandlerError` when the message
+  is issued, not a round later).  CPU-issued messages are delivered before
+  module-to-module continuations within a destination queue, mirroring the
+  historical ``outbox + forwards`` concatenation order.
+- **Active-module scheduling.**  A round iterates only the modules that
+  received messages (in module-id order, for reply-order stability).
+  Per-round work/contention state lives on the per-module
+  :class:`~repro.sim.module.ModuleContext`, re-armed on activation, so
+  nothing is reset machine-wide.
+- **Gated bookkeeping.**  Round logs (``trace_rounds``), access tracing
+  (``trace_accesses``) and qrqw queue accounting are no-ops when disabled:
+  the flags are folded into the context at construction and checked once
+  per call or per round.
+
+All *model* metrics (IO time, rounds, messages, sync cost, PIM time,
+per-module work) are accounted exactly as before; the golden-metrics
+regression suite (``tests/test_golden_metrics.py``) pins the values the
+pre-fast-path engine produced on seed workloads.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from time import perf_counter
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.sim.config import MachineConfig
 from repro.sim.cpu import CPUSide
 from repro.sim.errors import UnknownHandlerError
 from repro.sim.metrics import Metrics, MetricsDelta
 from repro.sim.module import ModuleContext, PIMModule
-from repro.sim.task import CPU_SIDE, Message, Reply, Task
+from repro.sim.task import Reply
 from repro.sim.tracing import RoundLog, Tracer
 
 Handler = Callable[..., None]
+
+# A staged per-destination slot: [units_in, cpu_entries, forward_entries]
+# where each entry is (handler, args, tag, fn).
+_CPU_Q, _FWD_Q = 1, 2
 
 
 class PIMMachine:
@@ -81,9 +116,17 @@ class PIMMachine:
         ]
         self.tracer = Tracer(trace_accesses=config.trace_accesses)
         self.qrqw = config.contention_model == "qrqw"
+        self.tasks_executed = 0  # cumulative, across all rounds
         self._handlers: Dict[str, Handler] = {}
-        self._outbox: List[Message] = []      # CPU->PIM, next round
-        self._forwards: List[Message] = []    # module->module, next round
+        # mid -> [units_in, cpu_entries, forward_entries]; see module doc.
+        self._staged: Dict[int, list] = {}
+        self._log_p = config.log_p
+        self._trace_rounds = config.trace_rounds
+        self._trace_access = config.trace_accesses
+        self._profiler: Optional[Any] = None
+        self._contexts: List[ModuleContext] = [
+            ModuleContext(self, m) for m in self.modules
+        ]
 
     # -- handler registry ---------------------------------------------------
 
@@ -105,27 +148,84 @@ class PIMMachine:
         for fn, h in handlers.items():
             self.register(fn, h)
 
+    # -- profiling ----------------------------------------------------------
+
+    def set_profiler(self, profiler: Optional[Any]) -> None:
+        """Attach (or detach, with ``None``) a per-handler time profiler.
+
+        The profiler must expose ``add(fn, seconds)``; see
+        :class:`repro.sim.profiling.HandlerProfile`.  While attached, the
+        engine times every handler invocation -- attach only when
+        attributing wall time, as the two clock reads per task cost more
+        than dispatching most handlers.
+        """
+        self._profiler = profiler
+
     # -- message issue ----------------------------------------------------
 
     def send(self, dest: int, fn: str, args: tuple = (), tag: Any = None,
              size: int = 1) -> None:
         """Queue a ``TaskSend`` from the CPU side to module ``dest``."""
-        if not (0 <= dest < self.num_modules):
+        if not 0 <= dest < self.num_modules:
             raise ValueError(f"bad module id {dest}")
-        self._outbox.append(
-            Message(dest=dest, task=Task(fn=fn, args=args, tag=tag), size=size)
-        )
+        handler = self._handlers.get(fn)
+        if handler is None:
+            raise UnknownHandlerError(
+                f"no handler for {fn!r} (resolved at send time)")
+        slot = self._staged.get(dest)
+        if slot is None:
+            self._staged[dest] = [size, [(handler, args, tag, fn)], []]
+        else:
+            slot[0] += size
+            slot[1].append((handler, args, tag, fn))
 
-    def send_all(self, messages: Iterable[Tuple[int, str, tuple, Any]]) -> None:
-        """Queue many CPU->PIM messages: iterable of (dest, fn, args, tag)."""
-        for dest, fn, args, tag in messages:
-            self.send(dest, fn, args, tag)
+    def send_all(self, messages: Iterable[Sequence]) -> None:
+        """Queue many CPU->PIM messages in one call.
+
+        Each message is ``(dest, fn, args, tag)`` or, with an explicit
+        message size in constant-size units, ``(dest, fn, args, tag,
+        size)``.  This is the allocation-light bulk path: handlers are
+        resolved once per message and staged directly into the
+        per-destination queues.
+        """
+        staged = self._staged
+        handlers = self._handlers
+        n = self.num_modules
+        for msg in messages:
+            if len(msg) == 4:
+                dest, fn, args, tag = msg
+                size = 1
+            else:
+                dest, fn, args, tag, size = msg
+            if not 0 <= dest < n:
+                raise ValueError(f"bad module id {dest}")
+            handler = handlers.get(fn)
+            if handler is None:
+                raise UnknownHandlerError(
+                    f"no handler for {fn!r} (resolved at send time)")
+            slot = staged.get(dest)
+            if slot is None:
+                staged[dest] = [size, [(handler, args, tag, fn)], []]
+            else:
+                slot[0] += size
+                slot[1].append((handler, args, tag, fn))
 
     def broadcast(self, fn: str, args: tuple = (), tag: Any = None,
                   size: int = 1) -> None:
         """Queue one message to every module (an h=1 relation by itself)."""
+        handler = self._handlers.get(fn)
+        if handler is None:
+            raise UnknownHandlerError(
+                f"no handler for {fn!r} (resolved at send time)")
+        staged = self._staged
+        entry = (handler, args, tag, fn)
         for mid in range(self.num_modules):
-            self.send(mid, fn, args, tag=tag, size=size)
+            slot = staged.get(mid)
+            if slot is None:
+                staged[mid] = [size, [entry], []]
+            else:
+                slot[0] += size
+                slot[1].append(entry)
 
     # -- round execution -----------------------------------------------------
 
@@ -139,91 +239,123 @@ class PIMMachine:
         not counted, per the model).  Also charges ``log2 P`` of barrier
         synchronization cost and advances the per-round PIM-time maximum.
         """
-        incoming, self._outbox, self._forwards = (
-            self._outbox + self._forwards, [], []
-        )
-        if not incoming:
+        staged = self._staged
+        if not staged:
             return []
+        # Swap in a fresh staging dict: handlers forwarding during this
+        # round stage messages for the NEXT round.
+        self._staged = {}
+        incoming_total = 0
 
-        recv = [0] * self.num_modules
-        sent = [0] * self.num_modules
-        queues: List[List[Task]] = [[] for _ in range(self.num_modules)]
-        for msg in incoming:
-            recv[msg.dest] += msg.size
-            queues[msg.dest].append(msg.task)
-
-        for module in self.modules:
-            module.round_work = 0.0
-            if self.qrqw:
-                module.round_touch.clear()
-
+        qrqw = self.qrqw
+        profiler = self._profiler
+        contexts = self._contexts
+        modules = self.modules
         replies: List[Reply] = []
-        tasks_executed = 0
-        for mid, queue in enumerate(queues):
-            if not queue:
-                continue
-            module = self.modules[mid]
-            ctx = ModuleContext(self, module)
-            for task in queue:
-                handler = self._handlers.get(task.fn)
-                if handler is None:
-                    raise UnknownHandlerError(f"no handler for {task.fn!r}")
-                handler(ctx, *task.args, tag=task.tag)
-                tasks_executed += 1
-            replies.extend(ctx._replies)
-            self._forwards.extend(ctx._forwards)
-            sent[mid] += ctx._sent_size
+        h = 0
+        sent_total = 0
+        round_pim_max = 0.0
+        tasks = 0
+        for mid, slot in sorted(staged.items()):
+            incoming_total += slot[0]
+            ctx = contexts[mid]
+            ctx._replies = replies
+            ctx._sent_size = 0
+            module = modules[mid]
+            module.round_work = 0.0
+            if qrqw:
+                module.round_touch.clear()
+            cpu_q = slot[_CPU_Q]
+            fwd_q = slot[_FWD_Q]
+            tasks += len(cpu_q) + len(fwd_q)
+            if profiler is None:
+                for handler, args, tag, _fn in cpu_q:
+                    handler(ctx, *args, tag=tag)
+                for handler, args, tag, _fn in fwd_q:
+                    handler(ctx, *args, tag=tag)
+            else:
+                for queue in (cpu_q, fwd_q):
+                    for handler, args, tag, fn in queue:
+                        t0 = perf_counter()
+                        handler(ctx, *args, tag=tag)
+                        profiler.add(fn, perf_counter() - t0)
+            module_round = module.round_work
+            if qrqw and module.round_touch:
+                # Queue-write variant (paper §2.1 Discussion): a module's
+                # effective round time is at least its hottest object's
+                # access-queue length.
+                hottest = max(module.round_touch.values())
+                if hottest > module_round:
+                    module_round = hottest
+            if module_round > round_pim_max:
+                round_pim_max = module_round
+            sent = ctx._sent_size
+            sent_total += sent
+            # A module->module forward is counted once at send (in `sent`
+            # this round) and once at receive (in the round it is
+            # delivered).
+            h_mod = slot[0] + sent
+            if h_mod > h:
+                h = h_mod
 
-        h = max(r + s for r, s in zip(recv, sent))
-        # A module->module forward is counted once at send (in `sent` this
-        # round) and once at receive (in the round it is delivered).
-        total_msgs = sum(msg.size for msg in incoming) + sum(sent)
-        if self.qrqw:
-            # Queue-write variant (paper §2.1 Discussion): a module's
-            # effective round time is at least its hottest object's
-            # access-queue length.
-            round_pim_max = max(
-                max(m.round_work,
-                    max(m.round_touch.values()) if m.round_touch else 0.0)
-                for m in self.modules
+        total_msgs = incoming_total + sent_total
+        metrics = self.metrics
+        metrics.io_time += h
+        metrics.rounds += 1
+        metrics.messages += total_msgs
+        metrics.sync_cost += self._log_p
+        metrics.pim_time += round_pim_max
+        # metrics.pim_work_per_module is synced lazily from the modules at
+        # measurement points (snapshot / delta_since), not per round.
+        self.tasks_executed += tasks
+
+        if self._trace_rounds:
+            self.tracer.log_round(
+                RoundLog(
+                    index=metrics.rounds - 1,
+                    h=h,
+                    messages=total_msgs,
+                    pim_work_max=round_pim_max,
+                    tasks_executed=tasks,
+                )
             )
-        else:
-            round_pim_max = max(m.round_work for m in self.modules)
-
-        self.metrics.io_time += h
-        self.metrics.rounds += 1
-        self.metrics.messages += total_msgs
-        self.metrics.sync_cost += self.config.log_p
-        self.metrics.pim_time += round_pim_max
-        for mid, module in enumerate(self.modules):
-            self.metrics.pim_work_per_module[mid] = module.work
-
-        self.tracer.log_round(
-            RoundLog(
-                index=self.metrics.rounds - 1,
-                h=h,
-                messages=total_msgs,
-                pim_work_max=round_pim_max,
-                tasks_executed=tasks_executed,
-            )
-        )
+        elif self._trace_access:
+            self.tracer.access.end_round()
         return replies
 
     def drain(self, max_rounds: int = 1_000_000) -> List[Reply]:
-        """Step until the network is quiescent; return all replies."""
+        """Step until the network is quiescent; return all replies.
+
+        Executes at most ``max_rounds`` rounds; if messages are still
+        pending after exactly that many, raises ``RuntimeError`` with the
+        round count and the pending queue sizes (the usual cause is a
+        livelocked forwarding cycle).
+        """
         replies: List[Reply] = []
         rounds = 0
-        while self._outbox or self._forwards:
+        while self._staged:
+            if rounds >= max_rounds:
+                pending = {
+                    mid: len(slot[_CPU_Q]) + len(slot[_FWD_Q])
+                    for mid, slot in sorted(self._staged.items())
+                }
+                total = sum(pending.values())
+                shown = dict(list(pending.items())[:8])
+                more = "" if len(pending) <= 8 else \
+                    f" (+{len(pending) - 8} more modules)"
+                raise RuntimeError(
+                    f"drain executed {rounds} rounds (max_rounds="
+                    f"{max_rounds}) with {total} tasks still pending; "
+                    f"livelock?  pending tasks per module: {shown}{more}"
+                )
             replies.extend(self.step())
             rounds += 1
-            if rounds > max_rounds:
-                raise RuntimeError("drain exceeded max_rounds; livelock?")
         return replies
 
     @property
     def pending(self) -> bool:
         """True if messages await delivery in a future round."""
-        return bool(self._outbox or self._forwards)
+        return bool(self._staged)
 
     # -- measurement helpers ------------------------------------------------
 

@@ -6,15 +6,20 @@ charge local work explicitly (one unit per RAM instruction at the model's
 granularity -- in practice one unit per pointer hop / probe / node touch),
 and may emit replies to the CPU side or forward continuation tasks to other
 modules.
+
+Both classes use ``__slots__``: the context's methods (``charge``,
+``touch``, ``reply``, ``forward``) are the hottest calls in the whole
+simulator, and one :class:`ModuleContext` per module is created once and
+reused across rounds by the engine rather than allocated per round.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Dict, Hashable, List, Optional
+from typing import Any, Dict, Hashable, Optional
 
-from repro.sim.errors import LocalMemoryExceeded
-from repro.sim.task import CPU_SIDE, Message, Reply, Task
+from repro.sim.errors import LocalMemoryExceeded, UnknownHandlerError
+from repro.sim.task import Reply
 
 
 class PIMModule:
@@ -27,6 +32,9 @@ class PIMModule:
     local objects.
     """
 
+    __slots__ = ("mid", "local_memory_words", "enforce", "words_used",
+                 "words_peak", "work", "round_work", "round_touch", "state")
+
     def __init__(self, mid: int, local_memory_words: Optional[int] = None,
                  enforce: bool = False) -> None:
         self.mid = mid
@@ -35,8 +43,14 @@ class PIMModule:
         self.words_used = 0
         self.words_peak = 0
         self.work = 0.0          # cumulative local work
-        self.round_work = 0.0    # work in the current round (machine resets)
-        self.round_touch: Counter = Counter()  # per-round object accesses
+        # Work in the module's current (or last active) round.  The engine
+        # resets it lazily, when the module receives tasks in a round.
+        self.round_work = 0.0
+        # Per-round object access queue lengths under the qrqw contention
+        # model.  The engine clears this lazily: only when the module
+        # receives tasks in a round, so after a round it holds the touches
+        # of this module's *last active* round.
+        self.round_touch: Counter = Counter()
         self.state: Dict[str, Any] = {}
 
     # -- memory ----------------------------------------------------------
@@ -65,7 +79,16 @@ class PIMModule:
     # -- work --------------------------------------------------------------
 
     def charge(self, w: float = 1.0) -> None:
-        """Charge ``w`` units of local work to this module's core."""
+        """Charge ``w`` units of local work to this module's core.
+
+        Callable both from handlers (e.g. as a bound charge callback
+        handed to local data structures) and from out-of-round code such
+        as bulk construction.  In-round charges feed the engine's
+        per-round PIM-time maximum via :attr:`round_work`; out-of-round
+        charges are wiped by the reset when the module next becomes
+        active, so they count toward cumulative :attr:`work` only
+        (matching the model: bulk construction bills no network round).
+        """
         self.work += w
         self.round_work += w
 
@@ -80,37 +103,50 @@ class ModuleContext:
     to the CPU-side shared memory) and continuation forwarding (a message
     to another module, routed via the CPU side per the paper, accounted as
     one send now + one receive next round).
+
+    One context per module lives for the machine's lifetime; the engine
+    re-arms it (``_replies``, ``_sent_size``) each round the module is
+    active.  Tracing and qrqw flags are frozen from the machine config at
+    construction so the disabled paths cost one attribute check.
     """
+
+    __slots__ = ("machine", "module", "mid", "num_modules", "tracing",
+                 "_replies", "_sent_size", "_access", "_trace_access",
+                 "_qrqw", "_handlers")
 
     def __init__(self, machine: "PIMMachine", module: PIMModule) -> None:  # noqa: F821
         self.machine = machine
         self.module = module
-        self._replies: List[Reply] = []
-        self._forwards: List[Message] = []
+        self.mid = module.mid
+        self.num_modules = machine.num_modules
+        self._replies: list = []
         self._sent_size = 0
-
-    # -- identity ---------------------------------------------------------
-
-    @property
-    def mid(self) -> int:
-        """This module's id."""
-        return self.module.mid
-
-    @property
-    def num_modules(self) -> int:
-        return self.machine.num_modules
+        self._access = machine.tracer.access
+        self._trace_access = self._access.enabled
+        self._qrqw = machine.qrqw
+        # The registry dict is mutated in place, never rebound, so the
+        # direct reference stays valid -- forward() is the hottest engine
+        # call and skips one machine indirection per hop.
+        self._handlers = machine._handlers
+        # True when ctx.touch does anything.  Hot handlers check this to
+        # skip per-node touch calls (and their key-tuple allocations) in
+        # tight walks when neither access tracing nor qrqw is on.
+        self.tracing = self._trace_access or self._qrqw
 
     # -- cost accounting ----------------------------------------------------
 
     def charge(self, w: float = 1.0) -> None:
         """Charge ``w`` units of PIM local work."""
-        self.module.charge(w)
+        module = self.module
+        module.work += w
+        module.round_work += w
 
     def touch(self, obj: Hashable, count: int = 1) -> None:
         """Record an access to ``obj`` for contention tracing and, under
         the qrqw contention model, for this module's queue accounting."""
-        self.machine.tracer.access.touch(obj, count)
-        if self.machine.qrqw:
+        if self._trace_access:
+            self._access._current[obj] += count
+        if self._qrqw:
             self.module.round_touch[obj] += count
 
     # -- local state ----------------------------------------------------------
@@ -123,7 +159,7 @@ class ModuleContext:
 
     def reply(self, payload: Any, tag: Any = None, size: int = 1) -> None:
         """Send a return value (``size`` message units) back to the CPU side."""
-        self._replies.append(Reply(payload=payload, tag=tag, src=self.mid))
+        self._replies.append(Reply(payload, tag, self.mid))
         self._sent_size += size
 
     def forward(self, dest: int, fn: str, args: tuple = (), tag: Any = None,
@@ -133,10 +169,20 @@ class ModuleContext:
         Per the paper, module-to-module offload is performed by returning a
         value to shared memory which triggers a ``TaskSend`` from the CPU
         side; the simulator accounts it as one message sent by this module
-        this round and one received by ``dest`` next round.
+        this round and one received by ``dest`` next round.  The handler
+        for ``fn`` is resolved here, at issue time.
         """
-        self._forwards.append(
-            Message(dest=dest, task=Task(fn=fn, args=args, tag=tag), size=size,
-                    src=self.mid)
-        )
+        if not 0 <= dest < self.num_modules:
+            raise ValueError(f"bad module id {dest}")
+        handler = self._handlers.get(fn)
+        if handler is None:
+            raise UnknownHandlerError(
+                f"no handler for {fn!r} (resolved at forward time)")
+        staged = self.machine._staged
+        slot = staged.get(dest)
+        if slot is None:
+            staged[dest] = [size, [], [(handler, args, tag, fn)]]
+        else:
+            slot[0] += size
+            slot[2].append((handler, args, tag, fn))
         self._sent_size += size

@@ -10,18 +10,24 @@ Messages have a ``size`` in constant-size message units: the model's
 messages carry a constant number of words, so a payload of ``k`` words is
 accounted as ``k`` messages (used e.g. when a pivot search streams its
 lower-part path back to shared memory).
+
+These are plain ``__slots__`` value classes, not dataclasses: the round
+engine creates them (``Reply``) or their flattened equivalents at very
+high rates, and the per-instance dict plus dataclass machinery showed up
+as a measurable share of simulator wall time.  The engine's internal
+queues carry pre-resolved ``(handler, args, tag, fn)`` entries;
+:class:`Task` and :class:`Message` remain the public value types for code
+that builds or inspects messages explicitly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Optional, Tuple
 
 CPU_SIDE = -1
 """Pseudo module id for the CPU side (the shared memory)."""
 
 
-@dataclass
 class Task:
     """A unit of offloaded work: a function id plus arguments.
 
@@ -32,12 +38,24 @@ class Task:
     operation within a batch).
     """
 
-    fn: str
-    args: Tuple[Any, ...] = ()
-    tag: Any = None
+    __slots__ = ("fn", "args", "tag")
+
+    def __init__(self, fn: str, args: Tuple[Any, ...] = (),
+                 tag: Any = None) -> None:
+        self.fn = fn
+        self.args = args
+        self.tag = tag
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Task):
+            return NotImplemented
+        return (self.fn == other.fn and self.args == other.args
+                and self.tag == other.tag)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Task(fn={self.fn!r}, args={self.args!r}, tag={self.tag!r})"
 
 
-@dataclass
 class Message:
     """A routed message: a task headed to ``dest`` of a given ``size``.
 
@@ -47,13 +65,26 @@ class Message:
     source round and one receive at the destination round).
     """
 
-    dest: int
-    task: Task
-    size: int = 1
-    src: int = CPU_SIDE
+    __slots__ = ("dest", "task", "size", "src")
+
+    def __init__(self, dest: int, task: Task, size: int = 1,
+                 src: int = CPU_SIDE) -> None:
+        self.dest = dest
+        self.task = task
+        self.size = size
+        self.src = src
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Message):
+            return NotImplemented
+        return (self.dest == other.dest and self.task == other.task
+                and self.size == other.size and self.src == other.src)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Message(dest={self.dest}, task={self.task!r}, "
+                f"size={self.size}, src={self.src})")
 
 
-@dataclass
 class Reply:
     """A task's return value, written back to CPU-side shared memory.
 
@@ -61,6 +92,20 @@ class Reply:
     task's tag, and ``src`` is the module that produced the reply.
     """
 
-    payload: Any
-    tag: Any = None
-    src: int = CPU_SIDE
+    __slots__ = ("payload", "tag", "src")
+
+    def __init__(self, payload: Any, tag: Any = None,
+                 src: int = CPU_SIDE) -> None:
+        self.payload = payload
+        self.tag = tag
+        self.src = src
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Reply):
+            return NotImplemented
+        return (self.payload == other.payload and self.tag == other.tag
+                and self.src == other.src)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Reply(payload={self.payload!r}, tag={self.tag!r}, "
+                f"src={self.src})")

@@ -1,0 +1,145 @@
+"""Golden-metrics regression: the engine's accounting must never drift.
+
+Each workload below is a deterministic seed scenario (fixed machine seed,
+fixed key streams); for every measured operation the test compares
+``MetricsDelta.as_dict()`` against checked-in golden values, exactly.
+The golden file was generated with the pre-fast-path round engine, so a
+pass here proves the optimized engine reports *identical* model metrics
+-- any future perf work that silently changes the accounting fails here.
+
+Regenerate (only when the model accounting intentionally changes)::
+
+    PYTHONPATH=src python tests/test_golden_metrics.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.baselines import HashPartitionedMap
+from repro.collectives import Collectives
+from repro.core.skiplist import PIMSkipList
+from repro.sim.machine import PIMMachine
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden",
+                           "golden_metrics.json")
+
+
+def _measure(machine, label, fn, out):
+    before = machine.snapshot()
+    fn()
+    delta = machine.delta_since(before)
+    out[label] = delta.as_dict()
+
+
+def _skiplist_workloads(out):
+    p, n = 16, 512
+    machine = PIMMachine(num_modules=p, seed=11)
+    sl = PIMSkipList(machine, name="gold")
+    rng = random.Random(101)
+    keys = sorted(rng.sample(range(1, 50_000), n))
+    _measure(machine, "skiplist/build",
+             lambda: sl.build([(k, k * 3) for k in keys]), out)
+    get_keys = [rng.choice(keys) if i % 2 == 0 else rng.randrange(50_000)
+                for i in range(64)]
+    _measure(machine, "skiplist/batch_get",
+             lambda: sl.batch_get(get_keys), out)
+    succ_keys = [rng.randrange(60_000) for _ in range(256)]
+    _measure(machine, "skiplist/batch_successor",
+             lambda: sl.batch_successor(succ_keys), out)
+    upserts = [(rng.choice(keys), -1) if i % 3 == 0
+               else (rng.randrange(50_000, 90_000), i)
+               for i in range(256)]
+    _measure(machine, "skiplist/batch_upsert",
+             lambda: sl.batch_upsert(upserts), out)
+    del_keys = [rng.choice(keys) for _ in range(128)]
+    _measure(machine, "skiplist/batch_delete",
+             lambda: sl.batch_delete(del_keys), out)
+
+
+def _baseline_workloads(out):
+    p, n = 16, 400
+    machine = PIMMachine(num_modules=p, seed=23)
+    hp = HashPartitionedMap(machine)
+    rng = random.Random(202)
+    keys = sorted(rng.sample(range(1, 20_000), n))
+    hp.build([(k, k) for k in keys])
+    get_keys = [rng.choice(keys) if i % 2 == 0 else rng.randrange(20_000)
+                for i in range(96)]
+    _measure(machine, "hashpart/batch_get",
+             lambda: hp.batch_get(get_keys), out)
+    succ_keys = [rng.randrange(25_000) for _ in range(64)]
+    _measure(machine, "hashpart/batch_successor",
+             lambda: hp.batch_successor(succ_keys), out)
+
+
+def _collective_workloads(out):
+    p = 8
+    machine = PIMMachine(num_modules=p, seed=31)
+    coll = Collectives(machine)
+    _measure(machine, "collectives/scatter",
+             lambda: coll.scatter([[i] * (i % 3 + 1) for i in range(p)]), out)
+    _measure(machine, "collectives/allreduce",
+             lambda: coll.allreduce(lambda a, b: a + (b[0] if b else 0), 0),
+             out)
+    rng = random.Random(303)
+    matrix = [{j: [i * p + j] * (rng.randrange(3) + 1)
+               for j in range(p) if (i + j) % 3 != 0}
+              for i in range(p)]
+    _measure(machine, "collectives/alltoall",
+             lambda: coll.alltoall(matrix), out)
+    records = [rng.randrange(40) for _ in range(200)]
+    _measure(machine, "collectives/histogram",
+             lambda: coll.histogram(records, lambda r: r % p), out)
+
+
+def _qrqw_workloads(out):
+    """Lock qrqw round_touch accounting: a hot-key get batch where the
+    effective round time is dominated by one object's access queue."""
+    p, n = 8, 128
+    machine = PIMMachine(num_modules=p, seed=47, contention_model="qrqw")
+    sl = PIMSkipList(machine, name="goldq")
+    rng = random.Random(404)
+    keys = sorted(rng.sample(range(1, 5_000), n))
+    sl.build([(k, k) for k in keys])
+    hot = keys[n // 2]
+    batch = [hot] * 24 + [rng.choice(keys) for _ in range(24)]
+    _measure(machine, "qrqw/batch_get_hotkey",
+             lambda: sl.batch_get(batch), out)
+    _measure(machine, "qrqw/batch_successor",
+             lambda: sl.batch_successor([rng.randrange(6_000)
+                                         for _ in range(64)]), out)
+
+
+def compute_all() -> dict:
+    out: dict = {}
+    _skiplist_workloads(out)
+    _baseline_workloads(out)
+    _collective_workloads(out)
+    _qrqw_workloads(out)
+    return out
+
+
+def test_golden_metrics_exact():
+    with open(GOLDEN_PATH) as f:
+        golden = json.load(f)
+    actual = compute_all()
+    assert sorted(actual) == sorted(golden), "workload set changed"
+    for label in golden:
+        assert actual[label] == pytest.approx(golden[label], abs=0, rel=0), \
+            f"metrics drifted for {label}"
+
+
+if __name__ == "__main__":
+    import sys
+    if "--regen" in sys.argv:
+        os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+        with open(GOLDEN_PATH, "w") as f:
+            json.dump(compute_all(), f, indent=2, sort_keys=True)
+        print(f"wrote {GOLDEN_PATH}")
+    else:
+        print(__doc__)

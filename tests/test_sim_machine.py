@@ -24,10 +24,12 @@ def test_send_and_drain_roundtrip():
 
 
 def test_unknown_handler_raises():
+    # Handlers are resolved at issue time: the send itself raises, before
+    # anything is staged for the next round.
     m = PIMMachine(num_modules=2, seed=0)
-    m.send(0, "nope", ())
     with pytest.raises(UnknownHandlerError):
-        m.step()
+        m.send(0, "nope", ())
+    assert not m.pending
 
 
 def test_handler_collision_rejected():
@@ -120,6 +122,8 @@ def test_pim_time_is_sum_of_round_maxima():
     m.send(1, "work", (5,))
     m.step()  # round max = 5
     assert m.metrics.pim_time == 15
+    # Per-module work accumulators sync at measurement points.
+    m._sync_pim_work()
     assert m.metrics.pim_work_per_module == [10.0, 8.0]
 
 
