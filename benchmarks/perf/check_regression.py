@@ -1,0 +1,86 @@
+"""Wall-clock regression gate for the simulator's macro scenario.
+
+Re-runs the ``macro_successor`` scenario (the P=128 batched-successor
+session from ``bench_wallclock.py``) with the *committed* baseline's own
+parameters and fails when the measured best-of-N wall time regresses by
+more than the threshold over the baseline's recorded seconds.
+
+Run this *before* anything overwrites ``BENCH_simwall.json`` in the
+working tree (the CI smoke run writes its quick-mode output to a
+separate path for exactly that reason).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/check_regression.py
+        [--baseline PATH] [--threshold 0.10] [--repeat 3]
+
+Exit status 0 when within threshold, 1 on regression.  Faster-than-
+baseline runs always pass (the gate is one-sided: it exists to catch
+engine slowdowns, not to pin CI-runner luck).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+from bench_wallclock import macro_successor  # noqa: E402
+from repro.sim.profiling import ThroughputProbe  # noqa: E402
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_simwall.json")
+SCENARIO = "macro_successor"
+
+
+def measure(params: dict, repeat: int) -> float:
+    best = None
+    for _ in range(repeat):
+        probe = macro_successor(ThroughputProbe, **params)
+        if best is None or probe.seconds < best:
+            best = probe.seconds
+    return best
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", default=BASELINE_PATH,
+                    help="baseline JSON (default: committed BENCH_simwall)")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="allowed fractional slowdown (default 0.10)")
+    ap.add_argument("--repeat", type=int, default=3,
+                    help="runs; best is compared (default 3)")
+    args = ap.parse_args()
+    if args.repeat < 1:
+        ap.error(f"--repeat must be >= 1, got {args.repeat}")
+    if args.threshold < 0:
+        ap.error(f"--threshold must be >= 0, got {args.threshold}")
+
+    with open(args.baseline) as f:
+        doc = json.load(f)
+    if doc.get("config", {}).get("quick"):
+        print(f"error: {args.baseline} is a --quick run; the gate needs a "
+              "full-parameter baseline", file=sys.stderr)
+        return 1
+    base = doc["scenarios"][SCENARIO]
+    params = base["params"]
+    baseline_s = base["seconds"]
+
+    measured_s = measure(params, args.repeat)
+    limit_s = baseline_s * (1.0 + args.threshold)
+    ratio = measured_s / baseline_s
+    print(f"{SCENARIO}: baseline {baseline_s:.3f}s, measured {measured_s:.3f}s "
+          f"({ratio:.2f}x), limit {limit_s:.3f}s "
+          f"(+{args.threshold:.0%}) params={params}")
+    if measured_s > limit_s:
+        print(f"REGRESSION: {SCENARIO} is {ratio:.2f}x the baseline "
+              f"(allowed {1.0 + args.threshold:.2f}x)", file=sys.stderr)
+        return 1
+    print("ok: within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

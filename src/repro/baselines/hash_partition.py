@@ -19,6 +19,7 @@ from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tupl
 from repro.balls.hashing import KeyLevelHash
 from repro.baselines.local_skiplist import LocalSkipList
 from repro.cpuside.semisort import group_by
+from repro.ops import BatchOp, Broadcast, run_batch
 from repro.sim.machine import PIMMachine
 
 
@@ -37,7 +38,10 @@ class HashPartitionedMap:
             module.state[name] = LocalSkipList(
                 rng=machine.spawn_rng(0x9B0 + mid), charge=module.charge,
             )
-        machine.register_all(self._handlers())
+        # One stable handler dict per map: the ops' handlers() return it,
+        # so the driver's re-registration is a no-op.
+        self._handler_map = self._handlers()
+        machine.register_all(self._handler_map)
 
     def _handlers(self) -> Dict[str, Any]:
         name = self.name
@@ -90,68 +94,127 @@ class HashPartitionedMap:
     # -- batched operations -------------------------------------------------
 
     def batch_get(self, keys: Sequence[Hashable]) -> List[Optional[Any]]:
-        machine = self.machine
-        groups = group_by(machine.cpu, list(range(len(keys))),
-                          key=lambda i: keys[i])
-        fn_get = f"{self.name}:get"
-        machine.send_all((self.owner(key), fn_get, (key,), None)
-                         for key in groups)
-        results: List[Optional[Any]] = [None] * len(keys)
-        for r in machine.drain():
-            key, value = r.payload
-            for i in groups[key]:
-                results[i] = value
-        return results
+        return run_batch(self.machine, _HashGetOp(self, keys))
 
     def batch_upsert(self, pairs: Sequence[Tuple[Hashable, Any]]) -> int:
-        machine = self.machine
-        groups = group_by(machine.cpu, list(pairs), key=lambda kv: kv[0])
-        fn_upsert = f"{self.name}:upsert"
-        machine.send_all((self.owner(key), fn_upsert, (key, occ[-1][1]), None)
-                         for key, occ in groups.items())
-        created = sum(1 for r in machine.drain() if r.payload[1])
-        self.num_keys += created
-        return created
+        return run_batch(self.machine, _HashUpsertOp(self, pairs))
 
     def batch_delete(self, keys: Sequence[Hashable]) -> int:
-        machine = self.machine
-        groups = group_by(machine.cpu, list(keys), key=lambda k: k)
-        fn_delete = f"{self.name}:delete"
-        machine.send_all((self.owner(key), fn_delete, (key,), None)
-                         for key in groups)
-        removed = sum(1 for r in machine.drain() if r.payload[1])
-        self.num_keys -= removed
-        return removed
+        return run_batch(self.machine, _HashDeleteOp(self, keys))
 
     def batch_successor(self, keys: Sequence[Hashable],
                         ) -> List[Optional[Tuple[Hashable, Any]]]:
         """Every query broadcasts: P messages out + P local searches + P
         answers back, then a CPU min-combine.  IO ~ B (not B/P)."""
-        machine = self.machine
-        fn_lsucc = f"{self.name}:lsucc"
-        for i, key in enumerate(keys):
-            machine.broadcast(fn_lsucc, (key, i))
-        best: List[Optional[Tuple[Hashable, Any]]] = [None] * len(keys)
-        for r in machine.drain():
-            _, opid, res = r.payload
-            if res is not None and (best[opid] is None or res[0] < best[opid][0]):
-                best[opid] = res
-        machine.cpu.charge(
-            len(keys) * self.num_modules,
-            max(1.0, math.log2(self.num_modules + 1)),
-        )
-        return best
+        return run_batch(self.machine, _HashSuccessorOp(self, keys))
 
     def batch_range(self, ops: Sequence[Tuple[Hashable, Hashable]],
                     ) -> List[List[Tuple[Hashable, Any]]]:
         """Every range op broadcasts to all modules; the CPU merge-sorts
         the scattered partial results."""
-        machine = self.machine
-        fn_range = f"{self.name}:range"
-        for i, (l, r) in enumerate(ops):
-            machine.broadcast(fn_range, (l, r, i))
+        return run_batch(self.machine, _HashRangeOp(self, ops))
+
+
+class _HashPartOp(BatchOp):
+    """Base for the map's ops: handlers come from the host's stable dict."""
+
+    def __init__(self, hp: HashPartitionedMap, batch: Any,
+                 suffix: str) -> None:
+        self.hp = hp
+        self.batch = batch
+        self.name = f"{hp.name}:{suffix}"
+
+    def handlers(self):
+        return self.hp._handler_map
+
+
+class _HashGetOp(_HashPartOp):
+    def __init__(self, hp: HashPartitionedMap,
+                 keys: Sequence[Hashable]) -> None:
+        super().__init__(hp, keys, "batch_get")
+
+    def route(self, machine, plan):
+        hp, keys = self.hp, self.batch
+        groups = group_by(machine.cpu, list(range(len(keys))),
+                          key=lambda i: keys[i])
+        fn_get = f"{hp.name}:get"
+        replies = yield ((hp.owner(key), fn_get, (key,), None)
+                         for key in groups)
+        results: List[Optional[Any]] = [None] * len(keys)
+        for r in replies:
+            key, value = r.payload
+            for i in groups[key]:
+                results[i] = value
+        return results
+
+
+class _HashUpsertOp(_HashPartOp):
+    def __init__(self, hp: HashPartitionedMap,
+                 pairs: Sequence[Tuple[Hashable, Any]]) -> None:
+        super().__init__(hp, pairs, "batch_upsert")
+
+    def route(self, machine, plan):
+        hp, pairs = self.hp, self.batch
+        groups = group_by(machine.cpu, list(pairs), key=lambda kv: kv[0])
+        fn_upsert = f"{hp.name}:upsert"
+        replies = yield ((hp.owner(key), fn_upsert, (key, occ[-1][1]), None)
+                         for key, occ in groups.items())
+        created = sum(1 for r in replies if r.payload[1])
+        hp.num_keys += created
+        return created
+
+
+class _HashDeleteOp(_HashPartOp):
+    def __init__(self, hp: HashPartitionedMap,
+                 keys: Sequence[Hashable]) -> None:
+        super().__init__(hp, keys, "batch_delete")
+
+    def route(self, machine, plan):
+        hp, keys = self.hp, self.batch
+        groups = group_by(machine.cpu, list(keys), key=lambda k: k)
+        fn_delete = f"{hp.name}:delete"
+        replies = yield ((hp.owner(key), fn_delete, (key,), None)
+                         for key in groups)
+        removed = sum(1 for r in replies if r.payload[1])
+        hp.num_keys -= removed
+        return removed
+
+
+class _HashSuccessorOp(_HashPartOp):
+    def __init__(self, hp: HashPartitionedMap,
+                 keys: Sequence[Hashable]) -> None:
+        super().__init__(hp, keys, "batch_successor")
+
+    def route(self, machine, plan):
+        hp, keys = self.hp, self.batch
+        fn_lsucc = f"{hp.name}:lsucc"
+        replies = yield (Broadcast(fn_lsucc, (key, i))
+                         for i, key in enumerate(keys))
+        best: List[Optional[Tuple[Hashable, Any]]] = [None] * len(keys)
+        for r in replies:
+            _, opid, res = r.payload
+            if res is not None and (best[opid] is None
+                                    or res[0] < best[opid][0]):
+                best[opid] = res
+        machine.cpu.charge(
+            len(keys) * hp.num_modules,
+            max(1.0, math.log2(hp.num_modules + 1)),
+        )
+        return best
+
+
+class _HashRangeOp(_HashPartOp):
+    def __init__(self, hp: HashPartitionedMap,
+                 ops: Sequence[Tuple[Hashable, Hashable]]) -> None:
+        super().__init__(hp, ops, "batch_range")
+
+    def route(self, machine, plan):
+        hp, ops = self.hp, self.batch
+        fn_range = f"{hp.name}:range"
+        replies = yield (Broadcast(fn_range, (l, r, i))
+                         for i, (l, r) in enumerate(ops))
         parts: Dict[int, List[Tuple[Hashable, Any]]] = {}
-        for rep in machine.drain():
+        for rep in replies:
             _, opid, vals = rep.payload
             parts.setdefault(opid, []).extend(vals)
         out: List[List[Tuple[Hashable, Any]]] = []

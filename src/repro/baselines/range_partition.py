@@ -25,6 +25,7 @@ from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tupl
 
 from repro.baselines.local_skiplist import LocalSkipList
 from repro.cpuside.semisort import group_by
+from repro.ops import BatchOp, run_batch
 from repro.sim.machine import PIMMachine
 
 
@@ -43,7 +44,10 @@ class RangePartitionedSkipList:
             module.state[name] = LocalSkipList(
                 rng=machine.spawn_rng(0x2A9E + mid), charge=module.charge,
             )
-        machine.register_all(self._handlers())
+        # One stable handler dict per map: the ops' handlers() return it,
+        # so the driver's re-registration is a no-op.
+        self._handler_map = self._handlers()
+        machine.register_all(self._handler_map)
 
     # -- handlers -----------------------------------------------------------
 
@@ -124,63 +128,125 @@ class RangePartitionedSkipList:
     # -- batch operations -----------------------------------------------------------
 
     def batch_get(self, keys: Sequence[Hashable]) -> List[Optional[Any]]:
-        machine = self.machine
-        groups = group_by(machine.cpu, list(range(len(keys))),
-                          key=lambda i: keys[i])
-        fn_get = f"{self.name}:get"
-        machine.send_all((self.route(key), fn_get, (key,), None)
-                         for key in groups)
-        results: List[Optional[Any]] = [None] * len(keys)
-        for r in machine.drain():
-            key, value = r.payload
-            for i in groups[key]:
-                results[i] = value
-        return results
+        return run_batch(self.machine, _RangeGetOp(self, keys))
 
     def batch_upsert(self, pairs: Sequence[Tuple[Hashable, Any]]) -> int:
-        machine = self.machine
-        groups = group_by(machine.cpu, list(pairs), key=lambda kv: kv[0])
-        fn_upsert = f"{self.name}:upsert"
-        machine.send_all((self.route(key), fn_upsert, (key, occ[-1][1]), None)
-                         for key, occ in groups.items())
-        created = sum(1 for r in machine.drain() if r.payload[1])
-        self.num_keys += created
-        return created
+        return run_batch(self.machine, _RangeUpsertOp(self, pairs))
 
     def batch_delete(self, keys: Sequence[Hashable]) -> int:
-        machine = self.machine
-        groups = group_by(machine.cpu, list(keys), key=lambda k: k)
-        fn_delete = f"{self.name}:delete"
-        machine.send_all((self.route(key), fn_delete, (key,), None)
-                         for key in groups)
-        removed = sum(1 for r in machine.drain() if r.payload[1])
-        self.num_keys -= removed
-        return removed
+        return run_batch(self.machine, _RangeDeleteOp(self, keys))
 
     def batch_successor(self, keys: Sequence[Hashable],
                         ) -> List[Optional[Tuple[Hashable, Any]]]:
-        machine = self.machine
-        fn_succ = f"{self.name}:succ"
-        machine.send_all((self.route(key), fn_succ, (key, i), None)
-                         for i, key in enumerate(keys))
-        results: List[Optional[Tuple[Hashable, Any]]] = [None] * len(keys)
-        for r in machine.drain():
-            _, opid, res = r.payload
-            results[opid] = res
-        return results
+        return run_batch(self.machine, _RangeSuccessorOp(self, keys))
 
     def batch_range(self, ops: Sequence[Tuple[Hashable, Hashable]],
                     ) -> List[List[Tuple[Hashable, Any]]]:
         """Range scans; each op contacts only the modules its range spans
         (the baseline's strong suit)."""
-        machine = self.machine
-        fn_range = f"{self.name}:range"
-        for i, (l, r) in enumerate(ops):
-            lo, hi = self.route(l), self.route(r)
-            machine.send_all((mid, fn_range, (l, r, i), None)
-                             for mid in range(lo, hi + 1))
+        return run_batch(self.machine, _RangeScanOp(self, ops))
+
+
+class _RangePartOp(BatchOp):
+    """Base for the map's ops: handlers come from the host's stable dict."""
+
+    def __init__(self, rp: RangePartitionedSkipList, batch: Any,
+                 suffix: str) -> None:
+        self.rp = rp
+        self.batch = batch
+        self.name = f"{rp.name}:{suffix}"
+
+    def handlers(self):
+        return self.rp._handler_map
+
+
+class _RangeGetOp(_RangePartOp):
+    def __init__(self, rp: RangePartitionedSkipList,
+                 keys: Sequence[Hashable]) -> None:
+        super().__init__(rp, keys, "batch_get")
+
+    def route(self, machine, plan):
+        rp, keys = self.rp, self.batch
+        groups = group_by(machine.cpu, list(range(len(keys))),
+                          key=lambda i: keys[i])
+        fn_get = f"{rp.name}:get"
+        replies = yield ((rp.route(key), fn_get, (key,), None)
+                         for key in groups)
+        results: List[Optional[Any]] = [None] * len(keys)
+        for r in replies:
+            key, value = r.payload
+            for i in groups[key]:
+                results[i] = value
+        return results
+
+
+class _RangeUpsertOp(_RangePartOp):
+    def __init__(self, rp: RangePartitionedSkipList,
+                 pairs: Sequence[Tuple[Hashable, Any]]) -> None:
+        super().__init__(rp, pairs, "batch_upsert")
+
+    def route(self, machine, plan):
+        rp, pairs = self.rp, self.batch
+        groups = group_by(machine.cpu, list(pairs), key=lambda kv: kv[0])
+        fn_upsert = f"{rp.name}:upsert"
+        replies = yield ((rp.route(key), fn_upsert, (key, occ[-1][1]), None)
+                         for key, occ in groups.items())
+        created = sum(1 for r in replies if r.payload[1])
+        rp.num_keys += created
+        return created
+
+
+class _RangeDeleteOp(_RangePartOp):
+    def __init__(self, rp: RangePartitionedSkipList,
+                 keys: Sequence[Hashable]) -> None:
+        super().__init__(rp, keys, "batch_delete")
+
+    def route(self, machine, plan):
+        rp, keys = self.rp, self.batch
+        groups = group_by(machine.cpu, list(keys), key=lambda k: k)
+        fn_delete = f"{rp.name}:delete"
+        replies = yield ((rp.route(key), fn_delete, (key,), None)
+                         for key in groups)
+        removed = sum(1 for r in replies if r.payload[1])
+        rp.num_keys -= removed
+        return removed
+
+
+class _RangeSuccessorOp(_RangePartOp):
+    def __init__(self, rp: RangePartitionedSkipList,
+                 keys: Sequence[Hashable]) -> None:
+        super().__init__(rp, keys, "batch_successor")
+
+    def route(self, machine, plan):
+        rp, keys = self.rp, self.batch
+        fn_succ = f"{rp.name}:succ"
+        replies = yield ((rp.route(key), fn_succ, (key, i), None)
+                         for i, key in enumerate(keys))
+        results: List[Optional[Tuple[Hashable, Any]]] = [None] * len(keys)
+        for r in replies:
+            _, opid, res = r.payload
+            results[opid] = res
+        return results
+
+
+class _RangeScanOp(_RangePartOp):
+    def __init__(self, rp: RangePartitionedSkipList,
+                 ops: Sequence[Tuple[Hashable, Hashable]]) -> None:
+        super().__init__(rp, ops, "batch_range")
+
+    def route(self, machine, plan):
+        rp, ops = self.rp, self.batch
+        fn_range = f"{rp.name}:range"
+
+        def messages():
+            for i, (l, r) in enumerate(ops):
+                lo, hi = rp.route(l), rp.route(r)
+                for mid in range(lo, hi + 1):
+                    yield (mid, fn_range, (l, r, i), None)
+
+        replies = yield messages()
         parts: Dict[int, List[Tuple[int, List]]] = {}
-        for rep in machine.drain():
+        for rep in replies:
             _, opid, mid, vals = rep.payload
             parts.setdefault(opid, []).append((mid, vals))
         out: List[List[Tuple[Hashable, Any]]] = []

@@ -6,6 +6,7 @@ import math
 from collections import Counter
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
 
+from repro.ops import BatchOp, Broadcast, run_batch
 from repro.sim.machine import PIMMachine
 
 
@@ -102,32 +103,19 @@ class Collectives:
         """Store ``values[i]`` into module ``i``'s slot."""
         if len(values) != self.num_modules:
             raise ValueError("scatter needs one value per module")
-        fn_put = f"{self.name}:put"
-        self.machine.send_all((mid, fn_put, (value,), None, _words(value))
-                              for mid, value in enumerate(values))
-        self.machine.drain()
+        run_batch(self.machine, _ScatterOp(self, values))
 
     def gather(self) -> List[Any]:
         """Return every module's slot (ordered by module id)."""
-        self.machine.broadcast(f"{self.name}:get", ())
-        out: List[Any] = [None] * self.num_modules
-        for r in self.machine.drain():
-            _, mid, value = r.payload
-            out[mid] = value
-        self.machine.cpu.charge(self.num_modules,
-                                max(1.0, math.log2(self.num_modules)))
-        return out
+        return run_batch(self.machine, _GatherOp(self))
 
     def broadcast(self, value: Any) -> None:
         """Store ``value`` into every module's slot."""
-        self.machine.broadcast(f"{self.name}:put", (value,),
-                               size=_words(value))
-        self.machine.drain()
+        run_batch(self.machine, _BroadcastOp(self, value))
 
     def map_slots(self, fn: Callable[[int, Any], Any]) -> None:
         """Apply ``fn(mid, slot) -> (new_slot, pim_work)`` on each module."""
-        self.machine.broadcast(f"{self.name}:apply", (fn,))
-        self.machine.drain()
+        run_batch(self.machine, _MapSlotsOp(self, fn))
 
     # -- combining collectives --------------------------------------------
 
@@ -178,18 +166,7 @@ class Collectives:
         """
         if len(matrix) != self.num_modules:
             raise ValueError("alltoall needs one row per module")
-        fn_send_row = f"{self.name}:send_row"
-        self.machine.send_all(
-            (mid, fn_send_row, (dict(row),), None,
-             max(1, sum(_words(v) for v in row.values())))
-            for mid, row in enumerate(matrix))
-        self.machine.drain()
-        self.machine.broadcast(f"{self.name}:collect_inbox", ())
-        out: List[List[Any]] = [[] for _ in range(self.num_modules)]
-        for r in self.machine.drain():
-            _, mid, inbox = r.payload
-            out[mid] = inbox
-        return out
+        return run_batch(self.machine, _AllToAllOp(self, matrix))
 
     # -- histogram ------------------------------------------------------------
 
@@ -219,15 +196,105 @@ class Collectives:
 
             self.machine.register(fn_count, h_count)
             self.machine.register(fn_flush, h_flush)
-        self.machine.send_all((placement(rec), fn_count, (rec,), None)
-                              for rec in records)
-        self.machine.drain()
-        self.machine.broadcast(fn_flush, ())
+        return run_batch(self.machine,
+                         _HistogramOp(self, records, placement))
+
+
+class _CollectiveOp(BatchOp):
+    """Base for the collectives: handlers are registered by the context's
+    constructor (guarded by name), so ops contribute none themselves."""
+
+    def __init__(self, coll: Collectives, suffix: str) -> None:
+        self.coll = coll
+        self.name = f"{coll.name}:{suffix}"
+
+
+class _ScatterOp(_CollectiveOp):
+    def __init__(self, coll: Collectives, values: Sequence[Any]) -> None:
+        super().__init__(coll, "scatter")
+        self.values = values
+
+    def route(self, machine, plan):
+        fn_put = f"{self.coll.name}:put"
+        yield ((mid, fn_put, (value,), None, _words(value))
+               for mid, value in enumerate(self.values))
+
+
+class _GatherOp(_CollectiveOp):
+    def __init__(self, coll: Collectives) -> None:
+        super().__init__(coll, "gather")
+
+    def route(self, machine, plan):
+        coll = self.coll
+        replies = yield [Broadcast(f"{coll.name}:get", ())]
+        out: List[Any] = [None] * coll.num_modules
+        for r in replies:
+            _, mid, value = r.payload
+            out[mid] = value
+        machine.cpu.charge(coll.num_modules,
+                           max(1.0, math.log2(coll.num_modules)))
+        return out
+
+
+class _BroadcastOp(_CollectiveOp):
+    def __init__(self, coll: Collectives, value: Any) -> None:
+        super().__init__(coll, "broadcast")
+        self.value = value
+
+    def route(self, machine, plan):
+        yield [Broadcast(f"{self.coll.name}:put", (self.value,),
+                         size=_words(self.value))]
+
+
+class _MapSlotsOp(_CollectiveOp):
+    def __init__(self, coll: Collectives,
+                 fn: Callable[[int, Any], Any]) -> None:
+        super().__init__(coll, "map_slots")
+        self.fn = fn
+
+    def route(self, machine, plan):
+        yield [Broadcast(f"{self.coll.name}:apply", (self.fn,))]
+
+
+class _AllToAllOp(_CollectiveOp):
+    def __init__(self, coll: Collectives,
+                 matrix: Sequence[Dict[int, Any]]) -> None:
+        super().__init__(coll, "alltoall")
+        self.matrix = matrix
+
+    def route(self, machine, plan):
+        coll = self.coll
+        fn_send_row = f"{coll.name}:send_row"
+        yield ((mid, fn_send_row, (dict(row),), None,
+                max(1, sum(_words(v) for v in row.values())))
+               for mid, row in enumerate(self.matrix))
+        replies = yield [Broadcast(f"{coll.name}:collect_inbox", ())]
+        out: List[List[Any]] = [[] for _ in range(coll.num_modules)]
+        for r in replies:
+            _, mid, inbox = r.payload
+            out[mid] = inbox
+        return out
+
+
+class _HistogramOp(_CollectiveOp):
+    def __init__(self, coll: Collectives, records: Sequence[Hashable],
+                 placement: Callable[[Hashable], int]) -> None:
+        super().__init__(coll, "histogram")
+        self.records = records
+        self.placement = placement
+
+    def route(self, machine, plan):
+        coll, records = self.coll, self.records
+        placement = self.placement
+        fn_count = f"{coll.name}:hist_count"
+        fn_flush = f"{coll.name}:hist_flush"
+        yield ((placement(rec), fn_count, (rec,), None) for rec in records)
+        replies = yield [Broadcast(fn_flush, ())]
         total: Counter = Counter()
-        for r in self.machine.drain():
+        for r in replies:
             total.update(r.payload[1])
-        self.machine.cpu.charge(
-            len(records) // max(1, self.num_modules) + self.num_modules,
+        machine.cpu.charge(
+            len(records) // max(1, coll.num_modules) + coll.num_modules,
             max(1.0, math.log2(len(records) + 2)),
         )
         return total

@@ -23,6 +23,10 @@ without any search:
 Bounds (Theorem 4.5): ``O(log^2 P)`` IO time, ``O(log^2 P)`` PIM time,
 ``O(P log^2 P)`` expected CPU work, ``O(log P)`` CPU depth, and
 ``Theta(P log^2 P)`` shared memory, whp, for batches of ``P log^2 P``.
+
+The three stages above are the route stages of one
+:class:`~repro.ops.BatchOp`; the contraction runs on the CPU side while
+building stage 3's RemoteWrite messages.
 """
 
 from __future__ import annotations
@@ -32,10 +36,11 @@ from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.core.node import Node
-from repro.core.ops_write import remote_write
+from repro.core.ops_write import write_message
 from repro.core.structure import SkipListStructure
 from repro.cpuside.list_contraction import ContractionList
 from repro.cpuside.semisort import group_by
+from repro.ops import BatchOp, Broadcast, cached_handlers, run_batch
 from repro.sim.cpu import WorkDepth
 
 
@@ -101,65 +106,83 @@ def make_handlers(sl: SkipListStructure) -> Dict[str, Any]:
     }
 
 
-def batch_delete(sl: SkipListStructure, keys: Sequence[Hashable]) -> DeleteStats:
+def handlers_for(sl: SkipListStructure) -> Dict[str, Any]:
+    """The delete handler dict, created once per structure."""
+    return cached_handlers(sl, "delete", lambda: make_handlers(sl))
+
+
+class _BatchDeleteOp(BatchOp):
+    def __init__(self, sl: SkipListStructure,
+                 keys: Sequence[Hashable]) -> None:
+        self.sl = sl
+        self.keys = keys
+        self.name = f"{sl.name}:batch_delete"
+
+    def handlers(self):
+        return handlers_for(self.sl)
+
+    def route(self, machine, plan):
+        sl, keys = self.sl, self.keys
+        cpu = machine.cpu
+        n = len(keys)
+        if n == 0:
+            return DeleteStats(deleted=0, not_found=0)
+
+        shared_words = n
+        cpu.alloc(shared_words)
+        try:
+            # -- stage 1: shortcut marking -------------------------------
+            groups = group_by(cpu, list(keys), key=lambda k: k)
+            fn_mark = f"{sl.name}:del_mark"
+            replies = yield ((sl.leaf_owner(key), fn_mark, (key,), None)
+                             for key in groups)
+            marked: List[Tuple[Node, Optional[Node], Optional[Node]]] = []
+            upper_leaves: List[Node] = []
+            not_found = 0
+            deleted = 0
+            for r in replies:
+                payload = r.payload
+                if payload[0] == "notfound":
+                    not_found += 1
+                elif payload[0] == "marked":
+                    _, _key, leaf, left, right, up_ref = payload
+                    marked.append((leaf, left, right))
+                    deleted += 1
+                    if up_ref is not None:
+                        upper_leaves.append(up_ref)
+                else:  # marked_node
+                    _, node, left, right, up_ref = payload
+                    marked.append((node, left, right))
+                    if up_ref is not None:
+                        upper_leaves.append(up_ref)
+
+            # -- stage 2a: replicated upper towers, by broadcast ---------
+            if upper_leaves:
+                fn_upper = f"{sl.name}:del_upper"
+                yield [Broadcast(fn_upper, (u,)) for u in upper_leaves]
+
+            # -- stage 2b: lower splice via parallel list contraction ----
+            if marked:
+                yield _splice_lower(sl, marked)
+
+            sl.num_keys -= deleted
+            return DeleteStats(deleted=deleted, not_found=not_found)
+        finally:
+            cpu.free(shared_words)
+
+
+def batch_delete(sl: SkipListStructure,
+                 keys: Sequence[Hashable]) -> DeleteStats:
     """Execute a batch of Delete operations (duplicates collapse; missing
     keys are ignored, each counted in ``not_found``)."""
-    machine = sl.machine
-    cpu = machine.cpu
-    n = len(keys)
-    if n == 0:
-        return DeleteStats(deleted=0, not_found=0)
-
-    shared_words = n
-    cpu.alloc(shared_words)
-    try:
-        # -- stage 1: shortcut marking ------------------------------------
-        groups = group_by(cpu, list(keys), key=lambda k: k)
-        fn_mark = f"{sl.name}:del_mark"
-        machine.send_all((sl.leaf_owner(key), fn_mark, (key,), None)
-                         for key in groups)
-        marked: List[Tuple[Node, Optional[Node], Optional[Node]]] = []
-        upper_leaves: List[Node] = []
-        not_found = 0
-        deleted = 0
-        for r in machine.drain():
-            payload = r.payload
-            if payload[0] == "notfound":
-                not_found += 1
-            elif payload[0] == "marked":
-                _, _key, leaf, left, right, up_ref = payload
-                marked.append((leaf, left, right))
-                deleted += 1
-                if up_ref is not None:
-                    upper_leaves.append(up_ref)
-            else:  # marked_node
-                _, node, left, right, up_ref = payload
-                marked.append((node, left, right))
-                if up_ref is not None:
-                    upper_leaves.append(up_ref)
-
-        # -- stage 2a: replicated upper towers, deleted by broadcast ------
-        for u in upper_leaves:
-            machine.broadcast(f"{sl.name}:del_upper", (u,))
-        if upper_leaves:
-            machine.drain()
-
-        # -- stage 2b: lower-level splice via parallel list contraction ---
-        if marked:
-            _splice_lower(sl, marked)
-            machine.drain()
-
-        sl.num_keys -= deleted
-        return DeleteStats(deleted=deleted, not_found=not_found)
-    finally:
-        cpu.free(shared_words)
+    return run_batch(sl.machine, _BatchDeleteOp(sl, keys))
 
 
 def _splice_lower(sl: SkipListStructure,
                   marked: List[Tuple[Node, Optional[Node], Optional[Node]]],
-                  ) -> None:
+                  ) -> list:
     """Contract the marked lower nodes out of their horizontal lists and
-    RemoteWrite only the changed adjacencies."""
+    build RemoteWrite messages for only the changed adjacencies."""
     cpu = sl.machine.cpu
     by_nid: Dict[int, Node] = {}
     clist = ContractionList()
@@ -187,14 +210,16 @@ def _splice_lower(sl: SkipListStructure,
     logt = max(1.0, math.log2(total + 1))
     cpu.charge_wd(WorkDepth(max(total, stats.work), stats.rounds + logt))
 
+    msgs: list = []
     writes = 0
     for a_nid, b_nid in links:
         if original_right.get(a_nid, b_nid) == b_nid:
             continue  # adjacency unchanged; no write needed
         a = by_nid[a_nid]
         b = by_nid[b_nid] if b_nid is not None else None
-        remote_write(sl, a, "right", b)
+        msgs.append(write_message(sl, a, "right", b))
         if b is not None:
-            remote_write(sl, b, "left", a)
+            msgs.append(write_message(sl, b, "left", a))
         writes += 1
     cpu.charge_wd(WorkDepth(writes + 1, logt))
+    return msgs

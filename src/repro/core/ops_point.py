@@ -13,6 +13,11 @@ whole batch on one module.  After deduplication, distinct keys hash to
 uniformly random modules, so by Lemma 2.1 each module receives
 ``O(log P)`` operations whp: ``O(log P)`` IO time and ``O(log P)`` PIM
 time, independent of the key distribution.
+
+All three ops are single-stage :class:`~repro.ops.BatchOp` pipelines:
+plan/route semisort and issue the deduplicated sends, the handlers below
+are the execute phase, and aggregate fans results back out to duplicate
+positions.
 """
 
 from __future__ import annotations
@@ -20,8 +25,9 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
-from repro.cpuside.semisort import group_by
 from repro.core.structure import SkipListStructure
+from repro.cpuside.semisort import group_by
+from repro.ops import BatchOp, cached_handlers, run_batch
 
 
 def make_handlers(sl: SkipListStructure) -> Dict[str, Any]:
@@ -51,53 +57,96 @@ def make_handlers(sl: SkipListStructure) -> Dict[str, Any]:
     }
 
 
-def batch_get(sl: SkipListStructure, keys: Sequence[Hashable]) -> List[Optional[Any]]:
+def handlers_for(sl: SkipListStructure) -> Dict[str, Any]:
+    """The point-op handler dict, created once per structure."""
+    return cached_handlers(sl, "point", lambda: make_handlers(sl))
+
+
+class _PointGetOp(BatchOp):
+    """Shared pipeline of batched Get / Contains (they differ only in
+    which reply field fans out)."""
+
+    def __init__(self, sl: SkipListStructure, keys: Sequence[Hashable],
+                 want_value: bool) -> None:
+        self.sl = sl
+        self.keys = keys
+        self.want_value = want_value
+        self.name = f"{sl.name}:batch_get" if want_value else \
+            f"{sl.name}:batch_contains"
+
+    def handlers(self):
+        return handlers_for(self.sl)
+
+    def route(self, machine, plan):
+        sl, keys = self.sl, self.keys
+        cpu = machine.cpu
+        n = len(keys)
+        if n == 0:
+            return []
+        with cpu.region(2 * n):
+            # Semisort to deduplicate (O(B) expected work, O(log B) whp
+            # depth).
+            groups = group_by(cpu, list(range(n)), key=lambda i: keys[i])
+            fn_get = f"{sl.name}:pt_get"
+            replies = yield ((sl.leaf_owner(key), fn_get, (key,), None)
+                             for key in groups)
+            if self.want_value:
+                results: List[Optional[Any]] = [None] * n
+                for r in replies:
+                    key, value, _found = r.payload
+                    for i in groups[key]:
+                        results[i] = value
+            else:
+                results = [False] * n
+                for r in replies:
+                    key, _value, found = r.payload
+                    for i in groups[key]:
+                        results[i] = found
+            # Fan-out of results to duplicates: O(B) work, O(log B) depth.
+            cpu.charge(n, max(1.0, math.log2(n)))
+        return results
+
+
+class _PointUpdateOp(BatchOp):
+    def __init__(self, sl: SkipListStructure,
+                 pairs: Sequence[Tuple[Hashable, Any]]) -> None:
+        self.sl = sl
+        self.pairs = pairs
+        self.name = f"{sl.name}:batch_update"
+
+    def handlers(self):
+        return handlers_for(self.sl)
+
+    def route(self, machine, plan):
+        sl, pairs = self.sl, self.pairs
+        cpu = machine.cpu
+        n = len(pairs)
+        if n == 0:
+            return 0
+        with cpu.region(2 * n):
+            groups = group_by(cpu, list(pairs), key=lambda kv: kv[0])
+            fn_update = f"{sl.name}:pt_update"
+            replies = yield (
+                (sl.leaf_owner(key), fn_update, (key, occurrences[-1][1]),
+                 None)
+                for key, occurrences in groups.items())
+            found = sum(1 for r in replies if r.payload[1])
+        return found
+
+
+def batch_get(sl: SkipListStructure,
+              keys: Sequence[Hashable]) -> List[Optional[Any]]:
     """Execute a batch of Get operations; returns values aligned to input.
 
     Missing keys yield ``None``.
     """
-    machine = sl.machine
-    cpu = machine.cpu
-    n = len(keys)
-    if n == 0:
-        return []
-    with cpu.region(2 * n):
-        # Semisort to deduplicate (O(B) expected work, O(log B) whp depth).
-        groups = group_by(cpu, list(range(n)), key=lambda i: keys[i])
-        fn_get = f"{sl.name}:pt_get"
-        machine.send_all((sl.leaf_owner(key), fn_get, (key,), None)
-                         for key in groups)
-        replies = machine.drain()
-        results: List[Optional[Any]] = [None] * n
-        for r in replies:
-            key, value, _found = r.payload
-            for i in groups[key]:
-                results[i] = value
-        # Fan-out of results to duplicates: O(B) work, O(log B) depth.
-        cpu.charge(n, max(1.0, math.log2(n)))
-    return results
+    return run_batch(sl.machine, _PointGetOp(sl, keys, want_value=True))
 
 
 def batch_contains(sl: SkipListStructure,
                    keys: Sequence[Hashable]) -> List[bool]:
     """Membership test per key (same costs and dedup as batched Get)."""
-    machine = sl.machine
-    cpu = machine.cpu
-    n = len(keys)
-    if n == 0:
-        return []
-    with cpu.region(2 * n):
-        groups = group_by(cpu, list(range(n)), key=lambda i: keys[i])
-        fn_get = f"{sl.name}:pt_get"
-        machine.send_all((sl.leaf_owner(key), fn_get, (key,), None)
-                         for key in groups)
-        results: List[bool] = [False] * n
-        for r in machine.drain():
-            key, _value, found = r.payload
-            for i in groups[key]:
-                results[i] = found
-        cpu.charge(n, max(1.0, math.log2(n)))
-    return results
+    return run_batch(sl.machine, _PointGetOp(sl, keys, want_value=False))
 
 
 def batch_update(sl: SkipListStructure,
@@ -109,17 +158,4 @@ def batch_update(sl: SkipListStructure,
     occurrence winning (batches are sets in the model; we define a
     deterministic tie-break for convenience).
     """
-    machine = sl.machine
-    cpu = machine.cpu
-    n = len(pairs)
-    if n == 0:
-        return 0
-    with cpu.region(2 * n):
-        groups = group_by(cpu, list(pairs), key=lambda kv: kv[0])
-        fn_update = f"{sl.name}:pt_update"
-        machine.send_all(
-            (sl.leaf_owner(key), fn_update, (key, occurrences[-1][1]), None)
-            for key, occurrences in groups.items())
-        replies = machine.drain()
-        found = sum(1 for r in replies if r.payload[1])
-    return found
+    return run_batch(sl.machine, _PointUpdateOp(sl, pairs))

@@ -47,6 +47,7 @@ from repro.core.node import Node, UPPER
 from repro.core.ops_successor import batch_search
 from repro.core.structure import SkipListStructure
 from repro.cpuside.sort import parallel_sort
+from repro.ops import BatchOp, Broadcast, cached_handlers, run_batch
 from repro.sim.cpu import WorkDepth
 
 # ---------------------------------------------------------------------------
@@ -153,6 +154,11 @@ def make_handlers(sl: SkipListStructure) -> Dict[str, Any]:
     return handlers
 
 
+def handlers_for(sl: SkipListStructure) -> Dict[str, Any]:
+    """The range-op handler dict, created once per structure."""
+    return cached_handlers(sl, "range", lambda: make_handlers(sl))
+
+
 def _make_bcast(sl: SkipListStructure):
     def h_range_bcast(ctx, lkey, bound, func, farg, opid, tag=None):
         u = sl.upper_descend(lkey, ctx.charge)
@@ -179,27 +185,45 @@ def _make_bcast(sl: SkipListStructure):
     return h_range_bcast
 
 
+class _RangeBroadcastOp(BatchOp):
+    def __init__(self, sl: SkipListStructure, lkey: Hashable, rkey: Hashable,
+                 func: str, farg: Any, inclusive: Tuple[bool, bool]) -> None:
+        self.sl = sl
+        self.lkey, self.rkey = lkey, rkey
+        self.func, self.farg = func, farg
+        self.inclusive = inclusive
+        self.name = f"{sl.name}:range_broadcast"
+
+    def handlers(self):
+        return handlers_for(self.sl)
+
+    def route(self, machine, plan):
+        sl = self.sl
+        cpu = machine.cpu
+        lq = JustBelow(self.lkey) if self.inclusive[0] else self.lkey
+        bound = Bound(self.rkey, self.inclusive[1])
+        replies = yield [Broadcast(f"{sl.name}:rng_bcast",
+                                   (lq, bound, self.func, self.farg, 0))]
+        total = 0
+        values: List[Tuple[Hashable, Any]] = []
+        for r in replies:
+            _, _, _, hits, vals = r.payload
+            total += hits
+            values.extend(vals)
+        if values:
+            values = parallel_sort(cpu, values, key=lambda kv: kv[0])
+            cpu.alloc(len(values))
+            cpu.free(len(values))
+        return RangeResult(count=total, values=values)
+
+
 def range_broadcast(sl: SkipListStructure, lkey: Hashable, rkey: Hashable,
                     func: str = "read", farg: Any = None,
                     inclusive: Tuple[bool, bool] = (True, True),
                     ) -> RangeResult:
     """Execute one range operation by broadcasting (Theorem 5.1)."""
-    machine = sl.machine
-    cpu = machine.cpu
-    lq = JustBelow(lkey) if inclusive[0] else lkey
-    bound = Bound(rkey, inclusive[1])
-    machine.broadcast(f"{sl.name}:rng_bcast", (lq, bound, func, farg, 0))
-    total = 0
-    values: List[Tuple[Hashable, Any]] = []
-    for r in machine.drain():
-        _, _, _, hits, vals = r.payload
-        total += hits
-        values.extend(vals)
-    if values:
-        values = parallel_sort(cpu, values, key=lambda kv: kv[0])
-        cpu.alloc(len(values))
-        cpu.free(len(values))
-    return RangeResult(count=total, values=values)
+    return run_batch(sl.machine,
+                     _RangeBroadcastOp(sl, lkey, rkey, func, farg, inclusive))
 
 
 # ---------------------------------------------------------------------------
@@ -609,18 +633,37 @@ def _next_opids(sl: SkipListStructure, count: int) -> int:
     return base
 
 
+class _RangeTreeSingleOp(BatchOp):
+    def __init__(self, sl: SkipListStructure, lkey: Hashable, rkey: Hashable,
+                 func: str, farg: Any, inclusive: Tuple[bool, bool]) -> None:
+        self.sl = sl
+        self.lkey, self.rkey = lkey, rkey
+        self.func, self.farg = func, farg
+        self.inclusive = inclusive
+        self.name = f"{sl.name}:range_tree_single"
+
+    def handlers(self):
+        return handlers_for(self.sl)
+
+    def route(self, machine, plan):
+        sl = self.sl
+        lq = JustBelow(self.lkey) if self.inclusive[0] else self.lkey
+        bound = Bound(self.rkey, self.inclusive[1])
+        opid = _next_opids(sl, 1)
+        replies = yield [(machine.random_module(), f"{sl.name}:rng_root",
+                          (opid, lq, bound, self.func, self.farg, None),
+                          None)]
+        return _collect_one(sl, replies, opid=opid)
+
+
 def range_tree_single(sl: SkipListStructure, lkey: Hashable, rkey: Hashable,
                       func: str = "read", farg: Any = None,
                       inclusive: Tuple[bool, bool] = (True, True),
                       ) -> RangeResult:
     """One range operation by the naive tree search (paper §5.2)."""
-    machine = sl.machine
-    lq = JustBelow(lkey) if inclusive[0] else lkey
-    bound = Bound(rkey, inclusive[1])
-    opid = _next_opids(sl, 1)
-    machine.send(machine.random_module(), f"{sl.name}:rng_root",
-                 (opid, lq, bound, func, farg, None))
-    return _collect_one(sl, machine.drain(), opid=opid)
+    return run_batch(sl.machine,
+                     _RangeTreeSingleOp(sl, lkey, rkey, func, farg,
+                                        inclusive))
 
 
 def _collect_one(sl: SkipListStructure, replies, opid: Any) -> RangeResult:
@@ -640,6 +683,169 @@ def _collect_one(sl: SkipListStructure, replies, opid: Any) -> RangeResult:
                        values=[(k, v) for _, k, v in items])
 
 
+class _BatchRangeTreeOp(BatchOp):
+    def __init__(self, sl: SkipListStructure,
+                 ops: Sequence[Tuple[Hashable, Hashable]],
+                 func: str, farg: Any) -> None:
+        self.sl = sl
+        self.ops = ops
+        self.func, self.farg = func, farg
+        self.name = f"{sl.name}:batch_range_tree"
+
+    def handlers(self):
+        return handlers_for(self.sl)
+
+    def route(self, machine, plan):
+        sl, ops = self.sl, self.ops
+        func, farg = self.func, self.farg
+        cpu = machine.cpu
+        n = len(ops)
+        if n == 0:
+            return []
+        for l, r in ops:
+            if r < l:
+                raise ValueError("range with rkey < lkey")
+        if func in ("set", "fetch_and_add"):
+            # Mutating functions are applied once per covered key;
+            # overlapping ops in one batch would make the multiplicity
+            # (and, for set, the ordering) ill-defined, so require
+            # disjoint ranges.
+            spans = sorted(ops)
+            for (l1, r1), (l2, r2) in zip(spans, spans[1:]):
+                if l2 <= r1:
+                    raise ValueError(
+                        "batched mutating range operations must be disjoint"
+                    )
+
+        # -- split into disjoint elementary subranges --------------------
+        # Elementary pieces over the sorted endpoints: the point [e, e]
+        # for each endpoint contained in some op, and the open gap
+        # (e, e') for each consecutive endpoint pair fully contained in
+        # some op.  Pieces never straddle an endpoint, so containment
+        # tests are whole-piece.
+        endpoints = sorted({e for op in ops for e in op})
+        subranges: List[Tuple[Any, Bound]] = []  # (search lq, right bound)
+        sub_meta: List[Tuple[Hashable, Hashable]] = []  # (lo, hi) hull
+        cpu.charge_wd(WorkDepth(2 * n * max(1, int(math.log2(n + 1))),
+                                max(1.0, math.log2(n + 1))))
+        for i, e in enumerate(endpoints):
+            if any(l <= e <= r for l, r in ops):
+                subranges.append((JustBelow(e), Bound(e, True)))
+                sub_meta.append((e, e))
+            if i + 1 < len(endpoints):
+                a, b = e, endpoints[i + 1]
+                if any(l <= a and b <= r for l, r in ops):
+                    subranges.append((a, Bound(b, False)))
+                    sub_meta.append((a, b))
+
+        # -- boundary predecessors via the pivot-protected search --------
+        lqs = [lq for lq, _ in subranges]
+        h_cap = [sl.h_low - 1] * len(lqs)
+        outcomes = batch_search(sl, lqs, record_all=True,
+                                record_levels=h_cap)
+
+        # -- launch one traversal per subrange ---------------------------
+        # sides[lvl] is the level's in-range side-chain head (the recorded
+        # predecessor's right neighbor).  When that node's tower continues
+        # upward it is also reachable as a down-child from the level
+        # above; the snapshot test below skips those, and the one case
+        # snapshots cannot see (a tower reaching the upper part) is
+        # resolved by the chain handler's duplicate-registration guard --
+        # the two candidate positions are adjacent in the traversal order,
+        # so either is valid.
+        base = _next_opids(sl, len(subranges))
+        root_module: Dict[int, int] = {}
+        launch_msgs: List[tuple] = []
+        for sid, ((lq, bound), outcome) in enumerate(zip(subranges,
+                                                         outcomes)):
+            sides: List[Optional[Node]] = [None] * sl.h_low
+            by_level = outcome.by_level or {}
+            for lvl in range(sl.h_low):
+                entry = by_level.get(lvl)
+                if entry is None:
+                    continue
+                _, right = entry
+                if right is None or not bound.admits(right.key):
+                    continue
+                above = by_level.get(lvl + 1)
+                if above is not None and above[1] is not None \
+                        and above[1].key == right.key:
+                    continue  # covered by the level above (same tower)
+                sides[lvl] = right
+            dest = machine.random_module()
+            root_module[sid] = dest
+            launch_msgs.append(
+                (dest, f"{sl.name}:rng_root",
+                 (base + sid, lq, bound, func, farg, sides), None,
+                 max(1, sum(1 for s in sides if s is not None))))
+        cpu.charge_wd(WorkDepth(len(subranges) * sl.h_low,
+                                max(1.0, math.log2(len(subranges) + 1))))
+
+        # -- count pass: traversal + subtree counts, no result traffic ---
+        totals: Dict[int, int] = {}
+        items: Dict[int, List[Tuple[int, Hashable, Any]]] = {}
+        replies = yield launch_msgs
+        for r in replies:
+            payload = r.payload
+            if payload[0] == "total":
+                totals[payload[1] - base] = payload[2]
+
+        # -- fetch pass, in shared-memory groups (paper §5.2 step 4) -----
+        # Subranges are ascending; the prefix sums of their sizes
+        # partition them into groups of at most half of M result words
+        # (the other half is headroom for the batch's standing
+        # allocations).  Each group's offset passes are released
+        # together, its results consumed, and its footprint freed before
+        # the next group starts.
+        if func != "count":
+            group_words = max(1, machine.cpu.shared_memory_words // 2)
+            group: List[int] = []
+            group_mass = 0
+
+            def run_group(g: List[int], mass: int):
+                msgs = [(root_module[sid], f"{sl.name}:rng_go",
+                         (base + sid,), None) for sid in g]
+                with cpu.region(max(1, mass)):
+                    group_replies = yield msgs
+                    for r in group_replies:
+                        payload = r.payload
+                        if payload[0] == "item":
+                            _, opid, key, value, idx = payload
+                            items.setdefault(opid - base, []).append(
+                                (idx, key, value))
+
+            for sid in range(len(subranges)):
+                mass = totals.get(sid, 0)
+                if group and group_mass + mass > group_words:
+                    yield from run_group(group, group_mass)
+                    group, group_mass = [], 0
+                group.append(sid)
+                group_mass += mass
+            if group:
+                yield from run_group(group, group_mass)
+
+        # -- assemble per-op results -------------------------------------
+        # A piece belongs to op [l, r] iff its closed hull is inside
+        # [l, r] (pieces never straddle an op endpoint).  Pieces are in
+        # ascending key order, so concatenation preserves range order.
+        sorted_items = {sid: sorted(got) for sid, got in items.items()}
+        results: List[RangeResult] = []
+        work = 0
+        for l, r in ops:
+            total = 0
+            vals: List[Tuple[Hashable, Any]] = []
+            for sid, (lo, hi) in enumerate(sub_meta):
+                if not (l <= lo and hi <= r):
+                    continue
+                total += totals.get(sid, 0)
+                got = sorted_items.get(sid, ())
+                vals.extend((k, v) for _, k, v in got)
+                work += len(got) + 1
+            results.append(RangeResult(count=total, values=vals))
+        cpu.charge_wd(WorkDepth(work + n, max(1.0, math.log2(work + n + 1))))
+        return results
+
+
 def batch_range_tree(sl: SkipListStructure,
                      ops: Sequence[Tuple[Hashable, Hashable]],
                      func: str = "read", farg: Any = None,
@@ -652,141 +858,4 @@ def batch_range_tree(sl: SkipListStructure,
     and each subrange runs the fan-out traversal; results are assembled
     per operation on the CPU side in shared-memory-sized groups.
     """
-    machine = sl.machine
-    cpu = machine.cpu
-    n = len(ops)
-    if n == 0:
-        return []
-    for l, r in ops:
-        if r < l:
-            raise ValueError("range with rkey < lkey")
-    if func in ("set", "fetch_and_add"):
-        # Mutating functions are applied once per covered key; overlapping
-        # ops in one batch would make the multiplicity (and, for set, the
-        # ordering) ill-defined, so require disjoint ranges.
-        spans = sorted(ops)
-        for (l1, r1), (l2, r2) in zip(spans, spans[1:]):
-            if l2 <= r1:
-                raise ValueError(
-                    "batched mutating range operations must be disjoint"
-                )
-
-    # -- split into disjoint elementary subranges ------------------------
-    # Elementary pieces over the sorted endpoints: the point [e, e] for
-    # each endpoint contained in some op, and the open gap (e, e') for
-    # each consecutive endpoint pair fully contained in some op.  Pieces
-    # never straddle an endpoint, so containment tests are whole-piece.
-    endpoints = sorted({e for op in ops for e in op})
-    subranges: List[Tuple[Any, Bound]] = []  # (search lq, right bound)
-    sub_meta: List[Tuple[Hashable, Hashable]] = []  # piece (lo, hi) closed hull
-    cpu.charge_wd(WorkDepth(2 * n * max(1, int(math.log2(n + 1))),
-                            max(1.0, math.log2(n + 1))))
-    for i, e in enumerate(endpoints):
-        if any(l <= e <= r for l, r in ops):
-            subranges.append((JustBelow(e), Bound(e, True)))
-            sub_meta.append((e, e))
-        if i + 1 < len(endpoints):
-            a, b = e, endpoints[i + 1]
-            if any(l <= a and b <= r for l, r in ops):
-                subranges.append((a, Bound(b, False)))
-                sub_meta.append((a, b))
-
-    # -- boundary predecessors via the pivot-protected batched search ----
-    lqs = [lq for lq, _ in subranges]
-    h_cap = [sl.h_low - 1] * len(lqs)
-    outcomes = batch_search(sl, lqs, record_all=True, record_levels=h_cap)
-
-    # -- launch one traversal per subrange --------------------------------
-    # sides[lvl] is the level's in-range side-chain head (the recorded
-    # predecessor's right neighbor).  When that node's tower continues
-    # upward it is also reachable as a down-child from the level above;
-    # the snapshot test below skips those, and the one case snapshots
-    # cannot see (a tower reaching the upper part) is resolved by the
-    # chain handler's duplicate-registration guard -- the two candidate
-    # positions are adjacent in the traversal order, so either is valid.
-    base = _next_opids(sl, len(subranges))
-    root_module: Dict[int, int] = {}
-    for sid, ((lq, bound), outcome) in enumerate(zip(subranges, outcomes)):
-        sides: List[Optional[Node]] = [None] * sl.h_low
-        by_level = outcome.by_level or {}
-        for lvl in range(sl.h_low):
-            entry = by_level.get(lvl)
-            if entry is None:
-                continue
-            _, right = entry
-            if right is None or not bound.admits(right.key):
-                continue
-            above = by_level.get(lvl + 1)
-            if above is not None and above[1] is not None \
-                    and above[1].key == right.key:
-                continue  # covered by the level above (same tower)
-            sides[lvl] = right
-        dest = machine.random_module()
-        root_module[sid] = dest
-        machine.send(dest, f"{sl.name}:rng_root",
-                     (base + sid, lq, bound, func, farg, sides),
-                     size=max(1, sum(1 for s in sides if s is not None)))
-    cpu.charge_wd(WorkDepth(len(subranges) * sl.h_low,
-                            max(1.0, math.log2(len(subranges) + 1))))
-
-    # -- count pass: traversal + subtree counts, no result traffic --------
-    totals: Dict[int, int] = {}
-    items: Dict[int, List[Tuple[int, Hashable, Any]]] = {}
-    for r in machine.drain():
-        payload = r.payload
-        if payload[0] == "total":
-            totals[payload[1] - base] = payload[2]
-
-    # -- fetch pass, in shared-memory groups (paper §5.2 step 4) ----------
-    # Subranges are ascending; the prefix sums of their sizes partition
-    # them into groups of at most half of M result words (the other half
-    # is headroom for the batch's standing allocations).  Each group's
-    # offset passes are released together, its results consumed, and its
-    # footprint freed before the next group starts.
-    if func != "count":
-        group_words = max(1, machine.cpu.shared_memory_words // 2)
-        group: List[int] = []
-        group_mass = 0
-
-        def run_group(g: List[int], mass: int) -> None:
-            for sid in g:
-                machine.send(root_module[sid], f"{sl.name}:rng_go",
-                             (base + sid,))
-            with cpu.region(max(1, mass)):
-                for r in machine.drain():
-                    payload = r.payload
-                    if payload[0] == "item":
-                        _, opid, key, value, idx = payload
-                        items.setdefault(opid - base, []).append(
-                            (idx, key, value))
-
-        for sid in range(len(subranges)):
-            mass = totals.get(sid, 0)
-            if group and group_mass + mass > group_words:
-                run_group(group, group_mass)
-                group, group_mass = [], 0
-            group.append(sid)
-            group_mass += mass
-        if group:
-            run_group(group, group_mass)
-
-    # -- assemble per-op results ------------------------------------------
-    # A piece belongs to op [l, r] iff its closed hull is inside [l, r]
-    # (pieces never straddle an op endpoint).  Pieces are in ascending
-    # key order, so concatenation preserves range order.
-    sorted_items = {sid: sorted(got) for sid, got in items.items()}
-    results: List[RangeResult] = []
-    work = 0
-    for l, r in ops:
-        total = 0
-        vals: List[Tuple[Hashable, Any]] = []
-        for sid, (lo, hi) in enumerate(sub_meta):
-            if not (l <= lo and hi <= r):
-                continue
-            total += totals.get(sid, 0)
-            got = sorted_items.get(sid, ())
-            vals.extend((k, v) for _, k, v in got)
-            work += len(got) + 1
-        results.append(RangeResult(count=total, values=vals))
-    cpu.charge_wd(WorkDepth(work + n, max(1.0, math.log2(work + n + 1))))
-    return results
+    return run_batch(sl.machine, _BatchRangeTreeOp(sl, ops, func, farg))

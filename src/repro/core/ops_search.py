@@ -21,6 +21,7 @@ from typing import Any, Dict, Hashable, Optional
 
 from repro.core.node import Node, UPPER
 from repro.core.structure import SkipListStructure
+from repro.ops import cached_handlers
 from repro.sim.task import Reply
 
 
@@ -97,15 +98,26 @@ def make_handlers(sl: SkipListStructure) -> Dict[str, Any]:
     }
 
 
-def launch_search(sl: SkipListStructure, key: Hashable, opid: Any,
-                  record: bool = False,
-                  start: Optional[Node] = None) -> None:
-    """Queue one search: from ``start`` (a lower-part hint node) if given,
-    else from the root on a random module."""
+def handlers_for(sl: SkipListStructure) -> Dict[str, Any]:
+    """The search-walk handler dict, created once per structure."""
+    return cached_handlers(sl, "search", lambda: make_handlers(sl))
+
+
+def search_message(sl: SkipListStructure, key: Hashable, opid: Any,
+                   record: bool = False,
+                   start: Optional[Node] = None) -> tuple:
+    """Build the message that launches one search: from ``start`` (a
+    lower-part hint node) if given, else from the root on a random
+    module.
+
+    The destination draw consumes the machine's seeded RNG stream at
+    *build* time, so callers must construct messages in launch order.
+    The returned tuple is ``send_all`` format, ready to be yielded in a
+    :class:`~repro.ops.BatchOp` route stage.
+    """
     machine = sl.machine
     if start is not None:
         dest = start.owner if start.owner != UPPER else machine.random_module()
-        machine.send(dest, sl.fn_search_step, (start, key, opid, record))
-    else:
-        machine.send(machine.random_module(), sl.fn_search_entry,
-                     (key, opid, record))
+        return (dest, sl.fn_search_step, (start, key, opid, record), None)
+    return (machine.random_module(), sl.fn_search_entry,
+            (key, opid, record), None)

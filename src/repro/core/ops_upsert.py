@@ -27,6 +27,10 @@ single-operation steps 1-6 plus the batch pointer construction):
 Bounds (Theorem 4.4): same as Successor -- ``O(log^3 P)`` IO time,
 ``O(log^2 P log n)`` PIM time, ``O(P log^3 P)`` expected CPU work,
 ``O(log^2 P)`` CPU depth, ``Theta(P log^2 P)`` shared memory, whp.
+
+Each numbered phase above is one route stage of a single
+:class:`~repro.ops.BatchOp`; phase 4 nests the batched-search op as a
+plain call (the machine is quiescent between stages).
 """
 
 from __future__ import annotations
@@ -35,12 +39,13 @@ import math
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
-from repro.core.node import NODE_WORDS, Node
+from repro.core.node import Node
 from repro.core.ops_successor import batch_search
-from repro.core.ops_write import remote_write
+from repro.core.ops_write import write_message
 from repro.core.structure import SkipListStructure
 from repro.cpuside.semisort import group_by
 from repro.cpuside.sort import parallel_sort
+from repro.ops import BatchOp, Broadcast, cached_handlers, run_batch
 from repro.sim.cpu import WorkDepth
 
 
@@ -94,6 +99,11 @@ def make_handlers(sl: SkipListStructure) -> Dict[str, Any]:
     }
 
 
+def handlers_for(sl: SkipListStructure) -> Dict[str, Any]:
+    """The upsert handler dict, created once per structure."""
+    return cached_handlers(sl, "upsert", lambda: make_handlers(sl))
+
+
 @dataclass
 class _Tower:
     key: Hashable
@@ -122,99 +132,114 @@ def _build_tower(sl: SkipListStructure, key: Hashable, value: Any,
     return _Tower(key=key, height=height, nodes=nodes)
 
 
+class _BatchUpsertOp(BatchOp):
+    def __init__(self, sl: SkipListStructure,
+                 pairs: Sequence[Tuple[Hashable, Any]]) -> None:
+        self.sl = sl
+        self.pairs = pairs
+        self.name = f"{sl.name}:batch_upsert"
+
+    def handlers(self):
+        return handlers_for(self.sl)
+
+    def route(self, machine, plan):
+        sl, pairs = self.sl, self.pairs
+        cpu = machine.cpu
+        n = len(pairs)
+        if n == 0:
+            return UpsertStats(updated=0, inserted=0)
+
+        shared_words = 2 * n
+        cpu.alloc(shared_words)
+        try:
+            # -- phase A: deduplicate, try Update via the hash shortcut --
+            groups = group_by(cpu, list(pairs), key=lambda kv: kv[0])
+            wanted: Dict[Hashable, Any] = {
+                k: occ[-1][1] for k, occ in groups.items()
+            }
+            cpu.charge(len(groups), max(1.0, math.log2(len(groups) + 1)))
+            fn_try_update = f"{sl.name}:ups_try_update"
+            replies = yield (
+                (sl.leaf_owner(key), fn_try_update, (key, value), None)
+                for key, value in wanted.items())
+            found = {r.payload[0] for r in replies if r.payload[1]}
+            missing = [(k, v) for k, v in wanted.items() if k not in found]
+            updated = len(wanted) - len(missing)
+            if not missing:
+                return UpsertStats(updated=updated, inserted=0)
+
+            # -- phase B: sort, draw heights, build towers ----------------
+            missing = parallel_sort(cpu, missing, key=lambda kv: kv[0])
+            heights = [sl.draw_height() for _ in missing]
+            towers = [
+                _build_tower(sl, k, v, h)
+                for (k, v), h in zip(missing, heights)
+            ]
+            tower_words = sum(t.height + 1 for t in towers)
+            cpu.alloc(tower_words)
+            shared_words += tower_words
+            cpu.charge_wd(WorkDepth(tower_words,
+                                    max(1.0, math.log2(len(towers) + 1)) + 8))
+
+            # -- phase C: deliver lower-part nodes -----------------------
+            fn_insert_lower = f"{sl.name}:ups_insert_lower"
+            yield (
+                (node.owner, fn_insert_lower, (node,), None)
+                for t in towers for node in t.nodes
+                if not sl.is_upper_level(node.level))
+
+            # -- phase D: batched Predecessor on the old structure -------
+            keys = [k for k, _ in missing]
+            outcomes = batch_search(sl, keys, record_all=True,
+                                    record_levels=heights)
+
+            # -- phase E: sentinel growth + upper-part installation ------
+            max_h = max(heights)
+            if max_h + 1 > sl.top_level:
+                added = (max_h + 1) - sl.top_level
+                yield [Broadcast(f"{sl.name}:grow", (max_h, added))]
+            upper_nodes = [
+                node for t in towers for node in t.nodes
+                if sl.is_upper_level(node.level)
+            ]
+            if upper_nodes:
+                fn_prepare = f"{sl.name}:ups_upper_prepare"
+                yield [Broadcast(fn_prepare, (node,))
+                       for node in upper_nodes]
+                fn_link = f"{sl.name}:ups_upper_link"
+                yield [Broadcast(fn_link, (node,))
+                       for node in upper_nodes]
+
+            # -- phase F: Algorithm 1 (lower horizontal pointers) --------
+            yield _algorithm1(sl, towers, outcomes)
+
+            sl.num_keys += len(missing)
+            return UpsertStats(updated=updated, inserted=len(missing))
+        finally:
+            cpu.free(shared_words)
+
+
 def batch_upsert(sl: SkipListStructure,
                  pairs: Sequence[Tuple[Hashable, Any]]) -> UpsertStats:
     """Execute a batch of Upsert operations.
 
     Duplicate keys in the batch collapse to the last occurrence.
     """
-    machine = sl.machine
-    cpu = machine.cpu
-    n = len(pairs)
-    if n == 0:
-        return UpsertStats(updated=0, inserted=0)
-
-    shared_words = 2 * n
-    cpu.alloc(shared_words)
-    try:
-        # -- phase A: deduplicate, try Update through the hash shortcut --
-        groups = group_by(cpu, list(pairs), key=lambda kv: kv[0])
-        wanted: Dict[Hashable, Any] = {k: occ[-1][1] for k, occ in groups.items()}
-        cpu.charge(len(groups), max(1.0, math.log2(len(groups) + 1)))
-        fn_try_update = f"{sl.name}:ups_try_update"
-        machine.send_all(
-            (sl.leaf_owner(key), fn_try_update, (key, value), None)
-            for key, value in wanted.items())
-        found = {r.payload[0] for r in machine.drain() if r.payload[1]}
-        missing = [(k, v) for k, v in wanted.items() if k not in found]
-        updated = len(wanted) - len(missing)
-        if not missing:
-            return UpsertStats(updated=updated, inserted=0)
-
-        # -- phase B: sort, draw heights, build towers --------------------
-        missing = parallel_sort(cpu, missing, key=lambda kv: kv[0])
-        heights = [sl.draw_height() for _ in missing]
-        towers = [
-            _build_tower(sl, k, v, h)
-            for (k, v), h in zip(missing, heights)
-        ]
-        tower_words = sum(t.height + 1 for t in towers)
-        cpu.alloc(tower_words)
-        shared_words += tower_words
-        cpu.charge_wd(WorkDepth(tower_words,
-                                max(1.0, math.log2(len(towers) + 1)) + 8))
-
-        # -- phase C: deliver lower-part nodes ---------------------------
-        fn_insert_lower = f"{sl.name}:ups_insert_lower"
-        machine.send_all(
-            (node.owner, fn_insert_lower, (node,), None)
-            for t in towers for node in t.nodes
-            if not sl.is_upper_level(node.level))
-        machine.drain()
-
-        # -- phase D: batched Predecessor on the old structure -----------
-        keys = [k for k, _ in missing]
-        outcomes = batch_search(sl, keys, record_all=True,
-                                record_levels=heights)
-
-        # -- phase E: sentinel growth + upper-part installation ----------
-        max_h = max(heights)
-        if max_h + 1 > sl.top_level:
-            added = (max_h + 1) - sl.top_level
-            machine.broadcast(f"{sl.name}:grow", (max_h, added))
-            machine.drain()
-        upper_nodes = [
-            node for t in towers for node in t.nodes
-            if sl.is_upper_level(node.level)
-        ]
-        if upper_nodes:
-            for node in upper_nodes:
-                machine.broadcast(f"{sl.name}:ups_upper_prepare", (node,))
-            machine.drain()
-            for node in upper_nodes:
-                machine.broadcast(f"{sl.name}:ups_upper_link", (node,))
-            machine.drain()
-
-        # -- phase F: Algorithm 1 (lower-level horizontal pointers) ------
-        _algorithm1(sl, towers, outcomes)
-        machine.drain()
-
-        sl.num_keys += len(missing)
-        return UpsertStats(updated=updated, inserted=len(missing))
-    finally:
-        cpu.free(shared_words)
+    return run_batch(sl.machine, _BatchUpsertOp(sl, pairs))
 
 
 def _algorithm1(sl: SkipListStructure, towers: List[_Tower],
-                outcomes) -> None:
-    """Issue the RemoteWrites of the paper's Algorithm 1.
+                outcomes) -> list:
+    """Build the RemoteWrite messages of the paper's Algorithm 1.
 
     ``towers`` are key-sorted; ``outcomes[j].by_level[i]`` holds the old
     structure's (pred, pred.right) at level ``i`` for tower ``j``.  For
     each lower level, runs of new nodes sharing an old segment are chained
-    together; the run ends attach to the old pred/succ.
+    together; the run ends attach to the old pred/succ.  Every pointer is
+    written exactly once; the returned messages form one route stage.
     """
     cpu = sl.machine.cpu
+    msgs: list = []
     total = 0
     for lvl in range(sl.h_low):
         row: List[Tuple[Node, Node, Optional[Node]]] = []
@@ -227,16 +252,17 @@ def _algorithm1(sl: SkipListStructure, towers: List[_Tower],
         for j, (cur, pred, succ) in enumerate(row):
             right_end = (j == m - 1) or (row[j + 1][2] is not succ)
             if right_end:
-                remote_write(sl, cur, "right", succ)
+                msgs.append(write_message(sl, cur, "right", succ))
                 if succ is not None:
-                    remote_write(sl, succ, "left", cur)
+                    msgs.append(write_message(sl, succ, "left", cur))
             else:
                 nxt = row[j + 1][0]
-                remote_write(sl, cur, "right", nxt)
-                remote_write(sl, nxt, "left", cur)
+                msgs.append(write_message(sl, cur, "right", nxt))
+                msgs.append(write_message(sl, nxt, "left", cur))
             left_end = (j == 0) or (row[j - 1][1] is not pred)
             if left_end:
-                remote_write(sl, pred, "right", cur)
-                remote_write(sl, cur, "left", pred)
+                msgs.append(write_message(sl, pred, "right", cur))
+                msgs.append(write_message(sl, cur, "left", pred))
         total += m
     cpu.charge_wd(WorkDepth(2 * total + 1, max(1.0, math.log2(total + 2)) + 8))
+    return msgs

@@ -5,14 +5,20 @@ owns the target node (paper §3.2).  Writes to replicated nodes (sentinels,
 upper-part nodes) are broadcast to every module; the handler's mutation is
 idempotent (it stores a fixed value), so replaying it per replica is safe
 and each replica's work is charged on its own module.
+
+Writers build their messages with :func:`write_message` and yield them in
+a :class:`~repro.ops.BatchOp` route stage; :func:`remote_write` wraps a
+single write in its own one-stage op for callers (tests, diagnostics)
+that want the write applied immediately.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Union
 
 from repro.core.node import NODE_WORDS, Node, UPPER
 from repro.core.structure import SkipListStructure
+from repro.ops import BatchOp, Broadcast, cached_handlers, run_batch
 
 _FIELDS = ("left", "right", "up", "down", "local_left", "local_right")
 
@@ -39,16 +45,38 @@ def make_handlers(sl: SkipListStructure) -> Dict[str, Any]:
     }
 
 
-def remote_write(sl: SkipListStructure, node: Node, field: str,
-                 value: Optional[Node]) -> None:
-    """Queue a RemoteWrite of ``node.field = value``.
+def handlers_for(sl: SkipListStructure) -> Dict[str, Any]:
+    """The write/grow handler dict, created once per structure."""
+    return cached_handlers(sl, "write", lambda: make_handlers(sl))
+
+
+def write_message(sl: SkipListStructure, node: Node, field: str,
+                  value: Optional[Node]) -> Union[tuple, Broadcast]:
+    """Build the RemoteWrite of ``node.field = value`` as a stage element.
 
     Owned nodes get one message to their owner; replicated nodes get a
     broadcast (one message per module, an h=1 relation contribution each).
     """
-    machine = sl.machine
     fn = f"{sl.name}:write_ptr"
     if node.owner == UPPER:
-        machine.broadcast(fn, (node, field, value))
-    else:
-        machine.send(node.owner, fn, (node, field, value))
+        return Broadcast(fn, (node, field, value))
+    return (node.owner, fn, (node, field, value), None)
+
+
+class _RemoteWriteOp(BatchOp):
+    def __init__(self, sl: SkipListStructure) -> None:
+        self.sl = sl
+        self.name = f"{sl.name}:remote_write"
+
+    def handlers(self):
+        return handlers_for(self.sl)
+
+    def route(self, machine, plan):
+        node, field, value = plan
+        yield [write_message(self.sl, node, field, value)]
+
+
+def remote_write(sl: SkipListStructure, node: Node, field: str,
+                 value: Optional[Node]) -> None:
+    """Apply one RemoteWrite of ``node.field = value`` (issue + drain)."""
+    run_batch(sl.machine, _RemoteWriteOp(sl), (node, field, value))

@@ -20,33 +20,52 @@ from __future__ import annotations
 
 from typing import Any, Hashable, Optional, Tuple
 
-from repro.core import ops_delete, ops_upsert
-from repro.core.ops_search import launch_search
+from repro.core import ops_delete, ops_point, ops_search, ops_upsert
+from repro.core.ops_search import search_message
 from repro.core.structure import SkipListStructure
+from repro.ops import BatchOp, run_batch
+
+
+class _OneShotOp(BatchOp):
+    """A single-message op: one route stage, one reply."""
+
+    def __init__(self, sl: SkipListStructure, suffix: str,
+                 handler_src) -> None:
+        self.sl = sl
+        self.name = f"{sl.name}:{suffix}"
+        self._handler_src = handler_src
+
+    def handlers(self):
+        return self._handler_src(self.sl)
+
+    def route(self, machine, plan):
+        replies = yield [plan]
+        return replies
 
 
 def get_one(sl: SkipListStructure, key: Hashable) -> Optional[Any]:
     """Get(key) via the hash shortcut: exactly 2 messages."""
-    machine = sl.machine
-    machine.send(sl.leaf_owner(key), f"{sl.name}:pt_get", (key,))
-    (reply,) = machine.drain()
+    op = _OneShotOp(sl, "get_one", ops_point.handlers_for)
+    msg = (sl.leaf_owner(key), f"{sl.name}:pt_get", (key,), None)
+    (reply,) = run_batch(sl.machine, op, msg)
     _key, value, found = reply.payload
     return value if found else None
 
 
 def update_one(sl: SkipListStructure, key: Hashable, value: Any) -> bool:
     """Update(key, value); returns whether the key existed."""
-    machine = sl.machine
-    machine.send(sl.leaf_owner(key), f"{sl.name}:pt_update", (key, value))
-    (reply,) = machine.drain()
+    op = _OneShotOp(sl, "update_one", ops_point.handlers_for)
+    msg = (sl.leaf_owner(key), f"{sl.name}:pt_update", (key, value), None)
+    (reply,) = run_batch(sl.machine, op, msg)
     return bool(reply.payload[1])
 
 
 def _search_one(sl: SkipListStructure, key: Hashable):
-    machine = sl.machine
-    launch_search(sl, key, opid=0, record=False)
+    op = _OneShotOp(sl, "search_one", ops_search.handlers_for)
+    msg = search_message(sl, key, opid=0, record=False)
+    replies = run_batch(sl.machine, op, msg)
     pred = right = None
-    for r in machine.drain():
+    for r in replies:
         if r.payload[0] == "done":
             _, _, pred, right = r.payload
     return pred, right

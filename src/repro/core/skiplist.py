@@ -46,14 +46,17 @@ class PIMSkipList:
         self.struct = SkipListStructure(machine, name=name,
                                         h_low_override=h_low_override)
         self.enforce_batch_size = enforce_batch_size
-        machine.register_all(ops_point.make_handlers(self.struct))
-        machine.register_all(ops_search.make_handlers(self.struct))
-        machine.register_all(ops_write.make_handlers(self.struct))
-        machine.register_all(ops_upsert.make_handlers(self.struct))
-        machine.register_all(ops_delete.make_handlers(self.struct))
+        # Register eagerly (direct sends in tests and the single-op path
+        # rely on it); the op-pipeline driver re-registers the same cached
+        # dicts as a no-op on every run_batch.
+        machine.register_all(ops_point.handlers_for(self.struct))
+        machine.register_all(ops_search.handlers_for(self.struct))
+        machine.register_all(ops_write.handlers_for(self.struct))
+        machine.register_all(ops_upsert.handlers_for(self.struct))
+        machine.register_all(ops_delete.handlers_for(self.struct))
         from repro.core import ops_range, ops_select
-        machine.register_all(ops_range.make_handlers(self.struct))
-        machine.register_all(ops_select.make_handlers(self.struct))
+        machine.register_all(ops_range.handlers_for(self.struct))
+        machine.register_all(ops_select.handlers_for(self.struct))
 
     # -- batch-size policy ---------------------------------------------------
 

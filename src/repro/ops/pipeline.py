@@ -1,0 +1,192 @@
+"""The batched-operation pipeline: plan -> route -> execute -> aggregate.
+
+Every bound in the paper (Theorems 4.1-4.5, 5.1-5.2) has the same shape:
+some CPU-side planning, one or more bulk-synchronous message rounds
+against the PIM modules, and a CPU-side reduction of the replies.  This
+module factors that shape into a single reusable driver so the skip-list
+ops, the baselines, the collectives and the container structures all
+share one dispatch/transfer substrate instead of hand-rolled staging
+loops.
+
+The four phases of a :class:`BatchOp`:
+
+- **plan** -- CPU-side preparation (dedup, sort, grouping); charged via
+  ``machine.cpu`` exactly as before.  Returns an opaque plan object that
+  the later phases receive.
+- **route** -- a *generator* that yields message **stages**.  A stage is
+  an iterable of ``send_all``-format tuples (``(dest, fn, args, tag)`` or
+  ``(dest, fn, args, tag, size)``) and/or :class:`Broadcast` markers, in
+  issue order.  After each stage the driver issues the messages, drains
+  the network to quiescence, and sends the collected replies back into
+  the generator (``replies = yield stage``).  The generator's return
+  value becomes the routed result.  Between stages the machine is
+  quiescent, so a route may invoke *other* ops (nested ``run_batch``) as
+  plain calls -- that is how composite ops (upsert's embedded search, the
+  LSM's delta probes) are built.
+- **execute** -- the PIM side: the handler functions returned by
+  :meth:`BatchOp.handlers`, registered by the driver and run by the round
+  engine on the modules.
+- **aggregate** -- the final CPU-side reduction from the routed result to
+  the op's return value.
+
+The driver (:func:`run_batch`) owns handler registration, staged-queue
+issue, round draining (labelled with the op name, so a livelock report
+names its originating op) and leaves all metric charging to the phases
+and the round engine -- the cost model is unchanged.
+
+Backends and observability hook in here: a different driver (e.g. one
+that ships stages to multiprocess shards, or charges an alternative cost
+model) can run any existing op unmodified, because ops never touch the
+machine's message API directly.
+
+Design notes for op authors
+---------------------------
+
+- ``route`` must be a generator function.  A stage-free op can
+  ``return value`` before any ``yield`` (use the ``if False: yield``
+  idiom to force generator-ness if there is no other yield).
+- An *empty* stage is legal and free: draining a quiescent machine is a
+  no-op, so conditional stages may simply yield nothing.
+- Hold shared-memory allocations across stages with ``try/finally`` (or
+  ``with cpu.region(...)``) inside the generator; on an exception the
+  driver closes the generator, which runs the ``finally`` blocks.  Never
+  yield from inside a ``finally`` -- cleanup *messages* must be a normal
+  success-path stage.
+- Handler dicts must be stable: :meth:`PIMMachine.register` treats
+  re-registration of the identical handler object as a no-op but rejects
+  a different object under the same id, so :meth:`BatchOp.handlers` must
+  return a cached dict (see :func:`cached_handlers`), or ``{}`` when the
+  owning structure registered its handlers at construction time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional
+
+from repro.sim.machine import Handler, PIMMachine
+
+__all__ = ["BatchOp", "Broadcast", "cached_handlers", "run_batch"]
+
+
+class Broadcast:
+    """A stage element that goes to *every* module (one copy each).
+
+    Equivalent to :meth:`PIMMachine.broadcast`; the ``size`` is the
+    accounted per-copy message size in constant-size units.
+    """
+
+    __slots__ = ("fn", "args", "tag", "size")
+
+    def __init__(self, fn: str, args: tuple = (), tag: Any = None,
+                 size: int = 1) -> None:
+        self.fn = fn
+        self.args = args
+        self.tag = tag
+        self.size = size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Broadcast(fn={self.fn!r}, args={self.args!r}, "
+                f"tag={self.tag!r}, size={self.size!r})")
+
+
+class BatchOp:
+    """One batched operation, split into its pipeline phases.
+
+    Subclasses override the phases they need; the defaults make the
+    trivial op (no handlers, plan is the batch, no stages, aggregate is
+    the routed value) a no-op.
+    """
+
+    #: Human-readable op id; names the drain in livelock reports.
+    name = "op"
+    #: Round bound passed to ``drain`` for every stage of this op.
+    max_rounds = 1_000_000
+
+    def handlers(self) -> Dict[str, Handler]:
+        """The execute phase: function-id -> handler dict to register.
+
+        Must return a *stable* dict (same object every call) -- see the
+        module docstring -- or ``{}`` when the host structure registers
+        its handlers itself at construction time.
+        """
+        return {}
+
+    def plan(self, machine: PIMMachine, batch: Any) -> Any:
+        """CPU-side planning; returns the plan passed to route/aggregate."""
+        return batch
+
+    def route(self, machine: PIMMachine, plan: Any):
+        """Generator yielding message stages; returns the routed result."""
+        return plan
+        yield  # pragma: no cover - marks this default as a generator
+
+    def aggregate(self, machine: PIMMachine, plan: Any, routed: Any) -> Any:
+        """Final CPU-side reduction; defaults to the routed result."""
+        return routed
+
+
+def cached_handlers(host: Any, key: str, factory) -> Dict[str, Handler]:
+    """Create a handler dict once per ``host`` object and memoise it.
+
+    The machine requires re-registration to present the *same* handler
+    objects, so handler factories (which build fresh closures) must run
+    at most once per host structure.  The cache lives on the host under
+    ``_handler_cache`` (hosts are plain objects without ``__slots__``).
+    """
+    cache = getattr(host, "_handler_cache", None)
+    if cache is None:
+        cache = {}
+        host._handler_cache = cache
+    h = cache.get(key)
+    if h is None:
+        h = factory()
+        cache[key] = h
+    return h
+
+
+def _issue(machine: PIMMachine, stage: Optional[Iterable]) -> None:
+    """Issue one stage: runs of send tuples via ``send_all``, broadcasts
+    in place, preserving the stage's element order exactly."""
+    if stage is None:
+        return
+    run = []
+    for item in stage:
+        if item.__class__ is Broadcast:
+            if run:
+                machine.send_all(run)
+                run = []
+            machine.broadcast(item.fn, item.args, item.tag, item.size)
+        else:
+            run.append(item)
+    if run:
+        machine.send_all(run)
+
+
+def run_batch(machine: PIMMachine, op: BatchOp, batch: Any = None) -> Any:
+    """Drive one :class:`BatchOp` to completion and return its result.
+
+    Registers the op's handlers (idempotent), runs ``plan``, then
+    alternates ``route`` stages with network drains, and finishes with
+    ``aggregate``.  Draining an empty network is free, so the driver
+    drains unconditionally after every stage -- the op's yield points
+    alone determine the round structure.
+    """
+    handlers = op.handlers()
+    if handlers:
+        machine.register_all(handlers)
+    plan = op.plan(machine, batch)
+    gen = op.route(machine, plan)
+    replies: Any = None
+    try:
+        while True:
+            try:
+                stage = gen.send(replies)
+            except StopIteration as stop:
+                routed = stop.value
+                break
+            _issue(machine, stage)
+            replies = machine.drain(op.max_rounds, label=op.name)
+    except BaseException:
+        gen.close()
+        raise
+    return op.aggregate(machine, plan, routed)

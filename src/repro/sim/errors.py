@@ -31,6 +31,26 @@ class UnknownHandlerError(SimulationError):
     """Raised when a task names a function id with no registered handler."""
 
 
+class MalformedMessageError(SimulationError):
+    """Raised at *issue* time for a structurally invalid ``send_all`` message.
+
+    A message must be ``(dest, fn, args, tag)`` or ``(dest, fn, args,
+    tag, size)`` with ``size`` a positive ``int`` (the accounted message
+    size in constant-size units).  Validating at issue keeps the failure
+    at the offending ``send_all`` call instead of surfacing as an opaque
+    unpacking or arithmetic error deep inside the round loop.
+    """
+
+
+class LivelockError(SimulationError):
+    """Raised when ``drain(max_rounds)`` exhausts its round budget.
+
+    The message names the originating op (the drain's ``label``) and the
+    pending handler function ids, so a forwarding cycle can be traced to
+    the op/handler that spins, not just to anonymous queue depths.
+    """
+
+
 class InvalidBatchError(SimulationError):
     """Raised when a batch violates the model's batch constraints.
 

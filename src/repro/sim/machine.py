@@ -58,7 +58,8 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.sim.config import MachineConfig
 from repro.sim.cpu import CPUSide
-from repro.sim.errors import UnknownHandlerError
+from repro.sim.errors import (LivelockError, MalformedMessageError,
+                              UnknownHandlerError)
 from repro.sim.metrics import Metrics, MetricsDelta
 from repro.sim.module import ModuleContext, PIMModule
 from repro.sim.task import Reply
@@ -186,7 +187,10 @@ class PIMMachine:
         message size in constant-size units, ``(dest, fn, args, tag,
         size)``.  This is the allocation-light bulk path: handlers are
         resolved once per message and staged directly into the
-        per-destination queues.
+        per-destination queues.  Malformed messages -- wrong arity, or a
+        size element that is not a positive ``int`` -- raise
+        :class:`~repro.sim.errors.MalformedMessageError` here, at issue
+        time, rather than corrupting the round accounting.
         """
         staged = self._staged
         handlers = self._handlers
@@ -195,8 +199,18 @@ class PIMMachine:
             if len(msg) == 4:
                 dest, fn, args, tag = msg
                 size = 1
-            else:
+            elif len(msg) == 5:
                 dest, fn, args, tag, size = msg
+                if type(size) is not int or size < 1:
+                    raise MalformedMessageError(
+                        f"send_all message {(dest, fn)} has invalid size "
+                        f"{size!r}: the optional 5th element must be a "
+                        f"positive int (constant-size message units)")
+            else:
+                raise MalformedMessageError(
+                    f"send_all message has {len(msg)} elements; expected "
+                    f"(dest, fn, args, tag) or (dest, fn, args, tag, size): "
+                    f"{msg!r}")
             if not 0 <= dest < n:
                 raise ValueError(f"bad module id {dest}")
             handler = handlers.get(fn)
@@ -323,13 +337,16 @@ class PIMMachine:
             self.tracer.access.end_round()
         return replies
 
-    def drain(self, max_rounds: int = 1_000_000) -> List[Reply]:
+    def drain(self, max_rounds: int = 1_000_000,
+              label: Optional[str] = None) -> List[Reply]:
         """Step until the network is quiescent; return all replies.
 
         Executes at most ``max_rounds`` rounds; if messages are still
-        pending after exactly that many, raises ``RuntimeError`` with the
-        round count and the pending queue sizes (the usual cause is a
-        livelocked forwarding cycle).
+        pending after exactly that many, raises
+        :class:`~repro.sim.errors.LivelockError` naming the originating
+        op (``label``, supplied by the op-pipeline driver) and the
+        pending handler function ids -- the usual cause is a livelocked
+        forwarding cycle, and the handler id is what identifies it.
         """
         replies: List[Reply] = []
         rounds = 0
@@ -343,10 +360,22 @@ class PIMMachine:
                 shown = dict(list(pending.items())[:8])
                 more = "" if len(pending) <= 8 else \
                     f" (+{len(pending) - 8} more modules)"
-                raise RuntimeError(
-                    f"drain executed {rounds} rounds (max_rounds="
+                by_fn: Dict[str, int] = {}
+                for slot in self._staged.values():
+                    for entry in slot[_CPU_Q]:
+                        by_fn[entry[3]] = by_fn.get(entry[3], 0) + 1
+                    for entry in slot[_FWD_Q]:
+                        by_fn[entry[3]] = by_fn.get(entry[3], 0) + 1
+                fn_list = sorted(by_fn.items(), key=lambda kv: -kv[1])
+                fn_shown = ", ".join(f"{fn}={cnt}" for fn, cnt in fn_list[:8])
+                fn_more = "" if len(fn_list) <= 8 else \
+                    f" (+{len(fn_list) - 8} more handler ids)"
+                origin = f" during op {label!r}" if label else ""
+                raise LivelockError(
+                    f"drain{origin} executed {rounds} rounds (max_rounds="
                     f"{max_rounds}) with {total} tasks still pending; "
-                    f"livelock?  pending tasks per module: {shown}{more}"
+                    f"livelock?  pending handlers: {fn_shown}{fn_more}; "
+                    f"pending tasks per module: {shown}{more}"
                 )
             replies.extend(self.step())
             rounds += 1

@@ -20,6 +20,7 @@ import math
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.balls.hashing import KeyLevelHash
+from repro.ops import BatchOp, run_batch
 from repro.sim.machine import PIMMachine
 
 
@@ -68,35 +69,60 @@ class PIMQueue:
 
     def enqueue_batch(self, values: Sequence[Any]) -> None:
         """Append ``values`` in order (one balanced round)."""
-        machine = self.machine
-        base = self.tail
-        self.tail += len(values)
-        machine.cpu.charge(len(values),
-                           max(1.0, math.log2(len(values) + 1)))
-        for i, value in enumerate(values):
-            seq = base + i
-            machine.send(self._owner(seq), f"{self.name}:store",
-                         (seq, value))
-        machine.drain()
+        run_batch(self.machine, _EnqueueOp(self, values))
 
     def dequeue_batch(self, count: int) -> List[Any]:
         """Remove and return up to ``count`` oldest items, in order."""
-        count = min(count, len(self))
-        if count == 0:
-            return []
-        machine = self.machine
-        base = self.head
-        self.head += count
-        machine.cpu.charge(count, max(1.0, math.log2(count + 1)))
-        for i in range(count):
-            seq = base + i
-            machine.send(self._owner(seq), f"{self.name}:take", (seq,))
-        out: List[Optional[Any]] = [None] * count
-        for r in machine.drain():
-            _, seq, value = r.payload
-            out[seq - base] = value
-        return out
+        return run_batch(self.machine, _DequeueOp(self, count))
 
     def peek_depth(self) -> int:
         """Items currently queued (CPU-side counters; free)."""
         return len(self)
+
+
+class _QueueOp(BatchOp):
+    """Base for the queue's ops: handlers are registered by the queue's
+    constructor (guarded by name), so ops contribute none themselves."""
+
+    def __init__(self, q: PIMQueue, suffix: str) -> None:
+        self.q = q
+        self.name = f"{q.name}:{suffix}"
+
+
+class _EnqueueOp(_QueueOp):
+    def __init__(self, q: PIMQueue, values: Sequence[Any]) -> None:
+        super().__init__(q, "enqueue")
+        self.values = values
+
+    def route(self, machine, plan):
+        q, values = self.q, self.values
+        base = q.tail
+        q.tail += len(values)
+        machine.cpu.charge(len(values),
+                           max(1.0, math.log2(len(values) + 1)))
+        fn_store = f"{q.name}:store"
+        yield ((q._owner(base + i), fn_store, (base + i, value), None)
+               for i, value in enumerate(values))
+
+
+class _DequeueOp(_QueueOp):
+    def __init__(self, q: PIMQueue, count: int) -> None:
+        super().__init__(q, "dequeue")
+        self.count = count
+
+    def route(self, machine, plan):
+        q = self.q
+        count = min(self.count, len(q))
+        if count == 0:
+            return []
+        base = q.head
+        q.head += count
+        machine.cpu.charge(count, max(1.0, math.log2(count + 1)))
+        fn_take = f"{q.name}:take"
+        replies = yield ((q._owner(base + i), fn_take, (base + i,), None)
+                         for i in range(count))
+        out: List[Optional[Any]] = [None] * count
+        for r in replies:
+            _, seq, value = r.payload
+            out[seq - base] = value
+        return out

@@ -36,6 +36,7 @@ from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tupl
 from repro.balls.hashing import KeyLevelHash
 from repro.core.skiplist import PIMSkipList
 from repro.cpuside.semisort import group_by
+from repro.ops import BatchOp, run_batch
 from repro.sim.machine import PIMMachine
 
 TOMBSTONE = ("__lsm_tombstone__",)
@@ -174,33 +175,7 @@ class PIMLSMStore:
     def batch_get(self, keys: Sequence[Hashable]) -> List[Optional[Any]]:
         """Point lookups: delta first (shadowing), then one fence-routed
         block probe per miss."""
-        machine = self.machine
-        groups = group_by(machine.cpu, list(range(len(keys))),
-                          key=lambda i: keys[i])
-        out: List[Optional[Any]] = [None] * len(keys)
-        delta_vals = self.delta.batch_get(list(groups))
-        delta_hit: Dict[Hashable, Any] = {}
-        misses: List[Hashable] = []
-        for key, dv in zip(groups, delta_vals):
-            if dv is not None:
-                delta_hit[key] = None if dv == TOMBSTONE else dv
-            else:
-                misses.append(key)
-        for key in misses:
-            bid = self._block_of(key)
-            if bid is None:
-                delta_hit[key] = None
-                continue
-            machine.send(self.block_owner[bid],
-                         f"{self.name}:blk_get", (bid, key))
-        for r in machine.drain():
-            _, key, value, hit = r.payload
-            delta_hit[key] = value if hit else None
-        for key, idxs in groups.items():
-            for i in idxs:
-                out[i] = delta_hit.get(key)
-        machine.cpu.charge(len(keys), max(1.0, math.log2(len(keys) + 1)))
-        return out
+        return run_batch(self.machine, _LSMGetOp(self, keys))
 
     def batch_successor(self, keys: Sequence[Hashable],
                         ) -> List[Optional[Tuple[Hashable, Any]]]:
@@ -211,40 +186,7 @@ class PIMLSMStore:
         key) -- a range-partitioned access pattern with the imbalance
         that entails under adversarial batches.
         """
-        machine = self.machine
-        n = len(keys)
-        delta_succ = self._delta_successor_skipping_tombstones(keys)
-        run_succ: List[Optional[Tuple[Hashable, Any]]] = [None] * n
-        pending: Dict[int, int] = {}
-        for i, key in enumerate(keys):
-            bid = self._block_of(key)
-            if bid is None:
-                continue
-            machine.send(self.block_owner[bid], f"{self.name}:blk_succ",
-                         (bid, key, i))
-            pending[i] = bid
-        while pending:
-            for r in machine.drain():
-                _, opid, found = r.payload
-                bid = pending.pop(opid)
-                if found is not None:
-                    run_succ[opid] = found
-                elif bid + 1 < len(self.block_owner):
-                    machine.send(self.block_owner[bid + 1],
-                                 f"{self.name}:blk_succ",
-                                 (bid + 1, keys[opid], opid))
-                    pending[opid] = bid + 1
-        out: List[Optional[Tuple[Hashable, Any]]] = []
-        for i, key in enumerate(keys):
-            cands = [c for c in (delta_succ[i], run_succ[i])
-                     if c is not None]
-            if not cands:
-                out.append(None)
-                continue
-            best = min(cands, key=lambda kv: kv[0])
-            out.append(best)
-        machine.cpu.charge(2 * n, max(1.0, math.log2(n + 1)))
-        return self._resolve_shadowed(keys, out)
+        return run_batch(self.machine, _LSMSuccessorOp(self, keys))
 
     def _delta_successor_skipping_tombstones(self, keys):
         """Delta successors, stepping over tombstoned entries."""
@@ -288,18 +230,153 @@ class PIMLSMStore:
     def batch_range(self, ops: Sequence[Tuple[Hashable, Hashable]],
                     ) -> List[List[Tuple[Hashable, Any]]]:
         """Merge delta ranges with block scans, dropping tombstones."""
-        machine = self.machine
-        delta_res = self.delta.batch_range(list(ops))
+        return run_batch(self.machine, _LSMRangeOp(self, ops))
+
+    # ------------------------------------------------------------------
+    # compaction
+    # ------------------------------------------------------------------
+
+    def compact(self) -> None:
+        """Merge delta into the run; rewrite hashed blocks; clear delta."""
+        run_batch(self.machine, _LSMCompactOp(self))
+
+    def _min_key_probe(self):
+        # smallest key present in the delta
+        first = self.delta.successor(self._neg_probe())
+        return first[0] if first else 0
+
+    def _max_key_probe(self):
+        last = self.delta.predecessor(self._pos_probe())
+        return last[0] if last else 0
+
+    @staticmethod
+    def _neg_probe():
+        from repro.core.probes import BELOW_ALL
+        return BELOW_ALL
+
+    @staticmethod
+    def _pos_probe():
+        from repro.core.probes import ABOVE_ALL
+        return ABOVE_ALL
+
+
+class _LSMOp(BatchOp):
+    """Base for the store's ops: block handlers are registered by the
+    store's constructor (guarded by name), so ops contribute none."""
+
+    def __init__(self, lsm: PIMLSMStore, suffix: str) -> None:
+        self.lsm = lsm
+        self.name = f"{lsm.name}:{suffix}"
+
+
+class _LSMGetOp(_LSMOp):
+    def __init__(self, lsm: PIMLSMStore, keys: Sequence[Hashable]) -> None:
+        super().__init__(lsm, "batch_get")
+        self.keys = keys
+
+    def route(self, machine, plan):
+        lsm, keys = self.lsm, self.keys
+        groups = group_by(machine.cpu, list(range(len(keys))),
+                          key=lambda i: keys[i])
+        out: List[Optional[Any]] = [None] * len(keys)
+        delta_vals = lsm.delta.batch_get(list(groups))
+        delta_hit: Dict[Hashable, Any] = {}
+        misses: List[Hashable] = []
+        for key, dv in zip(groups, delta_vals):
+            if dv is not None:
+                delta_hit[key] = None if dv == TOMBSTONE else dv
+            else:
+                misses.append(key)
+        msgs = []
+        fn_get = f"{lsm.name}:blk_get"
+        for key in misses:
+            bid = lsm._block_of(key)
+            if bid is None:
+                delta_hit[key] = None
+                continue
+            msgs.append((lsm.block_owner[bid], fn_get, (bid, key), None))
+        replies = yield msgs
+        for r in replies:
+            _, key, value, hit = r.payload
+            delta_hit[key] = value if hit else None
+        for key, idxs in groups.items():
+            for i in idxs:
+                out[i] = delta_hit.get(key)
+        machine.cpu.charge(len(keys), max(1.0, math.log2(len(keys) + 1)))
+        return out
+
+
+class _LSMSuccessorOp(_LSMOp):
+    def __init__(self, lsm: PIMLSMStore, keys: Sequence[Hashable]) -> None:
+        super().__init__(lsm, "batch_successor")
+        self.keys = keys
+
+    def route(self, machine, plan):
+        lsm, keys = self.lsm, self.keys
+        n = len(keys)
+        delta_succ = lsm._delta_successor_skipping_tombstones(keys)
+        run_succ: List[Optional[Tuple[Hashable, Any]]] = [None] * n
+        pending: Dict[int, int] = {}
+        fn_succ = f"{lsm.name}:blk_succ"
+        msgs = []
+        for i, key in enumerate(keys):
+            bid = lsm._block_of(key)
+            if bid is None:
+                continue
+            msgs.append((lsm.block_owner[bid], fn_succ, (bid, key, i),
+                         None))
+            pending[i] = bid
+        replies = yield msgs
+        # spill rounds: a block holding nothing at/after the key forwards
+        # the probe to its right neighbour, one extra stage per hop
+        while pending:
+            spills = []
+            for r in replies:
+                _, opid, found = r.payload
+                bid = pending.pop(opid)
+                if found is not None:
+                    run_succ[opid] = found
+                elif bid + 1 < len(lsm.block_owner):
+                    spills.append((lsm.block_owner[bid + 1], fn_succ,
+                                   (bid + 1, keys[opid], opid), None))
+                    pending[opid] = bid + 1
+            if pending:
+                replies = yield spills
+        out: List[Optional[Tuple[Hashable, Any]]] = []
+        for i, key in enumerate(keys):
+            cands = [c for c in (delta_succ[i], run_succ[i])
+                     if c is not None]
+            if not cands:
+                out.append(None)
+                continue
+            best = min(cands, key=lambda kv: kv[0])
+            out.append(best)
+        machine.cpu.charge(2 * n, max(1.0, math.log2(n + 1)))
+        return lsm._resolve_shadowed(keys, out)
+
+
+class _LSMRangeOp(_LSMOp):
+    def __init__(self, lsm: PIMLSMStore,
+                 ops: Sequence[Tuple[Hashable, Hashable]]) -> None:
+        super().__init__(lsm, "batch_range")
+        self.ops = ops
+
+    def route(self, machine, plan):
+        lsm, ops = self.lsm, self.ops
+        delta_res = lsm.delta.batch_range(list(ops))
         run_parts: Dict[int, Dict[int, List]] = {}
+        fn_scan = f"{lsm.name}:blk_scan"
+        msgs = []
         for i, (lo, hi) in enumerate(ops):
-            b0 = self._block_of(lo)
+            b0 = lsm._block_of(lo)
             if b0 is None:
                 continue
-            b1 = self._block_of(hi)
+            b1 = lsm._block_of(hi)
             for bid in range(b0, (b1 if b1 is not None else b0) + 1):
-                machine.send(self.block_owner[bid], f"{self.name}:blk_scan",
-                             (bid, lo, hi, i))
-        for r in machine.drain():
+                msgs.append((lsm.block_owner[bid], fn_scan,
+                             (bid, lo, hi, i), None))
+        replies = yield msgs
+        for r in replies:
             _, opid, bid, items = r.payload
             run_parts.setdefault(opid, {})[bid] = items
         out: List[List[Tuple[Hashable, Any]]] = []
@@ -326,18 +403,18 @@ class PIMLSMStore:
         )
         return out
 
-    # ------------------------------------------------------------------
-    # compaction
-    # ------------------------------------------------------------------
 
-    def compact(self) -> None:
-        """Merge delta into the run; rewrite hashed blocks; clear delta."""
-        machine = self.machine
+class _LSMCompactOp(_LSMOp):
+    def __init__(self, lsm: PIMLSMStore) -> None:
+        super().__init__(lsm, "compact")
+
+    def route(self, machine, plan):
+        lsm = self.lsm
         # 1. stream the old blocks back (balanced: each block one reply)
         old_blocks: Dict[int, List] = {}
-        for bid, owner in enumerate(self.block_owner):
-            machine.send(owner, f"{self.name}:blk_dump", (bid,))
-        for r in machine.drain():
+        replies = yield ((owner, f"{lsm.name}:blk_dump", (bid,), None)
+                         for bid, owner in enumerate(lsm.block_owner))
+        for r in replies:
             _, bid, block = r.payload
             old_blocks[bid] = block
         run_items: List[Tuple[Hashable, Any]] = []
@@ -345,9 +422,9 @@ class PIMLSMStore:
             run_items.extend(old_blocks[bid])
         # 2. delta contents, sorted, via a full-range read
         delta_items = []
-        if self.delta.size:
-            res = self.delta.range_broadcast(
-                self._min_key_probe(), self._max_key_probe())
+        if lsm.delta.size:
+            res = lsm.delta.range_broadcast(
+                lsm._min_key_probe(), lsm._max_key_probe())
             delta_items = res.values
         # 3. CPU merge with shadowing + tombstone elimination
         merged: List[Tuple[Hashable, Any]] = []
@@ -361,42 +438,24 @@ class PIMLSMStore:
         machine.cpu.charge(n * max(1.0, math.log2(n + 1)),
                            max(1.0, math.log2(n + 1)))
         # 4. rewrite fresh blocks under a new generation
-        for bid, owner in enumerate(self.block_owner):
-            machine.send(owner, f"{self.name}:blk_drop", (bid,))
-        machine.drain()
-        self.generation += 1
-        self.fences = []
-        self.block_owner = []
-        for start in range(0, n, self.block_size):
-            block = merged[start:start + self.block_size]
-            bid = len(self.fences)
-            owner = self.hash.module_of((self.generation, bid))
-            self.fences.append(block[0][0])
-            self.block_owner.append(owner)
-            machine.send(owner, f"{self.name}:blk_store", (bid, block),
-                         size=max(1, len(block)))
-        machine.drain()
-        self.run_size = n
+        yield ((owner, f"{lsm.name}:blk_drop", (bid,), None)
+               for bid, owner in enumerate(lsm.block_owner))
+        lsm.generation += 1
+        lsm.fences = []
+        lsm.block_owner = []
+        store_msgs = []
+        fn_store = f"{lsm.name}:blk_store"
+        for start in range(0, n, lsm.block_size):
+            block = merged[start:start + lsm.block_size]
+            bid = len(lsm.fences)
+            owner = lsm.hash.module_of((lsm.generation, bid))
+            lsm.fences.append(block[0][0])
+            lsm.block_owner.append(owner)
+            store_msgs.append((owner, fn_store, (bid, block), None,
+                               max(1, len(block))))
+        yield store_msgs
+        lsm.run_size = n
         # 5. clear the delta
-        if self.delta.size:
+        if lsm.delta.size:
             remaining = [k for k, _ in delta_items]
-            self.delta.batch_delete(remaining)
-
-    def _min_key_probe(self):
-        # smallest key present in the delta
-        first = self.delta.successor(self._neg_probe())
-        return first[0] if first else 0
-
-    def _max_key_probe(self):
-        last = self.delta.predecessor(self._pos_probe())
-        return last[0] if last else 0
-
-    @staticmethod
-    def _neg_probe():
-        from repro.core.probes import BELOW_ALL
-        return BELOW_ALL
-
-    @staticmethod
-    def _pos_probe():
-        from repro.core.probes import ABOVE_ALL
-        return ABOVE_ALL
+            lsm.delta.batch_delete(remaining)

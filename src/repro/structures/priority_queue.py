@@ -31,6 +31,7 @@ import math
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.skiplist import PIMSkipList
+from repro.ops import BatchOp, run_batch
 from repro.sim.machine import PIMMachine
 
 
@@ -99,20 +100,40 @@ class PIMPriorityQueue:
 
     def _smallest_keys(self, count: int) -> List[Any]:
         """The ``count`` globally smallest keys, via safe prefix fetches."""
-        machine = self.machine
+        return run_batch(self.machine, _SmallestKeysOp(self, count))
+
+    def clear(self) -> None:
+        """Remove everything (batched)."""
+        while len(self):
+            self.extract_min_batch(len(self))
+
+
+class _SmallestKeysOp(BatchOp):
+    """Quota-doubling safe-prefix fetch; one stage per re-ask round.
+
+    The prefix handler is registered by the queue's constructor, so the
+    op contributes no handlers itself."""
+
+    def __init__(self, pq: PIMPriorityQueue, count: int) -> None:
+        self.pq = pq
+        self.count = count
+        self.name = f"{pq.name}:smallest_keys"
+
+    def route(self, machine, plan):
+        pq, count = self.pq, self.count
         p = machine.num_modules
         log_p = max(1, int(round(math.log2(p)))) if p > 1 else 1
         quotas: Dict[int, int] = {
             mid: min(count, 2 * ((count + p - 1) // p) + 4 * log_p)
             for mid in range(p)
         }
+        fn_prefix = f"{pq.name}:local_prefix"
         supplied: Dict[int, Tuple[List[Any], bool]] = {}
         while True:
             ask = [mid for mid in range(p) if mid not in supplied]
-            for mid in ask:
-                machine.send(mid, f"{self.name}:local_prefix",
-                             (quotas[mid],))
-            for r in machine.drain():
+            replies = yield [(mid, fn_prefix, (quotas[mid],), None)
+                             for mid in ask]
+            for r in replies:
                 _, mid, keys, exhausted = r.payload
                 supplied[mid] = (keys, exhausted)
             merged: List[Any] = []
@@ -139,8 +160,3 @@ class PIMPriorityQueue:
             for mid in unsafe:
                 quotas[mid] *= 2
                 del supplied[mid]
-
-    def clear(self) -> None:
-        """Remove everything (batched)."""
-        while len(self):
-            self.extract_min_batch(len(self))

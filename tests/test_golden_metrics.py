@@ -24,6 +24,7 @@ from repro.baselines import HashPartitionedMap
 from repro.collectives import Collectives
 from repro.core.skiplist import PIMSkipList
 from repro.sim.machine import PIMMachine
+from repro.structures import PIMLSMStore, PIMPriorityQueue, PIMQueue
 
 GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden",
                            "golden_metrics.json")
@@ -115,12 +116,49 @@ def _qrqw_workloads(out):
                                          for _ in range(64)]), out)
 
 
+def _structure_workloads(out):
+    """Container structures on the unified pipeline: LSM (with one
+    forced compaction), FIFO enqueue/dequeue, priority-queue extract."""
+    p = 8
+    machine = PIMMachine(num_modules=p, seed=59)
+    lsm = PIMLSMStore(machine, name="goldlsm", block_size=16,
+                      flush_threshold=10_000)
+    rng = random.Random(505)
+    pairs = [(k, k * 2) for k in sorted(rng.sample(range(1, 9_000), 300))]
+    lsm.batch_upsert(pairs)
+    _measure(machine, "lsm/compact", lsm.compact, out)
+    get_keys = [rng.choice(pairs)[0] if i % 2 == 0
+                else rng.randrange(9_000) for i in range(48)]
+    _measure(machine, "lsm/batch_get",
+             lambda: lsm.batch_get(get_keys), out)
+    succ_keys = [rng.randrange(10_000) for _ in range(48)]
+    _measure(machine, "lsm/batch_successor",
+             lambda: lsm.batch_successor(succ_keys), out)
+
+    machine_q = PIMMachine(num_modules=p, seed=61)
+    fifo = PIMQueue(machine_q, name="goldfifo")
+    items = [rng.randrange(1_000) for _ in range(96)]
+    _measure(machine_q, "fifo/enqueue_batch",
+             lambda: fifo.enqueue_batch(items), out)
+    _measure(machine_q, "fifo/dequeue_batch",
+             lambda: fifo.dequeue_batch(64), out)
+
+    machine_pq = PIMMachine(num_modules=p, seed=67)
+    pq = PIMPriorityQueue(machine_pq, name="goldpq")
+    prios = [(rng.randrange(500), i) for i in range(128)]
+    _measure(machine_pq, "pq/insert_batch",
+             lambda: pq.insert_batch(prios), out)
+    _measure(machine_pq, "pq/extract_min_batch",
+             lambda: pq.extract_min_batch(48), out)
+
+
 def compute_all() -> dict:
     out: dict = {}
     _skiplist_workloads(out)
     _baseline_workloads(out)
     _collective_workloads(out)
     _qrqw_workloads(out)
+    _structure_workloads(out)
     return out
 
 

@@ -1,0 +1,262 @@
+"""The repro.ops pipeline driver: stage sequencing, Broadcast markers,
+handler registration, livelock attribution -- plus a differential
+property test running random mixed batches through the unified pipeline
+against the sequential sorted-list oracle."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.ops_successor import batch_search
+from repro.ops import BatchOp, Broadcast, cached_handlers, run_batch
+from repro.sim.errors import LivelockError, MalformedMessageError
+from repro.sim.machine import PIMMachine
+from tests.conftest import ReferenceMap, make_skiplist
+
+
+def _echo_handlers():
+    def h_echo(ctx, value, tag=None):
+        ctx.charge(1)
+        ctx.reply(("echo", ctx.mid, value), tag=tag)
+
+    return {"t:echo": h_echo}
+
+
+class _TwoStageOp(BatchOp):
+    """Stage 2's messages are computed from stage 1's replies."""
+
+    name = "t:two_stage"
+
+    def __init__(self):
+        self.trace = []
+        self._handlers = _echo_handlers()
+
+    def handlers(self):
+        return self._handlers
+
+    def plan(self, machine, batch):
+        self.trace.append("plan")
+        return list(batch)
+
+    def route(self, machine, plan):
+        self.trace.append("route")
+        replies = yield [(mid, "t:echo", (x,), None)
+                         for mid, x in enumerate(plan)]
+        got = sorted(r.payload[2] for r in replies)
+        # second stage: echo the doubled values back through module 0
+        replies = yield [(0, "t:echo", (2 * x,), None) for x in got]
+        return sorted(r.payload[2] for r in replies)
+
+    def aggregate(self, machine, plan, routed):
+        self.trace.append("aggregate")
+        return (plan, routed)
+
+
+class TestDriver:
+    def test_stage_sequencing_and_phase_order(self):
+        machine = PIMMachine(num_modules=4, seed=1)
+        op = _TwoStageOp()
+        plan, routed = run_batch(machine, op, [10, 20, 30])
+        assert op.trace == ["plan", "route", "aggregate"]
+        assert plan == [10, 20, 30]
+        assert routed == [20, 40, 60]
+
+    def test_stageless_op_and_none_stage_are_free(self):
+        machine = PIMMachine(num_modules=4, seed=1)
+
+        class Stageless(BatchOp):
+            def route(self, m, plan):
+                yield None
+                yield []
+                return "done"
+
+        before = machine.snapshot()
+        assert run_batch(machine, Stageless()) == "done"
+        delta = machine.delta_since(before)
+        assert delta.rounds == 0 and delta.io_time == 0
+
+    def test_broadcast_marker_reaches_every_module(self):
+        machine = PIMMachine(num_modules=4, seed=1)
+        machine.register_all(_echo_handlers())
+
+        class Bcast(BatchOp):
+            def route(self, m, plan):
+                replies = yield [Broadcast("t:echo", (7,))]
+                return sorted(r.payload[1] for r in replies)
+
+        assert run_batch(machine, Bcast()) == [0, 1, 2, 3]
+
+    def test_broadcast_interleaved_with_sends_preserves_order(self):
+        machine = PIMMachine(num_modules=2, seed=1)
+        seen = []
+
+        def h_log(ctx, value, tag=None):
+            ctx.charge(1)
+            seen.append((ctx.mid, value))
+            ctx.reply(("ack",), tag=tag)
+
+        machine.register("t:log", h_log)
+
+        class Mixed(BatchOp):
+            def route(self, m, plan):
+                yield [(0, "t:log", ("a",), None),
+                       Broadcast("t:log", ("b",)),
+                       (1, "t:log", ("c",), None)]
+
+        run_batch(machine, Mixed())
+        assert sorted(seen) == [(0, "a"), (0, "b"), (1, "b"), (1, "c")]
+
+    def test_rerun_with_cached_handlers_is_idempotent(self):
+        machine = PIMMachine(num_modules=2, seed=1)
+
+        class Host:
+            pass
+
+        host = Host()
+
+        class Op(BatchOp):
+            def handlers(self):
+                return cached_handlers(host, "echo", _echo_handlers)
+
+            def route(self, m, plan):
+                replies = yield [(0, "t:echo", (1,), None)]
+                return len(replies)
+
+        assert run_batch(machine, Op()) == 1
+        assert run_batch(machine, Op()) == 1  # same dict, no conflict
+
+    def test_uncached_handler_factories_conflict(self):
+        machine = PIMMachine(num_modules=2, seed=1)
+
+        class Fresh(BatchOp):
+            def handlers(self):
+                return _echo_handlers()  # new closure every call
+
+            def route(self, m, plan):
+                yield [(0, "t:echo", (1,), None)]
+
+        run_batch(machine, Fresh())
+        with pytest.raises(ValueError):
+            run_batch(machine, Fresh())
+
+    def test_exception_in_route_runs_finally_cleanup(self):
+        machine = PIMMachine(num_modules=2, seed=1)
+        machine.register_all(_echo_handlers())
+
+        class Boom(BatchOp):
+            def route(self, m, plan):
+                m.cpu.alloc(64)
+                try:
+                    yield [(0, "t:echo", (1,), None)]
+                    raise RuntimeError("mid-route failure")
+                finally:
+                    m.cpu.free(64)
+
+        with pytest.raises(RuntimeError, match="mid-route failure"):
+            run_batch(machine, Boom())
+        assert machine.cpu.metrics.shared_mem_in_use == 0
+
+    def test_livelock_report_names_op_and_handler(self):
+        machine = PIMMachine(num_modules=2, seed=1)
+
+        def h_pingpong(ctx, hops, tag=None):
+            ctx.charge(1)
+            ctx.forward(1 - ctx.mid, "t:pingpong", (hops + 1,))
+
+        machine.register("t:pingpong", h_pingpong)
+
+        class Spinner(BatchOp):
+            name = "t:spinner"
+            max_rounds = 5
+
+            def route(self, m, plan):
+                yield [(0, "t:pingpong", (0,), None)]
+
+        with pytest.raises(LivelockError) as exc:
+            run_batch(machine, Spinner())
+        msg = str(exc.value)
+        assert "t:spinner" in msg        # originating op label
+        assert "t:pingpong" in msg       # pending handler fn id
+        assert "5 rounds" in msg
+
+
+class TestSendAllValidation:
+    def test_wrong_arity_is_typed_error_at_issue_time(self):
+        machine = PIMMachine(num_modules=2, seed=1)
+        machine.register_all(_echo_handlers())
+        with pytest.raises(MalformedMessageError):
+            machine.send_all([(0, "t:echo", (1,))])  # 3 elements
+        with pytest.raises(MalformedMessageError):
+            machine.send_all([(0, "t:echo", (1,), None, 1, "extra")])
+
+    @pytest.mark.parametrize("size", [0, -3, 1.5, "4", None])
+    def test_bad_size_element_is_typed_error(self, size):
+        machine = PIMMachine(num_modules=2, seed=1)
+        machine.register_all(_echo_handlers())
+        with pytest.raises(MalformedMessageError):
+            machine.send_all([(0, "t:echo", (1,), None, size)])
+
+    def test_valid_messages_still_pass(self):
+        machine = PIMMachine(num_modules=2, seed=1)
+        machine.register_all(_echo_handlers())
+        machine.send_all([(0, "t:echo", (1,), None),
+                          (1, "t:echo", (2,), None, 3)])
+        assert len(machine.drain()) == 2
+
+
+class TestDifferentialPipeline:
+    """Satellite: random mixed batches through the unified pipeline must
+    agree with the sequential sorted-list oracle, op for op."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_mixed_batches_match_oracle(self, seed):
+        machine, sl, ref = make_skiplist(num_modules=8, n=150,
+                                         seed=1000 + seed, stride=100)
+        rng = random.Random(seed)
+        space = 150 * 100 + 5000
+        for _ in range(12):
+            op = rng.choice(["search", "successor", "upsert", "delete",
+                             "get"])
+            if op == "get":
+                keys = [rng.choice(sorted(ref.data))
+                        if ref.data and rng.random() >= 0.4
+                        else rng.randrange(space)
+                        for _ in range(24)]
+                assert sl.batch_get(keys) == [ref.get(k) for k in keys]
+            elif op == "search":
+                keys = [rng.randrange(space) for _ in range(20)]
+                outs = batch_search(sl.struct, keys)
+                for k, out in zip(keys, outs):
+                    pred = ref.predecessor(k)
+                    if pred is None:
+                        assert out.pred.is_sentinel
+                    else:
+                        assert out.pred.key == pred[0]
+            elif op == "successor":
+                keys = [rng.randrange(space) for _ in range(20)]
+                assert sl.batch_successor(keys) == \
+                    [ref.successor(k) for k in keys]
+            elif op == "upsert":
+                pairs = []
+                for _ in range(20):
+                    if ref.data and rng.random() < 0.4:
+                        pairs.append((rng.choice(sorted(ref.data)),
+                                      rng.randrange(10_000)))
+                    else:
+                        pairs.append((rng.randrange(space),
+                                      rng.randrange(10_000)))
+                sl.batch_upsert(pairs)
+                for k, v in pairs:
+                    ref.upsert(k, v)
+            else:  # delete
+                live = sorted(ref.data)
+                keys = [rng.choice(live) if live and rng.random() < 0.7
+                        else rng.randrange(space) for _ in range(16)]
+                sl.batch_delete(keys)
+                for k in set(keys):
+                    ref.delete(k)
+        # end state must agree exactly
+        assert sl.to_dict() == ref.as_dict()
+        sl.check_integrity()

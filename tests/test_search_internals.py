@@ -126,18 +126,18 @@ class TestBatchSearchStructure:
         batch = same_successor_batch(sorted(ref.data), 16 * 16,
                                      random.Random(93))
         launched = {"n": 0}
-        orig = osu.launch_search
+        orig = osu.search_message
 
         def counting(*a, **k):
             launched["n"] += 1
             return orig(*a, **k)
 
-        osu.launch_search = counting
+        osu.search_message = counting
         try:
             batch_search(sl.struct, batch, record_all=True,
                          record_levels=[2] * len(batch))
         finally:
-            osu.launch_search = orig
+            osu.search_message = orig
         # pivots must search; nearly all of stage 2 derives
         assert launched["n"] < len(batch) / 2
 
