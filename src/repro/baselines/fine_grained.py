@@ -140,6 +140,19 @@ class FineGrainedSkipList:
                 out.append(None)
         return out
 
+    #: Read-only: the cited design is build-once (no mutation path).
+    BATCH_CAPS = frozenset({"get", "successor"})
+
+    def apply_batch(self, op: str, payload: Sequence) -> List[Any]:
+        """Uniform batch dispatch (contract: see
+        :meth:`repro.core.skiplist.PIMSkipList.apply_batch`)."""
+        if op == "get":
+            return self.batch_get(list(payload))
+        if op == "successor":
+            return self.batch_successor(list(payload))
+        raise ValueError(f"apply_batch: unsupported op {op!r} "
+                         f"(fine-grained baseline is read-only)")
+
 
 class _FineGrainedSearchOp(BatchOp):
     """All searches launched at the (unreplicated) root in one stage."""

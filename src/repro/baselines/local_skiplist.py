@@ -114,6 +114,35 @@ class LocalSkipList:
             yield (x.key, x.value)
             x = x.nexts[0]
 
+    # -- differential-verification conformance surface ---------------------
+
+    #: Batch ops replayable through :meth:`apply_batch` (sequentially).
+    BATCH_CAPS = frozenset({"get", "successor", "upsert", "delete", "range"})
+
+    def apply_batch(self, op: str, payload) -> Optional[List[Any]]:
+        """Uniform batch dispatch (contract: see
+        :meth:`repro.core.skiplist.PIMSkipList.apply_batch`).
+
+        Sequential: the batch is applied element by element, which is
+        exactly what makes this structure a useful second oracle for the
+        differential verifier.
+        """
+        if op == "get":
+            return [self.get(k) for k in payload]
+        if op == "successor":
+            return [self.successor(k) for k in payload]
+        if op == "upsert":
+            for k, v in payload:
+                self.upsert(k, v)
+            return None
+        if op == "delete":
+            for k in payload:
+                self.delete(k)
+            return None
+        if op == "range":
+            return [self.range_scan(lo, hi) for lo, hi in payload]
+        raise ValueError(f"apply_batch: unknown op {op!r}")
+
     # -- updates -----------------------------------------------------------
 
     def upsert(self, key: Hashable, value: Any) -> bool:

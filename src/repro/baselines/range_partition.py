@@ -146,6 +146,28 @@ class RangePartitionedSkipList:
         (the baseline's strong suit)."""
         return run_batch(self.machine, _RangeScanOp(self, ops))
 
+    #: Batch ops replayable through :meth:`apply_batch`.
+    BATCH_CAPS = frozenset({"get", "successor", "upsert", "delete", "range"})
+
+    def apply_batch(self, op: str, payload: Sequence) -> Optional[list]:
+        """Uniform batch dispatch (contract: see
+        :meth:`repro.core.skiplist.PIMSkipList.apply_batch`)."""
+        if op == "get":
+            return self.batch_get(list(payload))
+        if op == "successor":
+            return self.batch_successor(list(payload))
+        if op == "upsert":
+            if payload:
+                self.batch_upsert(list(payload))
+            return None
+        if op == "delete":
+            if payload:
+                self.batch_delete(list(payload))
+            return None
+        if op == "range":
+            return self.batch_range(list(payload)) if payload else []
+        raise ValueError(f"apply_batch: unknown op {op!r}")
+
 
 class _RangePartOp(BatchOp):
     """Base for the map's ops: handlers come from the host's stable dict."""

@@ -10,6 +10,10 @@ Commands
   (runs the benchmark harness's experiment functions through pytest
   with timing disabled; tables land in ``benchmarks/out/``).
 - ``selftest`` — run the full unit/property test suite.
+- ``verify fuzz|replay|shrink`` — the differential verification
+  subsystem: fuzz seeded adversarial sessions against every
+  implementation, replay recorded repro files, shrink failures
+  (see ``repro.verify``).
 """
 
 from __future__ import annotations
@@ -150,6 +154,12 @@ def cmd_selftest(_args: argparse.Namespace) -> int:
     return int(pytest.main([tests, "-q"]))
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify.cli import main as verify_main
+
+    return verify_main(list(args.rest))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -162,12 +172,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     rep.add_argument("-k", default=None,
                      help="pytest -k filter (e.g. 'succ or fig3')")
     sub.add_parser("selftest", help="run the test suite")
+    ver = sub.add_parser(
+        "verify", help="differential verification: fuzz, replay, shrink")
+    ver.add_argument("rest", nargs=argparse.REMAINDER,
+                     help="verify subcommand and flags "
+                          "(try: verify fuzz --help)")
     args = parser.parse_args(argv)
     return {
         "info": cmd_info,
         "demo": cmd_demo,
         "reproduce": cmd_reproduce,
         "selftest": cmd_selftest,
+        "verify": cmd_verify,
     }[args.command](args)
 
 

@@ -200,6 +200,40 @@ class PIMSkipList:
         from repro.core import ops_point
         return ops_point.batch_contains(self.struct, keys)
 
+    # -- differential-verification conformance surface ----------------------
+
+    #: Batch ops this structure can replay through :meth:`apply_batch`.
+    BATCH_CAPS = frozenset({"get", "successor", "upsert", "delete", "range"})
+
+    def apply_batch(self, op: str, payload: Sequence) -> Optional[list]:
+        """Uniform batch dispatch for the differential verifier.
+
+        The conformance contract, shared by the baselines, the LSM store
+        and :mod:`repro.verify`: ``get`` returns a list of values
+        (``None`` for missing keys), ``successor`` a list of ``(key,
+        value)`` pairs or ``None``, ``range`` one inclusive
+        ``[(key, value), ...]`` result list per ``(lo, hi)`` op;
+        ``upsert`` and ``delete`` return ``None`` -- mutations are
+        verified through subsequent reads and final-state comparison.
+        """
+        if op == "get":
+            return self.batch_get(list(payload))
+        if op == "successor":
+            return self.batch_successor(list(payload))
+        if op == "upsert":
+            if payload:
+                self.batch_upsert(list(payload))
+            return None
+        if op == "delete":
+            if payload:
+                self.batch_delete(list(payload))
+            return None
+        if op == "range":
+            if not payload:
+                return []
+            return [list(r.values) for r in self.batch_range(list(payload))]
+        raise ValueError(f"apply_batch: unknown op {op!r}")
+
     # -- bulk structure surgery (compositions; costs = the moved data) ----
 
     def union_into(self, other: "PIMSkipList") -> int:

@@ -37,7 +37,14 @@ and the round engine -- the cost model is unchanged.
 Backends and observability hook in here: a different driver (e.g. one
 that ships stages to multiprocess shards, or charges an alternative cost
 model) can run any existing op unmodified, because ops never touch the
-machine's message API directly.
+machine's message API directly.  A machine may carry a
+``batch_observer`` callable (see :attr:`PIMMachine.batch_observer`);
+when set, the driver snapshots the machine around every op and reports
+``(op.name, MetricsDelta)`` after a successful run -- the per-batch
+metric feed the differential-verification subsystem (:mod:`repro.verify`)
+checks its cost invariants against.  Nested ops report too (inner ops
+first, since they complete first); observers must not issue messages or
+charge costs.
 
 Design notes for op authors
 ---------------------------
@@ -171,6 +178,8 @@ def run_batch(machine: PIMMachine, op: BatchOp, batch: Any = None) -> Any:
     drains unconditionally after every stage -- the op's yield points
     alone determine the round structure.
     """
+    observer = getattr(machine, "batch_observer", None)
+    before = machine.snapshot() if observer is not None else None
     handlers = op.handlers()
     if handlers:
         machine.register_all(handlers)
@@ -189,4 +198,11 @@ def run_batch(machine: PIMMachine, op: BatchOp, batch: Any = None) -> Any:
     except BaseException:
         gen.close()
         raise
-    return op.aggregate(machine, plan, routed)
+    result = op.aggregate(machine, plan, routed)
+    if observer is not None:
+        machine.batch_observer = None
+        try:
+            observer(op.name, machine.delta_since(before))
+        finally:
+            machine.batch_observer = observer
+    return result

@@ -118,6 +118,13 @@ class PIMMachine:
         self.tracer = Tracer(trace_accesses=config.trace_accesses)
         self.qrqw = config.contention_model == "qrqw"
         self.tasks_executed = 0  # cumulative, across all rounds
+        #: Optional per-batch metric feed: when set to a callable
+        #: ``observer(op_name, delta)``, the op-pipeline driver
+        #: (:func:`repro.ops.run_batch`) reports every completed op's
+        #: :class:`~repro.sim.metrics.MetricsDelta`.  Used by
+        #: ``repro.verify`` to check cost invariants batch by batch;
+        #: observers must be passive (no sends, no charging).
+        self.batch_observer: Optional[Callable[[str, MetricsDelta], None]] = None
         self._handlers: Dict[str, Handler] = {}
         # mid -> [units_in, cpu_entries, forward_entries]; see module doc.
         self._staged: Dict[int, list] = {}

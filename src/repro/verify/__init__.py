@@ -1,0 +1,75 @@
+"""Differential verification: fuzzer, cross-implementation oracle, shrinker.
+
+The paper's claims are comparative -- the PIM-balanced skip list against
+range-partitioned, hash-partitioned, fine-grained and naive-batch
+baselines under adversarial batches -- so correctness must be checked
+*across* implementations, not per structure.  This package is the
+correctness backbone the ROADMAP's perf PRs regress against:
+
+- :mod:`repro.verify.fuzz` -- a seeded workload fuzzer (on top of
+  :mod:`repro.workloads.generators`) emitting mixed batch sessions with
+  adversarial shapes: contiguous runs, duplicate-heavy and Zipf-skewed
+  reads, same-successor clusters, churn, and ranges over fresh deletes.
+- :mod:`repro.verify.adapters` -- every implementation behind the
+  uniform ``apply_batch`` conformance surface, each on its own fresh
+  seeded :class:`~repro.sim.machine.PIMMachine`.
+- :mod:`repro.verify.differ` -- the differential driver: replays each
+  session simultaneously against the skip list, the five baselines and
+  the LSM store, checking observable equivalence against the
+  :class:`~repro.verify.oracle.SequentialOracle` plus metamorphic cost
+  invariants (bit-identical metrics across reruns of the same seed,
+  per-batch round counts within paper envelopes, metric monotonicity
+  under batch splitting), and the FIFO/priority-queue containers
+  against deque/heap oracles.
+- :mod:`repro.verify.shrink` -- a failing-case shrinker that minimizes
+  any diverging session to a small reproducer and writes it to
+  ``tests/golden/repros/`` as a replayable JSON case (auto-collected by
+  ``tests/test_verify_repros.py``).
+- :mod:`repro.verify.faults` -- deterministic fault injection, so the
+  verifier itself is mutation-tested: a seeded fault must be caught,
+  shrunk, and emitted as a repro file.
+- :mod:`repro.verify.cli` -- ``python -m repro verify fuzz|replay|shrink``.
+"""
+
+from repro.verify.adapters import (
+    DEFAULT_IMPLS,
+    IMPLEMENTATIONS,
+    ImplAdapter,
+    build_implementations,
+)
+from repro.verify.differ import (
+    Divergence,
+    SessionReport,
+    verify_containers,
+    verify_session,
+)
+from repro.verify.faults import FAULTS, inject_fault
+from repro.verify.fuzz import fuzz_session
+from repro.verify.oracle import SequentialOracle
+from repro.verify.shrink import (
+    load_repro,
+    session_from_dict,
+    session_to_dict,
+    shrink_session,
+    write_repro,
+)
+
+__all__ = [
+    "DEFAULT_IMPLS",
+    "Divergence",
+    "FAULTS",
+    "IMPLEMENTATIONS",
+    "ImplAdapter",
+    "SequentialOracle",
+    "SessionReport",
+    "build_implementations",
+    "fuzz_session",
+    "inject_fault",
+    "load_repro",
+    "session_from_dict",
+    "session_to_dict",
+    "shrink_session",
+    "verify_containers",
+    "verify_session",
+    "write_repro",
+]

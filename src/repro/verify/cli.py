@@ -1,0 +1,242 @@
+"""``python -m repro verify fuzz|replay|shrink``.
+
+- ``fuzz`` -- generate N seeded sessions, differentially replay each
+  against every implementation (plus the FIFO/priority-queue container
+  checks), and on divergence shrink the session and write a replayable
+  repro file.  Exit code 1 if anything diverged.
+- ``replay`` -- re-run one repro JSON file (or every file in a
+  directory) and report whether it still diverges.
+- ``shrink`` -- minimize an existing repro file in place.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.verify.differ import verify_containers, verify_session
+from repro.verify.fuzz import fuzz_session
+from repro.verify.shrink import (
+    load_repro,
+    session_from_dict,
+    shrink_session,
+    write_repro,
+)
+
+DEFAULT_REPRO_DIR = os.path.join("tests", "golden", "repros")
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--modules", type=int, default=8,
+                   help="PIM modules per machine (default 8)")
+    p.add_argument("--impls", default=None,
+                   help="comma-separated implementation names "
+                        "(default: all)")
+    p.add_argument("--no-metamorphic", action="store_true",
+                   help="skip split-monotonicity / round-envelope checks")
+    p.add_argument("--no-determinism", action="store_true",
+                   help="skip the bit-identical rerun check")
+
+
+def _impl_list(args: argparse.Namespace) -> Optional[List[str]]:
+    if args.impls is None:
+        return None
+    return [s.strip() for s in args.impls.split(",") if s.strip()]
+
+
+def _verify_kwargs(args: argparse.Namespace) -> dict:
+    return {
+        "impls": _impl_list(args),
+        "num_modules": args.modules,
+        "check_metamorphic": not args.no_metamorphic,
+        "check_determinism": not args.no_determinism,
+    }
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    fault = None
+    if args.inject_fault:
+        impl, _, name = args.inject_fault.partition(":")
+        if not name:
+            print("--inject-fault wants IMPL:FAULT "
+                  "(e.g. skiplist:drop_get)", file=sys.stderr)
+            return 2
+        fault = (impl, name)
+    failures = 0
+    for i in range(args.sessions):
+        seed = args.seed + i
+        session = fuzz_session(seed, num_batches=args.batches,
+                               batch_size=args.batch_size,
+                               read_only=args.read_only)
+        report = verify_session(session, fault=fault,
+                                **_verify_kwargs(args))
+        container_divs = verify_containers(seed, num_modules=args.modules)
+        print(report.summary()
+              + (f" + {len(container_divs)} container divergence(s)"
+                 if container_divs else ""))
+        for d in container_divs:
+            print(f"  {d}")
+        if report.ok and not container_divs:
+            continue
+        failures += 1
+        for d in report.divergences:
+            print(f"  {d}")
+        if report.divergences and not args.no_shrink:
+            path = _shrink_and_write(session, args, fault)
+            print(f"  shrunk repro written: {path}")
+    if failures:
+        print(f"\n{failures}/{args.sessions} session(s) diverged")
+        return 1
+    print(f"\nall {args.sessions} session(s) verified clean "
+          f"({args.batches} batches x {args.batch_size} each, "
+          f"P={args.modules})")
+    return 0
+
+
+def _shrink_and_write(session, args: argparse.Namespace, fault) -> str:
+    kwargs = _verify_kwargs(args)
+
+    def is_failing(candidate) -> bool:
+        return not verify_session(candidate, fault=fault, **kwargs).ok
+
+    small = shrink_session(session, is_failing, max_evals=args.max_evals)
+    report = verify_session(small, fault=fault, **kwargs)
+    os.makedirs(args.repro_dir, exist_ok=True)
+    path = os.path.join(args.repro_dir, f"seed{session.seed}.json")
+    impls = kwargs["impls"]
+    return write_repro(
+        small, path, divergences=report.divergences,
+        impls=list(impls) if impls else None,
+        num_modules=args.modules,
+        note=(f"shrunk from a {len(session.batches)}-batch fuzz session"
+              + (f" with injected fault {fault[0]}:{fault[1]}" if fault
+                 else "")))
+
+
+def _replay_one(path: str, args: argparse.Namespace) -> bool:
+    """Replay one repro file; returns True when it (still) diverges."""
+    data = load_repro(path)
+    session = session_from_dict(data)
+    kwargs = _verify_kwargs(args)
+    if args.impls is None and data.get("impls"):
+        kwargs["impls"] = data["impls"]
+    if data.get("num_modules") and args.modules == 8:
+        kwargs["num_modules"] = data["num_modules"]
+    report = verify_session(session, **kwargs)
+    tag = "DIVERGES" if not report.ok else "clean"
+    print(f"{path}: {len(session.batches)} batch(es) -> {tag}")
+    for d in report.divergences:
+        print(f"  {d}")
+    return not report.ok
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    explicit = bool(args.paths)
+    paths: List[str] = []
+    for target in args.paths or [DEFAULT_REPRO_DIR]:
+        if os.path.isdir(target):
+            paths += sorted(os.path.join(target, f)
+                            for f in os.listdir(target)
+                            if f.endswith(".json"))
+        elif os.path.isfile(target):
+            paths.append(target)
+        elif explicit:
+            print(f"no such repro file or directory: {target}",
+                  file=sys.stderr)
+            return 2
+    if not paths:
+        print("no repro files found", file=sys.stderr)
+        return 2
+    diverged = sum(_replay_one(p, args) for p in paths)
+    if diverged and not args.expect_divergence:
+        return 1
+    if args.expect_divergence and diverged != len(paths):
+        print(f"expected every repro to diverge; "
+              f"{len(paths) - diverged} replayed clean", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_shrink(args: argparse.Namespace) -> int:
+    data = load_repro(args.path)
+    session = session_from_dict(data)
+    kwargs = _verify_kwargs(args)
+    if args.impls is None and data.get("impls"):
+        kwargs["impls"] = data["impls"]
+
+    def is_failing(candidate) -> bool:
+        return not verify_session(candidate, **kwargs).ok
+
+    if not is_failing(session):
+        print(f"{args.path}: replays clean -- nothing to shrink")
+        return 0
+    before = len(session.batches)
+    small = shrink_session(session, is_failing, max_evals=args.max_evals)
+    report = verify_session(small, **kwargs)
+    out = args.out or args.path
+    write_repro(small, out, divergences=report.divergences,
+                impls=kwargs["impls"],
+                num_modules=kwargs["num_modules"],
+                note=f"re-shrunk from {before} batch(es)")
+    print(f"{args.path}: {before} -> {len(small.batches)} batch(es), "
+          f"written to {out}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro verify",
+        description="differential verification: fuzz, replay, shrink")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fz = sub.add_parser("fuzz", help="fuzz N sessions differentially")
+    fz.add_argument("--seed", type=int, default=0,
+                    help="first session seed (sessions use seed..seed+N-1)")
+    fz.add_argument("--sessions", type=int, default=25,
+                    help="number of sessions (default 25)")
+    fz.add_argument("--batches", type=int, default=12,
+                    help="batches per session (default 12)")
+    fz.add_argument("--batch-size", type=int, default=24,
+                    help="ops per batch (default 24)")
+    fz.add_argument("--read-only", action="store_true",
+                    help="no mutating batches (keeps build-once "
+                         "implementations live)")
+    fz.add_argument("--inject-fault", default=None, metavar="IMPL:FAULT",
+                    help="mutation-test the verifier (e.g. "
+                         "skiplist:drop_get)")
+    fz.add_argument("--no-shrink", action="store_true",
+                    help="report divergences without shrinking")
+    fz.add_argument("--repro-dir", default=DEFAULT_REPRO_DIR,
+                    help=f"where shrunk repros land "
+                         f"(default {DEFAULT_REPRO_DIR})")
+    fz.add_argument("--max-evals", type=int, default=400,
+                    help="shrinker evaluation budget (default 400)")
+    _add_common(fz)
+    fz.set_defaults(fn=cmd_fuzz)
+
+    rp = sub.add_parser("replay", help="replay repro file(s)")
+    rp.add_argument("paths", nargs="*",
+                    help=f"repro files or directories "
+                         f"(default {DEFAULT_REPRO_DIR})")
+    rp.add_argument("--expect-divergence", action="store_true",
+                    help="exit 0 only if every repro still diverges")
+    _add_common(rp)
+    rp.set_defaults(fn=cmd_replay)
+
+    sh = sub.add_parser("shrink", help="minimize an existing repro file")
+    sh.add_argument("path", help="repro JSON file")
+    sh.add_argument("--out", default=None,
+                    help="write here instead of in place")
+    sh.add_argument("--max-evals", type=int, default=400,
+                    help="shrinker evaluation budget (default 400)")
+    _add_common(sh)
+    sh.set_defaults(fn=cmd_shrink)
+
+    args = parser.parse_args(argv)
+    return int(args.fn(args))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

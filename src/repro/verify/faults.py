@@ -1,0 +1,85 @@
+"""Deterministic fault injection: mutation testing for the verifier.
+
+A verifier that never fires is indistinguishable from one that cannot
+see.  Each fault here wraps one adapter's ``apply`` with a small,
+realistic bug -- a dropped hit, an off-by-one successor, a silently
+lost write, a truncated range -- and the test suite asserts the
+differential driver catches it, the shrinker reduces it, and a
+replayable repro file comes out the other end.
+
+Faults are pure functions of the payload (no RNG, no hidden state), so
+an injected failure shrinks deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Sequence
+
+from repro.verify.adapters import ImplAdapter
+
+FaultFn = Callable[[Callable[[str, Sequence], Any], str, Sequence], Any]
+
+
+def _drop_get(inner: Callable, op: str, payload: Sequence) -> Any:
+    """Every third Get answers ``None`` even on a hit."""
+    result = inner(op, payload)
+    if op == "get":
+        return [None if i % 3 == 2 else v for i, v in enumerate(result)]
+    return result
+
+
+def _offset_successor(inner: Callable, op: str, payload: Sequence) -> Any:
+    """Successor answers have their key shifted by one -- the classic
+    strict-vs-non-strict boundary bug."""
+    result = inner(op, payload)
+    if op == "successor":
+        return [None if r is None else (r[0] + 1, r[1]) for r in result]
+    return result
+
+
+def _lose_upsert(inner: Callable, op: str, payload: Sequence) -> Any:
+    """The last pair of every upsert batch is silently dropped -- only
+    later reads or the final-state comparison can notice."""
+    if op == "upsert" and len(payload) > 0:
+        return inner(op, list(payload)[:-1])
+    return inner(op, payload)
+
+
+def _truncate_range(inner: Callable, op: str, payload: Sequence) -> Any:
+    """Range results lose their last element -- an exclusive-bound bug."""
+    result = inner(op, payload)
+    if op == "range":
+        return [rows[:-1] if rows else rows for rows in result]
+    return result
+
+
+def _resurrect_delete(inner: Callable, op: str, payload: Sequence) -> Any:
+    """The first key of every delete batch survives."""
+    if op == "delete" and len(payload) > 1:
+        return inner(op, list(payload)[1:])
+    return inner(op, payload)
+
+
+#: name -> fault wrapper.
+FAULTS: Dict[str, FaultFn] = {
+    "drop_get": _drop_get,
+    "offset_successor": _offset_successor,
+    "lose_upsert": _lose_upsert,
+    "truncate_range": _truncate_range,
+    "resurrect_delete": _resurrect_delete,
+}
+
+
+def inject_fault(adapter: ImplAdapter, fault_name: str) -> ImplAdapter:
+    """Wrap ``adapter.apply`` with the named fault; returns the adapter."""
+    fault = FAULTS.get(fault_name)
+    if fault is None:
+        raise ValueError(f"unknown fault {fault_name!r}; "
+                         f"known: {', '.join(sorted(FAULTS))}")
+    inner = adapter._apply
+
+    def faulty(op: str, payload: Sequence) -> Any:
+        return fault(inner, op, payload)
+
+    adapter._apply = faulty
+    return adapter

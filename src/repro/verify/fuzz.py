@@ -1,0 +1,185 @@
+"""Seeded adversarial session fuzzer.
+
+Builds on :mod:`repro.workloads.generators` but aims the generators at
+*correctness* rather than cost measurement: a fuzzed session interleaves
+the paper's adversarial shapes -- contiguous insert/delete runs,
+duplicate-heavy and Zipf-skewed reads, same-successor clusters,
+single-interval range storms -- with churn patterns that targeted tests
+don't produce, most importantly ranges and successors aimed at a window
+of *freshly deleted* keys (the pattern that catches stale-pointer and
+tombstone bugs).
+
+Everything is derived from one integer seed: the same seed always yields
+the same :class:`~repro.workloads.sessions.Session`, so any failure is
+replayable from its seed alone (and shrinkable from its batch list).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.workloads.generators import (
+    contiguous_run,
+    duplicate_heavy_batch,
+    same_successor_batch,
+    zipf_batch,
+)
+from repro.workloads.sessions import Session, SessionBatch
+
+#: Shapes a fuzzed session draws from.  Read-only sessions drop the
+#: mutating shapes so build-once implementations (the fine-grained
+#: baseline, naive batched search) can stay in the comparison for the
+#: whole session.
+MUTATING_SHAPES = (
+    "uniform_upsert", "contiguous_insert", "skew_upsert",
+    "scattered_delete", "contiguous_delete",
+)
+READ_SHAPES = (
+    "uniform_get", "duplicate_get", "zipf_get",
+    "uniform_successor", "same_successor", "single_range",
+)
+
+
+def fuzz_session(seed: int, *, num_batches: int = 12, batch_size: int = 24,
+                 initial_n: int = 60, stride: int = 1000,
+                 read_only: bool = False) -> Session:
+    """One deterministic adversarial session for differential replay.
+
+    The generator tracks the live key universe exactly as the oracle
+    will see it, so shapes that need live keys (deletes, hot-key reads,
+    same-successor gaps) stay meaningful as the session churns.
+    """
+    rng = random.Random(seed)
+    live = sorted(k for k, _ in _initial_items(initial_n, stride))
+    space = (initial_n + 2) * stride
+    shapes = READ_SHAPES if read_only else READ_SHAPES + MUTATING_SHAPES
+    batches: List[SessionBatch] = []
+    fresh_counter = space  # fresh keys drawn above the initial space
+    churn_window: Optional[Tuple[int, int]] = None
+
+    for step in range(num_batches):
+        if churn_window is not None:
+            # The follow-up to a churn delete: ranges and successors over
+            # the freshly deleted window.
+            lo, hi = churn_window
+            churn_window = None
+            if rng.random() < 0.5:
+                ops = [(rng.randrange(lo, hi + 1), hi + rng.randrange(stride))
+                       for _ in range(max(1, batch_size // 8))]
+                batches.append(SessionBatch(op="range",
+                                            payload=[(a, max(a, b))
+                                                     for a, b in ops]))
+            else:
+                keys = [rng.randrange(lo, hi + 1) for _ in range(batch_size)]
+                batches.append(SessionBatch(op="successor", payload=keys))
+            continue
+
+        shape = shapes[rng.randrange(len(shapes))]
+        if shape == "uniform_get":
+            payload = [rng.choice(live) if live and rng.random() < 0.7
+                       else rng.randrange(space)
+                       for _ in range(batch_size)]
+            batches.append(SessionBatch(op="get", payload=payload))
+        elif shape == "duplicate_get":
+            hot = rng.choice(live) if live else rng.randrange(space)
+            payload = duplicate_heavy_batch(batch_size, hot, rng,
+                                            distinct=1 + rng.randrange(3))
+            batches.append(SessionBatch(op="get", payload=payload))
+        elif shape == "zipf_get":
+            if live:
+                payload = zipf_batch(batch_size, live, alpha=1.3,
+                                     seed=rng.getrandbits(30))
+            else:
+                payload = [rng.randrange(space) for _ in range(batch_size)]
+            batches.append(SessionBatch(op="get", payload=payload))
+        elif shape == "uniform_successor":
+            payload = [rng.randrange(space) for _ in range(batch_size)]
+            batches.append(SessionBatch(op="successor", payload=payload))
+        elif shape == "same_successor":
+            try:
+                payload = same_successor_batch(live, batch_size, rng)
+            except (ValueError, IndexError):
+                payload = [rng.randrange(space) for _ in range(batch_size)]
+            batches.append(SessionBatch(op="successor", payload=payload))
+        elif shape == "single_range":
+            # Ranges concentrated inside one interval (plus one wide op
+            # every so often, so result merging across modules is hit).
+            a = rng.randrange(space)
+            ops = []
+            for _ in range(max(1, batch_size // 8)):
+                lo = a + rng.randrange(stride)
+                ops.append((lo, lo + rng.randrange(1, 3 * stride)))
+            if rng.random() < 0.3:
+                ops.append((0, space))
+            batches.append(SessionBatch(op="range", payload=ops))
+        elif shape == "uniform_upsert":
+            payload = []
+            for _ in range(batch_size):
+                if live and rng.random() < 0.5:
+                    payload.append((rng.choice(live), rng.randrange(1000)))
+                else:
+                    fresh_counter += 1 + rng.randrange(3)
+                    payload.append((fresh_counter, rng.randrange(1000)))
+            _apply_upserts(live, payload)
+            batches.append(SessionBatch(op="upsert", payload=payload))
+        elif shape == "contiguous_insert":
+            start = rng.randrange(space)
+            run = contiguous_run(start, batch_size)
+            payload = [(k, step) for k in run]
+            _apply_upserts(live, payload)
+            batches.append(SessionBatch(op="upsert", payload=payload))
+        elif shape == "skew_upsert":
+            hot = rng.choice(live) if live else rng.randrange(space)
+            payload = [(hot, i) for i in range(batch_size // 2)]
+            payload += [(hot + 1 + rng.randrange(stride), step)
+                        for _ in range(batch_size - len(payload))]
+            _apply_upserts(live, payload)
+            batches.append(SessionBatch(op="upsert", payload=payload))
+        elif shape == "scattered_delete":
+            k = min(batch_size, len(live))
+            payload = rng.sample(live, k) if k else []
+            # a few misses mixed in: deleting absent keys must be a no-op
+            payload += [rng.randrange(space) for _ in range(3)]
+            _apply_deletes(live, payload)
+            batches.append(SessionBatch(op="delete", payload=payload))
+        elif shape == "contiguous_delete":
+            if len(live) > batch_size + 2:
+                i = rng.randrange(len(live) - batch_size)
+                payload = live[i:i + batch_size]
+            else:
+                payload = list(live)
+            if payload:
+                churn_window = (min(payload), max(payload))
+            _apply_deletes(live, payload)
+            batches.append(SessionBatch(op="delete", payload=payload))
+        else:  # pragma: no cover - shapes list is closed
+            raise AssertionError(shape)
+
+    initial = sorted(k for k, _ in _initial_items(initial_n, stride))
+    return Session(batches=batches, initial_keys=initial, seed=seed)
+
+
+def _initial_items(n: int, stride: int) -> List[Tuple[int, int]]:
+    """The build items a fuzzed session assumes: ``(k, k)`` pairs spaced
+    ``stride`` apart (wide gaps for the adversarial read shapes)."""
+    return [(i * stride, i * stride) for i in range(1, n + 1)]
+
+
+def initial_items_for(session: Session) -> List[Tuple[int, int]]:
+    """(key, value) build pairs for a session's initial key universe."""
+    return [(k, k) for k in session.initial_keys]
+
+
+def _apply_upserts(live: List[int], pairs: List[Tuple[int, int]]) -> None:
+    present = set(live)
+    for k, _ in pairs:
+        if k not in present:
+            present.add(k)
+            live.append(k)
+    live.sort()
+
+
+def _apply_deletes(live: List[int], keys: List[int]) -> None:
+    dead = set(keys)
+    live[:] = [k for k in live if k not in dead]

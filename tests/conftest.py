@@ -1,60 +1,42 @@
-"""Shared fixtures and reference-model helpers for the test suite."""
+"""Shared fixtures and reference-model helpers for the test suite.
+
+The suite's oracle is :class:`repro.verify.oracle.SequentialOracle` --
+the same model the differential fuzzer replays against -- aliased here
+as ``ReferenceMap`` for the property tests.
+
+Seeds are centralized in the ``repro_test_seed`` fixture so the soak
+test, the fuzz smoke test and any future randomized test derive from
+one knob, overridable via the ``REPRO_TEST_SEED`` environment variable
+(e.g. ``REPRO_TEST_SEED=7 pytest`` to probe a different universe).
+"""
 
 from __future__ import annotations
 
-import bisect
+import os
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Tuple
 
 import pytest
 
 from repro import PIMMachine, PIMSkipList
+from repro.verify.oracle import SequentialOracle
 from repro.workloads import build_items
 
+#: The suite's ordered-map oracle (see module docstring).
+ReferenceMap = SequentialOracle
 
-class ReferenceMap:
-    """Oracle: a sorted-list + dict model of the ordered map."""
+#: Default master seed; override with REPRO_TEST_SEED=<int>.
+DEFAULT_TEST_SEED = 123
 
-    def __init__(self, items: Sequence[Tuple[int, int]] = ()) -> None:
-        self.data: Dict[int, int] = dict(items)
-        self._sorted: List[int] = sorted(self.data)
 
-    def upsert(self, key: int, value: int) -> None:
-        if key not in self.data:
-            bisect.insort(self._sorted, key)
-        self.data[key] = value
+def master_seed() -> int:
+    """The suite's master seed, from ``REPRO_TEST_SEED`` or the default."""
+    return int(os.environ.get("REPRO_TEST_SEED", DEFAULT_TEST_SEED))
 
-    def delete(self, key: int) -> bool:
-        if key not in self.data:
-            return False
-        del self.data[key]
-        self._sorted.remove(key)
-        return True
 
-    def get(self, key: int) -> Optional[int]:
-        return self.data.get(key)
-
-    def successor(self, key: int) -> Optional[Tuple[int, int]]:
-        i = bisect.bisect_left(self._sorted, key)
-        if i == len(self._sorted):
-            return None
-        k = self._sorted[i]
-        return (k, self.data[k])
-
-    def predecessor(self, key: int) -> Optional[Tuple[int, int]]:
-        i = bisect.bisect_right(self._sorted, key)
-        if i == 0:
-            return None
-        k = self._sorted[i - 1]
-        return (k, self.data[k])
-
-    def range(self, lkey: int, rkey: int) -> List[Tuple[int, int]]:
-        lo = bisect.bisect_left(self._sorted, lkey)
-        hi = bisect.bisect_right(self._sorted, rkey)
-        return [(k, self.data[k]) for k in self._sorted[lo:hi]]
-
-    def as_dict(self) -> Dict[int, int]:
-        return dict(self.data)
+@pytest.fixture(scope="session")
+def repro_test_seed() -> int:
+    return master_seed()
 
 
 @pytest.fixture

@@ -1,0 +1,161 @@
+"""Tests for :mod:`repro.sim.errors`: the at-issue failure discipline.
+
+The engine's contract is that a structurally bad message fails at the
+offending ``send``/``send_all``/``forward`` call -- with a message
+naming the function id or the malformed element -- rather than
+surfacing rounds later as an opaque unpacking error; and that a drained
+livelock names the op and the pending handlers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.errors import (
+    InvalidBatchError,
+    LivelockError,
+    LocalMemoryExceeded,
+    MalformedMessageError,
+    SharedMemoryExceeded,
+    SimulationError,
+    UnknownHandlerError,
+)
+from repro.sim.machine import PIMMachine
+
+
+def _echo(ctx, x, tag=None):
+    ctx.charge(1)
+    ctx.reply(x, tag=tag)
+
+
+def _machine() -> PIMMachine:
+    machine = PIMMachine(num_modules=4, seed=0)
+    machine.register("echo", _echo)
+    return machine
+
+
+class TestHierarchy:
+    def test_all_simulator_errors_share_a_base(self):
+        for exc in (SharedMemoryExceeded, LocalMemoryExceeded,
+                    UnknownHandlerError, MalformedMessageError,
+                    LivelockError, InvalidBatchError):
+            assert issubclass(exc, SimulationError)
+        assert issubclass(SimulationError, RuntimeError)
+
+
+class TestUnknownHandlerAtIssue:
+    def test_send_raises_before_any_round_runs(self):
+        machine = _machine()
+        with pytest.raises(UnknownHandlerError, match="'nope'"):
+            machine.send(0, "nope", (1,))
+        # The failure happened at issue: nothing was staged, no round ran.
+        assert machine.metrics.rounds == 0
+        assert machine.drain() == []
+
+    def test_send_all_names_the_bad_function_id(self):
+        machine = _machine()
+        with pytest.raises(UnknownHandlerError) as ei:
+            machine.send_all([(0, "echo", (1,), None),
+                              (1, "missing_fn", (2,), None)])
+        assert "missing_fn" in str(ei.value)
+        assert "send time" in str(ei.value)
+
+    def test_broadcast_raises_at_issue(self):
+        machine = _machine()
+        with pytest.raises(UnknownHandlerError, match="ghost"):
+            machine.broadcast("ghost")
+        assert machine.metrics.rounds == 0
+
+    def test_forward_raises_at_forward_time(self):
+        machine = _machine()
+
+        def bad_forwarder(ctx, x, tag=None):
+            ctx.forward((ctx.mid + 1) % 4, "not_registered", (x,))
+
+        machine.register("bad_forwarder", bad_forwarder)
+        machine.send(0, "bad_forwarder", (1,))
+        with pytest.raises(UnknownHandlerError, match="forward time"):
+            machine.drain()
+
+    def test_register_then_send_succeeds(self):
+        machine = _machine()
+        machine.send(2, "echo", (21,))
+        assert [r.payload for r in machine.drain()] == [21]
+
+
+class TestMalformedMessages:
+    def test_wrong_arity_names_expected_shape(self):
+        machine = _machine()
+        with pytest.raises(MalformedMessageError) as ei:
+            machine.send_all([(0, "echo", (1,))])
+        msg = str(ei.value)
+        assert "3 elements" in msg
+        assert "(dest, fn, args, tag)" in msg
+
+    def test_bad_size_type_rejected(self):
+        machine = _machine()
+        for bad in (0, -2, 1.5, "3"):
+            with pytest.raises(MalformedMessageError, match="size"):
+                machine.send_all([(0, "echo", (1,), None, bad)])
+
+    def test_bad_module_id_rejected(self):
+        machine = _machine()
+        with pytest.raises(ValueError, match="bad module id"):
+            machine.send(99, "echo", (1,))
+        with pytest.raises(ValueError, match="bad module id"):
+            machine.send_all([(99, "echo", (1,), None)])
+
+
+class TestLivelockReport:
+    def test_drain_names_op_label_and_handler(self):
+        machine = _machine()
+
+        def spin(ctx, x, tag=None):
+            ctx.charge(1)
+            ctx.forward((ctx.mid + 1) % ctx.num_modules, "spin", (x,))
+
+        machine.register("spin", spin)
+        machine.send(0, "spin", (1,))
+        with pytest.raises(LivelockError) as ei:
+            machine.drain(max_rounds=10, label="skiplist:batch_get")
+        msg = str(ei.value)
+        assert "skiplist:batch_get" in msg      # the originating op
+        assert "spin" in msg                    # the spinning handler id
+        assert "max_rounds=10" in msg
+        assert "10 rounds" in msg
+
+    def test_drain_without_label_omits_op_clause(self):
+        machine = _machine()
+
+        def spin(ctx, x, tag=None):
+            ctx.charge(1)
+            ctx.forward((ctx.mid + 1) % ctx.num_modules, "spin", (x,))
+
+        machine.register("spin", spin)
+        machine.send(0, "spin", (1,))
+        with pytest.raises(LivelockError) as ei:
+            machine.drain(max_rounds=5)
+        assert "during op" not in str(ei.value)
+
+    def test_quiescent_drain_does_not_raise(self):
+        machine = _machine()
+        machine.send(0, "echo", (1,))
+        replies = machine.drain(max_rounds=10, label="ok")
+        assert [r.payload for r in replies] == [1]
+        assert machine.drain(max_rounds=0) == []
+
+
+class TestMemoryErrors:
+    def test_shared_memory_enforced(self):
+        machine = PIMMachine(num_modules=4, seed=0,
+                             shared_memory_words=8,
+                             enforce_shared_memory=True)
+        with pytest.raises(SharedMemoryExceeded):
+            machine.cpu.alloc(9)
+
+    def test_local_memory_enforced(self):
+        machine = PIMMachine(num_modules=4, seed=0,
+                             local_memory_words=4,
+                             enforce_local_memory=True)
+        with pytest.raises(LocalMemoryExceeded, match="module 0"):
+            machine.modules[0].alloc_words(5)

@@ -15,13 +15,13 @@ from repro.workloads import build_items, contiguous_run
 from tests.conftest import ReferenceMap
 
 
-def test_soak_session():
-    machine = PIMMachine(num_modules=8, seed=123)
+def test_soak_session(repro_test_seed):
+    machine = PIMMachine(num_modules=8, seed=repro_test_seed)
     sl = PIMSkipList(machine)
     items = build_items(300, stride=1000)
     sl.build(items)
     ref = ReferenceMap(items)
-    rng = random.Random(123)
+    rng = random.Random(repro_test_seed)
     space = 2 * 300 * 1000
 
     def fresh_keys(k):

@@ -1,0 +1,44 @@
+"""Replay every committed repro file in ``tests/golden/repros/``.
+
+Each JSON file there is a shrunk, once-failing (or hand-written
+conformance) session emitted by ``python -m repro verify fuzz`` /
+``shrink``.  This test auto-collects the directory and asserts every
+file replays **clean** against the current implementations -- so a
+fuzz failure, once fixed and committed, stays fixed by existing.
+
+To add a regression case: run the fuzzer, let it shrink the failure
+into ``tests/golden/repros/seed<N>.json``, fix the bug, and commit the
+file with the fix.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import pytest
+
+from repro.verify import session_from_dict, verify_session
+from repro.verify.shrink import load_repro
+
+REPRO_DIR = os.path.join(os.path.dirname(__file__), "golden", "repros")
+REPRO_FILES = sorted(glob.glob(os.path.join(REPRO_DIR, "*.json")))
+
+
+def test_repro_corpus_exists():
+    assert REPRO_FILES, f"no repro files under {REPRO_DIR}"
+
+
+@pytest.mark.parametrize("path", REPRO_FILES,
+                         ids=[os.path.basename(p) for p in REPRO_FILES])
+def test_repro_replays_clean(path):
+    data = load_repro(path)
+    session = session_from_dict(data)
+    report = verify_session(
+        session,
+        impls=data.get("impls"),
+        num_modules=data.get("num_modules", 8),
+    )
+    assert report.ok, (
+        f"{os.path.basename(path)} diverges again:\n  "
+        + "\n  ".join(str(d) for d in report.divergences))
