@@ -235,16 +235,33 @@ class SkipListStructure:
         if node.left is not None or node.right is not None:
             charge(1)
             return
-        # Descend to the insertion point at node.level.
+        # Descend to the insertion point at node.level.  The strict <
+        # keeps the descent off same-key nodes -- i.e. off this node's own
+        # tower: when delivery retries reorder a link batch, a higher
+        # tower node may already be linked, and stepping onto it would
+        # route the descent down through the tower onto ``node`` itself
+        # (self-linking it).  Keys are unique, so fault-free the path is
+        # unchanged.
         x = self.root
         charge(1)
         while True:
-            while x.right is not None and x.right.key <= node.key and x.right is not node:
+            while x.right is not None and x.right.key < node.key:
                 x = x.right
                 charge(1)
             if x.level == node.level:
                 break
-            x = x.down
+            # The down-step must land on a horizontally *linked* node, or
+            # the descent loses its anchor to the level's list.  Fault-free
+            # that always holds (a tower links bottom-up within one round),
+            # but a retried link batch can install a tower's upper node
+            # before its lower one; slide left until the step is safe (the
+            # sentinel column always is).
+            d = x.down
+            while d.left is None and d.right is None and d.key is not NEG_INF:
+                x = x.left
+                d = x.down
+                charge(1)
+            x = d
             charge(1)
         succ = x.right
         node.left = x

@@ -68,11 +68,15 @@ Design notes for op authors
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
+from repro.sim.chaos import DELIVER_FN
+from repro.sim.errors import (DeliveryTimeout, MalformedMessageError,
+                              UnknownHandlerError)
 from repro.sim.machine import Handler, PIMMachine
 
-__all__ = ["BatchOp", "Broadcast", "cached_handlers", "run_batch"]
+__all__ = ["ACK_TAG", "BatchOp", "Broadcast", "cached_handlers",
+           "run_batch"]
 
 
 class Broadcast:
@@ -151,6 +155,149 @@ def cached_handlers(host: Any, key: str, factory) -> Dict[str, Handler]:
     return h
 
 
+# -- reliable delivery ----------------------------------------------------
+#
+# With a fault plan installed (machine.install_fault_plan) the driver
+# wraps every CPU->module message of every stage in a sequence-numbered
+# envelope (function id repro.sim.chaos.DELIVER_FN).  The module-side
+# wrapper acknowledges each arrival with a one-unit reply and executes
+# the inner handler exactly once (ModuleContext.first_delivery dedups
+# redelivery); the CPU side retries unacknowledged envelopes after each
+# drain with capped exponential backoff charged as idle rounds, and
+# escalates to DeliveryTimeout when config.max_delivery_attempts is
+# exhausted.  Every protocol byte is charged to the ordinary metrics:
+# envelopes and retransmissions enter the h-relation like any message,
+# acks are one-unit replies, and backoff burns rounds + sync cost.
+# Replies and forwards stay outside the protocol -- the chaos layer
+# never faults them (see repro.sim.chaos for why that makes the
+# protocol end-to-end exactly-once).
+
+
+class _AckTag:
+    """Identity tag of protocol acknowledgements (never user-visible)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<ack>"
+
+
+ACK_TAG = _AckTag()
+
+
+def _deliver(ctx, seq, fn, args, inner_tag, size, corrupt=False, tag=None):
+    """Module-side envelope handler: ack, dedup, run the inner task."""
+    if corrupt:
+        # Payload failed its checksum in flight: discard without acking;
+        # the sender's retry carries a fresh copy.
+        ctx.charge(1)
+        return
+    ctx.reply(seq, tag=ACK_TAG, size=1)
+    if not ctx.first_delivery(seq):
+        return
+    ctx._handlers[fn](ctx, *args, tag=inner_tag)
+
+
+class _ReliableChannel:
+    """Per-machine protocol state: sequence counter + in-flight table."""
+
+    def __init__(self, machine: PIMMachine) -> None:
+        machine.register(DELIVER_FN, _deliver)
+        self.next_seq = 0
+        # seq -> [dest, fn, attempt]; populated while a stage is being
+        # delivered, so drain diagnostics can tell an in-flight retry
+        # from a genuinely stuck op.
+        self.inflight: Dict[int, list] = {}
+
+    def describe(self) -> str:
+        parts = [f"{fn}->module {dest} (seq {seq}, retry attempt {att})"
+                 for seq, (dest, fn, att) in
+                 sorted(self.inflight.items())[:6]]
+        more = "" if len(self.inflight) <= 6 else \
+            f" (+{len(self.inflight) - 6} more)"
+        return ("in-flight protocol retries, not stuck ops: "
+                + ", ".join(parts) + more)
+
+
+def _channel(machine: PIMMachine) -> _ReliableChannel:
+    chan = getattr(machine, "_rdp", None)
+    if chan is None:
+        chan = machine._rdp = _ReliableChannel(machine)
+    return chan
+
+
+def _reliable_stage(machine: PIMMachine, op: "BatchOp",
+                    stage: Optional[Iterable]) -> list:
+    """Issue one stage under the reliable-delivery protocol and drain to
+    quiescence, retrying lost envelopes; returns the inner replies."""
+    chan = _channel(machine)
+    pending: Dict[int, tuple] = {}  # seq -> envelope send tuple
+    if stage is not None:
+        handlers = machine._handlers
+
+        def wrap(dest: int, fn: str, args: tuple, tag: Any,
+                 size: int) -> None:
+            if fn not in handlers:
+                raise UnknownHandlerError(
+                    f"no handler for {fn!r} (resolved at send time)")
+            seq = chan.next_seq
+            chan.next_seq += 1
+            pending[seq] = (dest, DELIVER_FN, (seq, fn, args, tag, size),
+                            None, size)
+            chan.inflight[seq] = [dest, fn, 1]
+
+        for item in stage:
+            if item.__class__ is Broadcast:
+                for mid in range(machine.num_modules):
+                    wrap(mid, item.fn, item.args, item.tag, item.size)
+            elif len(item) == 4:
+                dest, fn, args, tag = item
+                wrap(dest, fn, args, tag, 1)
+            elif len(item) == 5:
+                wrap(*item)
+            else:
+                raise MalformedMessageError(
+                    f"send_all message has {len(item)} elements; expected "
+                    f"(dest, fn, args, tag) or (dest, fn, args, tag, size): "
+                    f"{item!r}")
+        if pending:
+            machine.send_all(pending.values())
+    inner: List[Any] = []
+    attempt = 1
+    cfg = machine.config
+    while True:
+        for r in machine.drain(op.max_rounds, label=op.name):
+            if r.tag is ACK_TAG:
+                if pending.pop(r.payload, None) is not None:
+                    chan.inflight.pop(r.payload, None)
+            else:
+                inner.append(r)
+        if not pending:
+            return inner
+        if attempt >= cfg.max_delivery_attempts:
+            lost = [f"{fn}->module {dest} (seq {seq})"
+                    for seq, (dest, fn, _a) in
+                    sorted(chan.inflight.items()) if seq in pending][:6]
+            more = "" if len(pending) <= 6 else f" (+{len(pending) - 6} more)"
+            for seq in pending:
+                chan.inflight.pop(seq, None)
+            raise DeliveryTimeout(
+                f"op {op.name!r}: {len(pending)} message(s) undelivered "
+                f"after {attempt} attempts (max_delivery_attempts="
+                f"{cfg.max_delivery_attempts}): {', '.join(lost)}{more}",
+                op=op.name, attempts=attempt, undelivered=len(pending))
+        backoff = min(cfg.retry_backoff_base << (attempt - 1),
+                      cfg.retry_backoff_cap)
+        machine.idle_rounds(backoff)
+        attempt += 1
+        for seq in pending:
+            chan.inflight[seq][2] = attempt
+        chaos = machine._chaos
+        if chaos is not None:
+            chaos.stats.retransmissions += len(pending)
+        machine.send_all(list(pending.values()))
+
+
 def _issue(machine: PIMMachine, stage: Optional[Iterable]) -> None:
     """Issue one stage: runs of send tuples via ``send_all``, broadcasts
     in place, preserving the stage's element order exactly."""
@@ -177,6 +324,11 @@ def run_batch(machine: PIMMachine, op: BatchOp, batch: Any = None) -> Any:
     ``aggregate``.  Draining an empty network is free, so the driver
     drains unconditionally after every stage -- the op's yield points
     alone determine the round structure.
+
+    With a fault plan installed on the machine, every stage is issued
+    through the reliable-delivery protocol instead (see the module
+    comment above): ops are written against a perfect network and
+    survive message-level faults without changes.
     """
     observer = getattr(machine, "batch_observer", None)
     before = machine.snapshot() if observer is not None else None
@@ -193,8 +345,11 @@ def run_batch(machine: PIMMachine, op: BatchOp, batch: Any = None) -> Any:
             except StopIteration as stop:
                 routed = stop.value
                 break
-            _issue(machine, stage)
-            replies = machine.drain(op.max_rounds, label=op.name)
+            if machine._chaos is None:
+                _issue(machine, stage)
+                replies = machine.drain(op.max_rounds, label=op.name)
+            else:
+                replies = _reliable_stage(machine, op, stage)
     except BaseException:
         gen.close()
         raise

@@ -1,0 +1,49 @@
+"""Checkpoint/restore and crash recovery for PIM structures.
+
+Three layers, composable:
+
+- :mod:`repro.recovery.checkpoint` -- logical snapshots of the four
+  batched structures (skip list, LSM store, FIFO queue, priority
+  queue) and charged restore into a fresh structure.
+- :mod:`repro.recovery.repair` -- in-place re-replication of one wiped
+  module's share (skip list and LSM) from surviving replicas plus a
+  checkpoint, ending with the structure's own integrity check green.
+- :mod:`repro.recovery.manager` -- the failover driver: periodic
+  checkpoints + a mutating-batch log; on :class:`~repro.sim.errors.ModuleCrashed`
+  or :class:`~repro.sim.errors.DeliveryTimeout` it rebuilds on standby
+  hardware, replays, and retries -- or returns a typed
+  :class:`~repro.recovery.manager.DegradedResult` when recovery is
+  disabled or exhausted.  Never a wrong answer.
+"""
+
+from repro.recovery.checkpoint import (
+    Checkpoint,
+    checkpoint_structure,
+    merged_lsm_items,
+    restore_structure,
+)
+from repro.recovery.manager import (
+    MUTATING_OPS,
+    DegradedResult,
+    RecoveryEvent,
+    RecoveryManager,
+)
+from repro.recovery.repair import (
+    RepairError,
+    reattach_lsm_module,
+    reattach_module,
+)
+
+__all__ = [
+    "Checkpoint",
+    "DegradedResult",
+    "MUTATING_OPS",
+    "RecoveryEvent",
+    "RecoveryManager",
+    "RepairError",
+    "checkpoint_structure",
+    "merged_lsm_items",
+    "reattach_lsm_module",
+    "reattach_module",
+    "restore_structure",
+]

@@ -1,0 +1,162 @@
+"""Logical checkpoints of PIM data structures.
+
+A checkpoint is a *logical* snapshot: the structure's contents in a
+canonical, structure-specific form, not a byte image of module memory.
+Capture is diagnostic and cost-free -- the model's checkpoint stream
+leaves over the same out-of-band bulk channel that ``bulk_build`` uses
+for initial loading (the paper assumes the input "starts evenly divided
+among the PIM modules"; a checkpoint drain is the reverse of that bulk
+load).  *Restore* is the opposite: it re-enters the machine through the
+ordinary batched operations and is charged honestly (rounds, messages,
+PIM work, words).
+
+Canonical payloads:
+
+- :class:`~repro.core.skiplist.PIMSkipList` -- sorted ``(key, value)``
+  list.
+- :class:`~repro.structures.lsm.PIMLSMStore` -- dict with the delta's
+  items (tombstones included), the run blocks keyed by block id, fences,
+  block ownership, generation and run size.  The extra physical detail
+  exists for in-place module repair (:mod:`repro.recovery.repair`);
+  logical restore uses :func:`merged_lsm_items`.
+- :class:`~repro.structures.fifo.PIMQueue` -- queued values oldest
+  first.  A restore re-enqueues them, so sequence counters restart at
+  zero; FIFO semantics are unchanged.
+- :class:`~repro.structures.priority_queue.PIMPriorityQueue` --
+  ``(priority, value)`` pairs in extraction order.  A restore re-inserts
+  them in that order, so fresh tiebreaks preserve FIFO among equal
+  priorities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from repro.core.skiplist import PIMSkipList
+from repro.structures.fifo import PIMQueue
+from repro.structures.lsm import TOMBSTONE, PIMLSMStore
+from repro.structures.priority_queue import PIMPriorityQueue
+
+__all__ = [
+    "Checkpoint",
+    "checkpoint_structure",
+    "merged_lsm_items",
+    "restore_structure",
+]
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One logical snapshot of one structure.
+
+    ``kind`` names the structure family (``skiplist`` / ``lsm`` /
+    ``fifo`` / ``pq``), ``name`` is the instance name on its machine,
+    ``payload`` the canonical contents (see module docstring), and
+    ``batches`` the number of mutating batches the owner had applied at
+    capture time (bookkeeping for :class:`repro.recovery.manager.RecoveryManager`).
+    """
+
+    kind: str
+    name: str
+    payload: Any
+    batches: int = 0
+
+    def item_count(self) -> int:
+        """Logical item count (merged and tombstone-free for LSM)."""
+        if self.kind == "lsm":
+            return len(merged_lsm_items(self))
+        return len(self.payload)
+
+
+def checkpoint_structure(obj: Any, batches: int = 0) -> Checkpoint:
+    """Capture a logical checkpoint of ``obj`` (diagnostic, cost-free)."""
+    if isinstance(obj, PIMSkipList):
+        items = [(n.key, n.value) for n in obj.struct.iter_level(0)]
+        return Checkpoint("skiplist", obj.struct.name, items, batches)
+    if isinstance(obj, PIMLSMStore):
+        blocks: Dict[int, List[Tuple[Any, Any]]] = {}
+        for module in obj.machine.modules:
+            for bid, block in module.state.get(obj.name, {}).items():
+                blocks[bid] = [tuple(entry) for entry in block]
+        payload = {
+            "delta": [(n.key, n.value) for n in obj.delta.struct.iter_level(0)],
+            "blocks": blocks,
+            "fences": list(obj.fences),
+            "block_owner": list(obj.block_owner),
+            "generation": obj.generation,
+            "run_size": obj.run_size,
+        }
+        return Checkpoint("lsm", obj.name, payload, batches)
+    if isinstance(obj, PIMQueue):
+        values = [
+            obj.machine.modules[obj._owner(seq)].state[obj.name][seq]
+            for seq in range(obj.head, obj.tail)
+        ]
+        return Checkpoint("fifo", obj.name, values, batches)
+    if isinstance(obj, PIMPriorityQueue):
+        pairs = [(n.key[0], n.value) for n in obj.sl.struct.iter_level(0)]
+        return Checkpoint("pq", obj.name, pairs, batches)
+    raise TypeError(f"no checkpoint support for {type(obj).__name__}")
+
+
+def merged_lsm_items(chk: Checkpoint) -> List[Tuple[Any, Any]]:
+    """An LSM checkpoint's logical contents: run blocks merged with the
+    delta, delta shadowing the run, tombstones dropped; sorted."""
+    if chk.kind != "lsm":
+        raise ValueError(f"not an LSM checkpoint: {chk.kind!r}")
+    merged: Dict[Any, Any] = {}
+    for bid in sorted(chk.payload["blocks"]):
+        for key, value in chk.payload["blocks"][bid]:
+            merged[key] = value
+    for key, value in chk.payload["delta"]:
+        if value == TOMBSTONE:
+            merged.pop(key, None)
+        else:
+            merged[key] = value
+    return sorted(merged.items())
+
+
+def restore_structure(chk: Checkpoint, target: Any) -> int:
+    """Load ``chk`` into the freshly built, *empty* structure ``target``.
+
+    Restore re-enters the machine through the structure's ordinary
+    batched operations, so it is charged honestly on ``target``'s
+    machine (this is the "re-replicate onto standby hardware" leg of
+    recovery -- run it on a clean machine).  Returns the number of
+    logical items restored.
+    """
+    if isinstance(target, PIMSkipList):
+        if chk.kind != "skiplist":
+            raise ValueError(f"checkpoint kind {chk.kind!r} != skiplist")
+        if target.size != 0:
+            raise ValueError("restore requires an empty structure")
+        if chk.payload:
+            target.batch_upsert(list(chk.payload))
+        return len(chk.payload)
+    if isinstance(target, PIMLSMStore):
+        if chk.kind != "lsm":
+            raise ValueError(f"checkpoint kind {chk.kind!r} != lsm")
+        if target.size_estimate != 0:
+            raise ValueError("restore requires an empty structure")
+        items = merged_lsm_items(chk)
+        if items:
+            target.batch_upsert(items)
+        return len(items)
+    if isinstance(target, PIMQueue):
+        if chk.kind != "fifo":
+            raise ValueError(f"checkpoint kind {chk.kind!r} != fifo")
+        if len(target) != 0:
+            raise ValueError("restore requires an empty queue")
+        if chk.payload:
+            target.enqueue_batch(list(chk.payload))
+        return len(chk.payload)
+    if isinstance(target, PIMPriorityQueue):
+        if chk.kind != "pq":
+            raise ValueError(f"checkpoint kind {chk.kind!r} != pq")
+        if len(target) != 0:
+            raise ValueError("restore requires an empty queue")
+        if chk.payload:
+            target.insert_batch(list(chk.payload))
+        return len(chk.payload)
+    raise TypeError(f"no restore support for {type(target).__name__}")

@@ -1,0 +1,168 @@
+"""Checkpoint/replay recovery driver for batched structures.
+
+:class:`RecoveryManager` wraps one structure on one (possibly
+fault-injected) machine and makes its batch stream survive module
+crashes:
+
+- it takes a logical checkpoint at start and after every
+  ``checkpoint_every`` successful *mutating* batches,
+- it logs every successful mutating batch since the last checkpoint,
+- when a batch dies with :class:`~repro.sim.errors.ModuleCrashed` or
+  :class:`~repro.sim.errors.DeliveryTimeout`, it rebuilds the structure
+  on a *clean* standby machine (the ``rebuild`` factory), restores the
+  checkpoint, replays the log, retries the failed batch there, and
+  continues on the new machine.
+
+The failed batch may have partially executed on the faulty machine
+(some modules applied their slice before the crash surfaced); retrying
+it against checkpoint + log is still exactly-once *semantically*
+because the restored state contains no effect of the failed batch --
+the faulty machine is abandoned wholesale, never read again.
+
+With ``allow_restore=False`` (or after ``max_recoveries`` failovers)
+the manager degrades instead: the structure is quiesced and every
+subsequent batch returns a typed :class:`DegradedResult` rather than a
+possibly-wrong answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Sequence, Tuple
+
+from repro.recovery.checkpoint import (
+    Checkpoint,
+    checkpoint_structure,
+    restore_structure,
+)
+from repro.sim.errors import DeliveryTimeout, ModuleCrashed
+
+__all__ = ["DegradedResult", "MUTATING_OPS", "RecoveryEvent", "RecoveryManager"]
+
+#: ``apply_batch`` ops that change structure state (and so must be
+#: logged for replay).  Reads are never logged.
+MUTATING_OPS = frozenset({"upsert", "delete"})
+
+
+@dataclass(frozen=True)
+class DegradedResult:
+    """Typed refusal: the structure is quiesced and cannot answer.
+
+    Returned (never raised) for every batch once recovery is exhausted
+    or disabled -- the contract is "a correct answer or a typed
+    refusal, never a wrong answer".
+    """
+
+    op: str
+    reason: str
+    cause: str = ""
+
+    def __bool__(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One failover: what failed, and what the rebuild replayed."""
+
+    op: str
+    cause: str
+    checkpoint_items: int
+    replayed_batches: int
+
+
+class RecoveryManager:
+    """Run batches with crash recovery (see module docstring).
+
+    ``rebuild`` is a zero-argument factory returning a fresh, *empty*
+    structure on a clean machine (no fault plan) -- the standby
+    hardware.  The structure must implement ``apply_batch(op, payload)``
+    (both :class:`~repro.core.skiplist.PIMSkipList` and
+    :class:`~repro.structures.lsm.PIMLSMStore` do).
+    """
+
+    def __init__(self, structure: Any, rebuild: Callable[[], Any], *,
+                 checkpoint_every: int = 4, allow_restore: bool = True,
+                 max_recoveries: int = 4) -> None:
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        self.structure = structure
+        self.rebuild = rebuild
+        self.checkpoint_every = checkpoint_every
+        self.allow_restore = allow_restore
+        self.max_recoveries = max_recoveries
+        self.degraded = False
+        self.degraded_reason = ""
+        self.events: List[RecoveryEvent] = []
+        self._log: List[Tuple[str, list]] = []
+        self._mutations = 0
+        self.checkpoint: Checkpoint = checkpoint_structure(structure)
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def healthy(self) -> bool:
+        """True while batches run on live (original or standby) hardware."""
+        return not self.degraded
+
+    @property
+    def recoveries(self) -> int:
+        """Failovers performed so far."""
+        return len(self.events)
+
+    # -- batch driver ----------------------------------------------------
+
+    def run(self, op: str, payload: Sequence) -> Any:
+        """Apply one batch; recover or degrade on module failure."""
+        if self.degraded:
+            return DegradedResult(op, "structure quiesced",
+                                  self.degraded_reason)
+        try:
+            result = self.structure.apply_batch(op, list(payload))
+        except (ModuleCrashed, DeliveryTimeout) as exc:
+            return self._recover(op, payload, exc)
+        self._note_success(op, payload)
+        return result
+
+    # -- internals -------------------------------------------------------
+
+    def _note_success(self, op: str, payload: Sequence) -> None:
+        if op not in MUTATING_OPS:
+            return
+        self._log.append((op, list(payload)))
+        self._mutations += 1
+        if self._mutations >= self.checkpoint_every:
+            self.checkpoint = checkpoint_structure(self.structure)
+            self._log.clear()
+            self._mutations = 0
+
+    def _recover(self, op: str, payload: Sequence, exc: Exception) -> Any:
+        cause = f"{type(exc).__name__}: {exc}"
+        if not self.allow_restore:
+            return self._degrade(op, "restore disabled", cause)
+        if self.recoveries >= self.max_recoveries:
+            return self._degrade(op, "recovery budget exhausted", cause)
+
+        standby = self.rebuild()
+        restore_structure(self.checkpoint, standby)
+        for logged_op, logged_payload in self._log:
+            standby.apply_batch(logged_op, list(logged_payload))
+        self.events.append(RecoveryEvent(
+            op=op, cause=cause,
+            checkpoint_items=self.checkpoint.item_count(),
+            replayed_batches=len(self._log)))
+        self.structure = standby
+        # Retry the failed batch on the standby.  A clean machine cannot
+        # crash, but the factory may hand back faulty hardware; recurse
+        # so a second failure consumes another recovery (or degrades).
+        try:
+            result = standby.apply_batch(op, list(payload))
+        except (ModuleCrashed, DeliveryTimeout) as retry_exc:
+            return self._recover(op, payload, retry_exc)
+        self._note_success(op, payload)
+        return result
+
+    def _degrade(self, op: str, reason: str, cause: str) -> DegradedResult:
+        self.degraded = True
+        self.degraded_reason = cause
+        return DegradedResult(op, reason, cause)

@@ -20,10 +20,21 @@ machine executes one bulk-synchronous round per :meth:`PIMMachine.step`
 call and accounts the round's ``h``-relation toward IO time.
 """
 
+from repro.sim.chaos import (
+    MACHINE_SCHEDULES,
+    ChaosStats,
+    CrashEvent,
+    FaultPlan,
+    FaultSpec,
+    StallEvent,
+    build_schedule,
+)
 from repro.sim.config import MachineConfig
 from repro.sim.cpu import CPUSide, WorkDepth
 from repro.sim.errors import (
+    DeliveryTimeout,
     LocalMemoryExceeded,
+    ModuleCrashed,
     SharedMemoryExceeded,
     SimulationError,
     UnknownHandlerError,
@@ -38,9 +49,18 @@ from repro.sim.tracing import AccessTrace, RoundLog
 __all__ = [
     "AccessTrace",
     "CPUSide",
+    "ChaosStats",
+    "CrashEvent",
+    "DeliveryTimeout",
+    "FaultPlan",
+    "FaultSpec",
     "HandlerProfile",
     "LocalMemoryExceeded",
+    "MACHINE_SCHEDULES",
     "MachineConfig",
+    "ModuleCrashed",
+    "StallEvent",
+    "build_schedule",
     "Message",
     "Metrics",
     "MetricsDelta",

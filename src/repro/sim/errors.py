@@ -51,6 +51,41 @@ class LivelockError(SimulationError):
     """
 
 
+class ModuleCrashed(SimulationError):
+    """Raised when a message reaches a crashed (fail-stop) PIM module.
+
+    Only *unprotected* deliveries raise: messages sent outside the
+    reliable-delivery protocol (:mod:`repro.ops.pipeline`) have no retry
+    path, so delivering to a dead module is a hard fault.  Protocol
+    envelopes to a dead module are silently lost instead -- the sender's
+    ack timeout notices and retries (or escalates to
+    :class:`DeliveryTimeout`).  ``mid`` is the crashed module's id.
+    """
+
+    def __init__(self, message: str, mid: int = -1) -> None:
+        super().__init__(message)
+        self.mid = mid
+
+
+class DeliveryTimeout(SimulationError):
+    """Raised when the reliable-delivery protocol exhausts its retries.
+
+    The message names the originating op (drain label), the undelivered
+    handler function ids with destination modules, and the attempt count
+    -- enough to distinguish a permanently dead destination from a
+    transient fault schedule that merely needed a larger
+    ``max_delivery_attempts`` (see
+    :class:`repro.sim.config.MachineConfig`).
+    """
+
+    def __init__(self, message: str, op: str = "", attempts: int = 0,
+                 undelivered: int = 0) -> None:
+        super().__init__(message)
+        self.op = op
+        self.attempts = attempts
+        self.undelivered = undelivered
+
+
 class InvalidBatchError(SimulationError):
     """Raised when a batch violates the model's batch constraints.
 

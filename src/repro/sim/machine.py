@@ -56,6 +56,7 @@ import random
 from time import perf_counter
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
+from repro.sim.chaos import ChaosState, FaultPlan
 from repro.sim.config import MachineConfig
 from repro.sim.cpu import CPUSide
 from repro.sim.errors import (LivelockError, MalformedMessageError,
@@ -135,6 +136,14 @@ class PIMMachine:
         self._contexts: List[ModuleContext] = [
             ModuleContext(self, m) for m in self.modules
         ]
+        # Installed fault plan (see repro.sim.chaos).  None on the
+        # fault-free path: the round loop pays exactly one attribute
+        # check per round for the chaos capability.
+        self._chaos: Optional[ChaosState] = None
+        # Modules whose DRAM was wiped and not yet repaired.  The chaos
+        # filter keeps them unreachable (typed faults, not KeyErrors on
+        # missing state) until recovery calls :meth:`mark_repaired`.
+        self.wiped_modules: set = set()
 
     # -- handler registry ---------------------------------------------------
 
@@ -259,13 +268,23 @@ class PIMMachine:
         modules of messages sent plus received this round (the CPU side is
         not counted, per the model).  Also charges ``log2 P`` of barrier
         synchronization cost and advances the per-round PIM-time maximum.
+
+        With a fault plan installed (:meth:`install_fault_plan`) the
+        round is routed through the chaos filter first; the fault-free
+        path is otherwise untouched.
         """
+        if self._chaos is not None:
+            return self._chaos_round()
         staged = self._staged
         if not staged:
             return []
         # Swap in a fresh staging dict: handlers forwarding during this
         # round stage messages for the NEXT round.
         self._staged = {}
+        return self._run_round(staged)
+
+    def _run_round(self, staged: Dict[int, list]) -> List[Reply]:
+        """Deliver and execute one round's already-unstaged slots."""
         incoming_total = 0
 
         qrqw = self.qrqw
@@ -344,6 +363,112 @@ class PIMMachine:
             self.tracer.access.end_round()
         return replies
 
+    # -- unreliable execution (chaos) ---------------------------------------
+
+    def _chaos_round(self) -> List[Reply]:
+        """One round under an installed fault plan.
+
+        The chaos filter decides each staged message's fate (deliver,
+        drop, duplicate, delay, corrupt; whole slots defer on stalls and
+        are lost or hard-fault on crashes); whatever survives runs
+        through the ordinary round executor so all cost accounting is
+        identical.  A round with nothing deliverable but work still in
+        flight (delayed messages, stalled slots) is charged as an *idle*
+        round -- waiting on the network is not free.
+        """
+        chaos = self._chaos
+        assert chaos is not None
+        rnd = self.metrics.rounds - chaos.base_round
+        chaos.begin_round(self, rnd)
+        staged = self._staged
+        self._staged = {}
+        deliver = chaos.filter_round(self, staged, rnd)
+        if deliver:
+            return self._run_round(deliver)
+        if self._staged or chaos.has_pending():
+            self._charge_idle_round()
+        return []
+
+    def _charge_idle_round(self) -> None:
+        """Advance one round in which nothing is delivered.
+
+        Charges the barrier synchronization cost (``log2 P``) and the
+        round count, but no IO, messages or PIM work -- the honest price
+        of a straggler wait or a retry backoff window.
+        """
+        metrics = self.metrics
+        metrics.rounds += 1
+        metrics.sync_cost += self._log_p
+        if self._chaos is not None:
+            self._chaos.stats.idle_rounds += 1
+        if self._trace_rounds:
+            self.tracer.log_round(
+                RoundLog(index=metrics.rounds - 1, h=0, messages=0,
+                         pim_work_max=0.0, tasks_executed=0))
+        elif self._trace_access:
+            self.tracer.access.end_round()
+
+    def idle_rounds(self, count: int) -> None:
+        """Charge ``count`` idle rounds (retry backoff windows)."""
+        for _ in range(count):
+            self._charge_idle_round()
+
+    # -- fault plan lifecycle -----------------------------------------------
+
+    def install_fault_plan(self, plan: FaultPlan) -> ChaosState:
+        """Arm a :class:`~repro.sim.chaos.FaultPlan` on this machine.
+
+        Event rounds in the plan are interpreted relative to the install
+        point.  Installing also makes :func:`repro.ops.run_batch` wrap
+        every CPU->module message in the reliable-delivery protocol.
+        Returns the runtime :class:`~repro.sim.chaos.ChaosState` (fault
+        statistics, delayed-message buffer).
+        """
+        if self._chaos is not None and self._chaos.has_pending():
+            raise RuntimeError("cannot replace a fault plan with delayed "
+                               "messages still in flight; drain first")
+        self._chaos = ChaosState(plan, base_round=self.metrics.rounds)
+        return self._chaos
+
+    def uninstall_fault_plan(self) -> Optional[ChaosState]:
+        """Disarm the fault plan, restoring the perfect network.
+
+        Refuses while chaos-held (delayed) messages are in flight --
+        uninstalling then would silently lose them.
+        """
+        chaos = self._chaos
+        if chaos is not None and chaos.has_pending():
+            raise RuntimeError("fault plan holds delayed messages; "
+                               "drain before uninstalling")
+        self._chaos = None
+        return chaos
+
+    def wipe_module(self, mid: int) -> None:
+        """Simulate total local-DRAM loss on module ``mid``.
+
+        Clears the module's structure state, its footprint accounting
+        and its replay guards (a wiped module cannot remember which
+        deliveries it executed -- safe, because an acknowledged envelope
+        was executed *before* the wipe destroyed its guard, and the
+        recovery layer rebuilds state rather than replaying messages).
+        Used by crash-and-wipe fault schedules and recovery tests.
+        """
+        module = self.modules[mid]
+        module.state.clear()
+        module.words_used = 0
+        self._contexts[mid].reset_replay_guard()
+        # Under a fault plan the module stays unreachable (protocol
+        # envelopes are dead-dropped, anything else is a typed
+        # ModuleCrashed) until recovery declares it repaired -- a blank
+        # module serving traffic would fault on missing state instead
+        # of failing typed.
+        self.wiped_modules.add(mid)
+
+    def mark_repaired(self, mid: int) -> None:
+        """Declare a wiped module's state re-replicated and routable again
+        (see :func:`repro.recovery.repair.reattach_module`)."""
+        self.wiped_modules.discard(mid)
+
     def drain(self, max_rounds: int = 1_000_000,
               label: Optional[str] = None) -> List[Reply]:
         """Step until the network is quiescent; return all replies.
@@ -357,41 +482,68 @@ class PIMMachine:
         """
         replies: List[Reply] = []
         rounds = 0
-        while self._staged:
+        chaos = self._chaos
+        if chaos is None:
+            while self._staged:
+                if rounds >= max_rounds:
+                    raise LivelockError(
+                        self._livelock_report(rounds, max_rounds, label))
+                replies.extend(self.step())
+                rounds += 1
+            return replies
+        # Chaos drain: delayed messages held by the fault plan count as
+        # pending work, and the report separates genuinely stuck ops
+        # from in-flight protocol retries / chaos-held traffic.
+        while self._staged or chaos.has_pending():
             if rounds >= max_rounds:
-                pending = {
-                    mid: len(slot[_CPU_Q]) + len(slot[_FWD_Q])
-                    for mid, slot in sorted(self._staged.items())
-                }
-                total = sum(pending.values())
-                shown = dict(list(pending.items())[:8])
-                more = "" if len(pending) <= 8 else \
-                    f" (+{len(pending) - 8} more modules)"
-                by_fn: Dict[str, int] = {}
-                for slot in self._staged.values():
-                    for entry in slot[_CPU_Q]:
-                        by_fn[entry[3]] = by_fn.get(entry[3], 0) + 1
-                    for entry in slot[_FWD_Q]:
-                        by_fn[entry[3]] = by_fn.get(entry[3], 0) + 1
-                fn_list = sorted(by_fn.items(), key=lambda kv: -kv[1])
-                fn_shown = ", ".join(f"{fn}={cnt}" for fn, cnt in fn_list[:8])
-                fn_more = "" if len(fn_list) <= 8 else \
-                    f" (+{len(fn_list) - 8} more handler ids)"
-                origin = f" during op {label!r}" if label else ""
+                extra = chaos.describe(self.metrics.rounds - chaos.base_round)
+                rdp = getattr(self, "_rdp", None)
+                if rdp is not None and rdp.inflight:
+                    extra += "; " + rdp.describe()
                 raise LivelockError(
-                    f"drain{origin} executed {rounds} rounds (max_rounds="
-                    f"{max_rounds}) with {total} tasks still pending; "
-                    f"livelock?  pending handlers: {fn_shown}{fn_more}; "
-                    f"pending tasks per module: {shown}{more}"
-                )
+                    self._livelock_report(rounds, max_rounds, label)
+                    + "; " + extra)
             replies.extend(self.step())
             rounds += 1
         return replies
 
+    def _livelock_report(self, rounds: int, max_rounds: int,
+                         label: Optional[str]) -> str:
+        """The drain-exhaustion report: op label, handlers, queue depths."""
+        pending = {
+            mid: len(slot[_CPU_Q]) + len(slot[_FWD_Q])
+            for mid, slot in sorted(self._staged.items())
+        }
+        total = sum(pending.values())
+        shown = dict(list(pending.items())[:8])
+        more = "" if len(pending) <= 8 else \
+            f" (+{len(pending) - 8} more modules)"
+        by_fn: Dict[str, int] = {}
+        for slot in self._staged.values():
+            for entry in slot[_CPU_Q]:
+                by_fn[entry[3]] = by_fn.get(entry[3], 0) + 1
+            for entry in slot[_FWD_Q]:
+                by_fn[entry[3]] = by_fn.get(entry[3], 0) + 1
+        fn_list = sorted(by_fn.items(), key=lambda kv: -kv[1])
+        fn_shown = ", ".join(f"{fn}={cnt}" for fn, cnt in fn_list[:8])
+        fn_more = "" if len(fn_list) <= 8 else \
+            f" (+{len(fn_list) - 8} more handler ids)"
+        origin = f" during op {label!r}" if label else ""
+        return (
+            f"drain{origin} executed {rounds} rounds (max_rounds="
+            f"{max_rounds}) with {total} tasks still pending; "
+            f"livelock?  pending handlers: {fn_shown}{fn_more}; "
+            f"pending tasks per module: {shown}{more}"
+        )
+
     @property
     def pending(self) -> bool:
-        """True if messages await delivery in a future round."""
-        return bool(self._staged)
+        """True if messages await delivery in a future round (including
+        messages the fault plan is holding back for later rounds)."""
+        if self._staged:
+            return True
+        chaos = self._chaos
+        return chaos is not None and chaos.has_pending()
 
     # -- measurement helpers ------------------------------------------------
 

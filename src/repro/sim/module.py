@@ -112,7 +112,7 @@ class ModuleContext:
 
     __slots__ = ("machine", "module", "mid", "num_modules", "tracing",
                  "_replies", "_sent_size", "_access", "_trace_access",
-                 "_qrqw", "_handlers")
+                 "_qrqw", "_handlers", "_seen_seqs")
 
     def __init__(self, machine: "PIMMachine", module: PIMModule) -> None:  # noqa: F821
         self.machine = machine
@@ -132,6 +132,35 @@ class ModuleContext:
         # skip per-node touch calls (and their key-tuple allocations) in
         # tight walks when neither access tracing nor qrqw is on.
         self.tracing = self._trace_access or self._qrqw
+        # Reliable-delivery replay guard: sequence numbers of protocol
+        # envelopes this module already executed.  Lazily allocated --
+        # the fault-free path never touches it.
+        self._seen_seqs: Optional[set] = None
+
+    # -- reliable-delivery replay guard --------------------------------------
+
+    def first_delivery(self, seq: int) -> bool:
+        """True exactly once per envelope sequence number.
+
+        The idempotence guard of the reliable-delivery protocol
+        (:mod:`repro.ops.pipeline`): a duplicated or retried envelope
+        whose payload already executed is acknowledged again but *not*
+        re-executed.  Guards live in module-local memory; a wiped module
+        loses them (see :meth:`PIMMachine.wipe_module`), which is safe
+        because an acknowledged envelope was executed before the wipe and
+        recovery rebuilds state rather than redelivering old traffic.
+        """
+        seen = self._seen_seqs
+        if seen is None:
+            self._seen_seqs = seen = set()
+        if seq in seen:
+            return False
+        seen.add(seq)
+        return True
+
+    def reset_replay_guard(self) -> None:
+        """Forget all delivery history (module wipe/restart)."""
+        self._seen_seqs = None
 
     # -- cost accounting ----------------------------------------------------
 

@@ -25,10 +25,16 @@ correctness backbone the ROADMAP's perf PRs regress against:
   any diverging session to a small reproducer and writes it to
   ``tests/golden/repros/`` as a replayable JSON case (auto-collected by
   ``tests/test_verify_repros.py``).
-- :mod:`repro.verify.faults` -- deterministic fault injection, so the
-  verifier itself is mutation-tested: a seeded fault must be caught,
-  shrunk, and emitted as a repro file.
-- :mod:`repro.verify.cli` -- ``python -m repro verify fuzz|replay|shrink``.
+- :mod:`repro.verify.faults` -- the unified fault registry: adapter
+  mutations (the verifier itself is mutation-tested: a seeded fault
+  must be caught, shrunk, and emitted as a repro file) plus the
+  machine-level fault schedules, collision-checked under one namespace.
+- :mod:`repro.verify.chaos` -- the differential chaos harness: fuzz
+  sessions replayed on an unreliable machine under a recovery manager,
+  checking result equivalence, round-overhead envelopes, and
+  bit-identical reruns per (session seed, fault seed).
+- :mod:`repro.verify.cli` --
+  ``python -m repro verify fuzz|replay|shrink|chaos|faults``.
 """
 
 from repro.verify.adapters import (
@@ -43,7 +49,24 @@ from repro.verify.differ import (
     verify_containers,
     verify_session,
 )
-from repro.verify.faults import FAULTS, inject_fault
+from repro.verify.chaos import (
+    ChaosReport,
+    MESSAGE_SCHEDULES,
+    OVERHEAD_ENVELOPES,
+    chaos_containers,
+    chaos_matrix,
+    chaos_session,
+    check_chaos_determinism,
+)
+from repro.verify.faults import (
+    FAULTS,
+    REGISTRY,
+    FaultDef,
+    describe_faults,
+    fault_names,
+    get_fault,
+    inject_fault,
+)
 from repro.verify.fuzz import fuzz_session
 from repro.verify.oracle import SequentialOracle
 from repro.verify.shrink import (
@@ -55,15 +78,27 @@ from repro.verify.shrink import (
 )
 
 __all__ = [
+    "ChaosReport",
     "DEFAULT_IMPLS",
     "Divergence",
     "FAULTS",
+    "FaultDef",
     "IMPLEMENTATIONS",
     "ImplAdapter",
+    "MESSAGE_SCHEDULES",
+    "OVERHEAD_ENVELOPES",
+    "REGISTRY",
     "SequentialOracle",
     "SessionReport",
     "build_implementations",
+    "chaos_containers",
+    "chaos_matrix",
+    "chaos_session",
+    "check_chaos_determinism",
+    "describe_faults",
+    "fault_names",
     "fuzz_session",
+    "get_fault",
     "inject_fault",
     "load_repro",
     "session_from_dict",

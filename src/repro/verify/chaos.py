@@ -1,0 +1,297 @@
+"""The differential chaos harness: fuzz sessions on an unreliable machine.
+
+Extends the differential driver (:mod:`repro.verify.differ`) with fault
+injection at the *machine* level: each chaos session replays one seeded
+fuzz session on a machine running a named fault schedule
+(:data:`repro.sim.chaos.MACHINE_SCHEDULES`), under a
+:class:`~repro.recovery.manager.RecoveryManager`, and checks
+
+- **equivalence** -- every read batch and the final full-range state
+  must match the :class:`~repro.verify.oracle.SequentialOracle` exactly
+  (the reliable-delivery protocol and crash recovery must be invisible
+  in *results*), or end in a typed
+  :class:`~repro.recovery.manager.DegradedResult` -- never a wrong
+  answer;
+- **overhead envelopes** -- retry/backoff/failover traffic shows up in
+  *rounds*; each schedule's total must stay inside a calibrated
+  multiple of the fault-free twin's rounds;
+- **determinism** -- the whole chaos run is a pure function of
+  ``(session seed, fault seed)``: a rerun must be bit-identical
+  (same results, same fault statistics, same round counts).
+
+Divergences reuse :class:`~repro.verify.differ.Divergence` with
+``chaos_*`` kinds, so the shrinker and the repro-file pipeline apply
+unchanged -- a diverging chaos session shrinks to a replayable JSON
+repro carrying its fault schedule and fault seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.skiplist import PIMSkipList
+from repro.recovery import DegradedResult, RecoveryManager
+from repro.sim.chaos import MACHINE_SCHEDULES, build_schedule
+from repro.sim.machine import PIMMachine
+from repro.verify.differ import (
+    Divergence,
+    READ_OPS,
+    _diff_results,
+    _session_key_bounds,
+    verify_containers,
+)
+from repro.verify.fuzz import fuzz_session, initial_items_for
+from repro.verify.oracle import SequentialOracle
+from repro.workloads.sessions import Session
+
+__all__ = [
+    "ChaosReport",
+    "MESSAGE_SCHEDULES",
+    "OVERHEAD_ENVELOPES",
+    "chaos_containers",
+    "chaos_matrix",
+    "chaos_session",
+    "check_chaos_determinism",
+]
+
+#: Schedules with no crash events: safe for structures that issue
+#: unprotected module->module forwards outside the recovery manager
+#: (the container checks run these).
+MESSAGE_SCHEDULES: Tuple[str, ...] = tuple(
+    name for name in MACHINE_SCHEDULES
+    if "crash" not in name
+)
+
+#: Per-schedule round-overhead envelopes: chaos rounds must stay within
+#: ``factor * fault-free rounds + constant``.  Calibrated against the
+#: fuzz corpus (seeds 0..24, all schedules, P=8) at roughly 2x the
+#: observed maxima; the constant absorbs failover rebuild+replay, whose
+#: cost is history- not batch-proportional.  A regression that turns
+#: retries into per-message round trips blows the factor; one that
+#: makes recovery replay quadratic blows the constant.
+OVERHEAD_ENVELOPES: Dict[str, Tuple[float, int]] = {
+    "drop": (4.0, 64),
+    "dup_delay": (4.0, 64),
+    "corrupt": (4.0, 64),
+    "stall": (3.0, 64),
+    "crash_restart": (5.0, 512),
+    "crash_wipe": (5.0, 512),
+    "mixed": (4.0, 128),
+}
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos session observed."""
+
+    session_seed: int
+    fault_seed: int
+    schedule: str
+    num_modules: int
+    num_batches: int
+    divergences: List[Divergence] = field(default_factory=list)
+    degraded: bool = False
+    degraded_at: int = -1  # batch index at which the run quiesced
+    recoveries: int = 0
+    base_rounds: int = 0   # fault-free twin, whole session
+    chaos_rounds: int = 0  # chaos machine + any standby machines
+    stats: Dict[str, int] = field(default_factory=dict)
+    fingerprint: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    @property
+    def overhead(self) -> float:
+        return self.chaos_rounds / max(1, self.base_rounds)
+
+    def summary(self) -> str:
+        state = "OK" if self.ok else f"{len(self.divergences)} divergence(s)"
+        tail = f", degraded at batch {self.degraded_at}" if self.degraded \
+            else ""
+        faults = self.stats.get("transmissions", 0) and (
+            f", {sum(self.stats.get(k, 0) for k in ('drops', 'dups', 'delays', 'corrupts', 'dead_drops', 'stalled_slots'))}"
+            f"/{self.stats['transmissions']} envelopes faulted") or ""
+        return (f"seed={self.session_seed} fault_seed={self.fault_seed} "
+                f"schedule={self.schedule}: {self.num_batches} batches -> "
+                f"{state}; rounds {self.base_rounds} -> {self.chaos_rounds} "
+                f"({self.overhead:.2f}x), {self.recoveries} recovery(ies)"
+                f"{faults}{tail}")
+
+
+def chaos_session(session_seed: int, schedule: str, fault_seed: int = 0, *,
+                  num_modules: int = 8, num_batches: int = 10,
+                  batch_size: int = 16, checkpoint_every: int = 3,
+                  allow_restore: bool = True,
+                  session: Optional[Session] = None,
+                  check_overhead: bool = True) -> ChaosReport:
+    """Replay one fuzz session under a machine-level fault schedule.
+
+    ``session`` overrides the fuzzed one (the repro-replay path); its
+    seed then labels the report.  The report carries a fingerprint of
+    every observable (results, fault statistics, rounds) for the
+    bit-identical-rerun check.
+    """
+    if schedule not in MACHINE_SCHEDULES:
+        raise ValueError(f"unknown fault schedule {schedule!r}; known: "
+                         f"{', '.join(sorted(MACHINE_SCHEDULES))}")
+    if session is None:
+        session = fuzz_session(session_seed, num_batches=num_batches,
+                               batch_size=batch_size)
+    items = initial_items_for(session)
+    report = ChaosReport(session_seed=session.seed, fault_seed=fault_seed,
+                         schedule=schedule, num_modules=num_modules,
+                         num_batches=len(session.batches))
+
+    # Oracle answers + the fault-free twin's round count (the overhead
+    # baseline; same machine seed, so the structure evolves identically
+    # and the only difference under chaos is fault handling).
+    oracle = SequentialOracle(items)
+    twin_machine = PIMMachine(num_modules=num_modules, seed=session.seed)
+    twin = PIMSkipList(twin_machine)
+    twin.build(items)
+    expected: List = []
+    for batch in session.batches:
+        expected.append(oracle.apply_batch(batch.op, batch.payload))
+        twin.apply_batch(batch.op, batch.payload)
+    report.base_rounds = twin_machine.metrics.rounds
+
+    # The chaos run: same structure seed, fault plan installed, wrapped
+    # in a recovery manager whose standby factory builds clean machines.
+    machines: List[PIMMachine] = []
+
+    def standby() -> PIMSkipList:
+        m = PIMMachine(num_modules=num_modules, seed=session.seed)
+        machines.append(m)
+        return PIMSkipList(m)
+
+    chaotic = standby()
+    chaotic.build(items)
+    chaos_state = machines[0].install_fault_plan(
+        build_schedule(schedule, fault_seed, num_modules))
+    manager = RecoveryManager(chaotic, standby,
+                              checkpoint_every=checkpoint_every,
+                              allow_restore=allow_restore)
+
+    parts: List[str] = []  # determinism fingerprint material
+
+    def diverge(i: int, op: str, kind: str, detail: str) -> None:
+        report.divergences.append(Divergence(
+            seed=session.seed, batch_index=i, op=op, impl="skiplist+chaos",
+            kind=kind, detail=detail))
+
+    for i, batch in enumerate(session.batches):
+        result = manager.run(batch.op, batch.payload)
+        if isinstance(result, DegradedResult):
+            report.degraded = True
+            report.degraded_at = i
+            parts.append(f"degraded@{i}:{result.reason}")
+            break
+        parts.append(repr(result))
+        if batch.op in READ_OPS and result != expected[i]:
+            diverge(i, batch.op, "chaos_result",
+                    _diff_results(batch.op, batch.payload, expected[i],
+                                  result))
+
+    # Final state + integrity, unless the run (correctly) quiesced.
+    if not report.degraded:
+        bounds = _session_key_bounds(session)
+        if bounds is not None:
+            final = manager.run("range", [bounds])
+            if isinstance(final, DegradedResult):
+                report.degraded = True
+                report.degraded_at = len(session.batches)
+                parts.append(f"degraded@final:{final.reason}")
+            else:
+                got = dict(final[0])
+                want = oracle.as_dict()
+                if got != want:
+                    missing = sorted(set(want) - set(got))[:4]
+                    extra = sorted(set(got) - set(want))[:4]
+                    diverge(-1, "final", "chaos_final_state",
+                            f"{len(want)} keys expected, {len(got)} found; "
+                            f"missing={missing} extra={extra}")
+                parts.append(repr(sorted(got.items())))
+        try:
+            manager.structure.check_integrity()
+        except AssertionError as exc:
+            diverge(-1, "final", "chaos_integrity",
+                    f"invariant violated after chaos session: {exc}")
+
+    report.recoveries = manager.recoveries
+    report.chaos_rounds = sum(m.metrics.rounds for m in machines)
+    report.stats = chaos_state.stats.as_dict()
+    parts.append(repr(sorted(report.stats.items())))
+    parts.append(f"recoveries={report.recoveries}")
+    parts.append(f"rounds={report.chaos_rounds}")
+    report.fingerprint = hashlib.sha256(
+        "\n".join(parts).encode()).hexdigest()
+
+    if check_overhead and not report.degraded:
+        factor, constant = OVERHEAD_ENVELOPES[schedule]
+        budget = int(factor * report.base_rounds) + constant
+        if report.chaos_rounds > budget:
+            diverge(-1, "session", "chaos_overhead",
+                    f"{report.chaos_rounds} chaos rounds > envelope "
+                    f"{budget} ({factor:g}x{report.base_rounds}+{constant} "
+                    f"for schedule {schedule!r})")
+    return report
+
+
+def check_chaos_determinism(session_seed: int, schedule: str,
+                            fault_seed: int = 0, *,
+                            num_modules: int = 8, num_batches: int = 10,
+                            batch_size: int = 16,
+                            ) -> Optional[Divergence]:
+    """Run the same chaos session twice; the fingerprints must match.
+
+    Returns the describing divergence on mismatch, else ``None``.
+    """
+    kwargs = dict(num_modules=num_modules, num_batches=num_batches,
+                  batch_size=batch_size, check_overhead=False)
+    first = chaos_session(session_seed, schedule, fault_seed, **kwargs)
+    second = chaos_session(session_seed, schedule, fault_seed, **kwargs)
+    if first.fingerprint == second.fingerprint:
+        return None
+    return Divergence(
+        seed=session_seed, batch_index=-1, op="rerun", impl="skiplist+chaos",
+        kind="chaos_determinism",
+        detail=(f"schedule {schedule!r} fault_seed={fault_seed}: rerun "
+                f"fingerprint {second.fingerprint[:12]} != first "
+                f"{first.fingerprint[:12]} (stats {second.stats} vs "
+                f"{first.stats})"))
+
+
+def chaos_containers(seed: int, schedule: str, fault_seed: int = 0, *,
+                     num_modules: int = 8) -> List[Divergence]:
+    """The FIFO/priority-queue exact-result checks on a faulty machine.
+
+    Restricted to :data:`MESSAGE_SCHEDULES`: the containers run outside
+    the recovery manager, so crash schedules would (correctly) escalate
+    unprotected forwards to :class:`~repro.sim.errors.ModuleCrashed`
+    rather than produce a comparable result.
+    """
+    if schedule not in MESSAGE_SCHEDULES:
+        raise ValueError(f"container chaos wants a crash-free schedule; "
+                         f"{schedule!r} not in {MESSAGE_SCHEDULES}")
+    machine = PIMMachine(num_modules=num_modules, seed=seed & 0x7FFFFFFF)
+    machine.install_fault_plan(build_schedule(schedule, fault_seed,
+                                              num_modules))
+    return verify_containers(seed, num_modules=num_modules, machine=machine)
+
+
+def chaos_matrix(session_seeds: Sequence[int],
+                 schedules: Sequence[str], fault_seed: int = 0, *,
+                 num_modules: int = 8, num_batches: int = 10,
+                 batch_size: int = 16) -> List[ChaosReport]:
+    """The full sweep: every session seed under every fault schedule."""
+    return [
+        chaos_session(seed, schedule, fault_seed,
+                      num_modules=num_modules, num_batches=num_batches,
+                      batch_size=batch_size)
+        for schedule in schedules
+        for seed in session_seeds
+    ]

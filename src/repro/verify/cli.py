@@ -1,12 +1,19 @@
-"""``python -m repro verify fuzz|replay|shrink``.
+"""``python -m repro verify fuzz|replay|shrink|chaos|faults``.
 
 - ``fuzz`` -- generate N seeded sessions, differentially replay each
   against every implementation (plus the FIFO/priority-queue container
   checks), and on divergence shrink the session and write a replayable
-  repro file.  Exit code 1 if anything diverged.
+  repro file.  Exit code 1 if anything diverged.  ``--faults`` layers
+  registered faults on top (``--faults list`` enumerates the registry).
 - ``replay`` -- re-run one repro JSON file (or every file in a
-  directory) and report whether it still diverges.
+  directory) and report whether it still diverges.  Repros carrying a
+  ``fault_schedule`` replay through the chaos harness.
 - ``shrink`` -- minimize an existing repro file in place.
+- ``chaos`` -- sweep fuzz sessions across machine-level fault
+  schedules: result equivalence under faults, round-overhead
+  envelopes, bit-identical reruns, and container checks on a faulty
+  machine.
+- ``faults`` -- print the unified fault registry.
 """
 
 from __future__ import annotations
@@ -14,9 +21,16 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
+from repro.verify.chaos import (
+    MESSAGE_SCHEDULES,
+    chaos_containers,
+    chaos_session,
+    check_chaos_determinism,
+)
 from repro.verify.differ import verify_containers, verify_session
+from repro.verify.faults import describe_faults, get_fault
 from repro.verify.fuzz import fuzz_session
 from repro.verify.shrink import (
     load_repro,
@@ -24,6 +38,7 @@ from repro.verify.shrink import (
     shrink_session,
     write_repro,
 )
+from repro.sim.chaos import MACHINE_SCHEDULES
 
 DEFAULT_REPRO_DIR = os.path.join("tests", "golden", "repros")
 
@@ -55,13 +70,52 @@ def _verify_kwargs(args: argparse.Namespace) -> dict:
     }
 
 
+def _parse_faults(spec: str) -> Tuple[Optional[tuple], List[str]]:
+    """Split a ``--faults`` list into (adapter (impl, name), machine
+    schedule names).  Adapter names accept an ``IMPL:`` prefix and
+    default to the skip list."""
+    adapter = None
+    schedules: List[str] = []
+    for raw in spec.split(","):
+        token = raw.strip()
+        if not token:
+            continue
+        impl, _, rest = token.partition(":")
+        name = rest if rest else token
+        defn = get_fault(name)  # raises on unknown names
+        if defn.level == "machine":
+            if rest:
+                raise ValueError(
+                    f"machine fault {name!r} takes no IMPL: prefix")
+            schedules.append(name)
+        else:
+            if adapter is not None:
+                raise ValueError("at most one adapter fault per run")
+            adapter = (impl if rest else "skiplist", name)
+    return adapter, schedules
+
+
 def cmd_fuzz(args: argparse.Namespace) -> int:
     fault = None
+    chaos_schedules: List[str] = []
+    if args.faults:
+        if args.faults.strip() == "list":
+            print(describe_faults())
+            return 0
+        try:
+            fault, chaos_schedules = _parse_faults(args.faults)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     if args.inject_fault:
         impl, _, name = args.inject_fault.partition(":")
         if not name:
             print("--inject-fault wants IMPL:FAULT "
                   "(e.g. skiplist:drop_get)", file=sys.stderr)
+            return 2
+        if fault is not None:
+            print("--inject-fault conflicts with an adapter fault in "
+                  "--faults", file=sys.stderr)
             return 2
         fault = (impl, name)
     failures = 0
@@ -73,12 +127,19 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         report = verify_session(session, fault=fault,
                                 **_verify_kwargs(args))
         container_divs = verify_containers(seed, num_modules=args.modules)
+        chaos_divs = []
+        for schedule in chaos_schedules:
+            cr = chaos_session(seed, schedule, args.fault_seed,
+                               num_modules=args.modules, session=session)
+            chaos_divs += cr.divergences
         print(report.summary()
               + (f" + {len(container_divs)} container divergence(s)"
-                 if container_divs else ""))
-        for d in container_divs:
+                 if container_divs else "")
+              + (f" + {len(chaos_divs)} chaos divergence(s)"
+                 if chaos_divs else ""))
+        for d in container_divs + chaos_divs:
             print(f"  {d}")
-        if report.ok and not container_divs:
+        if report.ok and not container_divs and not chaos_divs:
             continue
         failures += 1
         for d in report.divergences:
@@ -91,7 +152,9 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         return 1
     print(f"\nall {args.sessions} session(s) verified clean "
           f"({args.batches} batches x {args.batch_size} each, "
-          f"P={args.modules})")
+          f"P={args.modules}"
+          + (f", chaos: {','.join(chaos_schedules)}" if chaos_schedules
+             else "") + ")")
     return 0
 
 
@@ -119,11 +182,25 @@ def _replay_one(path: str, args: argparse.Namespace) -> bool:
     """Replay one repro file; returns True when it (still) diverges."""
     data = load_repro(path)
     session = session_from_dict(data)
+    num_modules = args.modules
+    if data.get("num_modules") and args.modules == 8:
+        num_modules = data["num_modules"]
+    schedule = data.get("fault_schedule")
+    if schedule is not None:
+        # Chaos repro: replay under the recorded machine fault schedule.
+        report = chaos_session(session.seed, schedule,
+                               int(data.get("fault_seed", 0)),
+                               num_modules=num_modules, session=session)
+        tag = "DIVERGES" if not report.ok else "clean"
+        print(f"{path}: {len(session.batches)} batch(es) under "
+              f"{schedule!r} (fault_seed={report.fault_seed}) -> {tag}")
+        for d in report.divergences:
+            print(f"  {d}")
+        return not report.ok
     kwargs = _verify_kwargs(args)
     if args.impls is None and data.get("impls"):
         kwargs["impls"] = data["impls"]
-    if data.get("num_modules") and args.modules == 8:
-        kwargs["num_modules"] = data["num_modules"]
+    kwargs["num_modules"] = num_modules
     report = verify_session(session, **kwargs)
     tag = "DIVERGES" if not report.ok else "clean"
     print(f"{path}: {len(session.batches)} batch(es) -> {tag}")
@@ -185,6 +262,90 @@ def cmd_shrink(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    if args.schedules == "all":
+        schedules = list(MACHINE_SCHEDULES)
+    else:
+        schedules = [s.strip() for s in args.schedules.split(",")
+                     if s.strip()]
+        for s in schedules:
+            if s not in MACHINE_SCHEDULES:
+                print(f"unknown fault schedule {s!r}; known: "
+                      f"{', '.join(sorted(MACHINE_SCHEDULES))}",
+                      file=sys.stderr)
+                return 2
+    failures = 0
+    runs = 0
+    for schedule in schedules:
+        for i in range(args.sessions):
+            seed = args.seed + i
+            report = chaos_session(
+                seed, schedule, args.fault_seed,
+                num_modules=args.modules, num_batches=args.batches,
+                batch_size=args.batch_size)
+            runs += 1
+            print(report.summary())
+            if report.ok:
+                continue
+            failures += 1
+            for d in report.divergences:
+                print(f"  {d}")
+            if not args.no_shrink:
+                path = _shrink_chaos_and_write(seed, schedule, args)
+                print(f"  shrunk chaos repro written: {path}")
+        if not args.no_determinism:
+            div = check_chaos_determinism(
+                args.seed, schedule, args.fault_seed,
+                num_modules=args.modules, num_batches=args.batches,
+                batch_size=args.batch_size)
+            if div is not None:
+                failures += 1
+                print(f"  {div}")
+        if not args.no_containers and schedule in MESSAGE_SCHEDULES:
+            divs = chaos_containers(args.seed, schedule, args.fault_seed,
+                                    num_modules=args.modules)
+            if divs:
+                failures += 1
+                for d in divs:
+                    print(f"  {d}")
+    if failures:
+        print(f"\n{failures} chaos failure(s) across {runs} session(s)")
+        return 1
+    print(f"\nall {runs} chaos session(s) exact "
+          f"({len(schedules)} schedule(s), fault_seed={args.fault_seed}, "
+          f"P={args.modules})")
+    return 0
+
+
+def _shrink_chaos_and_write(seed: int, schedule: str,
+                            args: argparse.Namespace) -> str:
+    session = fuzz_session(seed, num_batches=args.batches,
+                           batch_size=args.batch_size)
+
+    def is_failing(candidate) -> bool:
+        return not chaos_session(seed, schedule, args.fault_seed,
+                                 num_modules=args.modules,
+                                 session=candidate).ok
+
+    small = shrink_session(session, is_failing, max_evals=args.max_evals)
+    report = chaos_session(seed, schedule, args.fault_seed,
+                           num_modules=args.modules, session=small)
+    os.makedirs(args.repro_dir, exist_ok=True)
+    path = os.path.join(args.repro_dir,
+                        f"seed{seed}-{schedule}-f{args.fault_seed}.json")
+    return write_repro(
+        small, path, divergences=report.divergences,
+        num_modules=args.modules, fault_schedule=schedule,
+        fault_seed=args.fault_seed,
+        note=(f"shrunk from a {len(session.batches)}-batch chaos session "
+              f"under schedule {schedule!r}"))
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    print(describe_faults())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro verify",
@@ -206,6 +367,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     fz.add_argument("--inject-fault", default=None, metavar="IMPL:FAULT",
                     help="mutation-test the verifier (e.g. "
                          "skiplist:drop_get)")
+    fz.add_argument("--faults", default=None, metavar="NAMES",
+                    help="comma-separated registered faults to layer on "
+                         "('list' enumerates; machine names run each "
+                         "session under that chaos schedule too)")
+    fz.add_argument("--fault-seed", type=int, default=0,
+                    help="seed for machine fault schedules (default 0)")
     fz.add_argument("--no-shrink", action="store_true",
                     help="report divergences without shrinking")
     fz.add_argument("--repro-dir", default=DEFAULT_REPRO_DIR,
@@ -233,6 +400,40 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="shrinker evaluation budget (default 400)")
     _add_common(sh)
     sh.set_defaults(fn=cmd_shrink)
+
+    ch = sub.add_parser("chaos", help="sweep fuzz sessions across "
+                                      "machine-level fault schedules")
+    ch.add_argument("--seed", type=int, default=0,
+                    help="first session seed (sessions use seed..seed+N-1)")
+    ch.add_argument("--sessions", type=int, default=25,
+                    help="sessions per schedule (default 25)")
+    ch.add_argument("--schedules", default="all",
+                    help="comma-separated schedule names or 'all' "
+                         f"(known: {', '.join(sorted(MACHINE_SCHEDULES))})")
+    ch.add_argument("--fault-seed", type=int, default=0,
+                    help="fault plan seed (default 0)")
+    ch.add_argument("--batches", type=int, default=10,
+                    help="batches per session (default 10)")
+    ch.add_argument("--batch-size", type=int, default=16,
+                    help="ops per batch (default 16)")
+    ch.add_argument("--modules", type=int, default=8,
+                    help="PIM modules per machine (default 8)")
+    ch.add_argument("--no-shrink", action="store_true",
+                    help="report divergences without shrinking")
+    ch.add_argument("--no-determinism", action="store_true",
+                    help="skip the bit-identical rerun check")
+    ch.add_argument("--no-containers", action="store_true",
+                    help="skip FIFO/priority-queue checks on a faulty "
+                         "machine")
+    ch.add_argument("--repro-dir", default=DEFAULT_REPRO_DIR,
+                    help=f"where shrunk chaos repros land "
+                         f"(default {DEFAULT_REPRO_DIR})")
+    ch.add_argument("--max-evals", type=int, default=200,
+                    help="shrinker evaluation budget (default 200)")
+    ch.set_defaults(fn=cmd_chaos)
+
+    fl = sub.add_parser("faults", help="print the unified fault registry")
+    fl.set_defaults(fn=cmd_faults)
 
     args = parser.parse_args(argv)
     return int(args.fn(args))

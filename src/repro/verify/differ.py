@@ -395,10 +395,15 @@ def _check_determinism(report: SessionReport, session: Session,
 
 def verify_containers(seed: int, num_modules: int = 8, *,
                       num_batches: int = 6, batch_size: int = 16,
+                      machine: Optional[Any] = None,
                       ) -> List[Divergence]:
     """Differentially test the FIFO queue against ``collections.deque``
     and the priority queue against a sorted-reference, with batch shapes
-    (duplicate priorities, drain-to-empty, refill) derived from ``seed``."""
+    (duplicate priorities, drain-to-empty, refill) derived from ``seed``.
+
+    ``machine`` optionally supplies a pre-built machine -- the chaos
+    harness passes one with a fault plan installed, so the containers'
+    exact-result checks run over an unreliable network too."""
     import random as _random
 
     from repro.sim.machine import PIMMachine
@@ -406,7 +411,8 @@ def verify_containers(seed: int, num_modules: int = 8, *,
     from repro.structures.priority_queue import PIMPriorityQueue
 
     rng = _random.Random(seed ^ 0x5EED)
-    machine = PIMMachine(num_modules=num_modules, seed=seed & 0x7FFFFFFF)
+    if machine is None:
+        machine = PIMMachine(num_modules=num_modules, seed=seed & 0x7FFFFFFF)
     queue = PIMQueue(machine)
     pq = PIMPriorityQueue(machine)
     out: List[Divergence] = []

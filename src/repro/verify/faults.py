@@ -1,24 +1,44 @@
-"""Deterministic fault injection: mutation testing for the verifier.
+"""The unified fault registry: adapter-level mutations + machine-level
+fault schedules, collision-checked under one namespace.
 
 A verifier that never fires is indistinguishable from one that cannot
-see.  Each fault here wraps one adapter's ``apply`` with a small,
-realistic bug -- a dropped hit, an off-by-one successor, a silently
-lost write, a truncated range -- and the test suite asserts the
-differential driver catches it, the shrinker reduces it, and a
-replayable repro file comes out the other end.
+see.  Faults exist at two levels and the registry names both:
 
-Faults are pure functions of the payload (no RNG, no hidden state), so
-an injected failure shrinks deterministically.
+- **adapter** faults wrap one implementation's ``apply`` with a small,
+  realistic bug -- a dropped hit, an off-by-one successor, a silently
+  lost write, a truncated range.  The test suite asserts the
+  differential driver catches each, the shrinker reduces it, and a
+  replayable repro file comes out the other end.  Pure functions of the
+  payload (no RNG, no hidden state), so an injected failure shrinks
+  deterministically.
+- **machine** faults are the named schedules of
+  :data:`repro.sim.chaos.MACHINE_SCHEDULES`: seeded
+  :class:`~repro.sim.chaos.FaultPlan` builders that drop / duplicate /
+  delay / corrupt messages and crash / stall / wipe modules underneath
+  an otherwise-correct implementation.  The chaos harness
+  (:mod:`repro.verify.chaos`) asserts the reliable-delivery protocol
+  and recovery layer keep results exact anyway.
+
+The two levels answer different questions -- "does the verifier see
+bugs?" vs "does the machine survive faults?" -- so a name must say
+which it is.  Registration collision-checks the shared namespace; the
+CLI (``python -m repro verify fuzz --faults list``) enumerates it.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Sequence
 
+from repro.sim.chaos import MACHINE_SCHEDULES, FaultPlan
 from repro.verify.adapters import ImplAdapter
 
 FaultFn = Callable[[Callable[[str, Sequence], Any], str, Sequence], Any]
 
+
+# ----------------------------------------------------------------------
+# adapter-level mutation faults
+# ----------------------------------------------------------------------
 
 def _drop_get(inner: Callable, op: str, payload: Sequence) -> Any:
     """Every third Get answers ``None`` even on a hit."""
@@ -60,7 +80,8 @@ def _resurrect_delete(inner: Callable, op: str, payload: Sequence) -> Any:
     return inner(op, payload)
 
 
-#: name -> fault wrapper.
+#: name -> adapter fault wrapper (the registry's adapter-level entries;
+#: kept as a plain dict for back-compat with existing tests).
 FAULTS: Dict[str, FaultFn] = {
     "drop_get": _drop_get,
     "offset_successor": _offset_successor,
@@ -83,3 +104,84 @@ def inject_fault(adapter: ImplAdapter, fault_name: str) -> ImplAdapter:
 
     adapter._apply = faulty
     return adapter
+
+
+# ----------------------------------------------------------------------
+# the unified registry
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FaultDef:
+    """One registered fault: its level decides how it is applied.
+
+    ``wrap`` is set for adapter faults (use :func:`inject_fault` or call
+    it around an adapter's apply); ``build`` for machine faults (maps
+    ``(fault_seed, num_modules)`` to a
+    :class:`~repro.sim.chaos.FaultPlan` for
+    ``PIMMachine.install_fault_plan``).
+    """
+
+    name: str
+    level: str  # "adapter" | "machine"
+    description: str
+    wrap: Optional[FaultFn] = None
+    build: Optional[Callable[[int, int], FaultPlan]] = None
+
+
+_MACHINE_DESCRIPTIONS: Dict[str, str] = {
+    "drop": "drop 15% of protocol envelopes (retry/backoff path)",
+    "dup_delay": "duplicate 10% + delay 15% of envelopes by 3 rounds",
+    "corrupt": "corrupt 12% of envelopes (checksum-discard, retry)",
+    "stall": "stall two seeded modules for a few rounds each",
+    "crash_restart": "fail-stop one module, restart with state intact",
+    "crash_wipe": "fail-stop one module and wipe its DRAM on restart",
+    "mixed": "low-rate drop+dup+delay+corrupt plus one stall",
+}
+
+REGISTRY: Dict[str, FaultDef] = {}
+
+
+def _register(defn: FaultDef) -> None:
+    clash = REGISTRY.get(defn.name)
+    if clash is not None:
+        raise ValueError(
+            f"fault name {defn.name!r} registered twice "
+            f"({clash.level} vs {defn.level}); adapter faults and "
+            f"machine schedules share one namespace")
+    REGISTRY[defn.name] = defn
+
+
+for _name, _fn in FAULTS.items():
+    _register(FaultDef(
+        name=_name, level="adapter",
+        description=" ".join((_fn.__doc__ or "").split()).partition(".")[0],
+        wrap=_fn))
+for _name, _builder in MACHINE_SCHEDULES.items():
+    _register(FaultDef(name=_name, level="machine",
+                       description=_MACHINE_DESCRIPTIONS.get(_name, ""),
+                       build=_builder))
+del _name, _fn, _builder
+
+
+def get_fault(name: str) -> FaultDef:
+    """Look up a registered fault by name (either level)."""
+    defn = REGISTRY.get(name)
+    if defn is None:
+        raise ValueError(f"unknown fault {name!r}; known: "
+                         f"{', '.join(sorted(REGISTRY))}")
+    return defn
+
+
+def fault_names(level: Optional[str] = None) -> list:
+    """Sorted registered names, optionally restricted to one level."""
+    return sorted(n for n, d in REGISTRY.items()
+                  if level is None or d.level == level)
+
+
+def describe_faults() -> str:
+    """The registry as an aligned table (the CLI's ``--faults list``)."""
+    rows = [(d.name, d.level, d.description)
+            for _, d in sorted(REGISTRY.items())]
+    width = max(len(r[0]) for r in rows)
+    return "\n".join(f"{name:<{width}}  {level:<7}  {desc}"
+                     for name, level, desc in rows)

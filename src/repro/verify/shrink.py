@@ -61,13 +61,24 @@ def write_repro(session: Session, path: str, *,
                 divergences: Optional[List[Any]] = None,
                 impls: Optional[List[str]] = None,
                 num_modules: Optional[int] = None,
+                fault_schedule: Optional[str] = None,
+                fault_seed: Optional[int] = None,
                 note: str = "") -> str:
-    """Write a replayable repro file; returns the path written."""
+    """Write a replayable repro file; returns the path written.
+
+    ``fault_schedule`` / ``fault_seed`` mark a *chaos* repro: replay
+    then goes through :func:`repro.verify.chaos.chaos_session` under
+    that machine-level fault schedule instead of the fault-free
+    differential driver.
+    """
     data = session_to_dict(session)
     if impls is not None:
         data["impls"] = list(impls)
     if num_modules is not None:
         data["num_modules"] = num_modules
+    if fault_schedule is not None:
+        data["fault_schedule"] = fault_schedule
+        data["fault_seed"] = int(fault_seed or 0)
     if note:
         data["note"] = note
     if divergences:

@@ -1,0 +1,143 @@
+"""Tests for :mod:`repro.verify.chaos` and the unified fault registry.
+
+The harness's promises: a fuzz session replayed under any machine
+fault schedule produces *exactly* the fault-free results (or degrades
+typed -- never diverges); the whole run is a pure function of
+``(session seed, fault seed)``; round overhead stays inside the
+per-schedule envelopes; the container structures survive message
+schedules; and chaos divergences round-trip through repro files that
+replay under the recorded schedule.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import pytest
+
+from repro.sim.chaos import MACHINE_SCHEDULES
+from repro.verify import cli as verify_cli
+from repro.verify.chaos import (
+    MESSAGE_SCHEDULES,
+    OVERHEAD_ENVELOPES,
+    chaos_containers,
+    chaos_matrix,
+    chaos_session,
+    check_chaos_determinism,
+)
+from repro.verify.faults import (
+    FAULTS,
+    REGISTRY,
+    FaultDef,
+    _register,
+    describe_faults,
+    fault_names,
+    get_fault,
+)
+from repro.verify.fuzz import fuzz_session
+from repro.verify.shrink import load_repro, write_repro
+
+
+class TestChaosSessions:
+    @pytest.mark.parametrize("schedule",
+                             ["drop", "corrupt", "stall", "crash_wipe"])
+    def test_session_is_exact_under_schedule(self, schedule):
+        report = chaos_session(3, schedule, fault_seed=1,
+                               num_batches=6, batch_size=12)
+        assert report.ok, [str(d) for d in report.divergences]
+        assert report.schedule == schedule
+        assert report.chaos_rounds >= report.base_rounds
+        assert report.stats.get("transmissions", 0) > 0
+
+    def test_envelope_violation_is_a_divergence(self, monkeypatch):
+        monkeypatch.setitem(OVERHEAD_ENVELOPES, "drop", (0.0, 0))
+        report = chaos_session(3, "drop", fault_seed=1,
+                               num_batches=4, batch_size=8)
+        assert not report.ok
+        assert any("overhead" in str(d) for d in report.divergences)
+
+    def test_fingerprints_differ_across_fault_seeds(self):
+        a = chaos_session(5, "mixed", fault_seed=0,
+                          num_batches=4, batch_size=8, check_overhead=False)
+        b = chaos_session(5, "mixed", fault_seed=7,
+                          num_batches=4, batch_size=8, check_overhead=False)
+        assert a.ok and b.ok
+        assert a.fingerprint and b.fingerprint
+        assert a.fingerprint != b.fingerprint
+
+    def test_determinism_check_passes(self):
+        assert check_chaos_determinism(2, "dup_delay", fault_seed=3,
+                                       num_batches=4, batch_size=8) is None
+
+    def test_matrix_smoke(self):
+        reports = chaos_matrix([1, 2], ["drop", "crash_restart"],
+                               num_batches=3, batch_size=8)
+        assert len(reports) == 4
+        assert all(r.ok for r in reports)
+        assert {(r.session_seed, r.schedule) for r in reports} == \
+            {(1, "drop"), (2, "drop"),
+             (1, "crash_restart"), (2, "crash_restart")}
+
+    def test_containers_survive_message_schedules(self):
+        for schedule in MESSAGE_SCHEDULES:
+            assert chaos_containers(4, schedule, fault_seed=1) == []
+
+    def test_containers_refuse_crash_schedules(self):
+        with pytest.raises(ValueError, match="crash-free"):
+            chaos_containers(4, "crash_wipe")
+
+
+class TestRegistry:
+    def test_every_schedule_and_adapter_fault_is_registered(self):
+        assert set(fault_names("machine")) == set(MACHINE_SCHEDULES)
+        assert set(fault_names("adapter")) == set(FAULTS)
+        assert set(fault_names()) == set(MACHINE_SCHEDULES) | set(FAULTS)
+
+    def test_levels_are_wired_for_use(self):
+        for name in fault_names("machine"):
+            d = get_fault(name)
+            assert d.level == "machine" and d.build is not None
+        for name in fault_names("adapter"):
+            d = get_fault(name)
+            assert d.level == "adapter" and d.wrap is not None
+
+    def test_get_fault_raises_on_unknown(self):
+        with pytest.raises(ValueError, match="unknown fault"):
+            get_fault("nope")
+
+    def test_collision_is_refused(self):
+        with pytest.raises(ValueError, match="registered twice"):
+            _register(FaultDef(name="drop", level="adapter",
+                               description="clash"))
+        assert REGISTRY["drop"].level == "machine"  # untouched
+
+    def test_describe_lists_every_fault_with_level(self):
+        text = describe_faults()
+        for name in fault_names():
+            assert name in text
+        assert "machine" in text and "adapter" in text
+
+    def test_envelopes_cover_every_schedule(self):
+        assert set(OVERHEAD_ENVELOPES) == set(MACHINE_SCHEDULES)
+
+    def test_message_schedules_exclude_crashes(self):
+        assert set(MESSAGE_SCHEDULES) <= set(MACHINE_SCHEDULES)
+        assert not any(s.startswith("crash") for s in MESSAGE_SCHEDULES)
+        assert "stall" in MESSAGE_SCHEDULES
+
+
+class TestChaosRepros:
+    def test_chaos_repro_round_trips_and_replays_clean(self, tmp_path,
+                                                       capsys):
+        session = fuzz_session(6, num_batches=3, batch_size=8)
+        path = write_repro(session, str(tmp_path / "chaos.json"),
+                           num_modules=8, fault_schedule="drop",
+                           fault_seed=2, note="chaos round-trip test")
+        data = load_repro(path)
+        assert data["fault_schedule"] == "drop"
+        assert data["fault_seed"] == 2
+
+        args = argparse.Namespace(modules=8)
+        assert verify_cli._replay_one(path, args) is False
+        out = capsys.readouterr().out
+        assert "'drop'" in out and "clean" in out

@@ -260,3 +260,37 @@ class TestDifferentialPipeline:
         # end state must agree exactly
         assert sl.to_dict() == ref.as_dict()
         sl.check_integrity()
+
+
+class TestReliableDelivery:
+    """The pipeline's reliable-delivery protocol: a faulted machine and
+    a clean one must produce identical batch results -- faults cost
+    rounds, never answers."""
+
+    def test_two_stage_op_is_exact_under_message_faults(self):
+        from repro.sim.chaos import build_schedule
+
+        def run(schedule=None):
+            machine = PIMMachine(num_modules=4, seed=3)
+            if schedule is not None:
+                machine.install_fault_plan(
+                    build_schedule(schedule, seed=5, num_modules=4))
+            result = run_batch(machine, _TwoStageOp(), [7, 1, 5, 3])
+            return result, machine.metrics.rounds
+
+        clean, clean_rounds = run()
+        for schedule in ("drop", "dup_delay", "corrupt", "mixed"):
+            chaotic, chaotic_rounds = run(schedule)
+            assert chaotic == clean, schedule
+            assert chaotic_rounds >= clean_rounds
+
+    def test_channel_diagnostics_name_inflight_state(self):
+        from repro.sim.chaos import FaultPlan, FaultSpec
+
+        machine = PIMMachine(num_modules=4, seed=3)
+        machine.install_fault_plan(FaultPlan(FaultSpec(), seed=0))
+        run_batch(machine, _TwoStageOp(), [2, 4, 6, 8])
+        rdp = machine._rdp
+        assert rdp.inflight == {}  # every envelope acked at stage end
+        assert "in-flight protocol retries" in rdp.describe()
+        assert rdp.next_seq > 0  # sequence numbers were consumed

@@ -1,0 +1,364 @@
+"""Tests for :mod:`repro.recovery`: checkpoint/restore round trips,
+in-place wipe repair, and crash-driven failover.
+
+The layer's contract is "a correct answer or a typed refusal, never a
+wrong answer": checkpoints restore to observably-identical structures,
+a wiped module's share reattaches with exact word re-accounting, and a
+:class:`RecoveryManager` survives a module crash at *any* round of a
+session -- or quiesces into typed :class:`DegradedResult` refusals.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.skiplist import PIMSkipList
+from repro.recovery import (
+    DegradedResult,
+    MUTATING_OPS,
+    RecoveryManager,
+    RepairError,
+    checkpoint_structure,
+    merged_lsm_items,
+    reattach_lsm_module,
+    reattach_module,
+    restore_structure,
+)
+from repro.sim.chaos import CrashEvent, FaultPlan, FaultSpec
+from repro.sim.machine import PIMMachine
+from repro.structures.fifo import PIMQueue
+from repro.structures.lsm import PIMLSMStore
+from repro.structures.priority_queue import PIMPriorityQueue
+
+ITEMS = [(k * 100, f"v{k}") for k in range(1, 41)]
+
+
+def _machine(seed: int = 11, p: int = 8) -> PIMMachine:
+    return PIMMachine(num_modules=p, seed=seed)
+
+
+class TestCheckpointRoundTrips:
+    def test_skiplist_round_trip_is_exact(self):
+        sl = PIMSkipList(_machine())
+        sl.build(ITEMS)
+        sl.batch_upsert([(150, "x"), (250, "y")])
+        sl.batch_delete([300, 400])
+        chk = checkpoint_structure(sl)
+        assert chk.kind == "skiplist"
+        assert chk.item_count() == sl.size
+
+        fresh = PIMSkipList(_machine(seed=99))
+        restored = restore_structure(chk, fresh)
+        assert restored == sl.size
+        assert fresh.to_dict() == sl.to_dict()
+        fresh.check_integrity()
+
+    def test_lsm_round_trip_merges_runs_delta_and_tombstones(self):
+        lsm = PIMLSMStore(_machine())
+        lsm.batch_upsert([(k, k * 2) for k in range(40)])
+        lsm.batch_delete([3, 17, 31])
+        lsm.batch_upsert([(17, "resurrected"), (100, "fresh")])
+        chk = checkpoint_structure(lsm)
+        expected = {k: k * 2 for k in range(40) if k not in (3, 17, 31)}
+        expected.update({17: "resurrected", 100: "fresh"})
+        assert dict(merged_lsm_items(chk)) == expected
+
+        fresh = PIMLSMStore(_machine(seed=98))
+        restore_structure(chk, fresh)
+        keys = sorted(expected) + [3, 31, 9999]
+        assert fresh.batch_get(keys) == \
+            [expected.get(k) for k in keys]
+
+    def test_fifo_round_trip_preserves_order_and_remainder(self):
+        q = PIMQueue(_machine())
+        q.enqueue_batch(list(range(30)))
+        assert q.dequeue_batch(12) == list(range(12))
+        chk = checkpoint_structure(q)
+        fresh = PIMQueue(_machine(seed=97))
+        restore_structure(chk, fresh)
+        assert len(fresh) == len(q)
+        assert fresh.dequeue_batch(18) == list(range(12, 30))
+
+    def test_priority_queue_round_trip_preserves_fifo_ties(self):
+        pq = PIMPriorityQueue(_machine())
+        pq.insert_batch([(5, "a"), (1, "b"), (5, "c"), (0, "d"), (1, "e")])
+        chk = checkpoint_structure(pq)
+        fresh = PIMPriorityQueue(_machine(seed=96))
+        restore_structure(chk, fresh)
+        assert fresh.extract_min_batch(5) == \
+            [(0, "d"), (1, "b"), (1, "e"), (5, "a"), (5, "c")]
+
+    def test_restore_refuses_kind_mismatch_and_nonempty_target(self):
+        sl = PIMSkipList(_machine())
+        sl.build(ITEMS[:8])
+        chk = checkpoint_structure(sl)
+        with pytest.raises(ValueError, match="kind"):
+            restore_structure(chk, PIMQueue(_machine()))
+        busy = PIMSkipList(_machine(seed=95))
+        busy.build(ITEMS[:4])
+        with pytest.raises(ValueError, match="empty"):
+            restore_structure(chk, busy)
+
+
+class TestReattachModule:
+    def test_wipe_then_reattach_restores_queries_words_and_invariants(self):
+        machine = _machine()
+        sl = PIMSkipList(machine)
+        sl.build(ITEMS)
+        sl.batch_upsert([(weird, f"w{weird}") for weird in (5, 7, 11)])
+        values = dict(checkpoint_structure(sl).payload)
+        words_before = [m.words_used for m in machine.modules]
+
+        mid = 3
+        machine.wipe_module(mid)
+        assert sl.struct.name not in machine.modules[mid].state
+
+        count = reattach_module(sl.struct, mid, values)
+        assert count == sum(1 for n in sl.struct.iter_level(0)
+                            if n.owner == mid)
+        assert mid not in machine.wiped_modules
+        sl.check_integrity()
+        assert [m.words_used for m in machine.modules] == words_before
+        keys = sorted(values) + [9999999]
+        assert sl.batch_get(keys) == \
+            [values.get(k) for k in keys]
+
+    def test_reattach_refuses_live_module(self):
+        machine = _machine()
+        sl = PIMSkipList(machine)
+        sl.build(ITEMS)
+        with pytest.raises(RepairError, match="still holds state"):
+            reattach_module(sl.struct, 0, dict(ITEMS))
+
+    def test_reattach_refuses_missing_values(self):
+        machine = _machine()
+        sl = PIMSkipList(machine)
+        sl.build(ITEMS)
+        machine.wipe_module(2)
+        with pytest.raises(RepairError, match="misses"):
+            reattach_module(sl.struct, 2, {})
+
+
+class TestReattachLSM:
+    def test_wipe_then_reattach_restores_blocks_and_delta(self):
+        machine = _machine()
+        lsm = PIMLSMStore(machine)
+        lsm.batch_upsert([(k, k) for k in range(48)])  # flushes runs
+        lsm.batch_upsert([(1000, "delta")])
+        chk = checkpoint_structure(lsm)
+        mid = 1
+        machine.wipe_module(mid)
+        reattach_lsm_module(lsm, mid, chk)
+        keys = list(range(48)) + [1000, 7777]
+        expected = {k: k for k in range(48)}
+        expected[1000] = "delta"
+        assert lsm.batch_get(keys) == [expected.get(k) for k in keys]
+
+    def test_stale_generation_refused(self):
+        machine = _machine()
+        lsm = PIMLSMStore(machine)
+        lsm.batch_upsert([(k, k) for k in range(48)])
+        chk = checkpoint_structure(lsm)
+        lsm.batch_upsert([(k, -k) for k in range(48, 96)])
+        lsm.compact()
+        machine.wipe_module(0)
+        with pytest.raises(RepairError, match="stale checkpoint"):
+            reattach_lsm_module(lsm, 0, chk)
+
+
+class TestRecoveryManager:
+    def _manager(self, *, allow_restore: bool = True,
+                 crash_round: int = 2) -> tuple:
+        machines = []
+
+        def standby() -> PIMSkipList:
+            m = _machine(seed=11)
+            machines.append(m)
+            return PIMSkipList(m)
+
+        sl = standby()
+        sl.build(ITEMS)
+        machines[0].install_fault_plan(FaultPlan(FaultSpec(
+            crashes=(CrashEvent(mid=2, at_round=crash_round),)), seed=0))
+        manager = RecoveryManager(sl, standby, checkpoint_every=2,
+                                  allow_restore=allow_restore)
+        return manager, machines
+
+    def test_failover_is_exact_and_recorded(self):
+        manager, machines = self._manager()
+        oracle = dict(ITEMS)
+        script = [
+            ("upsert", [(150, "x"), (4100, "y")]),
+            ("delete", [200, 300]),
+            ("get", [100, 150, 200, 4100]),
+            ("successor", [150, 250]),
+            ("upsert", [(50, "z")]),
+            ("get", [50, 150, 200]),
+        ]
+        for op, payload in script:
+            result = manager.run(op, payload)
+            assert not isinstance(result, DegradedResult)
+            if op == "upsert":
+                oracle.update(payload)
+            elif op == "delete":
+                for k in payload:
+                    oracle.pop(k, None)
+            elif op == "get":
+                assert result == [oracle.get(k) for k in payload]
+            elif op == "successor":
+                for k, got in zip(payload, result):
+                    want = min((ok for ok in oracle if ok >= k),
+                               default=None)
+                    assert got == (None if want is None
+                                   else (want, oracle[want]))
+        assert manager.recoveries == 1
+        assert len(machines) == 2  # original + one standby
+        event = manager.events[0]
+        assert "batch" in event.op or event.op in MUTATING_OPS | \
+            {"get", "successor", "upsert", "delete"}
+        assert event.checkpoint_items > 0
+
+    def test_lsm_failover_is_exact(self):
+        machines = []
+
+        def standby() -> PIMLSMStore:
+            m = _machine(seed=13)
+            machines.append(m)
+            return PIMLSMStore(m)
+
+        lsm = standby()
+        lsm.batch_upsert(ITEMS)
+        machines[0].install_fault_plan(FaultPlan(FaultSpec(
+            crashes=(CrashEvent(mid=2, at_round=2),)), seed=0))
+        manager = RecoveryManager(lsm, standby, checkpoint_every=2)
+        oracle = dict(ITEMS)
+        script = [
+            ("upsert", [(150, "x"), (4100, "y")]),
+            ("delete", [200, 300]),
+            ("get", [k for k, _ in ITEMS] + [150, 4100]),
+            ("upsert", [(50, "z")]),
+            ("get", [50, 100, 200, 300, 4100]),
+        ]
+        for op, payload in script:
+            result = manager.run(op, payload)
+            assert not isinstance(result, DegradedResult)
+            if op == "upsert":
+                oracle.update(payload)
+            elif op == "delete":
+                for k in payload:
+                    oracle.pop(k, None)
+            else:
+                assert result == [oracle.get(k) for k in payload]
+        assert manager.recoveries == 1
+
+    def test_degrades_typed_when_restore_disabled(self):
+        manager, _ = self._manager(allow_restore=False)
+        script = [
+            ("upsert", [(150, "x"), (4100, "y")]),
+            ("delete", [200, 300]),
+            ("get", [k for k, _ in ITEMS]),
+            ("upsert", [(50, "z")]),
+        ]
+        results = [manager.run(op, payload) for op, payload in script]
+        degraded = [r for r in results if isinstance(r, DegradedResult)]
+        assert degraded, "the crash must surface as a DegradedResult"
+        assert not degraded[0]  # falsy by contract
+        assert degraded[0].reason == "restore disabled"
+        assert not manager.healthy
+        # Once quiesced, every further batch refuses, typed.
+        later = manager.run("get", [100])
+        assert isinstance(later, DegradedResult)
+        assert later.reason == "structure quiesced"
+
+
+class TestCrashAtEveryRound:
+    def test_sweep_never_yields_a_wrong_answer(self):
+        """Golden mini-workload; permanent crash injected at every round
+        offset in turn.  Every run must either recover exactly or end
+        in typed refusals -- never a wrong answer."""
+        script = [
+            ("upsert", [(k * 10, k) for k in range(1, 17)]),
+            ("delete", [20, 40, 60]),
+            ("upsert", [(25, "a"), (45, "b")]),
+            ("get", [10, 20, 25, 45, 80, 999]),
+            ("successor", [0, 25, 150]),
+            ("range", [(0, 1000)]),
+        ]
+        oracle: dict = {}
+        expected = []
+        for op, payload in script:
+            if op == "upsert":
+                oracle.update(payload)
+                expected.append(None)
+            elif op == "delete":
+                for k in payload:
+                    oracle.pop(k, None)
+                expected.append(None)
+            elif op == "get":
+                expected.append([oracle.get(k) for k in payload])
+            elif op == "successor":
+                expected.append([
+                    (lambda w: None if w is None else (w, oracle[w]))(
+                        min((ok for ok in oracle if ok >= k), default=None))
+                    for k in payload])
+            else:  # range
+                expected.append([sorted(
+                    (k, v) for k, v in oracle.items()
+                    if payload[0][0] <= k <= payload[0][1])])
+
+        recovered = degraded = 0
+        for crash_round in range(0, 30, 2):
+            machines = []
+
+            def standby() -> PIMSkipList:
+                m = _machine(seed=5, p=4)
+                machines.append(m)
+                return PIMSkipList(m)
+
+            sl = standby()
+            machines[0].install_fault_plan(FaultPlan(FaultSpec(
+                crashes=(CrashEvent(mid=1, at_round=crash_round),)),
+                seed=0))
+            manager = RecoveryManager(sl, standby, checkpoint_every=2,
+                                      max_recoveries=2)
+            dead = False
+            for (op, payload), want in zip(script, expected):
+                result = manager.run(op, payload)
+                if isinstance(result, DegradedResult):
+                    dead = True
+                    break
+                if want is not None:
+                    assert result == want, \
+                        f"crash@{crash_round}: {op} answered wrongly"
+            if dead:
+                degraded += 1
+            elif manager.recoveries:
+                recovered += 1
+        assert recovered > 0, "no sweep offset exercised failover"
+
+
+class TestRecoveryManagerValidation:
+    def test_checkpoint_every_must_be_positive(self):
+        sl = PIMSkipList(_machine())
+        sl.build(ITEMS[:8])
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            RecoveryManager(sl, lambda: sl, checkpoint_every=0)
+
+    def test_delivery_timeout_also_triggers_recovery(self):
+        machines = []
+
+        def standby() -> PIMSkipList:
+            m = _machine(seed=11)
+            machines.append(m)
+            return PIMSkipList(m)
+
+        sl = standby()
+        sl.build(ITEMS)
+        machines[0].install_fault_plan(FaultPlan(FaultSpec(), seed=0))
+        machines[0].wipe_module(2)  # wiped + unrepaired -> DeliveryTimeout
+        manager = RecoveryManager(sl, standby)
+        keys = [k for k, _ in ITEMS]
+        result = manager.run("get", keys)
+        assert result == [v for _, v in ITEMS]
+        assert manager.recoveries == 1
+        assert "DeliveryTimeout" in manager.events[0].cause

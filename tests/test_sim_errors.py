@@ -12,10 +12,12 @@ from __future__ import annotations
 import pytest
 
 from repro.sim.errors import (
+    DeliveryTimeout,
     InvalidBatchError,
     LivelockError,
     LocalMemoryExceeded,
     MalformedMessageError,
+    ModuleCrashed,
     SharedMemoryExceeded,
     SimulationError,
     UnknownHandlerError,
@@ -38,9 +40,25 @@ class TestHierarchy:
     def test_all_simulator_errors_share_a_base(self):
         for exc in (SharedMemoryExceeded, LocalMemoryExceeded,
                     UnknownHandlerError, MalformedMessageError,
-                    LivelockError, InvalidBatchError):
+                    LivelockError, InvalidBatchError,
+                    ModuleCrashed, DeliveryTimeout):
             assert issubclass(exc, SimulationError)
         assert issubclass(SimulationError, RuntimeError)
+
+    def test_chaos_errors_carry_typed_fields(self):
+        crashed = ModuleCrashed("module 3 is fail-stopped", mid=3)
+        assert crashed.mid == 3
+        assert "fail-stopped" in str(crashed)
+        timeout = DeliveryTimeout("gave up", op="batch_get",
+                                  attempts=8, undelivered=2)
+        assert (timeout.op, timeout.attempts, timeout.undelivered) == \
+            ("batch_get", 8, 2)
+        # One except clause catches both: the recovery layer's contract.
+        for exc in (crashed, timeout):
+            try:
+                raise exc
+            except (ModuleCrashed, DeliveryTimeout) as caught:
+                assert caught is exc
 
 
 class TestUnknownHandlerAtIssue:

@@ -18,7 +18,7 @@ import os
 
 import pytest
 
-from repro.verify import session_from_dict, verify_session
+from repro.verify import chaos_session, session_from_dict, verify_session
 from repro.verify.shrink import load_repro
 
 REPRO_DIR = os.path.join(os.path.dirname(__file__), "golden", "repros")
@@ -34,11 +34,21 @@ def test_repro_corpus_exists():
 def test_repro_replays_clean(path):
     data = load_repro(path)
     session = session_from_dict(data)
-    report = verify_session(
-        session,
-        impls=data.get("impls"),
-        num_modules=data.get("num_modules", 8),
-    )
+    if data.get("fault_schedule") is not None:
+        # Chaos repro: replay under the recorded machine fault schedule
+        # (the repro pins a once-broken (session seed, fault seed) pair).
+        report = chaos_session(
+            session.seed, data["fault_schedule"],
+            int(data.get("fault_seed", 0)),
+            num_modules=data.get("num_modules", 8),
+            session=session,
+        )
+    else:
+        report = verify_session(
+            session,
+            impls=data.get("impls"),
+            num_modules=data.get("num_modules", 8),
+        )
     assert report.ok, (
         f"{os.path.basename(path)} diverges again:\n  "
         + "\n  ".join(str(d) for d in report.divergences))
