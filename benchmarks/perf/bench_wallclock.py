@@ -2,8 +2,9 @@
 
 Unlike the model benchmarks under ``benchmarks/``, which measure the
 *simulated* machine (rounds, h-relations, PIM time), this harness measures
-the *simulator*: wall-clock seconds, tasks/sec and rounds/sec on three
-scenarios chosen to stress different engine paths:
+the *simulator*: wall-clock seconds, tasks/sec and rounds/sec on five
+scenarios chosen to stress different engine paths, each run on BOTH round
+engines (``backend="object"`` and ``backend="columnar"``):
 
 - ``macro_successor`` -- the acceptance macro scenario: a P=128 skip list
   serving batched-successor sessions (dominated by search-step forwards
@@ -11,25 +12,36 @@ scenarios chosen to stress different engine paths:
 - ``engine_echo`` -- many tiny rounds of CPU-issued sends with small
   fanout (stresses send/step fixed overhead at low occupancy);
 - ``forward_chain`` -- long module-to-module continuation chains
-  (stresses the forward path and drain loop).
+  (stresses the forward path and drain loop; fully vectorized on the
+  columnar backend);
+- ``fanout_broadcast`` -- one CPU broadcast per round to every module
+  (the high-fanout dispatch-stress case: the columnar engine retires the
+  whole round as one array accumulate);
+- ``mixed_dispatch`` -- many distinct function ids per round, issued in
+  per-fn runs (stresses grouped dispatch: one batch call per function id
+  versus one context dispatch per task).
+
+Handlers that matter for throughput register *batch* variants via
+``machine.register_batch`` -- one call per round over contiguous chunks,
+inert on the object backend (the scalar handler remains the reference
+semantics; ``repro.verify.differ`` certifies the streams bit-identical).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/bench_wallclock.py [--quick]
-        [--repeat N] [--profile] [--out PATH]
+        [--repeat N] [--profile] [--out PATH] [--backend object|columnar]
 
 Writes ``benchmarks/perf/BENCH_simwall.json``::
 
     {
       "config": {"quick": false, "repeat": 3},
-      "scenarios": {
-        "<name>": {
-          "seconds": <best-of-repeat wall seconds>,
-          "tasks": ..., "rounds": ...,
-          "tasks_per_sec": ..., "rounds_per_sec": ...,
-          "params": {...}
-        }
+      "backends": {
+        "object":   {"scenarios": {"<name>": {"seconds": ..., "tasks": ...,
+                                              "rounds": ..., "tasks_per_sec": ...,
+                                              "rounds_per_sec": ..., "params": {...}}}},
+        "columnar": {"scenarios": {...}}
       },
+      "speedup": {"<name>": <columnar tasks/sec over object tasks/sec>},
       "handler_profile": {"<fn>": {"seconds": ..., "calls": ...}}  # --profile
     }
 
@@ -46,26 +58,38 @@ import json
 import os
 import random
 import sys
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Sequence
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
 
 from repro.core.skiplist import PIMSkipList
+from repro.sim.fastpath import BCAST, COLS
 from repro.sim.machine import PIMMachine
 from repro.sim.profiling import HandlerProfile, ThroughputProbe
+from repro.sim.task import Reply
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy is optional everywhere
+    np = None
 
 OUT_PATH = os.path.join(os.path.dirname(__file__), "BENCH_simwall.json")
 
+#: Both round engines, measured in this order (object first: it is the
+#: reference the speedup ratios divide by).
+BACKENDS = ("object", "columnar")
+
 
 def macro_successor(probe_machine, *, P=128, n=4096, batches=4, seed=7,
-                    fault_plan=None):
+                    backend=None, fault_plan=None):
     """The ISSUE acceptance scenario: P=128 batched-successor session.
 
     ``fault_plan`` optionally installs a chaos plan after the build (the
     regression gate uses a zero-rate plan to price the reliable-delivery
     protocol's envelope overhead against the fault-free fast path).
     """
-    machine = PIMMachine(num_modules=P, seed=seed, trace_rounds=False)
+    machine = PIMMachine(num_modules=P, seed=seed, trace_rounds=False,
+                         backend=backend)
     sl = PIMSkipList(machine, name="bench")
     rng = random.Random(seed)
     keys = sorted(rng.sample(range(10 * n), n))
@@ -80,14 +104,30 @@ def macro_successor(probe_machine, *, P=128, n=4096, batches=4, seed=7,
     return probe
 
 
-def engine_echo(probe_machine, *, P=64, rounds=400, fanout=16, seed=3):
-    machine = PIMMachine(num_modules=P, seed=seed, trace_rounds=False)
+def engine_echo(probe_machine, *, P=64, rounds=400, fanout=16, seed=3,
+                backend=None):
+    machine = PIMMachine(num_modules=P, seed=seed, trace_rounds=False,
+                         backend=backend)
 
     def echo(ctx, x, tag=None):
         ctx.charge(1)
         ctx.reply(x, tag=tag)
 
+    def batch_echo(bct, chunks):
+        # Mirrors `echo` exactly: one unit of work and one reply per task.
+        replies = bct.replies
+        work = bct.work
+        sent = bct.sent
+        for ch in chunks:
+            rows = ch.rows if ch.rows is not None \
+                else list(bct.machine._iter_chunk(ch))
+            for mid, args, tag, _size in rows:
+                replies.append(Reply(args[0], tag, mid))
+                work[mid] += 1
+                sent[mid] += 1
+
     machine.register("echo", echo)
+    machine.register_batch("echo", batch_echo)
     rng = random.Random(seed)
     plan = [[(rng.randrange(P), i) for i in range(fanout)]
             for _ in range(rounds)]
@@ -99,8 +139,10 @@ def engine_echo(probe_machine, *, P=64, rounds=400, fanout=16, seed=3):
     return probe
 
 
-def forward_chain(probe_machine, *, P=64, chains=256, hops=48, seed=5):
-    machine = PIMMachine(num_modules=P, seed=seed, trace_rounds=False)
+def forward_chain(probe_machine, *, P=64, chains=256, hops=48, seed=5,
+                  backend=None):
+    machine = PIMMachine(num_modules=P, seed=seed, trace_rounds=False,
+                         backend=backend)
 
     def hop(ctx, remaining, opid, tag=None):
         ctx.charge(1)
@@ -111,10 +153,152 @@ def forward_chain(probe_machine, *, P=64, chains=256, hops=48, seed=5):
                         "hop", (remaining - 1, opid))
 
     machine.register("hop", hop)
+    if np is not None:
+        def batch_hop(bct, chunks):
+            # Vectorized chain step: every task charges 1 and sends 1
+            # (a reply when its hop budget is spent, a forward
+            # otherwise), so both flat accumulators are one bincount.
+            if len(chunks) == 1 and chunks[0].kind == COLS:
+                ch = chunks[0]  # steady state: one column chunk per round
+                mids, rem, opid = ch.dests, ch.cols[0], ch.cols[1]
+            else:
+                parts = []
+                for ch in chunks:
+                    if ch.kind == COLS:
+                        parts.append((ch.dests, ch.cols[0], ch.cols[1]))
+                    else:
+                        rows = ch.rows
+                        k = len(rows)
+                        parts.append((
+                            np.fromiter((r[0] for r in rows), np.int64, k),
+                            np.fromiter((r[1][0] for r in rows), np.int64, k),
+                            np.fromiter((r[1][1] for r in rows), np.int64, k),
+                        ))
+                if len(parts) == 1:
+                    mids, rem, opid = parts[0]
+                else:
+                    mids = np.concatenate([t[0] for t in parts])
+                    rem = np.concatenate([t[1] for t in parts])
+                    opid = np.concatenate([t[2] for t in parts])
+            counts = np.bincount(mids, minlength=P)
+            bct.add_work_array(counts)
+            bct.add_sent_array(counts)
+            done = rem == 0
+            if done.any():
+                replies = bct.replies
+                for mid, op in zip(mids[done].tolist(),
+                                   opid[done].tolist()):
+                    replies.append(Reply(op, None, mid))
+                live = ~done
+                mids, rem, opid = mids[live], rem[live], opid[live]
+            if mids.size:
+                # The consumed chunk's arrays are ours now (the engine
+                # has retired the chunk), so advance the chain in place.
+                mids *= 31
+                mids += opid
+                mids += 1
+                mids %= P
+                rem -= 1
+                bct.stage_cols("hop", mids, (rem, opid))
+
+        machine.register_batch("hop", batch_hop)
     with probe_machine(machine) as probe:
         for c in range(chains):
             machine.send(c % P, "hop", (hops, c))
         machine.drain()
+    return probe
+
+
+def fanout_broadcast(probe_machine, *, P=256, rounds=400, seed=9,
+                     backend=None):
+    """High-fanout dispatch stress: one CPU broadcast per round.
+
+    Every module charges one unit per broadcast; the columnar backend
+    retires the whole P-task round as a single array accumulate instead
+    of P context dispatches.
+    """
+    machine = PIMMachine(num_modules=P, seed=seed, trace_rounds=False,
+                         backend=backend)
+
+    def accum(ctx, i, tag=None):
+        ctx.charge(1)
+
+    machine.register("accum", accum)
+    if np is not None:
+        ones = np.ones(P, dtype=np.float64)
+
+        def batch_accum(bct, chunks):
+            k = 0
+            for ch in chunks:
+                if ch.kind == BCAST:
+                    k += 1
+                else:
+                    for mid, _args, _tag, _size in ch.rows:
+                        bct.work[mid] += 1
+            if k == 1:
+                bct.add_work_array(ones)
+            elif k:
+                bct.add_work_array(ones * k)
+
+        machine.register_batch("accum", batch_accum)
+    with probe_machine(machine) as probe:
+        for i in range(rounds):
+            machine.broadcast("accum", (i,))
+            machine.step()
+    return probe
+
+
+def mixed_dispatch(probe_machine, *, P=64, fns=24, per_fn=12, rounds=120,
+                   seed=11, backend=None):
+    """Many-distinct-function-id dispatch stress.
+
+    Each round issues ``fns`` runs of ``per_fn`` messages (one run per
+    function id, so the columnar queues tail-merge each run into one
+    contiguous chunk); grouped dispatch then makes ``fns`` batch calls
+    per round where the object engine makes ``fns * per_fn`` context
+    dispatches.
+    """
+    machine = PIMMachine(num_modules=P, seed=seed, trace_rounds=False,
+                         backend=backend)
+
+    def make_scalar(j):
+        def h(ctx, x, tag=None):
+            ctx.charge(1)
+            ctx.reply(x + j, tag=tag)
+        return h
+
+    def make_batch(j):
+        def bh(bct, chunks):
+            replies = bct.replies
+            work = bct.work
+            sent = bct.sent
+            for ch in chunks:
+                rows = ch.rows if ch.rows is not None \
+                    else list(bct.machine._iter_chunk(ch))
+                for mid, args, tag, _size in rows:
+                    replies.append(Reply(args[0] + j, tag, mid))
+                    work[mid] += 1
+                    sent[mid] += 1
+        return bh
+
+    names = []
+    for j in range(fns):
+        name = f"mix{j}"
+        names.append(name)
+        machine.register(name, make_scalar(j))
+        machine.register_batch(name, make_batch(j))
+    rng = random.Random(seed)
+    plan = []
+    for _ in range(rounds):
+        msgs = []
+        for name in names:
+            msgs.extend((rng.randrange(P), name, (rng.randrange(1000),), None)
+                        for _ in range(per_fn))
+        plan.append(msgs)
+    with probe_machine(machine) as probe:
+        for msgs in plan:
+            machine.send_all(msgs)
+            machine.step()
     return probe
 
 
@@ -128,11 +312,20 @@ SCENARIOS = {
     "forward_chain": (forward_chain,
                       {"P": 64, "chains": 256, "hops": 48, "seed": 5},
                       {"P": 64, "chains": 32, "hops": 16, "seed": 5}),
+    "fanout_broadcast": (fanout_broadcast,
+                         {"P": 256, "rounds": 400, "seed": 9},
+                         {"P": 64, "rounds": 40, "seed": 9}),
+    "mixed_dispatch": (mixed_dispatch,
+                       {"P": 64, "fns": 24, "per_fn": 12, "rounds": 120,
+                        "seed": 11},
+                       {"P": 32, "fns": 8, "per_fn": 6, "rounds": 12,
+                        "seed": 11}),
 }
 
 
 def run(quick: bool = False, repeat: int = 3, profile: bool = False,
-        out_path: Optional[str] = OUT_PATH) -> Dict[str, Any]:
+        out_path: Optional[str] = OUT_PATH,
+        backends: Sequence[str] = BACKENDS) -> Dict[str, Any]:
     if repeat < 1:
         raise ValueError(f"repeat must be >= 1, got {repeat}")
     handler_profile = HandlerProfile() if profile else None
@@ -142,24 +335,35 @@ def run(quick: bool = False, repeat: int = 3, profile: bool = False,
             machine.set_profiler(handler_profile)
         return ThroughputProbe(machine)
 
-    results: Dict[str, Any] = {}
+    results: Dict[str, Dict[str, Any]] = {b: {} for b in backends}
     for name, (fn, full, small) in SCENARIOS.items():
         params = small if quick else full
-        best = None
-        for _ in range(repeat):
-            probe = fn(probe_machine, **params)
-            if best is None or probe.seconds < best["seconds"]:
-                best = probe.as_dict()
-        best["params"] = dict(params)
-        results[name] = best
-        print(f"{name:<18} {best['seconds']:8.3f}s  "
-              f"{best['tasks_per_sec']:>12.0f} tasks/s  "
-              f"{best['rounds_per_sec']:>10.0f} rounds/s")
+        for backend in backends:
+            best = None
+            for _ in range(repeat):
+                probe = fn(probe_machine, backend=backend, **params)
+                if best is None or probe.seconds < best["seconds"]:
+                    best = probe.as_dict()
+            best["params"] = dict(params)
+            results[backend][name] = best
+            print(f"{backend:<9} {name:<18} {best['seconds']:8.3f}s  "
+                  f"{best['tasks_per_sec']:>12.0f} tasks/s  "
+                  f"{best['rounds_per_sec']:>10.0f} rounds/s")
 
     doc: Dict[str, Any] = {
         "config": {"quick": quick, "repeat": repeat},
-        "scenarios": results,
+        "backends": {b: {"scenarios": results[b]} for b in backends},
     }
+    if "object" in results and "columnar" in results:
+        speedup = {}
+        for name in SCENARIOS:
+            obj = results["object"][name]["tasks_per_sec"]
+            col = results["columnar"][name]["tasks_per_sec"]
+            speedup[name] = col / obj if obj > 0 else 0.0
+        doc["speedup"] = speedup
+        print("\ncolumnar speedup (tasks/sec over object):")
+        for name, x in speedup.items():
+            print(f"  {name:<18} {x:6.2f}x")
     if handler_profile is not None:
         doc["handler_profile"] = handler_profile.as_dict()
         print("\nhottest handlers:\n" + handler_profile.top())
@@ -177,14 +381,19 @@ def main() -> None:
     ap.add_argument("--repeat", type=int, default=3,
                     help="repeats per scenario; best is reported (default 3)")
     ap.add_argument("--profile", action="store_true",
-                    help="per-handler wall-time attribution (slows the run)")
+                    help="per-handler wall-time attribution (slows the run; "
+                         "forces the columnar backend into its profiler "
+                         "fallback, so use it for object-path attribution)")
+    ap.add_argument("--backend", choices=list(BACKENDS), default=None,
+                    help="measure only one backend (default: both)")
     ap.add_argument("--out", default=OUT_PATH,
                     help="output JSON path (default BENCH_simwall.json)")
     args = ap.parse_args()
     if args.repeat < 1:
         ap.error(f"--repeat must be >= 1, got {args.repeat}")
+    backends = BACKENDS if args.backend is None else (args.backend,)
     run(quick=args.quick, repeat=args.repeat, profile=args.profile,
-        out_path=args.out)
+        out_path=args.out, backends=backends)
 
 
 if __name__ == "__main__":

@@ -1,31 +1,42 @@
-"""Wall-clock regression gate for the simulator's macro scenario.
+"""Wall-clock regression gate for the simulator's round engines.
 
 Re-runs the ``macro_successor`` scenario (the P=128 batched-successor
-session from ``bench_wallclock.py``) with the *committed* baseline's own
-parameters and fails when the measured best-of-N wall time regresses by
-more than the threshold over the baseline's recorded seconds.
+session from ``bench_wallclock.py``) on BOTH backends with the
+*committed* baseline's own parameters and fails when either backend's
+measured best-of-N wall time regresses by more than the threshold over
+that backend's recorded seconds.
+
+On top of the per-backend wall-time gates, the script asserts the
+columnar engine's *speedup floors*: the measured columnar-over-object
+tasks/sec ratio must stay above a conservative floor for each gated
+scenario.  The floors are deliberately below the recorded speedups
+(macro 1.23x, forward_chain ~9x, fanout_broadcast ~17x at baseline
+time) so runner noise doesn't flake the gate, but a change that quietly
+collapses the columnar fast path back to object-engine speed fails.
 
 Run this *before* anything overwrites ``BENCH_simwall.json`` in the
 working tree (the CI smoke run writes its quick-mode output to a
 separate path for exactly that reason).
 
-The committed baseline predates the chaos layer, so the gate doubles as
-the chaos-neutrality check: with no fault plan installed the round
-engine takes the fault-free fast path, and a >10% slowdown against the
-baseline means the chaos hooks leak cost into that path.  The gate also
-prints (informationally, not gated -- the protocol's ack traffic is a
-real, honestly-charged cost, not a regression) how much slower the same
-scenario runs with a zero-rate fault plan installed, i.e. the price of
-the reliable-delivery protocol itself.
+The committed baseline is measured with the chaos layer present but no
+fault plan installed, so the object gate doubles as the chaos-neutrality
+check: a >10% slowdown against it means the chaos hooks leak cost into
+the fault-free path.  The gate also prints (informationally, not gated
+-- the protocol's ack traffic is a real, honestly-charged cost, not a
+regression) how much slower the same scenario runs with a zero-rate
+fault plan installed, i.e. the price of the reliable-delivery protocol
+itself.  That run uses the object backend explicitly: a fault plan
+triggers the columnar engine's documented fallback, so the price is an
+object-engine property.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/check_regression.py
         [--baseline PATH] [--threshold 0.10] [--repeat 3] [--no-chaos]
 
-Exit status 0 when within threshold, 1 on regression.  Faster-than-
-baseline runs always pass (the gate is one-sided: it exists to catch
-engine slowdowns, not to pin CI-runner luck).
+Exit status 0 when every gate passes, 1 otherwise.  Faster-than-
+baseline runs always pass the wall-time gates (they are one-sided: they
+exist to catch engine slowdowns, not to pin CI-runner luck).
 """
 
 from __future__ import annotations
@@ -37,19 +48,32 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
 
-from bench_wallclock import macro_successor  # noqa: E402
+from bench_wallclock import BACKENDS, SCENARIOS  # noqa: E402
 from repro.sim.profiling import ThroughputProbe  # noqa: E402
 
 BASELINE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_simwall.json")
-SCENARIO = "macro_successor"
+GATE_SCENARIO = "macro_successor"
+
+# Columnar-over-object tasks/sec floors, per scenario.  Conservative by
+# construction: roughly half the speedup recorded in the committed
+# baseline, so they gate the existence of the fast path, not the exact
+# magnitude of a given runner's luck.
+SPEEDUP_FLOORS = {
+    "macro_successor": 1.05,
+    "forward_chain": 4.0,
+    "fanout_broadcast": 8.0,
+}
 
 
-def measure(params: dict, repeat: int, **extra) -> float:
+def measure(name: str, params: dict, repeat: int, backend: str,
+            **extra) -> dict:
+    """Best-of-``repeat`` probe dict for one scenario on one backend."""
+    fn = SCENARIOS[name][0]
     best = None
     for _ in range(repeat):
-        probe = macro_successor(ThroughputProbe, **params, **extra)
-        if best is None or probe.seconds < best:
-            best = probe.seconds
+        probe = fn(ThroughputProbe, backend=backend, **params, **extra)
+        if best is None or probe.seconds < best["seconds"]:
+            best = probe.as_dict()
     return best
 
 
@@ -61,11 +85,12 @@ def report_protocol_price(params: dict, repeat: int,
     fault ever fires."""
     from repro.sim.chaos import FaultPlan, FaultSpec
 
-    armed_s = measure(params, repeat,
-                      fault_plan=FaultPlan(FaultSpec(), seed=0))
-    print(f"chaos protocol price (informational): fault-free "
-          f"{fault_free_s:.3f}s vs zero-rate plan {armed_s:.3f}s "
-          f"({armed_s / fault_free_s:.2f}x)")
+    armed = measure(GATE_SCENARIO, params, repeat, backend="object",
+                    fault_plan=FaultPlan(FaultSpec(), seed=0))
+    print(f"chaos protocol price (informational, object backend): "
+          f"fault-free {fault_free_s:.3f}s vs zero-rate plan "
+          f"{armed['seconds']:.3f}s "
+          f"({armed['seconds'] / fault_free_s:.2f}x)")
 
 
 def main() -> int:
@@ -90,25 +115,60 @@ def main() -> int:
         print(f"error: {args.baseline} is a --quick run; the gate needs a "
               "full-parameter baseline", file=sys.stderr)
         return 1
-    base = doc["scenarios"][SCENARIO]
-    params = base["params"]
-    baseline_s = base["seconds"]
-
-    measured_s = measure(params, args.repeat)
-    limit_s = baseline_s * (1.0 + args.threshold)
-    ratio = measured_s / baseline_s
-    print(f"{SCENARIO}: baseline {baseline_s:.3f}s, measured {measured_s:.3f}s "
-          f"({ratio:.2f}x), limit {limit_s:.3f}s "
-          f"(+{args.threshold:.0%}) params={params}")
-    # The baseline predates the chaos layer: staying inside the limit
-    # certifies the chaos hooks cost nothing on the fault-free path.
-    if not args.no_chaos:
-        report_protocol_price(params, args.repeat, measured_s)
-    if measured_s > limit_s:
-        print(f"REGRESSION: {SCENARIO} is {ratio:.2f}x the baseline "
-              f"(allowed {1.0 + args.threshold:.2f}x)", file=sys.stderr)
+    if "backends" not in doc:
+        print(f"error: {args.baseline} predates the dual-backend schema; "
+              "regenerate it with bench_wallclock.py", file=sys.stderr)
         return 1
-    print("ok: within threshold")
+
+    failures = []
+
+    # -- per-backend wall-time gates on the macro scenario ---------------
+    measured: dict = {}
+    for backend in BACKENDS:
+        base = doc["backends"][backend]["scenarios"][GATE_SCENARIO]
+        params = base["params"]
+        baseline_s = base["seconds"]
+        got = measure(GATE_SCENARIO, params, args.repeat, backend)
+        measured[backend] = got
+        limit_s = baseline_s * (1.0 + args.threshold)
+        ratio = got["seconds"] / baseline_s
+        print(f"{GATE_SCENARIO} [{backend}]: baseline {baseline_s:.3f}s, "
+              f"measured {got['seconds']:.3f}s ({ratio:.2f}x), "
+              f"limit {limit_s:.3f}s (+{args.threshold:.0%}) params={params}")
+        if got["seconds"] > limit_s:
+            failures.append(
+                f"{GATE_SCENARIO} [{backend}] is {ratio:.2f}x the baseline "
+                f"(allowed {1.0 + args.threshold:.2f}x)")
+
+    # -- columnar speedup floors -----------------------------------------
+    for name, floor in SPEEDUP_FLOORS.items():
+        if name == GATE_SCENARIO:
+            per_backend = measured
+        else:
+            params = doc["backends"]["object"]["scenarios"][name]["params"]
+            per_backend = {b: measure(name, params, args.repeat, b)
+                           for b in BACKENDS}
+        obj_tps = per_backend["object"]["tasks_per_sec"]
+        col_tps = per_backend["columnar"]["tasks_per_sec"]
+        speedup = col_tps / obj_tps if obj_tps > 0 else 0.0
+        status = "ok" if speedup >= floor else "FAIL"
+        print(f"speedup floor {name:<18} columnar {speedup:5.2f}x "
+              f"(floor {floor:.2f}x) {status}")
+        if speedup < floor:
+            failures.append(
+                f"{name} columnar speedup {speedup:.2f}x below the "
+                f"{floor:.2f}x floor")
+
+    if not args.no_chaos:
+        report_protocol_price(
+            doc["backends"]["object"]["scenarios"][GATE_SCENARIO]["params"],
+            args.repeat, measured["object"]["seconds"])
+
+    if failures:
+        for msg in failures:
+            print(f"REGRESSION: {msg}", file=sys.stderr)
+        return 1
+    print("ok: all gates within threshold")
     return 0
 
 

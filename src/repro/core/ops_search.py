@@ -92,6 +92,129 @@ def make_handlers(sl: SkipListStructure) -> Dict[str, Any]:
         else:
             ctx.forward(x.owner, fn_step, (x, key, opid, record))
 
+    # -- batch variants (columnar backend) --------------------------------
+    #
+    # One call per round over all of the round's search tasks, mirroring
+    # the scalar handlers' charges/replies/forwards exactly.  The walk is
+    # read-only over the shared structure, order-insensitive and draws no
+    # RNG, so it satisfies the columnar execution contract (certified
+    # bit-identical by repro.verify.differ).  Inert on the object engine.
+
+    def _walk_batch(bct, mid, x, key, opid, record, hops):
+        """Walk one task from ``x``; returns a forward row or None.
+
+        ``hops`` pre-counts nodes already attributed (0 for a step task).
+        Work/sent/reply accounting mirrors ``lower_walk`` exactly.
+        """
+        replies = bct.replies
+        work = bct.work
+        sent = bct.sent
+        while True:
+            hops += 1
+            if record:
+                replies.append(Reply(("path", opid, x, x.level, x.right),
+                                     None, mid))
+                sent[mid] += 1
+            r = x.right
+            if r is not None and r.key <= key:
+                nxt = r
+            elif x.level > 0:
+                nxt = x.down
+            else:
+                work[mid] += hops
+                replies.append(Reply(("done", opid, x, r), None, mid))
+                sent[mid] += 1
+                return None
+            owner = nxt.owner
+            if owner == UPPER or owner == mid:
+                x = nxt
+            else:
+                work[mid] += hops
+                sent[mid] += 1
+                return (owner, (nxt, key, opid, record), None, 1)
+
+    def batch_search_step(bct, chunks):
+        replies = bct.replies
+        work = bct.work
+        sent = bct.sent
+        out: list = []
+        out_append = out.append
+        rep_append = replies.append
+        for ch in chunks:
+            rows = ch.rows if ch.rows is not None \
+                else list(bct.machine._iter_chunk(ch))
+            for mid, args, _tag, _size in rows:
+                x, key, opid, record = args
+                if record:
+                    fwd = _walk_batch(bct, mid, x, key, opid, record, 0)
+                    if fwd is not None:
+                        out_append(fwd)
+                    continue
+                # Hot path: the recording-free walk, inlined per task.
+                hops = 0
+                while True:
+                    hops += 1
+                    r = x.right
+                    if r is not None and r.key <= key:
+                        nxt = r
+                    elif x.level > 0:
+                        nxt = x.down
+                    else:
+                        work[mid] += hops
+                        rep_append(Reply(("done", opid, x, r), None, mid))
+                        sent[mid] += 1
+                        break
+                    owner = nxt.owner
+                    if owner == UPPER or owner == mid:
+                        x = nxt
+                    else:
+                        work[mid] += hops
+                        out_append((owner, (nxt, key, opid, record), None, 1))
+                        sent[mid] += 1
+                        break
+        if out:
+            bct.stage_rows(fn_step, out)
+
+    class _ChargeCell:
+        """Counts ``upper_descend`` charges without a per-node closure."""
+
+        __slots__ = ("v",)
+
+        def __init__(self) -> None:
+            self.v = 0.0
+
+        def add(self, w: float = 1.0) -> None:
+            self.v += w
+
+    def batch_search_entry(bct, chunks):
+        work = bct.work
+        sent = bct.sent
+        cell = _ChargeCell()
+        add = cell.add
+        out: list = []
+        for ch in chunks:
+            rows = ch.rows if ch.rows is not None \
+                else list(bct.machine._iter_chunk(ch))
+            for mid, args, _tag, _size in rows:
+                key, opid, record = args
+                cell.v = 0.0
+                u = sl.upper_descend(key, add)
+                work[mid] += cell.v
+                x = u.down
+                if x.owner == UPPER or x.owner == mid:
+                    fwd = _walk_batch(bct, mid, x, key, opid, record, 0)
+                    if fwd is not None:
+                        out.append(fwd)
+                else:
+                    sent[mid] += 1
+                    out.append((x.owner, (x, key, opid, record), None, 1))
+        if out:
+            bct.stage_rows(fn_step, out)
+
+    machine = sl.machine
+    machine.register_batch(fn_step, batch_search_step)
+    machine.register_batch(sl.fn_search_entry, batch_search_entry)
+
     return {
         sl.fn_search_entry: h_search_entry,
         fn_step: lower_walk,

@@ -23,20 +23,27 @@ class WallTimer:
     >>> with WallTimer() as t:
     ...     work()
     >>> t.elapsed  # seconds, float
+
+    Constructed with ``enabled=False`` the timer is a true no-op: enter
+    and exit read no clocks and ``elapsed`` stays 0.0, so instrumented
+    call sites can be left in place on hot paths.
     """
 
-    __slots__ = ("start", "elapsed")
+    __slots__ = ("start", "elapsed", "enabled")
 
-    def __init__(self) -> None:
+    def __init__(self, enabled: bool = True) -> None:
         self.start = 0.0
         self.elapsed = 0.0
+        self.enabled = enabled
 
     def __enter__(self) -> "WallTimer":
-        self.start = perf_counter()
+        if self.enabled:
+            self.start = perf_counter()
         return self
 
     def __exit__(self, *exc: Any) -> None:
-        self.elapsed = perf_counter() - self.start
+        if self.enabled:
+            self.elapsed = perf_counter() - self.start
 
 
 class ThroughputProbe:
@@ -45,28 +52,33 @@ class ThroughputProbe:
     Snapshots the machine's task and round counters on entry and computes
     rates on exit.  ``tasks_executed`` is read with a ``getattr`` fallback
     so the probe degrades gracefully on engines that don't expose it
-    (rates then report 0 tasks).
+    (rates then report 0 tasks).  With ``enabled=False`` enter/exit read
+    no clocks and no counters (all rates stay 0) -- a true no-op.
     """
 
     __slots__ = ("machine", "_timer", "_tasks0", "_rounds0",
-                 "tasks", "rounds", "seconds")
+                 "tasks", "rounds", "seconds", "enabled")
 
-    def __init__(self, machine: Any) -> None:
+    def __init__(self, machine: Any, enabled: bool = True) -> None:
         self.machine = machine
-        self._timer = WallTimer()
+        self._timer = WallTimer(enabled)
         self._tasks0 = 0
         self._rounds0 = 0
         self.tasks = 0
         self.rounds = 0
         self.seconds = 0.0
+        self.enabled = enabled
 
     def __enter__(self) -> "ThroughputProbe":
-        self._tasks0 = getattr(self.machine, "tasks_executed", 0)
-        self._rounds0 = self.machine.metrics.rounds
-        self._timer.__enter__()
+        if self.enabled:
+            self._tasks0 = getattr(self.machine, "tasks_executed", 0)
+            self._rounds0 = self.machine.metrics.rounds
+            self._timer.__enter__()
         return self
 
     def __exit__(self, *exc: Any) -> None:
+        if not self.enabled:
+            return
         self._timer.__exit__(*exc)
         self.seconds = self._timer.elapsed
         self.tasks = getattr(self.machine, "tasks_executed", 0) - self._tasks0
@@ -97,13 +109,19 @@ class HandlerProfile:
     engine then times every handler invocation and calls :meth:`add`.
     Slows the run (two clock reads per task), so keep it off for
     throughput numbers and on for "where does the time go" questions.
+
+    A profile constructed with ``enabled=False`` is *dropped* by
+    ``set_profiler`` -- the round loop runs its unprofiled path with zero
+    per-task lookups, exactly as if no profiler were installed (and the
+    columnar backend does not fall back to the object engine for it).
     """
 
-    __slots__ = ("seconds", "calls")
+    __slots__ = ("seconds", "calls", "enabled")
 
-    def __init__(self) -> None:
+    def __init__(self, enabled: bool = True) -> None:
         self.seconds: Dict[str, float] = {}
         self.calls: Dict[str, int] = {}
+        self.enabled = enabled
 
     def add(self, fn: str, dt: float) -> None:
         self.seconds[fn] = self.seconds.get(fn, 0.0) + dt

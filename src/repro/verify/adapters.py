@@ -113,16 +113,16 @@ class _NaiveSuccessorMap:
 
 
 def _adapt_skiplist(name: str, seed: int, items: Sequence[Tuple[Any, Any]],
-                    num_modules: int) -> ImplAdapter:
-    machine = PIMMachine(num_modules=num_modules, seed=seed)
+                    num_modules: int, backend: Optional[str]) -> ImplAdapter:
+    machine = PIMMachine(num_modules=num_modules, seed=seed, backend=backend)
     sl = PIMSkipList(machine)
     sl.build(items)
     return ImplAdapter(name, sl, machine)
 
 
 def _adapt_naive(name: str, seed: int, items: Sequence[Tuple[Any, Any]],
-                 num_modules: int) -> ImplAdapter:
-    machine = PIMMachine(num_modules=num_modules, seed=seed)
+                 num_modules: int, backend: Optional[str]) -> ImplAdapter:
+    machine = PIMMachine(num_modules=num_modules, seed=seed, backend=backend)
     sl = PIMSkipList(machine)
     sl.build(items)
     return ImplAdapter(name, _NaiveSuccessorMap(sl), machine)
@@ -130,8 +130,9 @@ def _adapt_naive(name: str, seed: int, items: Sequence[Tuple[Any, Any]],
 
 def _adapt_range_partition(name: str, seed: int,
                            items: Sequence[Tuple[Any, Any]],
-                           num_modules: int) -> ImplAdapter:
-    machine = PIMMachine(num_modules=num_modules, seed=seed)
+                           num_modules: int,
+                           backend: Optional[str]) -> ImplAdapter:
+    machine = PIMMachine(num_modules=num_modules, seed=seed, backend=backend)
     rp = RangePartitionedSkipList(machine)
     rp.build(items)
     return ImplAdapter(name, rp, machine)
@@ -139,8 +140,9 @@ def _adapt_range_partition(name: str, seed: int,
 
 def _adapt_hash_partition(name: str, seed: int,
                           items: Sequence[Tuple[Any, Any]],
-                          num_modules: int) -> ImplAdapter:
-    machine = PIMMachine(num_modules=num_modules, seed=seed)
+                          num_modules: int,
+                          backend: Optional[str]) -> ImplAdapter:
+    machine = PIMMachine(num_modules=num_modules, seed=seed, backend=backend)
     hp = HashPartitionedMap(machine)
     hp.build(items)
     return ImplAdapter(name, hp, machine)
@@ -148,15 +150,17 @@ def _adapt_hash_partition(name: str, seed: int,
 
 def _adapt_fine_grained(name: str, seed: int,
                         items: Sequence[Tuple[Any, Any]],
-                        num_modules: int) -> ImplAdapter:
-    machine = PIMMachine(num_modules=num_modules, seed=seed)
+                        num_modules: int,
+                        backend: Optional[str]) -> ImplAdapter:
+    machine = PIMMachine(num_modules=num_modules, seed=seed, backend=backend)
     fg = FineGrainedSkipList(machine)
     fg.build(items)
     return ImplAdapter(name, fg, machine)
 
 
 def _adapt_local(name: str, seed: int, items: Sequence[Tuple[Any, Any]],
-                 num_modules: int) -> ImplAdapter:
+                 num_modules: int, backend: Optional[str]) -> ImplAdapter:
+    # The sequential baseline owns no machine; ``backend`` is moot.
     ls = LocalSkipList(rng=random.Random(seed ^ 0x10CA1))
     for k, v in items:
         ls.upsert(k, v)
@@ -164,8 +168,8 @@ def _adapt_local(name: str, seed: int, items: Sequence[Tuple[Any, Any]],
 
 
 def _adapt_lsm(name: str, seed: int, items: Sequence[Tuple[Any, Any]],
-               num_modules: int) -> ImplAdapter:
-    machine = PIMMachine(num_modules=num_modules, seed=seed)
+               num_modules: int, backend: Optional[str]) -> ImplAdapter:
+    machine = PIMMachine(num_modules=num_modules, seed=seed, backend=backend)
     # Small blocks and a low flush threshold so fuzz sessions actually
     # exercise compaction, tombstone collection and fence rebuilds.
     lsm = PIMLSMStore(machine, block_size=16, flush_threshold=48)
@@ -175,10 +179,10 @@ def _adapt_lsm(name: str, seed: int, items: Sequence[Tuple[Any, Any]],
     return ImplAdapter(name, lsm, machine)
 
 
-#: name -> builder(name, seed, items, num_modules).  The skip list, the
-#: five baselines (range/hash partition, fine-grained, sequential local
-#: skip list, naive batched search on the paper's structure), and the
-#: LSM foil.
+#: name -> builder(name, seed, items, num_modules, backend).  The skip
+#: list, the five baselines (range/hash partition, fine-grained,
+#: sequential local skip list, naive batched search on the paper's
+#: structure), and the LSM foil.
 IMPLEMENTATIONS: Dict[str, Callable[..., ImplAdapter]] = {
     "skiplist": _adapt_skiplist,
     "range_partition": _adapt_range_partition,
@@ -194,9 +198,15 @@ DEFAULT_IMPLS: Tuple[str, ...] = tuple(IMPLEMENTATIONS)
 
 def build_implementations(names: Sequence[str], *, seed: int,
                           items: Sequence[Tuple[Any, Any]],
-                          num_modules: int) -> List[ImplAdapter]:
+                          num_modules: int,
+                          backend: Optional[str] = None) -> List[ImplAdapter]:
     """Construct the named implementations, each freshly built over
-    ``items`` on its own machine seeded with ``seed``."""
+    ``items`` on its own machine seeded with ``seed``.
+
+    ``backend`` picks each machine's execution backend (``"object"`` /
+    ``"columnar"``); ``None`` defers to the environment override and the
+    machine default, exactly like :class:`PIMMachine` itself.
+    """
     out: List[ImplAdapter] = []
     for name in names:
         builder = IMPLEMENTATIONS.get(name)
@@ -204,5 +214,5 @@ def build_implementations(names: Sequence[str], *, seed: int,
             raise ValueError(
                 f"unknown implementation {name!r}; "
                 f"known: {', '.join(sorted(IMPLEMENTATIONS))}")
-        out.append(builder(name, seed, items, num_modules))
+        out.append(builder(name, seed, items, num_modules, backend))
     return out

@@ -53,6 +53,13 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="skip split-monotonicity / round-envelope checks")
     p.add_argument("--no-determinism", action="store_true",
                    help="skip the bit-identical rerun check")
+    p.add_argument("--no-backends", action="store_true",
+                   help="skip the cross-backend (object vs columnar) "
+                        "equivalence replay")
+    p.add_argument("--backend", choices=["object", "columnar"], default=None,
+                   help="execution backend for the primary replay "
+                        "(default: machine default / REPRO_SIM_BACKEND; "
+                        "the equivalence replay always uses the other one)")
 
 
 def _impl_list(args: argparse.Namespace) -> Optional[List[str]]:
@@ -67,6 +74,8 @@ def _verify_kwargs(args: argparse.Namespace) -> dict:
         "num_modules": args.modules,
         "check_metamorphic": not args.no_metamorphic,
         "check_determinism": not args.no_determinism,
+        "check_backends": not args.no_backends,
+        "backend": args.backend,
     }
 
 

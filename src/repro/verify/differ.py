@@ -55,7 +55,7 @@ class Divergence:
     impl: str
     kind: str  # result | final_state | integrity | determinism |
     #            rounds_envelope | split_result | split_monotonicity |
-    #            container | crash
+    #            container | crash | backend
     detail: str
 
     def __str__(self) -> str:
@@ -130,6 +130,8 @@ def verify_session(session: Session,
                    num_modules: int = 8, *,
                    check_metamorphic: bool = True,
                    check_determinism: bool = True,
+                   check_backends: bool = True,
+                   backend: Optional[str] = None,
                    fault: Optional[Tuple[str, str]] = None,
                    ) -> SessionReport:
     """Differentially replay ``session``; returns the full report.
@@ -137,6 +139,13 @@ def verify_session(session: Session,
     ``fault`` optionally injects a named fault (see
     :mod:`repro.verify.faults`) into one implementation's adapter --
     the mutation-testing hook that proves the verifier can see.
+
+    With ``check_backends`` (the default) the skip list session is
+    replayed once more on the *other* execution backend (columnar when
+    the primary run used the object engine, and vice versa); its read
+    results must match the oracle and its per-op metric stream must be
+    bit-identical to the primary run's -- the oracle-level certification
+    that the two engines are observationally equivalent.
     """
     names = tuple(impls) if impls is not None else DEFAULT_IMPLS
     items = initial_items_for(session)
@@ -144,7 +153,8 @@ def verify_session(session: Session,
                            impls=names, num_batches=len(session.batches))
     oracle = SequentialOracle(items)
     adapters = build_implementations(names, seed=session.seed, items=items,
-                                     num_modules=num_modules)
+                                     num_modules=num_modules,
+                                     backend=backend)
     if fault is not None:
         from repro.verify.faults import inject_fault
         impl_name, fault_name = fault
@@ -161,7 +171,8 @@ def verify_session(session: Session,
     if check_metamorphic and "skiplist" in names:
         twin = build_implementations(["skiplist"], seed=session.seed,
                                      items=items,
-                                     num_modules=num_modules)[0]
+                                     num_modules=num_modules,
+                                     backend=backend)[0]
 
     # Per-op metric stream of the skip list's machine, via the pipeline
     # driver's batch_observer hook (nested ops included).
@@ -225,7 +236,13 @@ def verify_session(session: Session,
 
     if check_determinism and skiplist is not None:
         _check_determinism(report, session, num_modules, stream,
-                           fault=fault)
+                           backend=backend, fault=fault)
+
+    if (check_backends and skiplist is not None
+            and skiplist.machine is not None):
+        _check_backend_equivalence(
+            report, session, num_modules, stream,
+            primary_backend=skiplist.machine.backend, fault=fault)
     return report
 
 
@@ -352,16 +369,19 @@ def _check_final_states(report: SessionReport, session: Session,
 def _check_determinism(report: SessionReport, session: Session,
                        num_modules: int,
                        first_stream: List[Tuple[str, MetricsDelta]], *,
+                       backend: Optional[str] = None,
                        fault: Optional[Tuple[str, str]] = None,
                        ) -> None:
-    """Replay the skip list alone on a fresh machine; the per-op metric
-    stream must be bit-identical to the first run's.  An injected fault
-    is replayed too, so this check isolates nondeterminism rather than
-    re-detecting the fault's state divergence."""
+    """Replay the skip list alone on a fresh machine (same backend); the
+    per-op metric stream must be bit-identical to the first run's.  An
+    injected fault is replayed too, so this check isolates
+    nondeterminism rather than re-detecting the fault's state
+    divergence."""
     items = initial_items_for(session)
     rerun = build_implementations(["skiplist"], seed=session.seed,
                                   items=items,
-                                  num_modules=num_modules)[0]
+                                  num_modules=num_modules,
+                                  backend=backend)[0]
     if fault is not None and fault[0] == "skiplist":
         from repro.verify.faults import inject_fault
         inject_fault(rerun, fault[1])
@@ -386,6 +406,73 @@ def _check_determinism(report: SessionReport, session: Session,
                 impl="skiplist", kind="determinism",
                 detail=(f"pipeline op {j}: first run ({op1}, {d1}) != "
                         f"rerun ({op2}, {d2})")))
+            return
+
+
+def _check_backend_equivalence(report: SessionReport, session: Session,
+                               num_modules: int,
+                               first_stream: List[Tuple[str, MetricsDelta]],
+                               *, primary_backend: str,
+                               fault: Optional[Tuple[str, str]] = None,
+                               ) -> None:
+    """Replay the skip list alone on the other execution backend.
+
+    Two checks, both against the primary run: every read batch's result
+    must match the sequential oracle (replayed fresh here, so the check
+    stands alone), and the per-op metric stream -- rounds, h-relations,
+    IO/PIM time, messages -- must be *bit-identical* to the stream the
+    primary backend produced.  An injected skip-list fault is replayed
+    too (and the oracle comparison skipped, since the fault's result
+    divergence is already reported by the primary run): this check
+    isolates backend divergence, nothing else.
+    """
+    other = "columnar" if primary_backend == "object" else "object"
+    items = initial_items_for(session)
+    rerun = build_implementations(["skiplist"], seed=session.seed,
+                                  items=items, num_modules=num_modules,
+                                  backend=other)[0]
+    faulted = fault is not None and fault[0] == "skiplist"
+    if faulted:
+        from repro.verify.faults import inject_fault
+        inject_fault(rerun, fault[1])
+    oracle = SequentialOracle(items)
+    stream: List[Tuple[str, MetricsDelta]] = []
+    assert rerun.machine is not None
+    rerun.machine.batch_observer = \
+        lambda op_name, delta: stream.append((op_name, delta))
+    for i, batch in enumerate(session.batches):
+        expected = oracle.apply_batch(batch.op, batch.payload)
+        try:
+            result = rerun.apply(batch.op, batch.payload)
+        except Exception as exc:  # noqa: BLE001 - report, don't die
+            report.divergences.append(Divergence(
+                seed=session.seed, batch_index=i, op=batch.op,
+                impl="skiplist", kind="backend",
+                detail=(f"[{other}] {type(exc).__name__}: {exc}")))
+            rerun.machine.batch_observer = None
+            return
+        if batch.op in READ_OPS and not faulted and result != expected:
+            report.divergences.append(Divergence(
+                seed=session.seed, batch_index=i, op=batch.op,
+                impl="skiplist", kind="backend",
+                detail=(f"[{other}] "
+                        + _diff_results(batch.op, batch.payload,
+                                        expected, result))))
+    rerun.machine.batch_observer = None
+    if len(stream) != len(first_stream):
+        report.divergences.append(Divergence(
+            seed=session.seed, batch_index=-1, op="rerun", impl="skiplist",
+            kind="backend",
+            detail=(f"{other} backend produced {len(stream)} pipeline "
+                    f"ops, {primary_backend} {len(first_stream)}")))
+        return
+    for j, ((op1, d1), (op2, d2)) in enumerate(zip(first_stream, stream)):
+        if op1 != op2 or d1 != d2:
+            report.divergences.append(Divergence(
+                seed=session.seed, batch_index=-1, op="rerun",
+                impl="skiplist", kind="backend",
+                detail=(f"pipeline op {j}: {primary_backend} ({op1}, {d1})"
+                        f" != {other} ({op2}, {d2})")))
             return
 
 

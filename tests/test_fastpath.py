@@ -1,0 +1,289 @@
+"""Tests for the columnar round engine (:mod:`repro.sim.fastpath`).
+
+The columnar backend must be *observationally equivalent* to the object
+engine: same replies, same model metrics, bit for bit.  These tests pin
+that equivalence where it is easiest to break -- golden metrics, chaos
+fallback, drain diagnostics -- plus the backend-selection surface and
+the fallback state machine itself.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sim.chaos import FaultPlan, FaultSpec
+from repro.sim.config import BACKEND_ENV_VAR, MachineConfig, resolve_backend
+from repro.sim.errors import LivelockError
+from repro.sim.fastpath import (
+    FALLBACK_FAULT_PLAN,
+    FALLBACK_PROFILER,
+    FALLBACK_QRQW,
+    ColumnarPIMMachine,
+    FallbackEvent,
+)
+from repro.sim.machine import PIMMachine
+from repro.sim.profiling import HandlerProfile
+from tests.test_golden_metrics import GOLDEN_PATH, compute_all
+
+P = 8
+
+
+def _echo(ctx, x, tag=None):
+    ctx.charge(1)
+    ctx.reply(x * 2, tag=tag)
+
+
+def _relay(ctx, x, hops, tag=None):
+    ctx.charge(1)
+    if hops <= 0:
+        ctx.reply(x, tag=tag)
+    else:
+        ctx.forward((ctx.mid + 3) % ctx.machine.num_modules,
+                     "relay", (x + 1, hops - 1), tag=tag)
+
+
+def _loop(ctx, n, tag=None):
+    ctx.charge(1)
+    ctx.forward((ctx.mid + 1) % ctx.machine.num_modules, "loop", (n + 1,))
+
+
+def _machine(backend=None, **kwargs):
+    machine = PIMMachine(num_modules=P, seed=42, backend=backend, **kwargs)
+    machine.register("echo", _echo)
+    machine.register("relay", _relay)
+    machine.register("loop", _loop)
+    return machine
+
+
+def _mixed_workload(machine):
+    """Scalar echoes, multi-hop forwards, an uneven send_all -- returns
+    (replies, final snapshot dict)."""
+    replies = []
+    machine.send_all([(m, "echo", (m,), m) for m in range(P)])
+    replies += machine.drain()
+    machine.send_all([(m % P, "relay", (m, 1 + m % 4), m)
+                      for m in range(3 * P)])
+    replies += machine.drain()
+    for m in range(P // 2):
+        machine.send(m, "echo", (100 + m,))
+    replies += machine.drain()
+    return replies, machine.snapshot().as_dict()
+
+
+# ----------------------------------------------------------------------
+# backend selection
+# ----------------------------------------------------------------------
+
+class TestBackendSelection:
+    def test_default_backend_is_object(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        machine = PIMMachine(num_modules=P, seed=0)
+        assert machine.backend == "object"
+        assert not isinstance(machine, ColumnarPIMMachine)
+
+    def test_explicit_columnar(self):
+        machine = PIMMachine(num_modules=P, seed=0, backend="columnar")
+        assert isinstance(machine, ColumnarPIMMachine)
+        assert machine.backend == "columnar"
+        assert machine.columnar_active
+
+    def test_env_override_flips_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "columnar")
+        machine = PIMMachine(num_modules=P, seed=0)
+        assert machine.backend == "columnar"
+
+    def test_explicit_backend_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "columnar")
+        machine = PIMMachine(num_modules=P, seed=0, backend="object")
+        assert machine.backend == "object"
+
+    def test_config_carries_backend(self):
+        cfg = MachineConfig(num_modules=P, seed=0, backend="columnar")
+        machine = PIMMachine(config=cfg)
+        assert machine.backend == "columnar"
+
+    def test_unknown_backend_rejected(self, monkeypatch):
+        with pytest.raises(ValueError, match="backend"):
+            PIMMachine(num_modules=P, seed=0, backend="vectorized")
+        monkeypatch.setenv(BACKEND_ENV_VAR, "vectorized")
+        with pytest.raises(ValueError, match="backend"):
+            resolve_backend(None)
+
+    def test_register_batch_collision(self):
+        machine = _machine(backend="columnar")
+
+        def batch_a(bct, chunks):
+            pass
+
+        machine.register_batch("echo", batch_a)
+        machine.register_batch("echo", batch_a)  # idempotent
+        with pytest.raises(ValueError, match="already registered"):
+            machine.register_batch("echo", lambda bct, chunks: None)
+
+    def test_register_batch_inert_on_object_backend(self):
+        machine = _machine(backend="object")
+        called = []
+        machine.register_batch("echo", lambda bct, chunks: called.append(1))
+        machine.send(0, "echo", (1,))
+        (reply,) = machine.drain()
+        assert reply.payload == 2
+        assert not called
+
+
+# ----------------------------------------------------------------------
+# observational equivalence
+# ----------------------------------------------------------------------
+
+class TestBackendParity:
+    def test_mixed_workload_bit_identical(self):
+        obj = _mixed_workload(_machine(backend="object"))
+        col = _mixed_workload(_machine(backend="columnar"))
+        assert obj[0] == col[0]  # replies, order included
+        assert obj[1] == col[1]  # full metrics snapshot
+
+    def test_golden_metrics_under_columnar(self, monkeypatch):
+        """All golden workloads (skip list, baselines, collectives,
+        qrqw, containers) replayed with the columnar backend must match
+        the checked-in object-engine golden values exactly."""
+        monkeypatch.setenv(BACKEND_ENV_VAR, "columnar")
+        with open(GOLDEN_PATH) as f:
+            golden = json.load(f)
+        actual = compute_all()
+        assert sorted(actual) == sorted(golden)
+        for label in golden:
+            assert actual[label] == golden[label], \
+                f"columnar metrics drifted for {label}"
+
+    def test_drain_max_rounds_diagnostics_parity(self):
+        """A livelocked forwarding cycle must exhaust ``max_rounds`` with
+        the *same* diagnostic report on both backends: same pending
+        handler ids, same per-module queue depths."""
+        msgs = {}
+        for backend in ("object", "columnar"):
+            machine = _machine(backend=backend)
+            machine.send(0, "loop", (0,))
+            with pytest.raises(LivelockError) as exc:
+                machine.drain(max_rounds=5, label="cycle")
+            msgs[backend] = str(exc.value)
+        assert msgs["object"] == msgs["columnar"]
+        assert "cycle" in msgs["columnar"]
+        assert "loop" in msgs["columnar"]
+
+
+# ----------------------------------------------------------------------
+# fallback state machine
+# ----------------------------------------------------------------------
+
+class TestChaosFallback:
+    def test_fault_plan_triggers_typed_fallback(self):
+        machine = _machine(backend="columnar")
+        assert machine.columnar_active
+        machine.install_fault_plan(FaultPlan(FaultSpec(), seed=0))
+        assert not machine.columnar_active
+        assert machine.backend == "columnar"  # identity, not engine state
+        events = [e for e in machine.fallback_events
+                  if e.reason == FALLBACK_FAULT_PLAN]
+        assert len(events) == 1
+        assert isinstance(events[0], FallbackEvent)
+        assert events[0].at_round == machine.metrics.rounds
+        machine.uninstall_fault_plan()
+        assert machine.columnar_active
+
+    def test_behaviour_parity_under_faults(self):
+        """With an identical seeded fault plan the columnar machine (in
+        fallback) and the object machine observe the same faults, emit
+        the same replies and account the same metrics."""
+        spec = FaultSpec(drop=0.15, dup=0.1, delay=0.1, delay_rounds=2)
+        results = {}
+        for backend in ("object", "columnar"):
+            machine = _machine(backend=backend)
+            machine.install_fault_plan(FaultPlan(spec, seed=7))
+            results[backend] = _mixed_workload(machine)
+        assert results["object"] == results["columnar"]
+
+    def test_profiler_fallback_enters_and_exits(self):
+        machine = _machine(backend="columnar")
+        machine.set_profiler(HandlerProfile())
+        assert not machine.columnar_active
+        assert any(e.reason == FALLBACK_PROFILER
+                   for e in machine.fallback_events)
+        # The profiled (object-path) rounds still behave identically.
+        machine.send(0, "echo", (5,))
+        (reply,) = machine.drain()
+        assert reply.payload == 10
+        machine.set_profiler(None)
+        assert machine.columnar_active
+
+    def test_qrqw_contention_model_falls_back_at_construction(self):
+        machine = PIMMachine(num_modules=P, seed=1, backend="columnar",
+                             contention_model="qrqw")
+        assert not machine.columnar_active
+        assert any(e.reason == FALLBACK_QRQW
+                   for e in machine.fallback_events)
+
+
+# ----------------------------------------------------------------------
+# the differential oracle's backend check
+# ----------------------------------------------------------------------
+
+class TestBackendEquivalenceCheck:
+    def _stream_for(self, session, backend):
+        from repro.verify.adapters import build_implementations
+        from repro.verify.fuzz import initial_items_for
+
+        sl = build_implementations(
+            ["skiplist"], seed=session.seed,
+            items=initial_items_for(session), num_modules=P,
+            backend=backend)[0]
+        stream = []
+        sl.machine.batch_observer = lambda op, d: stream.append((op, d))
+        for batch in session.batches:
+            sl.apply(batch.op, batch.payload)
+        sl.machine.batch_observer = None
+        return stream
+
+    def test_fuzz_session_certified_across_backends(self):
+        from repro.verify.differ import verify_session
+        from repro.verify.fuzz import fuzz_session
+
+        session = fuzz_session(17, num_batches=4, batch_size=8)
+        report = verify_session(session, impls=["skiplist"], num_modules=P)
+        assert report.ok, [str(d) for d in report.divergences]
+
+    def test_check_flags_doctored_stream(self):
+        """Mutation test: the cross-backend check must detect a metric
+        stream that does not match the other backend's."""
+        from repro.verify.differ import (SessionReport,
+                                         _check_backend_equivalence)
+        from repro.verify.fuzz import fuzz_session
+
+        session = fuzz_session(17, num_batches=3, batch_size=8,
+                               read_only=True)
+        stream = self._stream_for(session, "object")
+
+        def fresh_report():
+            return SessionReport(seed=session.seed, num_modules=P,
+                                 impls=("skiplist",),
+                                 num_batches=len(session.batches))
+
+        report = fresh_report()
+        _check_backend_equivalence(report, session, P, stream,
+                                   primary_backend="object")
+        assert report.ok  # the genuine stream certifies clean
+
+        doctored = list(stream)
+        op, delta = doctored[0]
+        doctored[0] = (op + "!", delta)
+        report = fresh_report()
+        _check_backend_equivalence(report, session, P, doctored,
+                                   primary_backend="object")
+        assert not report.ok
+        assert report.divergences[0].kind == "backend"
+
+        report = fresh_report()
+        _check_backend_equivalence(report, session, P, stream[:-1],
+                                   primary_backend="object")
+        assert not report.ok
+        assert "pipeline ops" in report.divergences[0].detail

@@ -153,3 +153,68 @@ class TestProfileRegion:
             machine.drain()
         assert probe.tasks == 1
         assert prof.calls["work"] == 1
+
+
+class TestDisabledProbesAreNoOps:
+    """Disabled instrumentation must cost nothing on the hot path."""
+
+    def test_disabled_walltimer_reads_no_clock(self):
+        t = WallTimer(enabled=False)
+        with t:
+            time.sleep(0.002)
+        assert t.elapsed == 0.0
+        assert t.start == 0.0
+
+    def test_disabled_probe_reads_no_counters(self):
+        machine = _machine()
+        with ThroughputProbe(machine, enabled=False) as probe:
+            machine.send(0, "work", (1,))
+            machine.drain()
+        assert probe.tasks == 0
+        assert probe.rounds == 0
+        assert probe.seconds == 0.0
+
+    def test_disabled_handler_profile_is_dropped(self):
+        machine = _machine()
+        prof = HandlerProfile(enabled=False)
+        machine.set_profiler(prof)
+        assert machine._profiler is None
+        machine.send(0, "work", (1,))
+        machine.drain()
+        assert prof.calls == {}
+
+    def test_disabled_profile_keeps_columnar_engine_active(self):
+        machine = PIMMachine(num_modules=4, seed=0, backend="columnar")
+        machine.register("work", _work)
+        machine.set_profiler(HandlerProfile(enabled=False))
+        assert machine.columnar_active
+        machine.set_profiler(HandlerProfile())
+        assert not machine.columnar_active
+        machine.set_profiler(None)
+        assert machine.columnar_active
+
+    def test_zero_profiling_allocations_when_off(self):
+        """With profiling off, the round loop performs ZERO allocations
+        attributable to the profiling module -- the probes are dead code,
+        not merely cheap code."""
+        import tracemalloc
+
+        import repro.sim.profiling as profiling_mod
+
+        machine = _machine()
+        machine.set_profiler(HandlerProfile(enabled=False))
+        plan = [(m, "work", (m,), None) for m in range(4)]
+        machine.send_all(plan)  # warm-up round outside the snapshot
+        machine.drain()
+        tracemalloc.start()
+        try:
+            for _ in range(20):
+                machine.send_all(plan)
+                machine.drain()
+            snap = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        stats = snap.filter_traces(
+            [tracemalloc.Filter(True, profiling_mod.__file__)]
+        ).statistics("filename")
+        assert sum(s.size for s in stats) == 0
