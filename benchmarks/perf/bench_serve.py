@@ -1,0 +1,151 @@
+"""Serving-layer wall-clock benchmark: what does resilience cost?
+
+Measures the :mod:`repro.serve` stack end to end -- admission control,
+coalescing scheduler, resilience policy, demux -- by driving the chaos
+soak harness (:func:`repro.verify.soak.soak_session`) and timing it:
+
+- ``fault_free`` -- no fault plan; every request must be answered
+  (refusal rate exactly 0 -- the regression gate pins this);
+- ``chaos_intermittent`` -- repeated crash/restart cycles: the serving
+  SLO (typed refusals, stale reads, failover) absorbs the faults;
+- ``chaos_crash_wipe`` -- a crash that loses module state, forcing a
+  checkpoint+log failover mid-stream.
+
+Every scenario reports sustained requests/sec (wall clock), p50/p99
+request latency in scheduler ticks, refusal/degraded rates, and the
+recovery counters, so the fault-free column prices the serving stack
+itself and the chaos columns price the resilience machinery.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_serve.py [--quick]
+        [--repeat N] [--out PATH]
+
+Writes ``benchmarks/perf/BENCH_serve.json``::
+
+    {
+      "config": {"quick": false, "repeat": 3},
+      "scenarios": {"<name>": {"seconds": ..., "requests": ...,
+                               "requests_per_sec": ..., "answered": ...,
+                               "refused": ..., "degraded": ...,
+                               "refusal_rate": ..., "latency_p50_ticks": ...,
+                               "latency_p99_ticks": ..., "batches": ...,
+                               "rounds": ..., "recoveries": ...,
+                               "ok": true, "params": {...}}}
+    }
+
+``--quick`` shrinks the client population to a seconds-scale smoke run
+(used by CI); full runs are the numbers quoted in EXPERIMENTS.md.  The
+soak harness itself verifies the SLO (sequential-replay equivalence,
+typed refusals only); ``ok`` records that verdict per run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, Optional
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+from repro.verify.soak import soak_session  # noqa: E402
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), "BENCH_serve.json")
+
+#: scenario name -> (schedule, fault_seed, full params, --quick params).
+SCENARIOS = {
+    "fault_free": ("none", 0,
+                   {"clients": 256, "ops_per_client": 8, "num_modules": 8,
+                    "seed": 0},
+                   {"clients": 32, "ops_per_client": 4, "num_modules": 4,
+                    "seed": 0}),
+    "chaos_intermittent": ("intermittent", 0,
+                           {"clients": 256, "ops_per_client": 8,
+                            "num_modules": 8, "seed": 0},
+                           {"clients": 32, "ops_per_client": 4,
+                            "num_modules": 4, "seed": 0}),
+    "chaos_crash_wipe": ("crash_wipe", 0,
+                         {"clients": 256, "ops_per_client": 8,
+                          "num_modules": 8, "seed": 0},
+                         {"clients": 32, "ops_per_client": 4,
+                          "num_modules": 4, "seed": 0}),
+}
+
+
+def run_scenario(name: str, params: Optional[dict] = None) -> Dict[str, Any]:
+    """One timed soak run; returns the benchmark record for ``name``."""
+    schedule, fault_seed, full, _small = SCENARIOS[name]
+    params = dict(full if params is None else params)
+    start = time.perf_counter()
+    report = soak_session(schedule, fault_seed, **params)
+    seconds = time.perf_counter() - start
+    requests = params["clients"] * params["ops_per_client"]
+    return {
+        "schedule": schedule,
+        "seconds": seconds,
+        "requests": requests,
+        "requests_per_sec": requests / seconds if seconds > 0 else 0.0,
+        "answered": report.answered,
+        "refused": report.total_refused,
+        "degraded": report.total_degraded,
+        "refusal_rate": (report.total_refused + report.total_degraded)
+        / requests,
+        "latency_p50_ticks": report.latency_percentile(0.5),
+        "latency_p99_ticks": report.latency_percentile(0.99),
+        "batches": report.batches,
+        "rounds": report.rounds,
+        "recoveries": report.recoveries,
+        "ok": report.ok,
+        "params": params,
+    }
+
+
+def run(quick: bool = False, repeat: int = 3,
+        out_path: Optional[str] = OUT_PATH) -> Dict[str, Any]:
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    scenarios: Dict[str, Any] = {}
+    for name, (_schedule, _fault_seed, full, small) in SCENARIOS.items():
+        params = small if quick else full
+        best = None
+        for _ in range(repeat):
+            rec = run_scenario(name, params)
+            if best is None or rec["seconds"] < best["seconds"]:
+                best = rec
+        scenarios[name] = best
+        print(f"{name:<18} {best['seconds']:7.3f}s  "
+              f"{best['requests_per_sec']:>9.0f} req/s  "
+              f"p99 {best['latency_p99_ticks']:>3d} ticks  "
+              f"refusal {best['refusal_rate']:.3f}  "
+              f"recoveries {best['recoveries']}  "
+              f"{'ok' if best['ok'] else 'SLO VIOLATED'}")
+
+    doc = {"config": {"quick": quick, "repeat": repeat},
+           "scenarios": scenarios}
+    if out_path:
+        with open(out_path, "w") as f:
+            json.dump(doc, f, indent=2)
+        print(f"\nwrote {out_path}")
+    return doc
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="shrunk client population (CI smoke run)")
+    ap.add_argument("--repeat", type=int, default=3,
+                    help="repeats per scenario; best is reported (default 3)")
+    ap.add_argument("--out", default=OUT_PATH,
+                    help="output JSON path (default BENCH_serve.json)")
+    args = ap.parse_args()
+    if args.repeat < 1:
+        ap.error(f"--repeat must be >= 1, got {args.repeat}")
+    doc = run(quick=args.quick, repeat=args.repeat, out_path=args.out)
+    return 0 if all(s["ok"] for s in doc["scenarios"].values()) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

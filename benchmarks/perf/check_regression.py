@@ -29,10 +29,20 @@ itself.  That run uses the object backend explicitly: a fault plan
 triggers the columnar engine's documented fallback, so the price is an
 object-engine property.
 
+The script also gates the serving layer against the committed
+``BENCH_serve.json`` (see ``bench_serve.py``): the fault-free soak's
+sustained requests/sec must stay above a conservative fraction of the
+recorded baseline (a floor, not a +/- band, for the same anti-flake
+reason as the speedup floors), the fault-free refusal/degraded rate
+must be **exactly zero** (a fault-free server that refuses has broken
+admission or a leaking circuit breaker), and every gated soak must
+report the serving SLO intact.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/check_regression.py
         [--baseline PATH] [--threshold 0.10] [--repeat 3] [--no-chaos]
+        [--serve-baseline PATH] [--no-serve]
 
 Exit status 0 when every gate passes, 1 otherwise.  Faster-than-
 baseline runs always pass the wall-time gates (they are one-sided: they
@@ -52,7 +62,19 @@ from bench_wallclock import BACKENDS, SCENARIOS  # noqa: E402
 from repro.sim.profiling import ThroughputProbe  # noqa: E402
 
 BASELINE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_simwall.json")
+SERVE_BASELINE_PATH = os.path.join(os.path.dirname(__file__),
+                                   "BENCH_serve.json")
 GATE_SCENARIO = "macro_successor"
+
+#: The fault-free soak must sustain at least this fraction of the
+#: committed baseline's requests/sec.  A floor rather than a +/- band,
+#: like the speedup floors: it gates "the serving stack collapsed",
+#: not a given CI runner's luck.
+SERVE_THROUGHPUT_FLOOR = 0.4
+
+#: Serve scenarios whose SLO verdict is gated (the fault-free one also
+#: carries the throughput floor and the zero-refusal ceiling).
+SERVE_GATED = ("fault_free", "chaos_intermittent")
 
 # Columnar-over-object tasks/sec floors, per scenario.  Conservative by
 # construction: roughly half the speedup recorded in the committed
@@ -93,6 +115,59 @@ def report_protocol_price(params: dict, repeat: int,
           f"({armed['seconds'] / fault_free_s:.2f}x)")
 
 
+def check_serve(baseline_path: str, repeat: int,
+                failures: list) -> None:
+    """Gate the serving layer against the committed BENCH_serve.json.
+
+    - throughput floor: the fault-free soak's measured requests/sec
+      must be >= ``SERVE_THROUGHPUT_FLOOR`` x the recorded baseline;
+    - refusal ceiling: the fault-free soak must refuse or degrade
+      **zero** requests (rate exactly 0.0);
+    - SLO: every gated scenario's soak report must verify clean
+      (replay-exact answers, typed refusals only, no hangs).
+    """
+    from bench_serve import run_scenario
+
+    with open(baseline_path) as f:
+        doc = json.load(f)
+    if doc.get("config", {}).get("quick"):
+        failures.append(f"{baseline_path} is a --quick run; the serve gate "
+                        "needs a full-parameter baseline")
+        return
+    for name in SERVE_GATED:
+        base = doc["scenarios"][name]
+        best = None
+        for _ in range(repeat):
+            rec = run_scenario(name, base["params"])
+            if best is None or rec["seconds"] < best["seconds"]:
+                best = rec
+        if name == "fault_free":
+            floor = base["requests_per_sec"] * SERVE_THROUGHPUT_FLOOR
+            print(f"serve {name}: baseline "
+                  f"{base['requests_per_sec']:.0f} req/s, measured "
+                  f"{best['requests_per_sec']:.0f} req/s "
+                  f"(floor {floor:.0f}), refusal rate "
+                  f"{best['refusal_rate']:.3f} (ceiling 0)")
+            if best["requests_per_sec"] < floor:
+                failures.append(
+                    f"serve {name} throughput "
+                    f"{best['requests_per_sec']:.0f} req/s is below the "
+                    f"{SERVE_THROUGHPUT_FLOOR:.0%}-of-baseline floor "
+                    f"({floor:.0f} req/s)")
+            if best["refusal_rate"] != 0.0:
+                failures.append(
+                    f"serve {name} refused/degraded "
+                    f"{best['refused'] + best['degraded']} request(s) "
+                    "with no faults installed (ceiling is exactly 0)")
+        else:
+            print(f"serve {name}: {best['requests_per_sec']:.0f} req/s, "
+                  f"p99 {best['latency_p99_ticks']} ticks, "
+                  f"recoveries {best['recoveries']}, "
+                  f"{'ok' if best['ok'] else 'SLO VIOLATED'}")
+        if not best["ok"]:
+            failures.append(f"serve {name} soak violated the serving SLO")
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", default=BASELINE_PATH,
@@ -103,6 +178,11 @@ def main() -> int:
                     help="runs; best is compared (default 3)")
     ap.add_argument("--no-chaos", action="store_true",
                     help="skip the informational protocol-price line")
+    ap.add_argument("--serve-baseline", default=SERVE_BASELINE_PATH,
+                    help="serving baseline JSON (default: committed "
+                         "BENCH_serve)")
+    ap.add_argument("--no-serve", action="store_true",
+                    help="skip the serving-layer gates")
     args = ap.parse_args()
     if args.repeat < 1:
         ap.error(f"--repeat must be >= 1, got {args.repeat}")
@@ -158,6 +238,9 @@ def main() -> int:
             failures.append(
                 f"{name} columnar speedup {speedup:.2f}x below the "
                 f"{floor:.2f}x floor")
+
+    if not args.no_serve:
+        check_serve(args.serve_baseline, args.repeat, failures)
 
     if not args.no_chaos:
         report_protocol_price(

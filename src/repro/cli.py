@@ -10,10 +10,14 @@ Commands
   (runs the benchmark harness's experiment functions through pytest
   with timing disabled; tables land in ``benchmarks/out/``).
 - ``selftest`` — run the full unit/property test suite.
-- ``verify fuzz|replay|shrink`` — the differential verification
-  subsystem: fuzz seeded adversarial sessions against every
-  implementation, replay recorded repro files, shrink failures
+- ``verify fuzz|replay|shrink|chaos|soak`` — the differential
+  verification subsystem: fuzz seeded adversarial sessions against
+  every implementation, replay recorded repro files, shrink failures,
+  chaos-sweep fault schedules, soak the serving layer
   (see ``repro.verify``).
+- ``serve [--clients N] [--chaos SCHEDULE]`` — drive the resilient
+  serving layer with N concurrent clients (optionally under a fault
+  schedule) and verify the serving SLO (see ``repro.serve``).
 """
 
 from __future__ import annotations
@@ -160,7 +164,20 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return verify_main(list(args.rest))
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.cli import main as serve_main
+
+    return serve_main(list(args.rest))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # argparse.REMAINDER refuses to swallow a leading flag
+    # (`serve --clients 100`), so hand the serve CLI its argv directly.
+    if argv and argv[0] == "serve":
+        from repro.serve.cli import main as serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="The Processing-in-Memory Model, executable.",
@@ -177,6 +194,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     ver.add_argument("rest", nargs=argparse.REMAINDER,
                      help="verify subcommand and flags "
                           "(try: verify fuzz --help)")
+    srv = sub.add_parser(
+        "serve", help="drive the resilient serving layer "
+                      "(try: serve --clients 100 --chaos intermittent)")
+    srv.add_argument("rest", nargs=argparse.REMAINDER,
+                     help="serve flags (try: serve --help)")
     args = parser.parse_args(argv)
     return {
         "info": cmd_info,
@@ -184,6 +206,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "reproduce": cmd_reproduce,
         "selftest": cmd_selftest,
         "verify": cmd_verify,
+        "serve": cmd_serve,
     }[args.command](args)
 
 

@@ -275,17 +275,47 @@ def _reliable_stage(machine: PIMMachine, op: "BatchOp",
         if not pending:
             return inner
         if attempt >= cfg.max_delivery_attempts:
-            lost = [f"{fn}->module {dest} (seq {seq})"
-                    for seq, (dest, fn, _a) in
-                    sorted(chan.inflight.items()) if seq in pending][:6]
-            more = "" if len(pending) <= 6 else f" (+{len(pending) - 6} more)"
+            # Partition the undelivered envelopes by destination
+            # liveness: a message to a currently-dead module is *stuck*
+            # (no retry budget would ever land it), while one to a live
+            # module is an in-flight retry that merely ran out of
+            # attempts under transient faults (drops, corruption).  The
+            # two populations call for different operator responses
+            # (failover vs a larger max_delivery_attempts), so the
+            # diagnostics list them separately.
+            chaos = machine._chaos
+            rnd = (machine.metrics.rounds - chaos.base_round
+                   if chaos is not None else 0)
+            stuck: List[str] = []
+            retrying: List[str] = []
+            for seq, (dest, fn, _a) in sorted(chan.inflight.items()):
+                if seq not in pending:
+                    continue
+                label = f"{fn}->module {dest} (seq {seq})"
+                if dest in machine.wiped_modules or (
+                        chaos is not None
+                        and chaos.plan.is_dead(dest, rnd)):
+                    stuck.append(label)
+                else:
+                    retrying.append(label)
+            sections = []
+            for kind, group in (("stuck on dead module(s)", stuck),
+                                ("still retrying (transient faults)",
+                                 retrying)):
+                if not group:
+                    continue
+                more = ("" if len(group) <= 6
+                        else f" (+{len(group) - 6} more)")
+                sections.append(f"{len(group)} {kind}: "
+                                f"{', '.join(group[:6])}{more}")
             for seq in pending:
                 chan.inflight.pop(seq, None)
             raise DeliveryTimeout(
                 f"op {op.name!r}: {len(pending)} message(s) undelivered "
                 f"after {attempt} attempts (max_delivery_attempts="
-                f"{cfg.max_delivery_attempts}): {', '.join(lost)}{more}",
-                op=op.name, attempts=attempt, undelivered=len(pending))
+                f"{cfg.max_delivery_attempts}): {'; '.join(sections)}",
+                op=op.name, attempts=attempt, undelivered=len(pending),
+                stuck=len(stuck), retrying=len(retrying))
         backoff = min(cfg.retry_backoff_base << (attempt - 1),
                       cfg.retry_backoff_cap)
         machine.idle_rounds(backoff)

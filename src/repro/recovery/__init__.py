@@ -24,6 +24,7 @@ from repro.recovery.checkpoint import (
 )
 from repro.recovery.manager import (
     MUTATING_OPS,
+    DegradedReason,
     DegradedResult,
     RecoveryEvent,
     RecoveryManager,
@@ -36,6 +37,7 @@ from repro.recovery.repair import (
 
 __all__ = [
     "Checkpoint",
+    "DegradedReason",
     "DegradedResult",
     "MUTATING_OPS",
     "RecoveryEvent",

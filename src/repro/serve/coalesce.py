@@ -1,0 +1,125 @@
+"""The coalescing scheduler: admitted requests -> PIM-sized batches.
+
+The PIM model's economics come from batching: one ``run_batch`` over B
+ops costs rounds, not B round trips.  The coalescer is where many
+small per-tenant requests become one machine-sized batch:
+
+- batches are **same-op** (the model's batch constraint -- a batch has
+  one operation type), chosen FIFO: the op class of the *oldest*
+  waiting request goes first, so no op class can starve;
+- within the chosen op, requests are drained **round-robin across
+  tenants** in ``quantum``-item slices (rotating the starting tenant
+  each batch), so one chatty tenant cannot monopolise a batch;
+- only queue *heads* are eligible -- a tenant's stream executes in its
+  program order, which is what lets the soak harness compare each
+  client's responses against a sequential replay;
+- expired requests are evicted here (typed ``DEADLINE`` refusals),
+  never dispatched.
+
+The result is a :class:`MergedBatch`: the concatenated payload plus
+the per-request slices the demux stage uses to route each tenant's
+share of the replies back to its future.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.serve.admission import TenantState
+from repro.serve.errors import Request
+
+__all__ = ["Coalescer", "MergedBatch"]
+
+
+@dataclass
+class MergedBatch:
+    """One coalesced same-op batch with its demux map."""
+
+    op: str
+    items: List[Any]
+    #: ``(request, lo, hi)``: request's results are ``replies[lo:hi]``.
+    slices: List[Tuple[Request, int, int]] = field(default_factory=list)
+
+    @property
+    def min_deadline(self) -> Optional[int]:
+        """Tightest absolute deadline across the merged requests."""
+        deadlines = [r.deadline for r, _, _ in self.slices
+                     if r.deadline is not None]
+        return min(deadlines) if deadlines else None
+
+    @property
+    def tenants(self) -> List[str]:
+        return sorted({r.tenant for r, _, _ in self.slices})
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class Coalescer:
+    """Merge admitted requests into bounded same-op batches, fairly."""
+
+    def __init__(self, *, max_batch_items: int = 512,
+                 quantum: int = 64) -> None:
+        if max_batch_items < 1:
+            raise ValueError("max_batch_items must be >= 1")
+        if quantum < 1:
+            raise ValueError("quantum must be >= 1")
+        self.max_batch_items = max_batch_items
+        self.quantum = quantum
+        self._rr = 0  # rotating round-robin offset
+
+    def next_batch(self, tenants: Dict[str, TenantState], tick: int,
+                   ) -> Tuple[Optional[MergedBatch], List[Request]]:
+        """Build the next batch from the tenant queues.
+
+        Returns ``(batch, expired)``: the merged batch (``None`` when
+        nothing is dispatchable) and the requests evicted because
+        their deadline passed before dispatch.
+        """
+        expired: List[Request] = []
+        for state in tenants.values():
+            while state.queue and state.queue[0].expired(tick):
+                expired.append(state.queue.popleft())
+
+        heads = [s.queue[0] for s in tenants.values() if s.queue]
+        if not heads:
+            return None, expired
+        op = min(heads, key=lambda r: r.id).op
+
+        active = sorted(name for name, s in tenants.items() if s.queue)
+        offset = self._rr % len(active)
+        order = active[offset:] + active[:offset]
+        self._rr += 1
+
+        items: List[Any] = []
+        slices: List[Tuple[Request, int, int]] = []
+        progress = True
+        while progress and len(items) < self.max_batch_items:
+            progress = False
+            for name in order:
+                queue = tenants[name].queue
+                taken = 0
+                while queue and queue[0].op == op and taken < self.quantum:
+                    req = queue[0]
+                    if req.expired(tick):
+                        expired.append(queue.popleft())
+                        continue
+                    # An oversized request rides alone; otherwise stop
+                    # at the batch bound and leave it for the next one.
+                    if items and len(items) + req.items > \
+                            self.max_batch_items:
+                        break
+                    queue.popleft()
+                    slices.append((req, len(items),
+                                   len(items) + req.items))
+                    items.extend(req.payload)
+                    taken += max(1, req.items)
+                    progress = True
+                    if len(items) >= self.max_batch_items:
+                        break
+                if len(items) >= self.max_batch_items:
+                    break
+        if not slices:
+            return None, expired
+        return MergedBatch(op=op, items=items, slices=slices), expired

@@ -1,0 +1,85 @@
+"""The server's health/liveness state machine.
+
+Four states, surfaced through the status API and driven by the
+resilience policy (:mod:`repro.serve.policy`) off the recovery
+manager's hooks:
+
+- ``HEALTHY`` -- batches run on live hardware, circuit closed.
+- ``FAILED_OVER`` -- a failover just promoted standby hardware; the
+  server keeps answering (results stay exact) while a success streak
+  re-earns ``HEALTHY``.
+- ``DEGRADED`` -- the circuit breaker is open: too many faults in a
+  row, or the recovery manager quiesced permanently.  Reads are served
+  stale from the last checkpoint (typed
+  :class:`~repro.recovery.DegradedResult`), writes get typed refusals.
+- ``RECOVERING`` -- half-open probe: the cooldown elapsed and the next
+  batch is allowed through to live hardware; success closes the
+  circuit, failure re-opens it.
+
+Transitions are edge-checked: an illegal transition raises instead of
+silently corrupting the availability story, so the state machine is a
+testable contract rather than a label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Tuple
+
+__all__ = ["HealthMonitor", "HealthState"]
+
+
+class HealthState(Enum):
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    FAILED_OVER = "failed_over"
+    RECOVERING = "recovering"
+
+
+#: Legal edges (self-loops are always allowed and not recorded).
+_EDGES: Dict[HealthState, Tuple[HealthState, ...]] = {
+    HealthState.HEALTHY: (HealthState.DEGRADED, HealthState.FAILED_OVER),
+    HealthState.FAILED_OVER: (HealthState.HEALTHY, HealthState.DEGRADED),
+    HealthState.DEGRADED: (HealthState.RECOVERING,),
+    HealthState.RECOVERING: (HealthState.HEALTHY, HealthState.DEGRADED,
+                             HealthState.FAILED_OVER),
+}
+
+
+@dataclass(frozen=True)
+class HealthTransition:
+    """One recorded edge: when, to what, and why."""
+
+    tick: int
+    state: HealthState
+    detail: str
+
+
+class HealthMonitor:
+    """Holds the current state and the full transition history."""
+
+    def __init__(self) -> None:
+        self.state = HealthState.HEALTHY
+        self.history: List[HealthTransition] = [
+            HealthTransition(0, HealthState.HEALTHY, "start")]
+
+    def to(self, state: HealthState, tick: int, detail: str = "") -> None:
+        """Transition to ``state`` (no-op when already there)."""
+        if state is self.state:
+            return
+        if state not in _EDGES[self.state]:
+            raise ValueError(
+                f"illegal health transition {self.state.value} -> "
+                f"{state.value} at tick {tick} ({detail!r})")
+        self.state = state
+        self.history.append(HealthTransition(tick, state, detail))
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "state": self.state.value,
+            "transitions": [
+                {"tick": t.tick, "state": t.state.value, "detail": t.detail}
+                for t in self.history
+            ],
+        }

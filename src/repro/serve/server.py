@@ -1,0 +1,326 @@
+"""The async multi-tenant PIM server: admit -> coalesce -> run -> demux.
+
+:class:`Server` fronts one batched structure (plus its recovery
+standby) with many concurrent asyncio client streams.  The contract is
+the PR 5 SLO lifted to a serving surface: every ``submit`` resolves to
+**a correct answer, or a typed refusal** (:class:`~repro.serve.errors.Refusal`
+/ :class:`~repro.recovery.DegradedResult`) -- never a wrong answer,
+and never a hang (a bounded-progress watchdog turns a stall into a
+loud :class:`~repro.serve.errors.ServerStalled`).
+
+Time is **virtual**: the scheduler tick advances once per dispatch
+iteration, and every time-dependent decision (token-bucket refill,
+deadline expiry, breaker cooldown, retry backoff) reads that tick --
+never the wall clock.  With asyncio's deterministic FIFO ready queue
+this makes an entire serve session a pure function of the submission
+program and the fault seed, which is what lets the soak harness replay
+it bit-for-bit and compare against a sequential oracle.
+
+The scheduler loop pipelines: it dispatches the next merged batch as
+soon as the previous one resolves, yielding to the event loop between
+batches so clients can consume results and submit follow-ups (closed
+loop).  Per-tenant *program order* is preserved end to end -- the
+coalescer only ever drains queue heads -- so each client's response
+stream is comparable against a sequential replay of the journal.
+
+The **journal** records every batch that produced an answer (live
+results and degraded stale reads) in execution order, with the demux
+slices.  Refused requests are never journaled: a refusal is proof of
+non-effect, and the soak harness leans on exactly that when it replays
+the journal sequentially.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.recovery import (
+    DegradedReason,
+    DegradedResult,
+    RecoveryManager,
+)
+from repro.serve.admission import AdmissionController
+from repro.serve.coalesce import Coalescer, MergedBatch
+from repro.serve.errors import Refusal, RefusalReason, Request, ServerStalled
+from repro.serve.health import HealthMonitor
+from repro.serve.policy import ResiliencePolicy, jittered_backoff
+
+__all__ = ["JournalEntry", "Server", "ServerConfig"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Knobs for all four serving stages (defaults are soak-tested)."""
+
+    # coalescer
+    max_batch_items: int = 512
+    quantum: int = 64
+    # admission
+    rate: Optional[float] = None     # tokens (items) per tick; None = off
+    burst: float = 1024
+    max_pending: int = 256           # per-tenant queue bound
+    # recovery manager
+    checkpoint_every: int = 4
+    allow_restore: bool = True
+    max_recoveries: int = 4
+    read_retry_attempts: int = 2
+    # resilience policy
+    breaker_threshold: int = 3
+    cooldown_ticks: int = 32
+    healthy_streak: int = 4
+    # liveness
+    watchdog_ticks: int = 64
+    seed: int = 0                    # jitter seed (backoff decorrelation)
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One executed batch, in execution order, with its demux map.
+
+    ``kind`` is ``"live"`` (ran on live hardware) or ``"stale"``
+    (answered from the durable checkpoint+log view while the circuit
+    was open -- still journal-replayable, because the durable view
+    contains exactly the journaled mutations).
+    """
+
+    tick: int
+    op: str
+    items: Tuple[Any, ...]
+    #: ``(request_id, tenant, lo, hi)`` demux slices.
+    slices: Tuple[Tuple[int, str, int, int], ...]
+    kind: str = "live"
+
+
+class Server:
+    """Serve many concurrent client streams over one PIM structure.
+
+    ``structure`` is the live structure (its machine may carry a fault
+    plan); ``rebuild`` is the standby factory handed to the
+    :class:`RecoveryManager`.  Call :meth:`start`, then ``await
+    submit(...)`` from any number of client coroutines, then
+    :meth:`stop`.
+    """
+
+    def __init__(self, structure: Any, rebuild: Any,
+                 config: Optional[ServerConfig] = None) -> None:
+        self.config = config or ServerConfig()
+        cfg = self.config
+        self.caps = frozenset(getattr(type(structure), "BATCH_CAPS",
+                                      frozenset()))
+        self.health = HealthMonitor()
+        self.manager = RecoveryManager(
+            structure, rebuild,
+            checkpoint_every=cfg.checkpoint_every,
+            allow_restore=cfg.allow_restore,
+            max_recoveries=cfg.max_recoveries,
+            read_retry_attempts=cfg.read_retry_attempts,
+            retry_backoff=jittered_backoff(cfg.seed))
+        self.policy = ResiliencePolicy(
+            self.manager, self.health,
+            breaker_threshold=cfg.breaker_threshold,
+            cooldown_ticks=cfg.cooldown_ticks,
+            healthy_streak=cfg.healthy_streak)
+        self.admission = AdmissionController(
+            rate=cfg.rate, burst=cfg.burst, max_pending=cfg.max_pending)
+        self.coalescer = Coalescer(
+            max_batch_items=cfg.max_batch_items, quantum=cfg.quantum)
+        self.tick = 0
+        self.journal: List[JournalEntry] = []
+        self.batches_served = 0
+        self._work = asyncio.Event()
+        self._running = False
+        self._task: Optional[asyncio.Task] = None
+        self._failure: Optional[BaseException] = None
+        self._last_progress = 0
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        """Stop the scheduler; refuse (typed) whatever is still queued."""
+        self._running = False
+        self._work.set()
+        if self._task is not None:
+            try:
+                await self._task
+            finally:
+                self._task = None
+        for state in self.admission.tenants.values():
+            while state.queue:
+                req = state.queue.popleft()
+                self._refuse(req, RefusalReason.SHUTDOWN,
+                             "server stopped with request queued")
+        if self._failure is not None:
+            raise self._failure
+
+    # -- the client surface -----------------------------------------------
+
+    async def submit(self, tenant: str, op: str, payload: Sequence, *,
+                     timeout_ticks: Optional[int] = None) -> Any:
+        """Submit one request and await its outcome.
+
+        Resolves to the op's result list (reads) / ``None`` (writes), a
+        :class:`Refusal`, or a :class:`DegradedResult` -- the falsy
+        cases are the typed refusals.  ``timeout_ticks`` sets a
+        deadline that many scheduler ticks from now (virtual time).
+        """
+        if self._failure is not None:
+            raise self._failure
+        request = Request(
+            tenant=tenant, op=op, payload=list(payload),
+            deadline=(None if timeout_ticks is None
+                      else self.tick + timeout_ticks),
+            submitted_tick=self.tick)
+        request.future = asyncio.get_running_loop().create_future()
+        if not self._running:
+            metrics = self.admission.tenant(tenant).metrics
+            metrics.submitted += 1
+            metrics.refuse(RefusalReason.SHUTDOWN)
+            return Refusal(op, tenant, RefusalReason.SHUTDOWN,
+                           "server is not running")
+        if op not in self.caps:
+            metrics = self.admission.tenant(tenant).metrics
+            metrics.submitted += 1
+            metrics.refuse(RefusalReason.UNSUPPORTED)
+            return Refusal(op, tenant, RefusalReason.UNSUPPORTED,
+                           f"op {op!r} not in structure caps")
+        refusal = self.admission.admit(request, self.tick)
+        if refusal is not None:
+            return refusal
+        self._work.set()
+        return await request.future
+
+    # -- the scheduler loop -----------------------------------------------
+
+    async def _run(self) -> None:
+        try:
+            while self._running:
+                if self.admission.pending == 0:
+                    self._work.clear()
+                    self._last_progress = self.tick  # idle is not a stall
+                    await self._work.wait()
+                    continue
+                self.tick += 1
+                batch, expired = self.coalescer.next_batch(
+                    self.admission.tenants, self.tick)
+                progressed = False
+                for req in expired:
+                    self._refuse(
+                        req, RefusalReason.DEADLINE,
+                        f"deadline tick {req.deadline} passed at tick "
+                        f"{self.tick} before dispatch")
+                    progressed = True
+                if batch is not None:
+                    result = self.policy.execute(batch, self.tick)
+                    self._demux(batch, result)
+                    self.batches_served += 1
+                    progressed = True
+                if progressed:
+                    self._last_progress = self.tick
+                elif (self.admission.pending
+                      and self.tick - self._last_progress
+                      > self.config.watchdog_ticks):
+                    raise ServerStalled(
+                        f"{self.admission.pending} request(s) pending but "
+                        f"no progress for {self.config.watchdog_ticks} "
+                        f"ticks (tick {self.tick})")
+                # Yield so clients consume results and submit follow-ups
+                # before the next batch forms (closed-loop pipelining).
+                await asyncio.sleep(0)
+        except BaseException as exc:
+            self._failure = exc
+            self._running = False
+            self._abort_pending(exc)
+            raise
+
+    # -- demux ------------------------------------------------------------
+
+    def _journal(self, batch: MergedBatch, kind: str) -> None:
+        self.journal.append(JournalEntry(
+            tick=self.tick, op=batch.op, items=tuple(batch.items),
+            slices=tuple((r.id, r.tenant, lo, hi)
+                         for r, lo, hi in batch.slices),
+            kind=kind))
+
+    def _demux(self, batch: MergedBatch, result: Any) -> None:
+        """Fan one batch outcome back out to its requests' futures."""
+        if isinstance(result, Refusal):
+            for req, _, _ in batch.slices:
+                self._refuse(req, result.reason, result.detail)
+            return
+        if isinstance(result, DegradedResult):
+            if result.reason is DegradedReason.STALE_READ:
+                self._journal(batch, "stale")
+                values = result.value
+                for req, lo, hi in batch.slices:
+                    self._resolve(req, DegradedResult(
+                        req.op, result.reason, result.cause,
+                        None if values is None else values[lo:hi]),
+                        degraded=True)
+            else:
+                for req, _, _ in batch.slices:
+                    self._resolve(req, DegradedResult(
+                        req.op, result.reason, result.cause),
+                        degraded=True)
+            return
+        self._journal(batch, "live")
+        for req, lo, hi in batch.slices:
+            value = None if result is None else result[lo:hi]
+            self._resolve(req, value)
+
+    def _resolve(self, request: Request, outcome: Any, *,
+                 degraded: bool = False) -> None:
+        metrics = self.admission.tenant(request.tenant).metrics
+        if degraded:
+            metrics.degraded += 1
+        else:
+            metrics.completed += 1
+            metrics.items_served += request.items
+        metrics.queue_wait_ticks += self.tick - request.submitted_tick
+        if request.future is not None and not request.future.done():
+            request.future.set_result(outcome)
+
+    def _refuse(self, request: Request, reason: RefusalReason,
+                detail: str) -> None:
+        metrics = self.admission.tenant(request.tenant).metrics
+        metrics.refuse(reason)
+        if request.future is not None and not request.future.done():
+            request.future.set_result(
+                Refusal(request.op, request.tenant, reason, detail))
+
+    def _abort_pending(self, exc: BaseException) -> None:
+        for state in self.admission.tenants.values():
+            while state.queue:
+                req = state.queue.popleft()
+                if req.future is not None and not req.future.done():
+                    req.future.set_exception(exc)
+
+    # -- status API -------------------------------------------------------
+
+    def status(self) -> Dict[str, object]:
+        """The health/metrics surface (everything JSON-serialisable)."""
+        machine = getattr(self.manager.structure, "machine", None)
+        return {
+            "tick": self.tick,
+            "running": self._running,
+            "failure": (None if self._failure is None
+                        else f"{type(self._failure).__name__}: "
+                             f"{self._failure}"),
+            "health": self.health.as_dict(),
+            "policy": self.policy.as_dict(),
+            "pending": self.admission.pending,
+            "batches_served": self.batches_served,
+            "journal_batches": len(self.journal),
+            "rounds": (None if machine is None
+                       else machine.metrics.rounds),
+            "tenants": {name: state.metrics.as_dict()
+                        for name, state in
+                        sorted(self.admission.tenants.items())},
+        }

@@ -498,6 +498,23 @@ def _sched_crash_wipe(seed: int, num_modules: int) -> FaultPlan:
                    wipe=True),)), seed)
 
 
+def _sched_intermittent(seed: int, num_modules: int) -> FaultPlan:
+    """One module flaps -- repeated short crash/restart cycles with
+    state intact -- under light message loss.  The serving layer's
+    circuit-breaker/failover path is aimed at exactly this shape: the
+    module is *usually* back before the retry budget runs out, but not
+    always."""
+    mid = _pick_mid(seed, 0x17E2, num_modules)
+    crashes = []
+    at = 3 + _mix(seed, 0xE1) % 6
+    for i in range(3):
+        restart = at + 2 + _mix(seed, 0xE2 + i) % 3
+        crashes.append(CrashEvent(mid=mid, at_round=at,
+                                  restart_round=restart))
+        at = restart + 3 + _mix(seed, 0xE5 + i) % 6
+    return FaultPlan(FaultSpec(drop=0.04, crashes=tuple(crashes)), seed)
+
+
 def _sched_mixed(seed: int, num_modules: int) -> FaultPlan:
     mid = _pick_mid(seed, 0x111, num_modules)
     at = 5 + _mix(seed, 0x112) % 10
@@ -517,6 +534,7 @@ MACHINE_SCHEDULES: Dict[str, Callable[[int, int], FaultPlan]] = {
     "crash_restart": _sched_crash_restart,
     "crash_wipe": _sched_crash_wipe,
     "mixed": _sched_mixed,
+    "intermittent": _sched_intermittent,
 }
 
 

@@ -70,20 +70,25 @@ class ModuleCrashed(SimulationError):
 class DeliveryTimeout(SimulationError):
     """Raised when the reliable-delivery protocol exhausts its retries.
 
-    The message names the originating op (drain label), the undelivered
-    handler function ids with destination modules, and the attempt count
-    -- enough to distinguish a permanently dead destination from a
-    transient fault schedule that merely needed a larger
-    ``max_delivery_attempts`` (see
-    :class:`repro.sim.config.MachineConfig`).
+    The message names the originating op (drain label), the attempt
+    count, and the undelivered handler function ids with destination
+    modules -- partitioned into messages **stuck on dead module(s)**
+    (the destination is crashed right now; only failover can help) and
+    messages **still retrying (transient faults)** (the destination is
+    alive; a larger ``max_delivery_attempts`` -- see
+    :class:`repro.sim.config.MachineConfig` -- might have landed them).
+    The ``stuck`` / ``retrying`` attributes carry the two counts.
     """
 
     def __init__(self, message: str, op: str = "", attempts: int = 0,
-                 undelivered: int = 0) -> None:
+                 undelivered: int = 0, stuck: int = 0,
+                 retrying: int = 0) -> None:
         super().__init__(message)
         self.op = op
         self.attempts = attempts
         self.undelivered = undelivered
+        self.stuck = stuck
+        self.retrying = retrying
 
 
 class InvalidBatchError(SimulationError):

@@ -58,10 +58,12 @@ __all__ = [
 
 #: Schedules with no crash events: safe for structures that issue
 #: unprotected module->module forwards outside the recovery manager
-#: (the container checks run these).
+#: (the container checks run these).  Decided by probing the plan's
+#: crash list (crash presence is seed-independent for every builder),
+#: not by name-matching -- ``intermittent`` carries crashes too.
 MESSAGE_SCHEDULES: Tuple[str, ...] = tuple(
     name for name in MACHINE_SCHEDULES
-    if "crash" not in name
+    if not build_schedule(name, 0, 8).spec.crashes
 )
 
 #: Per-schedule round-overhead envelopes: chaos rounds must stay within
@@ -79,6 +81,7 @@ OVERHEAD_ENVELOPES: Dict[str, Tuple[float, int]] = {
     "crash_restart": (5.0, 512),
     "crash_wipe": (5.0, 512),
     "mixed": (4.0, 128),
+    "intermittent": (6.0, 768),
 }
 
 
@@ -188,7 +191,7 @@ def chaos_session(session_seed: int, schedule: str, fault_seed: int = 0, *,
         if isinstance(result, DegradedResult):
             report.degraded = True
             report.degraded_at = i
-            parts.append(f"degraded@{i}:{result.reason}")
+            parts.append(f"degraded@{i}:{result.reason.value}")
             break
         parts.append(repr(result))
         if batch.op in READ_OPS and result != expected[i]:
@@ -204,7 +207,7 @@ def chaos_session(session_seed: int, schedule: str, fault_seed: int = 0, *,
             if isinstance(final, DegradedResult):
                 report.degraded = True
                 report.degraded_at = len(session.batches)
-                parts.append(f"degraded@final:{final.reason}")
+                parts.append(f"degraded@final:{final.reason.value}")
             else:
                 got = dict(final[0])
                 want = oracle.as_dict()

@@ -13,7 +13,15 @@
   schedules: result equivalence under faults, round-overhead
   envelopes, bit-identical reruns, and container checks on a faulty
   machine.
+- ``soak`` -- chaos-soak the serving layer (:mod:`repro.serve`):
+  concurrent synthetic clients vs the sequential oracle under machine
+  fault schedules; every answer must match a sequential replay of the
+  server's journal or be a typed refusal, and fault-free runs must
+  refuse nothing.
 - ``faults`` -- print the unified fault registry.
+
+``fuzz`` and ``chaos`` exit non-zero on any divergence and, when a
+repro was shrunk, print its path on the **last line** of output.
 """
 
 from __future__ import annotations
@@ -128,6 +136,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             return 2
         fault = (impl, name)
     failures = 0
+    repro_paths: List[str] = []
     for i in range(args.sessions):
         seed = args.seed + i
         session = fuzz_session(seed, num_batches=args.batches,
@@ -155,9 +164,14 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             print(f"  {d}")
         if report.divergences and not args.no_shrink:
             path = _shrink_and_write(session, args, fault)
+            repro_paths.append(path)
             print(f"  shrunk repro written: {path}")
     if failures:
         print(f"\n{failures}/{args.sessions} session(s) diverged")
+        if repro_paths:
+            # Contract: on divergence the repro path is the LAST line,
+            # so scripts (and humans) can tail -1 straight into replay.
+            print(repro_paths[-1])
         return 1
     print(f"\nall {args.sessions} session(s) verified clean "
           f"({args.batches} batches x {args.batch_size} each, "
@@ -285,6 +299,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 return 2
     failures = 0
     runs = 0
+    repro_paths: List[str] = []
     for schedule in schedules:
         for i in range(args.sessions):
             seed = args.seed + i
@@ -301,6 +316,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 print(f"  {d}")
             if not args.no_shrink:
                 path = _shrink_chaos_and_write(seed, schedule, args)
+                repro_paths.append(path)
                 print(f"  shrunk chaos repro written: {path}")
         if not args.no_determinism:
             div = check_chaos_determinism(
@@ -319,6 +335,9 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                     print(f"  {d}")
     if failures:
         print(f"\n{failures} chaos failure(s) across {runs} session(s)")
+        if repro_paths:
+            # Same contract as fuzz: repro path on the last line.
+            print(repro_paths[-1])
         return 1
     print(f"\nall {runs} chaos session(s) exact "
           f"({len(schedules)} schedule(s), fault_seed={args.fault_seed}, "
@@ -348,6 +367,54 @@ def _shrink_chaos_and_write(seed: int, schedule: str,
         fault_seed=args.fault_seed,
         note=(f"shrunk from a {len(session.batches)}-batch chaos session "
               f"under schedule {schedule!r}"))
+
+
+def cmd_soak(args: argparse.Namespace) -> int:
+    from repro.verify.soak import check_soak_determinism, soak_session
+
+    if args.schedules == "all":
+        schedules = ["none"] + sorted(MACHINE_SCHEDULES)
+    else:
+        schedules = [s.strip() for s in args.schedules.split(",")
+                     if s.strip()]
+        for s in schedules:
+            if s != "none" and s not in MACHINE_SCHEDULES:
+                print(f"unknown fault schedule {s!r}; known: none, "
+                      f"{', '.join(sorted(MACHINE_SCHEDULES))}",
+                      file=sys.stderr)
+                return 2
+    fault_seeds = [int(s) for s in str(args.fault_seeds).split(",")
+                   if s.strip() != ""]
+    failures = 0
+    runs = 0
+    for schedule in schedules:
+        for fault_seed in (fault_seeds if schedule != "none" else [0]):
+            report = soak_session(
+                schedule, fault_seed, clients=args.clients,
+                ops_per_client=args.ops, seed=args.seed,
+                num_modules=args.modules)
+            runs += 1
+            print(report.summary())
+            if not report.ok:
+                failures += 1
+                for v in report.violations:
+                    print(f"  {v}")
+        if not args.no_determinism:
+            same, first, second = check_soak_determinism(
+                schedule, fault_seeds[0] if schedule != "none" else 0,
+                clients=min(args.clients, 32), ops_per_client=args.ops,
+                seed=args.seed, num_modules=args.modules)
+            if not same:
+                failures += 1
+                print(f"  soak {schedule!r} is NOT deterministic: "
+                      f"{first[:16]}... != {second[:16]}...")
+    if failures:
+        print(f"\n{failures} soak failure(s) across {runs} run(s)")
+        return 1
+    print(f"\nall {runs} soak run(s) clean ({args.clients} clients x "
+          f"{args.ops} ops, {len(schedules)} schedule(s), "
+          f"P={args.modules})")
+    return 0
 
 
 def cmd_faults(args: argparse.Namespace) -> int:
@@ -440,6 +507,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     ch.add_argument("--max-evals", type=int, default=200,
                     help="shrinker evaluation budget (default 200)")
     ch.set_defaults(fn=cmd_chaos)
+
+    sk = sub.add_parser("soak", help="chaos-soak the serving layer "
+                                     "(concurrent clients vs the oracle)")
+    sk.add_argument("--schedules", default="none,crash_wipe,intermittent,"
+                                           "mixed",
+                    help="comma-separated schedule names, 'none' for the "
+                         "fault-free baseline, or 'all' "
+                         f"(known: none, "
+                         f"{', '.join(sorted(MACHINE_SCHEDULES))})")
+    sk.add_argument("--fault-seeds", default="0,1,2",
+                    help="comma-separated fault plan seeds (default 0,1,2)")
+    sk.add_argument("--clients", type=int, default=64,
+                    help="concurrent synthetic clients (default 64)")
+    sk.add_argument("--ops", type=int, default=8,
+                    help="requests per client (default 8)")
+    sk.add_argument("--seed", type=int, default=0,
+                    help="client-program / machine seed (default 0)")
+    sk.add_argument("--modules", type=int, default=8,
+                    help="PIM modules per machine (default 8)")
+    sk.add_argument("--no-determinism", action="store_true",
+                    help="skip the bit-identical rerun check")
+    sk.set_defaults(fn=cmd_soak)
 
     fl = sub.add_parser("faults", help="print the unified fault registry")
     fl.set_defaults(fn=cmd_faults)

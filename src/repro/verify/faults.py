@@ -136,6 +136,7 @@ _MACHINE_DESCRIPTIONS: Dict[str, str] = {
     "crash_restart": "fail-stop one module, restart with state intact",
     "crash_wipe": "fail-stop one module and wipe its DRAM on restart",
     "mixed": "low-rate drop+dup+delay+corrupt plus one stall",
+    "intermittent": "one module flaps (crash/restart cycles) + 4% drop",
 }
 
 REGISTRY: Dict[str, FaultDef] = {}

@@ -294,3 +294,27 @@ class TestReliableDelivery:
         assert rdp.inflight == {}  # every envelope acked at stage end
         assert "in-flight protocol retries" in rdp.describe()
         assert rdp.next_seq > 0  # sequence numbers were consumed
+
+    def test_delivery_timeout_partitions_stuck_from_retrying(self):
+        """The timeout report separates ops stuck on dead modules (only
+        failover can help) from in-flight transient retries (a larger
+        ``max_delivery_attempts`` might have landed them)."""
+        from repro.core.skiplist import PIMSkipList
+        from repro.sim.chaos import CrashEvent, FaultPlan, FaultSpec
+        from repro.sim.config import MachineConfig
+        from repro.sim.errors import DeliveryTimeout
+
+        machine = PIMMachine(config=MachineConfig(
+            num_modules=2, seed=1, max_delivery_attempts=3))
+        sl = PIMSkipList(machine)
+        sl.build((k, k) for k in range(0, 64, 2))
+        machine.install_fault_plan(FaultPlan(FaultSpec(
+            drop=0.9, crashes=(CrashEvent(mid=0, at_round=0),)), seed=4))
+        with pytest.raises(DeliveryTimeout) as info:
+            sl.batch_get(list(range(0, 64, 2)))
+        msg = str(info.value)
+        assert "stuck on dead module(s)" in msg
+        assert "still retrying (transient faults)" in msg
+        assert info.value.stuck > 0 and info.value.retrying > 0
+        assert info.value.undelivered == \
+            info.value.stuck + info.value.retrying

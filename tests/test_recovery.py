@@ -14,6 +14,7 @@ import pytest
 
 from repro.core.skiplist import PIMSkipList
 from repro.recovery import (
+    DegradedReason,
     DegradedResult,
     MUTATING_OPS,
     RecoveryManager,
@@ -263,12 +264,12 @@ class TestRecoveryManager:
         degraded = [r for r in results if isinstance(r, DegradedResult)]
         assert degraded, "the crash must surface as a DegradedResult"
         assert not degraded[0]  # falsy by contract
-        assert degraded[0].reason == "restore disabled"
+        assert degraded[0].reason is DegradedReason.RESTORE_DISABLED
         assert not manager.healthy
         # Once quiesced, every further batch refuses, typed.
         later = manager.run("get", [100])
         assert isinstance(later, DegradedResult)
-        assert later.reason == "structure quiesced"
+        assert later.reason is DegradedReason.QUIESCED
 
 
 class TestCrashAtEveryRound:
@@ -362,3 +363,118 @@ class TestRecoveryManagerValidation:
         assert result == [v for _, v in ITEMS]
         assert manager.recoveries == 1
         assert "DeliveryTimeout" in manager.events[0].cause
+
+
+def _managed_skiplist(**kwargs):
+    """A built skip list under a RecoveryManager, plus its machine list.
+
+    The primary machine carries an (empty) fault plan so a later
+    ``wipe_module`` surfaces as :class:`DeliveryTimeout` rather than an
+    unprotected hard fault -- the deterministic crash trigger used
+    throughout this file.
+    """
+    machines = []
+
+    def standby() -> PIMSkipList:
+        m = _machine(seed=11)
+        machines.append(m)
+        return PIMSkipList(m)
+
+    sl = standby()
+    sl.build(ITEMS)
+    machines[0].install_fault_plan(FaultPlan(FaultSpec(), seed=0))
+    return RecoveryManager(sl, standby, **kwargs), machines
+
+
+class TestCheckpointBoundaries:
+    """``checkpoint_every`` edge cases: k=1, a crash landing exactly on
+    a checkpoint boundary, and the log surviving a failover."""
+
+    def test_k_equals_one_checkpoints_after_every_mutation(self):
+        manager, machines = _managed_skiplist(checkpoint_every=1)
+        base = manager.checkpoint.item_count()
+        for i, key in enumerate((5, 7, 9), start=1):
+            manager.run("upsert", [(key, f"n{i}")])
+            assert manager.log_size == 0  # boundary after *every* write
+            assert manager.checkpoint.item_count() == base + i
+        # a crash now replays nothing: the checkpoint alone is current
+        machines[0].wipe_module(2)
+        keys = [k for k, _ in ITEMS] + [5, 7, 9]
+        result = manager.run("get", keys)
+        assert result == [v for _, v in ITEMS] + ["n1", "n2", "n3"]
+        assert manager.recoveries == 1
+        assert manager.events[0].replayed_batches == 0
+
+    def test_crash_exactly_at_a_boundary_replays_an_empty_log(self):
+        manager, machines = _managed_skiplist(checkpoint_every=2)
+        manager.run("upsert", [(5, "a")])
+        assert manager.log_size == 1
+        manager.run("upsert", [(7, "b")])  # lands on the k=2 boundary
+        assert manager.log_size == 0
+        assert manager.checkpoint.item_count() == len(ITEMS) + 2
+        machines[0].wipe_module(2)
+        result = manager.run("get", [k for k, _ in ITEMS] + [5, 7])
+        assert result == [v for _, v in ITEMS] + ["a", "b"]
+        assert manager.events[0].replayed_batches == 0
+        assert manager.events[0].checkpoint_items == len(ITEMS) + 2
+
+    def test_mid_window_crash_replays_the_log_and_keeps_it(self):
+        manager, machines = _managed_skiplist(checkpoint_every=4)
+        for i, key in enumerate((5, 7, 9), start=1):
+            manager.run("upsert", [(key, f"n{i}")])
+        assert manager.log_size == 3
+        machines[0].wipe_module(2)
+        assert manager.run("get", [5, 7, 9]) == ["n1", "n2", "n3"]
+        assert manager.events[0].replayed_batches == 3
+        # Failover must NOT clear the log: checkpoint + log is still the
+        # recipe for rebuilding the standby if *it* fails too.
+        assert manager.log_size == 3
+        # the next mutation reaches the k=4 boundary and checkpoints
+        manager.run("upsert", [(11, "n4")])
+        assert manager.log_size == 0
+        assert manager.checkpoint.item_count() == len(ITEMS) + 4
+
+
+class TestManagerHooksAndReadRetry:
+    def test_read_retries_spend_backoff_then_fail_over(self):
+        backoffs, failures = [], []
+        manager, machines = _managed_skiplist(
+            read_retry_attempts=2,
+            retry_backoff=lambda attempt: backoffs.append(attempt) or 2,
+            on_failure=lambda op, exc: failures.append(
+                (op, type(exc).__name__)))
+        machines[0].wipe_module(2)
+        result = manager.run("get", [k for k, _ in ITEMS])
+        assert result == [v for _, v in ITEMS]
+        assert manager.read_retries == 2
+        assert backoffs == [1, 2]  # attempt number drives the curve
+        # the initial attempt and both in-place retries each reported
+        assert failures == [("get", "DeliveryTimeout")] * 3
+        assert manager.recoveries == 1
+
+    def test_mutations_never_retry_in_place(self):
+        manager, machines = _managed_skiplist(read_retry_attempts=5)
+        machines[0].wipe_module(2)
+        payload = [(k + 1, f"x{k}") for k, _ in ITEMS]
+        assert manager.run("upsert", payload) is None
+        assert manager.read_retries == 0  # budget present, never spent
+        assert manager.recoveries == 1
+
+    def test_on_recovery_hook_sees_the_failover_event(self):
+        seen = []
+        manager, machines = _managed_skiplist(on_recovery=seen.append)
+        machines[0].wipe_module(2)
+        manager.run("get", [k for k, _ in ITEMS])
+        assert len(seen) == 1 and seen[0] is manager.events[0]
+        assert "DeliveryTimeout" in seen[0].cause
+
+    def test_on_degrade_hook_sees_the_typed_refusal(self):
+        recovered, degrades = [], []
+        manager, machines = _managed_skiplist(
+            max_recoveries=0, on_recovery=recovered.append,
+            on_degrade=degrades.append)
+        machines[0].wipe_module(2)
+        result = manager.run("get", [k for k, _ in ITEMS])
+        assert isinstance(result, DegradedResult)
+        assert result.reason is DegradedReason.RECOVERY_EXHAUSTED
+        assert recovered == [] and degrades == [result]
