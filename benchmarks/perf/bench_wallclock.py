@@ -9,6 +9,11 @@ engines (``backend="object"`` and ``backend="columnar"``):
 - ``macro_successor`` -- the acceptance macro scenario: a P=128 skip list
   serving batched-successor sessions (dominated by search-step forwards
   and per-round module activation);
+- ``pointer_walk`` -- search+successor only: raw search messages against
+  a prebuilt list, resolved to successors from the replies, with no pivot
+  machinery in the way.  This is the storage-layer scenario: the arena
+  storage's vectorized wavefront walk versus the object graph's per-hop
+  walk, measured via the ``storages`` dimension below;
 - ``engine_echo`` -- many tiny rounds of CPU-issued sends with small
   fanout (stresses send/step fixed overhead at low occupancy);
 - ``forward_chain`` -- long module-to-module continuation chains
@@ -42,8 +47,19 @@ Writes ``benchmarks/perf/BENCH_simwall.json``::
         "columnar": {"scenarios": {...}}
       },
       "speedup": {"<name>": <columnar tasks/sec over object tasks/sec>},
+      "storages": {
+        "object": {"scenarios": {"macro_successor": {...},
+                                 "pointer_walk": {...}}},
+        "arena":  {"scenarios": {...}}
+      },
+      "storage_speedup": {"<name>": <arena tasks/sec over object tasks/sec>},
       "handler_profile": {"<fn>": {"seconds": ..., "calls": ...}}  # --profile
     }
+
+The ``storages`` dimension runs the skip-list scenarios once per
+structure-storage backend (``storage="object"`` / ``"arena"``), both on
+the columnar round engine -- it isolates the storage layout the walk
+reads from the engine the round executes on.
 
 ``--quick`` shrinks every scenario to a seconds-scale smoke run (used by
 CI); full runs are the numbers quoted in EXPERIMENTS.md.  Round logging
@@ -62,7 +78,9 @@ from typing import Any, Dict, Optional, Sequence
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
 
+from repro.core.ops_search import search_message
 from repro.core.skiplist import PIMSkipList
+from repro.core.storage import STORAGES
 from repro.sim.fastpath import BCAST, COLS
 from repro.sim.machine import PIMMachine
 from repro.sim.profiling import HandlerProfile, ThroughputProbe
@@ -81,7 +99,7 @@ BACKENDS = ("object", "columnar")
 
 
 def macro_successor(probe_machine, *, P=128, n=4096, batches=4, seed=7,
-                    backend=None, fault_plan=None):
+                    backend=None, storage=None, fault_plan=None):
     """The ISSUE acceptance scenario: P=128 batched-successor session.
 
     ``fault_plan`` optionally installs a chaos plan after the build (the
@@ -90,7 +108,7 @@ def macro_successor(probe_machine, *, P=128, n=4096, batches=4, seed=7,
     """
     machine = PIMMachine(num_modules=P, seed=seed, trace_rounds=False,
                          backend=backend)
-    sl = PIMSkipList(machine, name="bench")
+    sl = PIMSkipList(machine, name="bench", storage=storage)
     rng = random.Random(seed)
     keys = sorted(rng.sample(range(10 * n), n))
     sl.build([(k, k) for k in keys])
@@ -101,6 +119,41 @@ def macro_successor(probe_machine, *, P=128, n=4096, batches=4, seed=7,
     with probe_machine(machine) as probe:
         for qs in queries:
             sl.batch_successor(qs)
+    return probe
+
+
+def pointer_walk(probe_machine, *, P=128, n=8192, B=4096, batches=3,
+                 seed=13, backend=None, storage=None):
+    """Search+successor only: the storage layer's raw walk throughput.
+
+    Each batch issues ``B`` search messages straight at the prebuilt
+    list (no pivot machinery, no hint derivation) and resolves every
+    reply to its successor pair -- the walk itself is the whole probe.
+    On arena storage the wavefront advances as array gathers per round;
+    on object storage every hop is one Python step.  The regression
+    gate holds the arena's floor at >= 2x object on this scenario.
+    """
+    machine = PIMMachine(num_modules=P, seed=seed, trace_rounds=False,
+                         backend=backend)
+    sl = PIMSkipList(machine, name="bench", storage=storage)
+    rng = random.Random(seed)
+    keys = sorted(rng.sample(range(10 * n), n))
+    sl.build([(k, k) for k in keys])
+    struct = sl.struct
+    queries = [[rng.randrange(10 * n) for _ in range(B)]
+               for _ in range(batches)]
+    with probe_machine(machine) as probe:
+        for qs in queries:
+            msgs = [search_message(struct, k, opid=i)
+                    for i, k in enumerate(qs)]
+            machine.send_all(msgs)
+            succ = [None] * len(qs)
+            for r in machine.drain():
+                _tag, opid, pred, right = r.payload
+                if not pred.is_sentinel and pred.key == qs[opid]:
+                    succ[opid] = (pred.key, pred.value)
+                elif right is not None:
+                    succ[opid] = (right.key, right.value)
     return probe
 
 
@@ -306,6 +359,11 @@ SCENARIOS = {
     "macro_successor": (macro_successor,
                         {"P": 128, "n": 4096, "batches": 4, "seed": 7},
                         {"P": 32, "n": 512, "batches": 1, "seed": 7}),
+    "pointer_walk": (pointer_walk,
+                     {"P": 128, "n": 8192, "B": 4096, "batches": 3,
+                      "seed": 13},
+                     {"P": 32, "n": 512, "B": 256, "batches": 1,
+                      "seed": 13}),
     "engine_echo": (engine_echo,
                     {"P": 64, "rounds": 400, "fanout": 16, "seed": 3},
                     {"P": 64, "rounds": 40, "fanout": 16, "seed": 3}),
@@ -323,9 +381,15 @@ SCENARIOS = {
 }
 
 
+#: Scenarios that exercise the skip-list structure itself and therefore
+#: accept a ``storage=`` override (the storages dimension below).
+STORAGE_SCENARIOS = ("macro_successor", "pointer_walk")
+
+
 def run(quick: bool = False, repeat: int = 3, profile: bool = False,
         out_path: Optional[str] = OUT_PATH,
-        backends: Sequence[str] = BACKENDS) -> Dict[str, Any]:
+        backends: Sequence[str] = BACKENDS,
+        storages: Optional[Sequence[str]] = STORAGES) -> Dict[str, Any]:
     if repeat < 1:
         raise ValueError(f"repeat must be >= 1, got {repeat}")
     handler_profile = HandlerProfile() if profile else None
@@ -364,6 +428,37 @@ def run(quick: bool = False, repeat: int = 3, profile: bool = False,
         print("\ncolumnar speedup (tasks/sec over object):")
         for name, x in speedup.items():
             print(f"  {name:<18} {x:6.2f}x")
+
+    # -- storages dimension: same engine, different structure storage ----
+    if storages and profile is False:
+        sresults: Dict[str, Dict[str, Any]] = {s: {} for s in storages}
+        for name in STORAGE_SCENARIOS:
+            fn, full, small = SCENARIOS[name]
+            params = small if quick else full
+            for storage in storages:
+                best = None
+                for _ in range(repeat):
+                    probe = fn(probe_machine, backend="columnar",
+                               storage=storage, **params)
+                    if best is None or probe.seconds < best["seconds"]:
+                        best = probe.as_dict()
+                best["params"] = dict(params)
+                sresults[storage][name] = best
+                print(f"storage={storage:<7} {name:<18} "
+                      f"{best['seconds']:8.3f}s  "
+                      f"{best['tasks_per_sec']:>12.0f} tasks/s")
+        doc["storages"] = {s: {"scenarios": sresults[s]} for s in storages}
+        if "object" in sresults and "arena" in sresults:
+            sspeed = {}
+            for name in STORAGE_SCENARIOS:
+                obj = sresults["object"][name]["tasks_per_sec"]
+                arn = sresults["arena"][name]["tasks_per_sec"]
+                sspeed[name] = arn / obj if obj > 0 else 0.0
+            doc["storage_speedup"] = sspeed
+            print("\narena storage speedup (tasks/sec over object storage, "
+                  "columnar engine):")
+            for name, x in sspeed.items():
+                print(f"  {name:<18} {x:6.2f}x")
     if handler_profile is not None:
         doc["handler_profile"] = handler_profile.as_dict()
         print("\nhottest handlers:\n" + handler_profile.top())
@@ -386,6 +481,9 @@ def main() -> None:
                          "fallback, so use it for object-path attribution)")
     ap.add_argument("--backend", choices=list(BACKENDS), default=None,
                     help="measure only one backend (default: both)")
+    ap.add_argument("--no-storages", action="store_true",
+                    help="skip the structure-storage dimension "
+                         "(object vs arena on the columnar engine)")
     ap.add_argument("--out", default=OUT_PATH,
                     help="output JSON path (default BENCH_simwall.json)")
     args = ap.parse_args()
@@ -393,7 +491,8 @@ def main() -> None:
         ap.error(f"--repeat must be >= 1, got {args.repeat}")
     backends = BACKENDS if args.backend is None else (args.backend,)
     run(quick=args.quick, repeat=args.repeat, profile=args.profile,
-        out_path=args.out, backends=backends)
+        out_path=args.out, backends=backends,
+        storages=None if args.no_storages else STORAGES)
 
 
 if __name__ == "__main__":

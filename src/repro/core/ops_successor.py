@@ -41,17 +41,25 @@ from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.core import ops_search
-from repro.core.node import Node
-from repro.core.ops_search import search_message
+from repro.core.node import Node, UPPER
+from repro.core.ops_search import _target_i64, search_message
 from repro.core.structure import SkipListStructure
 from repro.cpuside.sort import parallel_sort
 from repro.ops import BatchOp, run_batch
 from repro.sim.cpu import WorkDepth
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is an optional accelerator
+    _np = None  # type: ignore[assignment]
+
+#: Minimum hinted record-free rows worth issuing as one column chunk.
+COLS_SEND_MIN = 16
+
 PathEntry = Tuple[Node, int, Optional[Node]]  # (node, level, right snapshot)
 
 
-@dataclass
+@dataclass(slots=True)
 class SearchOutcome:
     """Result of one search: the predecessor leaf and path information.
 
@@ -184,6 +192,17 @@ class _BatchSearchOp(BatchOp):
         piv_level_cache: Dict[int, Dict[int, Tuple[Node, Optional[Node]]]] = {}
         piv_ids_cache: Dict[int, set] = {}
 
+        # Record-free searches that start from a lower-part hint node can
+        # launch as one engine-level column chunk: the destination is the
+        # hint's owner (no RNG draw) and the walk's batch handler consumes
+        # the chunk natively.  Gated off under chaos plans -- those wrap
+        # every CPU-issued scalar message in a delivery envelope, which a
+        # column chunk would bypass.
+        arena = getattr(sl.storage, "arena", None)
+        cols_send = (_np is not None and arena is not None
+                     and arena.vector_ok and machine._chaos is None
+                     and getattr(machine, "can_send_cols", False))
+
         def pivot_ids(ppos: int) -> Optional[set]:
             """Cached ``id()`` set of a pivot's recorded path nodes."""
             s = piv_ids_cache.get(ppos)
@@ -267,9 +286,18 @@ class _BatchSearchOp(BatchOp):
             a stage, and fold the drained replies into the outcome maps."""
             nonlocal retained_words
             msgs = []
+            madd = msgs.append
+            vec = cols_send and not record
+            cd: List[int] = []   # dests (hint owners)
+            ca: List[int] = []   # arena row of the hint node
+            ct: List[int] = []   # int64 search target
+            co: List[int] = []   # opid (sorted position)
             for pos, hint in ops:
-                key = skeys[pos]
-                if hint is not None and hint[0] == "leaf":
+                if hint is None:
+                    madd(search_message(sl, skeys[pos], opid=pos,
+                                        record=record))
+                    continue
+                if hint[0] == "leaf":
                     outcomes[pos] = SearchOutcome(
                         pred=hint[1], pred_right=hint[2],
                         by_level={0: (hint[1], hint[2])} if record else None,
@@ -279,12 +307,49 @@ class _BatchSearchOp(BatchOp):
                         cpu.alloc(1)
                         retained_words += 1
                     continue
-                start = hint[1] if hint is not None else None
-                msgs.append(search_message(sl, key, opid=pos, record=record,
-                                           start=start))
-            if not msgs:
+                if vec:
+                    node = hint[1]
+                    aid = node.aid
+                    if aid >= 0 and node.owner != UPPER:
+                        t = _target_i64(skeys[pos])
+                        if t is not None:
+                            cd.append(node.owner)
+                            ca.append(aid)
+                            ct.append(t)
+                            co.append(pos)
+                            continue
+                madd(search_message(sl, skeys[pos], opid=pos, record=record,
+                                    start=hint[1]))
+            staged_cols = False
+            if cd:
+                if len(cd) >= COLS_SEND_MIN:
+                    machine.send_cols(
+                        sl.fn_search_step,
+                        _np.array(cd, _np.int64),
+                        (_np.array(ca, _np.int64), _np.array(ct, _np.int64),
+                         _np.array(co, _np.int64)))
+                    staged_cols = True
+                else:
+                    # Too few to amortize a chunk; the deferred scalar
+                    # build draws no RNG (hint owners are never UPPER),
+                    # so appending here preserves the machine's seeded
+                    # stream and all per-round accounting.
+                    nodes = arena.nodes
+                    for aid, pos in zip(ca, co):
+                        madd(search_message(sl, skeys[pos], opid=pos,
+                                            record=record,
+                                            start=nodes[aid]))
+            if not msgs and not staged_cols:
                 return
             replies = yield msgs
+            if not record and not keep_ordered:
+                # Record-free phase: every reply is a "done" (no search
+                # emitted path records), so fold without the path branch.
+                for r in replies:
+                    _, opid, node, right = r.payload
+                    outcomes[opid] = SearchOutcome(pred=node,
+                                                   pred_right=right)
+                return
             acc_paths: Dict[int, List[PathEntry]] = {}
             acc_bylevel: Dict[int, Dict[int, Tuple[Node, Optional[Node]]]] = {}
             for r in replies:
@@ -369,30 +434,50 @@ class _BatchSearchOp(BatchOp):
         # ---- Stage 2: everything else, with pivot-path hints ------------
         rest: List[Tuple[int, Hint]] = []
         hint_work = 0.0
-        for pos in range(b):
-            if pos in piv_set:
-                continue
-            a = bisect.bisect_right(piv_pos, pos) - 1
-            c = min(a + 1, num_piv - 1)
-            pa = paths.get(piv_pos[a])
-            pb = paths.get(piv_pos[c])
-            hint_work += (len(pa) if pa else 0) + (len(pb) if pb else 0)
-            hint, derived = derive_or_hint(pos, piv_pos[a], piv_pos[c])
-            if hint == "done":
-                settle_derived(pos, derived, record=record_all,
-                               keep_ordered=False)
-                continue
-            if derived:
-                pre_derived[pos] = derived
-            if limits and min_lvl(pos) > 0:
-                # Underived level-constrained search: start from the root.
-                # The upper descent is local (replicated), and an elevated
-                # per-segment hint can force a long horizontal walk when
-                # many stored keys separate the bounding pivots; the
-                # shared-predecessor contention case never reaches here
-                # (the squeeze derivation settles it).
-                hint = None
-            rest.append((pos, hint))
+        if not limits:
+            # Record-free searches: the hint depends only on the two
+            # bounding pivot paths (``derive_or_hint`` degenerates to a
+            # bare ``_lca_hint``), so every op inside a segment shares
+            # one hint.  Derive it once per segment -- B/log P hint
+            # computations instead of B.  The charged hint work is
+            # unchanged: each op still pays for scanning both paths.
+            for a in range(num_piv - 1):
+                lo, hi = piv_pos[a], piv_pos[a + 1]
+                if hi - lo < 2:
+                    continue
+                pa = paths.get(lo)
+                pb = paths.get(hi)
+                seg_work = (len(pa) if pa else 0) + (len(pb) if pb else 0)
+                seg_hint = _lca_hint(pa, pb, 0, ids_b=pivot_ids(hi))
+                for pos in range(lo + 1, hi):
+                    hint_work += seg_work
+                    rest.append((pos, seg_hint))
+        else:
+            for pos in range(b):
+                if pos in piv_set:
+                    continue
+                a = bisect.bisect_right(piv_pos, pos) - 1
+                c = min(a + 1, num_piv - 1)
+                pa = paths.get(piv_pos[a])
+                pb = paths.get(piv_pos[c])
+                hint_work += (len(pa) if pa else 0) + (len(pb) if pb else 0)
+                hint, derived = derive_or_hint(pos, piv_pos[a], piv_pos[c])
+                if hint == "done":
+                    settle_derived(pos, derived, record=record_all,
+                                   keep_ordered=False)
+                    continue
+                if derived:
+                    pre_derived[pos] = derived
+                if min_lvl(pos) > 0:
+                    # Underived level-constrained search: start from the
+                    # root.  The upper descent is local (replicated), and
+                    # an elevated per-segment hint can force a long
+                    # horizontal walk when many stored keys separate the
+                    # bounding pivots; the shared-predecessor contention
+                    # case never reaches here (the squeeze derivation
+                    # settles it).
+                    hint = None
+                rest.append((pos, hint))
         if rest:
             cpu.charge_wd(WorkDepth(hint_work + len(rest),
                                     max(1.0, math.log2(len(rest) + 1)) + 8))

@@ -37,14 +37,25 @@ class PIMSkipList:
         :class:`~repro.sim.errors.InvalidBatchError`.  Default off so
         small-scale tests and ablations can run; the complexity
         guarantees only hold at or above the minimums.
+    storage:
+        Structure-storage backend: ``"object"`` (the plain linked node
+        graph), ``"arena"`` (node graph + flat index-addressed arrays
+        enabling the vectorized search walk; see
+        :mod:`repro.core.storage`), or ``None`` to consult the
+        ``REPRO_STRUCT_STORAGE`` environment variable (default
+        ``"object"``).  Model metrics are certified bit-identical
+        across storages by ``repro.verify.differ``; only wall-clock
+        behaviour differs.
     """
 
     def __init__(self, machine: PIMMachine, name: str = "skiplist",
                  enforce_batch_size: bool = False,
-                 h_low_override: int = None) -> None:
+                 h_low_override: Optional[int] = None,
+                 storage: Optional[str] = None) -> None:
         self.machine = machine
         self.struct = SkipListStructure(machine, name=name,
-                                        h_low_override=h_low_override)
+                                        h_low_override=h_low_override,
+                                        storage=storage)
         self.enforce_batch_size = enforce_batch_size
         # Register eagerly (direct sends in tests and the single-op path
         # rely on it); the op-pipeline driver re-registers the same cached
@@ -146,7 +157,7 @@ class PIMSkipList:
 
     def batch_range_auto(self, ops: Sequence[Tuple[Hashable, Hashable]],
                          func: str = "read", func_arg: Any = None,
-                         large_threshold: int = None):
+                         large_threshold: Optional[int] = None):
         """Batched ranges with per-op routing: large ops broadcast (§5.1),
         small ops run through the tree execution (§5.2's closing remark)."""
         self._check_batch(len(ops), self.min_search_batch, "RangeOperation")
@@ -155,7 +166,7 @@ class PIMSkipList:
                                           large_threshold)
 
     def apply_range(self, lkey: Hashable, rkey: Hashable, fn,
-                    use_broadcast: bool = None):
+                    use_broadcast: Optional[bool] = None):
         """Range operation with an arbitrary CPU-side function
         ``fn(key, value) -> new_value`` (the paper's read / CPU-apply /
         write-back split); returns the old values."""
@@ -268,7 +279,8 @@ class PIMSkipList:
             self.batch_delete([k for k, _ in moved])
         out = PIMSkipList(self.machine,
                           name=f"{self.struct.name}:split{seq}",
-                          enforce_batch_size=self.enforce_batch_size)
+                          enforce_batch_size=self.enforce_batch_size,
+                          storage=self.storage)
         out.build(moved)
         return out
 
@@ -316,6 +328,11 @@ class PIMSkipList:
     def size(self) -> int:
         """Number of keys currently stored."""
         return self.struct.num_keys
+
+    @property
+    def storage(self) -> str:
+        """The resolved structure-storage backend ("object" / "arena")."""
+        return self.struct.storage_kind
 
     def check_integrity(self) -> None:
         """Assert all structural invariants (test/diagnostic)."""

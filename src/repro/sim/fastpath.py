@@ -457,9 +457,10 @@ class ColumnarPIMMachine(PIMMachine):
         ch.rows = rows
         fq.append(ch)
 
-    def _stage_fwd_cols(self, fn: str, dests: Any, cols: Tuple[Any, ...],
-                        size: int = 1) -> None:
-        """Stage a vectorized column chunk of continuations."""
+    def _stage_cols_into(self, queue: List[_Chunk], fn: str, dests: Any,
+                         cols: Tuple[Any, ...], size: int) -> None:
+        """Stage one vectorized column chunk (receive accounting
+        included) into ``queue``."""
         if _np is None:
             raise RuntimeError("column chunks require numpy; "
                                "check repro.sim.fastpath.HAVE_NUMPY")
@@ -483,7 +484,46 @@ class ColumnarPIMMachine(PIMMachine):
         ch.dests = dests
         ch.cols = tuple(cols)
         ch.size = size
-        self._fq.append(ch)
+        queue.append(ch)
+
+    def _stage_fwd_cols(self, fn: str, dests: Any, cols: Tuple[Any, ...],
+                        size: int = 1) -> None:
+        """Stage a vectorized column chunk of continuations."""
+        self._stage_cols_into(self._fq, fn, dests, cols, size)
+
+    @property
+    def can_send_cols(self) -> bool:
+        """Whether :meth:`send_cols` is usable right now.
+
+        False while the engine runs in scalar fallback (profiling, no
+        numpy): there the round loop never dispatches batch handlers,
+        and a column chunk's args are only meaningful to those.
+        Callers must also keep column sends off the reliable-delivery
+        protocol (chaos plans wrap every CPU-issued *scalar* message in
+        an envelope; a column chunk would bypass that accounting).
+        """
+        return _np is not None and not self._fallback_reasons
+
+    def send_cols(self, fn: str, dests: Any, cols: Tuple[Any, ...],
+                  size: int = 1) -> None:
+        """Issue one CPU-side batch of messages as a column chunk.
+
+        The vectorized twin of :meth:`send_all` for homogeneous batches:
+        ``dests`` (int64 array) and the parallel ``cols`` arrays land as
+        one chunk that ``fn``'s registered batch handler consumes
+        natively next round.  Receive accounting (h-relation units,
+        task counts) is identical to sending the rows one by one, so
+        metric streams do not depend on which form a caller uses.  Only
+        available on the columnar engine outside scalar fallback --
+        check :attr:`can_send_cols` first.
+        """
+        if not self.can_send_cols:
+            raise RuntimeError(
+                "send_cols unavailable: columnar engine is in scalar "
+                f"fallback ({[e.reason for e in self._fallback_reasons]})"
+                if self._fallback_reasons else
+                "send_cols unavailable: numpy is not importable")
+        self._stage_cols_into(self._cq, fn, dests, cols, size)
 
     # -- message issue (columnar overrides) ---------------------------------
 

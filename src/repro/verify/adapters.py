@@ -113,17 +113,19 @@ class _NaiveSuccessorMap:
 
 
 def _adapt_skiplist(name: str, seed: int, items: Sequence[Tuple[Any, Any]],
-                    num_modules: int, backend: Optional[str]) -> ImplAdapter:
+                    num_modules: int, backend: Optional[str],
+                    storage: Optional[str] = None) -> ImplAdapter:
     machine = PIMMachine(num_modules=num_modules, seed=seed, backend=backend)
-    sl = PIMSkipList(machine)
+    sl = PIMSkipList(machine, storage=storage)
     sl.build(items)
     return ImplAdapter(name, sl, machine)
 
 
 def _adapt_naive(name: str, seed: int, items: Sequence[Tuple[Any, Any]],
-                 num_modules: int, backend: Optional[str]) -> ImplAdapter:
+                 num_modules: int, backend: Optional[str],
+                 storage: Optional[str] = None) -> ImplAdapter:
     machine = PIMMachine(num_modules=num_modules, seed=seed, backend=backend)
-    sl = PIMSkipList(machine)
+    sl = PIMSkipList(machine, storage=storage)
     sl.build(items)
     return ImplAdapter(name, _NaiveSuccessorMap(sl), machine)
 
@@ -131,7 +133,8 @@ def _adapt_naive(name: str, seed: int, items: Sequence[Tuple[Any, Any]],
 def _adapt_range_partition(name: str, seed: int,
                            items: Sequence[Tuple[Any, Any]],
                            num_modules: int,
-                           backend: Optional[str]) -> ImplAdapter:
+                           backend: Optional[str],
+                           storage: Optional[str] = None) -> ImplAdapter:
     machine = PIMMachine(num_modules=num_modules, seed=seed, backend=backend)
     rp = RangePartitionedSkipList(machine)
     rp.build(items)
@@ -141,7 +144,8 @@ def _adapt_range_partition(name: str, seed: int,
 def _adapt_hash_partition(name: str, seed: int,
                           items: Sequence[Tuple[Any, Any]],
                           num_modules: int,
-                          backend: Optional[str]) -> ImplAdapter:
+                          backend: Optional[str],
+                          storage: Optional[str] = None) -> ImplAdapter:
     machine = PIMMachine(num_modules=num_modules, seed=seed, backend=backend)
     hp = HashPartitionedMap(machine)
     hp.build(items)
@@ -151,7 +155,8 @@ def _adapt_hash_partition(name: str, seed: int,
 def _adapt_fine_grained(name: str, seed: int,
                         items: Sequence[Tuple[Any, Any]],
                         num_modules: int,
-                        backend: Optional[str]) -> ImplAdapter:
+                        backend: Optional[str],
+                        storage: Optional[str] = None) -> ImplAdapter:
     machine = PIMMachine(num_modules=num_modules, seed=seed, backend=backend)
     fg = FineGrainedSkipList(machine)
     fg.build(items)
@@ -159,7 +164,8 @@ def _adapt_fine_grained(name: str, seed: int,
 
 
 def _adapt_local(name: str, seed: int, items: Sequence[Tuple[Any, Any]],
-                 num_modules: int, backend: Optional[str]) -> ImplAdapter:
+                 num_modules: int, backend: Optional[str],
+                 storage: Optional[str] = None) -> ImplAdapter:
     # The sequential baseline owns no machine; ``backend`` is moot.
     ls = LocalSkipList(rng=random.Random(seed ^ 0x10CA1))
     for k, v in items:
@@ -168,7 +174,8 @@ def _adapt_local(name: str, seed: int, items: Sequence[Tuple[Any, Any]],
 
 
 def _adapt_lsm(name: str, seed: int, items: Sequence[Tuple[Any, Any]],
-               num_modules: int, backend: Optional[str]) -> ImplAdapter:
+               num_modules: int, backend: Optional[str],
+               storage: Optional[str] = None) -> ImplAdapter:
     machine = PIMMachine(num_modules=num_modules, seed=seed, backend=backend)
     # Small blocks and a low flush threshold so fuzz sessions actually
     # exercise compaction, tombstone collection and fence rebuilds.
@@ -199,13 +206,17 @@ DEFAULT_IMPLS: Tuple[str, ...] = tuple(IMPLEMENTATIONS)
 def build_implementations(names: Sequence[str], *, seed: int,
                           items: Sequence[Tuple[Any, Any]],
                           num_modules: int,
-                          backend: Optional[str] = None) -> List[ImplAdapter]:
+                          backend: Optional[str] = None,
+                          storage: Optional[str] = None) -> List[ImplAdapter]:
     """Construct the named implementations, each freshly built over
     ``items`` on its own machine seeded with ``seed``.
 
     ``backend`` picks each machine's execution backend (``"object"`` /
     ``"columnar"``); ``None`` defers to the environment override and the
-    machine default, exactly like :class:`PIMMachine` itself.
+    machine default, exactly like :class:`PIMMachine` itself.  ``storage``
+    picks the skip-list structure storage (``"object"`` / ``"arena"``)
+    the same way; implementations that are not the paper's skip list
+    ignore it.
     """
     out: List[ImplAdapter] = []
     for name in names:
@@ -214,5 +225,6 @@ def build_implementations(names: Sequence[str], *, seed: int,
             raise ValueError(
                 f"unknown implementation {name!r}; "
                 f"known: {', '.join(sorted(IMPLEMENTATIONS))}")
-        out.append(builder(name, seed, items, num_modules, backend))
+        out.append(builder(name, seed, items, num_modules, backend,
+                           storage=storage))
     return out

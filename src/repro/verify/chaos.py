@@ -130,13 +130,16 @@ def chaos_session(session_seed: int, schedule: str, fault_seed: int = 0, *,
                   batch_size: int = 16, checkpoint_every: int = 3,
                   allow_restore: bool = True,
                   session: Optional[Session] = None,
+                  storage: Optional[str] = None,
                   check_overhead: bool = True) -> ChaosReport:
     """Replay one fuzz session under a machine-level fault schedule.
 
     ``session`` overrides the fuzzed one (the repro-replay path); its
-    seed then labels the report.  The report carries a fingerprint of
-    every observable (results, fault statistics, rounds) for the
-    bit-identical-rerun check.
+    seed then labels the report.  ``storage`` picks the skip list's
+    structure storage for the twin, the chaos run, and every standby a
+    recovery builds (``None`` defers to the environment override).  The
+    report carries a fingerprint of every observable (results, fault
+    statistics, rounds) for the bit-identical-rerun check.
     """
     if schedule not in MACHINE_SCHEDULES:
         raise ValueError(f"unknown fault schedule {schedule!r}; known: "
@@ -154,7 +157,7 @@ def chaos_session(session_seed: int, schedule: str, fault_seed: int = 0, *,
     # and the only difference under chaos is fault handling).
     oracle = SequentialOracle(items)
     twin_machine = PIMMachine(num_modules=num_modules, seed=session.seed)
-    twin = PIMSkipList(twin_machine)
+    twin = PIMSkipList(twin_machine, storage=storage)
     twin.build(items)
     expected: List = []
     for batch in session.batches:
@@ -169,7 +172,7 @@ def chaos_session(session_seed: int, schedule: str, fault_seed: int = 0, *,
     def standby() -> PIMSkipList:
         m = PIMMachine(num_modules=num_modules, seed=session.seed)
         machines.append(m)
-        return PIMSkipList(m)
+        return PIMSkipList(m, storage=storage)
 
     chaotic = standby()
     chaotic.build(items)
@@ -248,13 +251,15 @@ def check_chaos_determinism(session_seed: int, schedule: str,
                             fault_seed: int = 0, *,
                             num_modules: int = 8, num_batches: int = 10,
                             batch_size: int = 16,
+                            storage: Optional[str] = None,
                             ) -> Optional[Divergence]:
     """Run the same chaos session twice; the fingerprints must match.
 
     Returns the describing divergence on mismatch, else ``None``.
     """
     kwargs = dict(num_modules=num_modules, num_batches=num_batches,
-                  batch_size=batch_size, check_overhead=False)
+                  batch_size=batch_size, storage=storage,
+                  check_overhead=False)
     first = chaos_session(session_seed, schedule, fault_seed, **kwargs)
     second = chaos_session(session_seed, schedule, fault_seed, **kwargs)
     if first.fingerprint == second.fingerprint:
@@ -289,12 +294,13 @@ def chaos_containers(seed: int, schedule: str, fault_seed: int = 0, *,
 def chaos_matrix(session_seeds: Sequence[int],
                  schedules: Sequence[str], fault_seed: int = 0, *,
                  num_modules: int = 8, num_batches: int = 10,
-                 batch_size: int = 16) -> List[ChaosReport]:
+                 batch_size: int = 16,
+                 storage: Optional[str] = None) -> List[ChaosReport]:
     """The full sweep: every session seed under every fault schedule."""
     return [
         chaos_session(seed, schedule, fault_seed,
                       num_modules=num_modules, num_batches=num_batches,
-                      batch_size=batch_size)
+                      batch_size=batch_size, storage=storage)
         for schedule in schedules
         for seed in session_seeds
     ]

@@ -19,7 +19,11 @@ the skip list's structural invariants are asserted, and the whole
 session is replayed once more on a fresh machine to check that the
 per-op metric stream -- collected through the op pipeline's
 ``batch_observer`` hook -- is bit-identical across reruns of the same
-seed.
+seed.  Two further solo replays pin the equivalence axes: one on the
+*other execution backend* (object vs columnar engine) and one on the
+*other structure storage* (object node graph vs flat arena), each of
+which must reproduce the primary run's results and metric stream
+bit-for-bit.
 
 Divergences are collected, not raised: the driver is also the shrinker's
 test function, and a shrinker needs "still failing?" as a value.
@@ -55,7 +59,7 @@ class Divergence:
     impl: str
     kind: str  # result | final_state | integrity | determinism |
     #            rounds_envelope | split_result | split_monotonicity |
-    #            container | crash | backend
+    #            container | crash | backend | storage
     detail: str
 
     def __str__(self) -> str:
@@ -131,7 +135,9 @@ def verify_session(session: Session,
                    check_metamorphic: bool = True,
                    check_determinism: bool = True,
                    check_backends: bool = True,
+                   check_storages: bool = True,
                    backend: Optional[str] = None,
+                   storage: Optional[str] = None,
                    fault: Optional[Tuple[str, str]] = None,
                    ) -> SessionReport:
     """Differentially replay ``session``; returns the full report.
@@ -146,6 +152,14 @@ def verify_session(session: Session,
     results must match the oracle and its per-op metric stream must be
     bit-identical to the primary run's -- the oracle-level certification
     that the two engines are observationally equivalent.
+
+    ``check_storages`` (also the default) does the same along the
+    structure-storage axis: the skip list session is replayed on the
+    *other* storage backend (arena when the primary used object nodes,
+    and vice versa) on the same execution backend, and its read
+    results, final structural integrity, and per-op metric stream must
+    all match the primary run bit-for-bit -- the certification that the
+    flat arena and the pointer graph are the same structure.
     """
     names = tuple(impls) if impls is not None else DEFAULT_IMPLS
     items = initial_items_for(session)
@@ -154,7 +168,7 @@ def verify_session(session: Session,
     oracle = SequentialOracle(items)
     adapters = build_implementations(names, seed=session.seed, items=items,
                                      num_modules=num_modules,
-                                     backend=backend)
+                                     backend=backend, storage=storage)
     if fault is not None:
         from repro.verify.faults import inject_fault
         impl_name, fault_name = fault
@@ -172,7 +186,7 @@ def verify_session(session: Session,
         twin = build_implementations(["skiplist"], seed=session.seed,
                                      items=items,
                                      num_modules=num_modules,
-                                     backend=backend)[0]
+                                     backend=backend, storage=storage)[0]
 
     # Per-op metric stream of the skip list's machine, via the pipeline
     # driver's batch_observer hook (nested ops included).
@@ -236,13 +250,20 @@ def verify_session(session: Session,
 
     if check_determinism and skiplist is not None:
         _check_determinism(report, session, num_modules, stream,
-                           backend=backend, fault=fault)
+                           backend=backend, storage=storage, fault=fault)
 
     if (check_backends and skiplist is not None
             and skiplist.machine is not None):
         _check_backend_equivalence(
             report, session, num_modules, stream,
-            primary_backend=skiplist.machine.backend, fault=fault)
+            primary_backend=skiplist.machine.backend, storage=storage,
+            fault=fault)
+
+    if check_storages and skiplist is not None:
+        _check_storage_equivalence(
+            report, session, num_modules, stream,
+            primary_storage=skiplist.impl.storage,
+            backend=backend, fault=fault)
     return report
 
 
@@ -370,18 +391,19 @@ def _check_determinism(report: SessionReport, session: Session,
                        num_modules: int,
                        first_stream: List[Tuple[str, MetricsDelta]], *,
                        backend: Optional[str] = None,
+                       storage: Optional[str] = None,
                        fault: Optional[Tuple[str, str]] = None,
                        ) -> None:
-    """Replay the skip list alone on a fresh machine (same backend); the
-    per-op metric stream must be bit-identical to the first run's.  An
-    injected fault is replayed too, so this check isolates
-    nondeterminism rather than re-detecting the fault's state
+    """Replay the skip list alone on a fresh machine (same backend and
+    storage); the per-op metric stream must be bit-identical to the
+    first run's.  An injected fault is replayed too, so this check
+    isolates nondeterminism rather than re-detecting the fault's state
     divergence."""
     items = initial_items_for(session)
     rerun = build_implementations(["skiplist"], seed=session.seed,
                                   items=items,
                                   num_modules=num_modules,
-                                  backend=backend)[0]
+                                  backend=backend, storage=storage)[0]
     if fault is not None and fault[0] == "skiplist":
         from repro.verify.faults import inject_fault
         inject_fault(rerun, fault[1])
@@ -413,6 +435,7 @@ def _check_backend_equivalence(report: SessionReport, session: Session,
                                num_modules: int,
                                first_stream: List[Tuple[str, MetricsDelta]],
                                *, primary_backend: str,
+                               storage: Optional[str] = None,
                                fault: Optional[Tuple[str, str]] = None,
                                ) -> None:
     """Replay the skip list alone on the other execution backend.
@@ -430,7 +453,7 @@ def _check_backend_equivalence(report: SessionReport, session: Session,
     items = initial_items_for(session)
     rerun = build_implementations(["skiplist"], seed=session.seed,
                                   items=items, num_modules=num_modules,
-                                  backend=other)[0]
+                                  backend=other, storage=storage)[0]
     faulted = fault is not None and fault[0] == "skiplist"
     if faulted:
         from repro.verify.faults import inject_fault
@@ -472,6 +495,84 @@ def _check_backend_equivalence(report: SessionReport, session: Session,
                 seed=session.seed, batch_index=-1, op="rerun",
                 impl="skiplist", kind="backend",
                 detail=(f"pipeline op {j}: {primary_backend} ({op1}, {d1})"
+                        f" != {other} ({op2}, {d2})")))
+            return
+
+
+def _check_storage_equivalence(report: SessionReport, session: Session,
+                               num_modules: int,
+                               first_stream: List[Tuple[str, MetricsDelta]],
+                               *, primary_storage: str,
+                               backend: Optional[str] = None,
+                               fault: Optional[Tuple[str, str]] = None,
+                               ) -> None:
+    """Replay the skip list alone on the other structure storage.
+
+    The storage twin of :func:`_check_backend_equivalence`: same
+    execution backend, other storage (arena when the primary run used
+    object nodes, and vice versa).  Read results must match the
+    sequential oracle, the rerun's structural invariants must hold
+    after the last batch, and the per-op metric stream must be
+    *bit-identical* to the primary run's -- the certification that the
+    flat arena and the pointer graph are the same structure with the
+    same costs, op for op.  A skip-list fault is replayed too; a
+    *storage-level* fault (e.g. ``arena_succ_corrupt``) is by design a
+    no-op on the other storage, so its drift surfaces here as a
+    ``storage`` stream divergence.
+    """
+    other = "arena" if primary_storage == "object" else "object"
+    items = initial_items_for(session)
+    rerun = build_implementations(["skiplist"], seed=session.seed,
+                                  items=items, num_modules=num_modules,
+                                  backend=backend, storage=other)[0]
+    faulted = fault is not None and fault[0] == "skiplist"
+    if faulted:
+        from repro.verify.faults import inject_fault
+        inject_fault(rerun, fault[1])
+    oracle = SequentialOracle(items)
+    stream: List[Tuple[str, MetricsDelta]] = []
+    assert rerun.machine is not None
+    rerun.machine.batch_observer = \
+        lambda op_name, delta: stream.append((op_name, delta))
+    for i, batch in enumerate(session.batches):
+        expected = oracle.apply_batch(batch.op, batch.payload)
+        try:
+            result = rerun.apply(batch.op, batch.payload)
+        except Exception as exc:  # noqa: BLE001 - report, don't die
+            report.divergences.append(Divergence(
+                seed=session.seed, batch_index=i, op=batch.op,
+                impl="skiplist", kind="storage",
+                detail=(f"[{other}] {type(exc).__name__}: {exc}")))
+            rerun.machine.batch_observer = None
+            return
+        if batch.op in READ_OPS and not faulted and result != expected:
+            report.divergences.append(Divergence(
+                seed=session.seed, batch_index=i, op=batch.op,
+                impl="skiplist", kind="storage",
+                detail=(f"[{other}] "
+                        + _diff_results(batch.op, batch.payload,
+                                        expected, result))))
+    rerun.machine.batch_observer = None
+    try:
+        rerun.check_integrity()
+    except AssertionError as exc:
+        report.divergences.append(Divergence(
+            seed=session.seed, batch_index=-1, op="final", impl="skiplist",
+            kind="storage",
+            detail=f"[{other}] invariant violated: {exc}"))
+    if len(stream) != len(first_stream):
+        report.divergences.append(Divergence(
+            seed=session.seed, batch_index=-1, op="rerun", impl="skiplist",
+            kind="storage",
+            detail=(f"{other} storage produced {len(stream)} pipeline "
+                    f"ops, {primary_storage} {len(first_stream)}")))
+        return
+    for j, ((op1, d1), (op2, d2)) in enumerate(zip(first_stream, stream)):
+        if op1 != op2 or d1 != d2:
+            report.divergences.append(Divergence(
+                seed=session.seed, batch_index=-1, op="rerun",
+                impl="skiplist", kind="storage",
+                detail=(f"pipeline op {j}: {primary_storage} ({op1}, {d1})"
                         f" != {other} ({op2}, {d2})")))
             return
 

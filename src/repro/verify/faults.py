@@ -11,6 +11,11 @@ see.  Faults exist at two levels and the registry names both:
   replayable repro file comes out the other end.  Pure functions of the
   payload (no RNG, no hidden state), so an injected failure shrinks
   deterministically.
+- **storage** faults corrupt a built structure's storage in place --
+  today, severing a successor index in the arena mirror while the
+  authoritative object graph stays intact.  They prove the
+  *cross-storage* replay can see: the same fault is a no-op on the
+  other storage, so the bit-identical-stream comparison must diverge.
 - **machine** faults are the named schedules of
   :data:`repro.sim.chaos.MACHINE_SCHEDULES`: seeded
   :class:`~repro.sim.chaos.FaultPlan` builders that drop / duplicate /
@@ -91,12 +96,63 @@ FAULTS: Dict[str, FaultFn] = {
 }
 
 
+# ----------------------------------------------------------------------
+# storage-level mutation faults
+# ----------------------------------------------------------------------
+
+def _arena_succ_corrupt(adapter: ImplAdapter) -> None:
+    """Sever the successor indices of one module's live lower-part
+    level-0 rows in the arena mirror (``right`` -> -1), leaving the
+    authoritative object graph intact -- one module's mirror segment
+    going stale, the classic drift bug only the cross-storage replay
+    can attribute.  The module is the one owning the median-key row, so
+    the severed range sits mid-keyspace where the vectorized wavefront
+    actually walks.  A deliberate no-op on object storage (there is no
+    arena to corrupt), which is exactly what makes the cross-storage
+    differ's stream comparison light up."""
+    from repro.core.node import UPPER
+
+    impl = adapter.impl
+    sl = getattr(impl, "sl", impl)  # unwrap _NaiveSuccessorMap
+    struct = getattr(sl, "struct", None)
+    arena = getattr(getattr(struct, "storage", None), "arena", None)
+    if arena is None:
+        return
+    rows = [aid for aid in range(arena.size)
+            if (arena.live[aid] and int(arena.level[aid]) == 0
+                and int(arena.owner[aid]) != UPPER
+                and int(arena.right[aid]) >= 0)]
+    if not rows:
+        return
+    rows.sort(key=lambda aid: int(arena.key_i64[aid])
+              if arena.key_ok[aid] else 0)
+    victim = int(arena.owner[rows[len(rows) // 2]])
+    for aid in rows:
+        if int(arena.owner[aid]) == victim:
+            arena.right[aid] = -1
+
+
+#: name -> storage corruptor (mutates the built structure's storage
+#: in place at injection time; deterministic given the same build).
+STORAGE_FAULTS: Dict[str, Callable[[ImplAdapter], None]] = {
+    "arena_succ_corrupt": _arena_succ_corrupt,
+}
+
+
 def inject_fault(adapter: ImplAdapter, fault_name: str) -> ImplAdapter:
-    """Wrap ``adapter.apply`` with the named fault; returns the adapter."""
+    """Apply the named fault to ``adapter``; returns the adapter.
+
+    Adapter faults wrap ``adapter.apply``; storage faults corrupt the
+    built structure's storage in place, once, at injection time."""
+    corrupt = STORAGE_FAULTS.get(fault_name)
+    if corrupt is not None:
+        corrupt(adapter)
+        return adapter
     fault = FAULTS.get(fault_name)
     if fault is None:
-        raise ValueError(f"unknown fault {fault_name!r}; "
-                         f"known: {', '.join(sorted(FAULTS))}")
+        raise ValueError(
+            f"unknown fault {fault_name!r}; known: "
+            f"{', '.join(sorted([*FAULTS, *STORAGE_FAULTS]))}")
     inner = adapter._apply
 
     def faulty(op: str, payload: Sequence) -> Any:
@@ -122,10 +178,11 @@ class FaultDef:
     """
 
     name: str
-    level: str  # "adapter" | "machine"
+    level: str  # "adapter" | "storage" | "machine"
     description: str
     wrap: Optional[FaultFn] = None
     build: Optional[Callable[[int, int], FaultPlan]] = None
+    corrupt: Optional[Callable[[ImplAdapter], None]] = None
 
 
 _MACHINE_DESCRIPTIONS: Dict[str, str] = {
@@ -157,11 +214,16 @@ for _name, _fn in FAULTS.items():
         name=_name, level="adapter",
         description=" ".join((_fn.__doc__ or "").split()).partition(".")[0],
         wrap=_fn))
+for _name, _cfn in STORAGE_FAULTS.items():
+    _register(FaultDef(
+        name=_name, level="storage",
+        description=" ".join((_cfn.__doc__ or "").split()).partition(".")[0],
+        corrupt=_cfn))
 for _name, _builder in MACHINE_SCHEDULES.items():
     _register(FaultDef(name=_name, level="machine",
                        description=_MACHINE_DESCRIPTIONS.get(_name, ""),
                        build=_builder))
-del _name, _fn, _builder
+del _name, _fn, _cfn, _builder
 
 
 def get_fault(name: str) -> FaultDef:

@@ -28,6 +28,7 @@ from repro.verify.chaos import (
 from repro.verify.faults import (
     FAULTS,
     REGISTRY,
+    STORAGE_FAULTS,
     FaultDef,
     _register,
     describe_faults,
@@ -91,7 +92,9 @@ class TestRegistry:
     def test_every_schedule_and_adapter_fault_is_registered(self):
         assert set(fault_names("machine")) == set(MACHINE_SCHEDULES)
         assert set(fault_names("adapter")) == set(FAULTS)
-        assert set(fault_names()) == set(MACHINE_SCHEDULES) | set(FAULTS)
+        assert set(fault_names("storage")) == set(STORAGE_FAULTS)
+        assert set(fault_names()) == (set(MACHINE_SCHEDULES) | set(FAULTS)
+                                      | set(STORAGE_FAULTS))
 
     def test_levels_are_wired_for_use(self):
         for name in fault_names("machine"):
@@ -100,6 +103,9 @@ class TestRegistry:
         for name in fault_names("adapter"):
             d = get_fault(name)
             assert d.level == "adapter" and d.wrap is not None
+        for name in fault_names("storage"):
+            d = get_fault(name)
+            assert d.level == "storage" and d.corrupt is not None
 
     def test_get_fault_raises_on_unknown(self):
         with pytest.raises(ValueError, match="unknown fault"):
@@ -137,7 +143,7 @@ class TestChaosRepros:
         assert data["fault_schedule"] == "drop"
         assert data["fault_seed"] == 2
 
-        args = argparse.Namespace(modules=8)
+        args = argparse.Namespace(modules=8, storage=None)
         assert verify_cli._replay_one(path, args) is False
         out = capsys.readouterr().out
         assert "'drop'" in out and "clean" in out
