@@ -39,6 +39,17 @@ itself.  That run uses the object backend explicitly: a fault plan
 triggers the columnar engine's documented fallback, so the price is an
 object-engine property.
 
+The skew-adversary gate reads the committed ``BENCH_pimtree.json``
+(see ``bench_pimtree.py``): it re-measures the same-successor
+adversary cells for the PIM-tree and the skip list on the simulated
+machine -- deterministic metrics, so the re-measurement must equal the
+committed numbers exactly (drift means the committed baseline is
+stale) -- then enforces the structural inequalities: the PIM-tree's
+steady-state adversary batch stays within the committed rounds
+ceiling, the plain skip list *exceeds* that same ceiling, and the
+PIM-tree's max per-module message load is at most the committed
+fraction (0.5) of the skip list's.
+
 The script also gates the serving layer against the committed
 ``BENCH_serve.json`` (see ``bench_serve.py``): the fault-free soak's
 sustained requests/sec must stay above a conservative fraction of the
@@ -53,6 +64,7 @@ Usage::
     PYTHONPATH=src python benchmarks/perf/check_regression.py
         [--baseline PATH] [--threshold 0.10] [--repeat 3] [--no-chaos]
         [--serve-baseline PATH] [--no-serve]
+        [--pimtree-baseline PATH] [--no-pimtree]
 
 Exit status 0 when every gate passes, 1 otherwise.  Faster-than-
 baseline runs always pass the wall-time gates (they are one-sided: they
@@ -74,6 +86,8 @@ from repro.sim.profiling import ThroughputProbe  # noqa: E402
 BASELINE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_simwall.json")
 SERVE_BASELINE_PATH = os.path.join(os.path.dirname(__file__),
                                    "BENCH_serve.json")
+PIMTREE_BASELINE_PATH = os.path.join(os.path.dirname(__file__),
+                                     "BENCH_pimtree.json")
 GATE_SCENARIO = "macro_successor"
 
 #: The fault-free soak must sustain at least this fraction of the
@@ -199,6 +213,75 @@ def check_serve(baseline_path: str, repeat: int,
             failures.append(f"serve {name} soak violated the serving SLO")
 
 
+def check_pimtree(baseline_path: str, failures: list) -> None:
+    """The skew-adversary gate against the committed BENCH_pimtree.json.
+
+    Re-measures the adversary cells for the PIM-tree and the skip list
+    (simulated-machine metrics: deterministic, so a mismatch against
+    the committed numbers is a stale baseline, not runner noise), then
+    enforces the structural inequalities the tree exists for:
+
+    - ``pimtree rounds <= rounds_ceiling < skiplist rounds`` -- the
+      tree's shallow pull-collapsed descent vs the skip list's
+      Theta(log n) lockstep pointer walk;
+    - ``pimtree max module load <= load_ratio_ceiling x skiplist's``.
+    """
+    from bench_pimtree import (
+        ADVERSARY,
+        CONTESTANTS,
+        make_workloads,
+        measure_cell,
+    )
+    from repro.workloads import build_items
+
+    with open(baseline_path) as f:
+        doc = json.load(f)
+    cfg = doc["config"]
+    if cfg.get("quick"):
+        failures.append(f"{baseline_path} is a --quick run; the skew gate "
+                        "needs the full-parameter baseline")
+        return
+    gates = doc["gates"]
+    items = build_items(cfg["n"], stride=1000)
+    keys = [k for k, _ in items]
+    batch = make_workloads(keys, cfg["batch"], cfg["seed"])[ADVERSARY]
+    got = {name: measure_cell(CONTESTANTS[name], items, batch,
+                              P=cfg["P"], seed=cfg["seed"])
+           for name in ("pimtree", "skiplist")}
+    print(f"pimtree skew adversary (P={cfg['P']}, B={cfg['batch']}): "
+          f"tree {got['pimtree']['rounds']} rounds / load "
+          f"{got['pimtree']['max_module_load']}, skiplist "
+          f"{got['skiplist']['rounds']} rounds / load "
+          f"{got['skiplist']['max_module_load']}, ceiling "
+          f"{gates['rounds_ceiling']} rounds, load ratio ceiling "
+          f"{gates['load_ratio_ceiling']}")
+    for name, rk, lk in (("pimtree", "pimtree_rounds", "pimtree_load"),
+                         ("skiplist", "skiplist_rounds", "skiplist_load")):
+        if (got[name]["rounds"] != gates[rk]
+                or got[name]["max_module_load"] != gates[lk]):
+            failures.append(
+                f"pimtree gate: measured {name} adversary metrics "
+                f"({got[name]['rounds']} rounds, load "
+                f"{got[name]['max_module_load']}) differ from the "
+                f"committed baseline ({gates[rk]} rounds, load "
+                f"{gates[lk]}); regenerate BENCH_pimtree.json")
+    if got["pimtree"]["rounds"] > gates["rounds_ceiling"]:
+        failures.append(
+            f"pimtree adversary batch took {got['pimtree']['rounds']} "
+            f"rounds, above the {gates['rounds_ceiling']}-round ceiling")
+    if got["skiplist"]["rounds"] <= gates["rounds_ceiling"]:
+        failures.append(
+            f"skiplist adversary batch took {got['skiplist']['rounds']} "
+            f"rounds, inside the {gates['rounds_ceiling']}-round ceiling "
+            "-- the adversary no longer separates the structures")
+    sl_load = got["skiplist"]["max_module_load"]
+    ratio = (got["pimtree"]["max_module_load"] / sl_load) if sl_load else 0.0
+    if ratio > gates["load_ratio_ceiling"]:
+        failures.append(
+            f"pimtree adversary max module load is {ratio:.2f}x the "
+            f"skiplist's (ceiling {gates['load_ratio_ceiling']})")
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", default=BASELINE_PATH,
@@ -214,11 +297,30 @@ def main() -> int:
                          "BENCH_serve)")
     ap.add_argument("--no-serve", action="store_true",
                     help="skip the serving-layer gates")
+    ap.add_argument("--pimtree-baseline", default=PIMTREE_BASELINE_PATH,
+                    help="skew-adversary baseline JSON (default: committed "
+                         "BENCH_pimtree)")
+    ap.add_argument("--no-pimtree", action="store_true",
+                    help="skip the skew-adversary gate")
+    ap.add_argument("--only-pimtree", action="store_true",
+                    help="run only the skew-adversary gate (it is exact "
+                         "and machine-independent, so a CI lane can run "
+                         "it without the wall-time gates' noise)")
     args = ap.parse_args()
     if args.repeat < 1:
         ap.error(f"--repeat must be >= 1, got {args.repeat}")
     if args.threshold < 0:
         ap.error(f"--threshold must be >= 0, got {args.threshold}")
+    if args.only_pimtree and args.no_pimtree:
+        ap.error("--only-pimtree and --no-pimtree are mutually exclusive")
+    if args.only_pimtree:
+        failures: list = []
+        check_pimtree(args.pimtree_baseline, failures)
+        for msg in failures:
+            print(f"REGRESSION: {msg}", file=sys.stderr)
+        if not failures:
+            print("ok: skew-adversary gate within threshold")
+        return 1 if failures else 0
 
     with open(args.baseline) as f:
         doc = json.load(f)
@@ -321,6 +423,9 @@ def main() -> int:
 
     if not args.no_serve:
         check_serve(args.serve_baseline, args.repeat, failures)
+
+    if not args.no_pimtree:
+        check_pimtree(args.pimtree_baseline, failures)
 
     if not args.no_chaos:
         report_protocol_price(

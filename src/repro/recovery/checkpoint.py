@@ -26,6 +26,13 @@ Canonical payloads:
   ``(priority, value)`` pairs in extraction order.  A restore re-inserts
   them in that order, so fresh tiebreaks preserve FIFO among equal
   priorities.
+- :class:`~repro.structures.pimtree.PIMTree` -- sorted ``(key, value)``
+  list, drained leaf by leaf along the chain.  A restore bulk-loads an
+  empty tree (shadow promotions restart cold -- they are a cache).
+  Unlike the skip list (whose object graph is CPU-visible), the tree's
+  leaves live *only* in module DRAM, so capture from a machine with a
+  wiped-and-unrepaired module raises :class:`CheckpointUnavailable`;
+  the recovery manager keeps its previous checkpoint + log instead.
 """
 
 from __future__ import annotations
@@ -36,14 +43,21 @@ from typing import Any, Dict, List, Tuple
 from repro.core.skiplist import PIMSkipList
 from repro.structures.fifo import PIMQueue
 from repro.structures.lsm import TOMBSTONE, PIMLSMStore
+from repro.structures.pimtree import PIMTree
 from repro.structures.priority_queue import PIMPriorityQueue
 
 __all__ = [
     "Checkpoint",
+    "CheckpointUnavailable",
     "checkpoint_structure",
     "merged_lsm_items",
     "restore_structure",
 ]
+
+
+class CheckpointUnavailable(RuntimeError):
+    """Capture would read a wiped (unreadable) module; the caller should
+    keep its previous checkpoint and try again after the next batch."""
 
 
 @dataclass(frozen=True)
@@ -97,6 +111,21 @@ def checkpoint_structure(obj: Any, batches: int = 0) -> Checkpoint:
     if isinstance(obj, PIMPriorityQueue):
         pairs = [(n.key[0], n.value) for n in obj.sl.struct.iter_level(0)]
         return Checkpoint("pq", obj.name, pairs, batches)
+    if isinstance(obj, PIMTree):
+        items: List[Tuple[Any, Any]] = []
+        lid = obj.first_leaf
+        while lid is not None:
+            owner = obj.leaf_owner[lid]
+            if owner in obj.machine.wiped_modules:
+                raise CheckpointUnavailable(
+                    f"pimtree leaf {lid} lives on wiped module {owner}")
+            state = obj.machine.modules[owner].state.get(obj.name)
+            if state is None or lid not in state["leaf"]:
+                raise CheckpointUnavailable(
+                    f"pimtree leaf {lid} unreadable on module {owner}")
+            items.extend(tuple(p) for p in state["leaf"][lid])
+            lid = obj.leaf_next[lid]
+        return Checkpoint("pimtree", obj.name, items, batches)
     raise TypeError(f"no checkpoint support for {type(obj).__name__}")
 
 
@@ -158,5 +187,13 @@ def restore_structure(chk: Checkpoint, target: Any) -> int:
             raise ValueError("restore requires an empty queue")
         if chk.payload:
             target.insert_batch(list(chk.payload))
+        return len(chk.payload)
+    if isinstance(target, PIMTree):
+        if chk.kind != "pimtree":
+            raise ValueError(f"checkpoint kind {chk.kind!r} != pimtree")
+        if target.first_leaf is not None:
+            raise ValueError("restore requires an empty tree")
+        if chk.payload:
+            target.build(list(chk.payload))
         return len(chk.payload)
     raise TypeError(f"no restore support for {type(target).__name__}")

@@ -44,6 +44,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.recovery.checkpoint import (
     Checkpoint,
+    CheckpointUnavailable,
     checkpoint_structure,
     restore_structure,
 )
@@ -232,7 +233,15 @@ class RecoveryManager:
         self._log.append((op, list(payload)))
         self._mutations += 1
         if self._mutations >= self.checkpoint_every:
-            self.checkpoint = checkpoint_structure(self.structure)
+            try:
+                self.checkpoint = checkpoint_structure(self.structure)
+            except CheckpointUnavailable:
+                # A wiped module holds part of the structure and no
+                # traffic has tripped failover yet.  The previous
+                # checkpoint + the (still-growing) log remain a correct
+                # recovery recipe; capture retries after the next
+                # mutation.
+                return
             self._log.clear()
             self._mutations = 0
 

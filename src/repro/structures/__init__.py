@@ -13,11 +13,16 @@ skip list (hash placement for balance, CPU-side coordination state):
 - :class:`~repro.structures.lsm.PIMLSMStore` -- an LSM-style ordered
   store (skip-list delta + hashed static blocks + compaction), built as
   a foil: its run side is range-partitioned, so adversarial successor
-  batches serialize exactly the way §2.2 predicts.
+  batches serialize exactly the way §2.2 predicts;
+- :class:`~repro.structures.pimtree.PIMTree` -- the authors' follow-up
+  skew-resistant successor index (PIM-tree, PVLDB 2022): push-pull
+  search plus shadow subtrees, the answer to the hot-path serialization
+  the skip list and the LSM foil both suffer under adversarial batches.
 """
 
 from repro.structures.fifo import PIMQueue
 from repro.structures.lsm import PIMLSMStore
+from repro.structures.pimtree import PIMTree
 from repro.structures.priority_queue import PIMPriorityQueue
 
-__all__ = ["PIMLSMStore", "PIMPriorityQueue", "PIMQueue"]
+__all__ = ["PIMLSMStore", "PIMPriorityQueue", "PIMQueue", "PIMTree"]

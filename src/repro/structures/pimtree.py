@@ -1,0 +1,1015 @@
+"""A skew-resistant successor index on the PIM model ("PIM-tree").
+
+The paper's skip list keeps its *upper part* replicated everywhere and
+hashes lower-part nodes across modules, which balances **uniform**
+batches -- but an adversarial batch of distinct keys whose search paths
+converge (Zipf reads, same-successor probes) funnels the lower-part
+walk into the few modules that own the hot path.  The authors'
+follow-up index (PIM-tree, PVLDB 2022) fixes exactly that with two
+mechanisms, both reproduced here on our simulator:
+
+- **push-pull search**: at every tree level the CPU chooses, per node,
+  between *pushing* the queries to the node's home module (one message
+  per query, good when the group is small) and *pulling* the node's
+  summary (fences + child ids) to the CPU side (one message of size
+  ~fan-out, good when many queries pile onto one node).  The decision
+  is a pure load comparison: pull when the group size reaches
+  ``pull_threshold`` (default ``(fanout + 1) // 2``, the break-even
+  point between ``2q`` pushed words and ``F + q`` pulled words).  The
+  same rule applies at the leaf level with the leaf capacity in place
+  of the fan-out.
+- **shadow subtrees**: an upper-level node that keeps getting pulled is
+  *hot*; after ``promote_threshold`` pulls its summary is broadcast to
+  every module (a shadow replica), and from then on queries for it are
+  sprayed round-robin across all ``P`` replicas -- the hot spot is gone
+  and the pull traffic with it.  Shadow replicas are refreshed whenever
+  the node changes (splits under it); disabling that refresh is the
+  registered storage fault ``pimtree_shadow_stale``, which the
+  differential stack must catch.
+
+Layout.  Sorted leaves of at most ``leaf_size`` pairs live in module
+state, placed by a seeded hash; interior nodes (fence keys + child
+ids) also live on seeded home modules.  The CPU keeps the *root*
+resident plus an authoritative **mirror** of every interior node: the
+mirror plans structural maintenance (B+-style splits, bottom-up), and
+every changed node is re-pushed wholesale to its home module -- search
+traffic, however, always goes through the module copies (push, pull,
+or shadow), so the read path is honestly charged.  A CPU directory of
+``leaf -> (owner, next, size)`` supports chained range scans and
+skipping emptied leaves.  Leaves are never merged (deletes leave empty
+leaves behind; the directory skips them) -- the same tombstone-flavored
+residual the LSM foil accepts.
+
+Conformance: the full ``apply_batch`` surface (get / successor /
+upsert / delete / range) with the repository-wide semantics --
+successor is non-strict (smallest key >= probe), ranges are inclusive
+and ascending, upsert duplicates collapse to the last occurrence.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.balls.hashing import KeyLevelHash, stable_hash
+from repro.cpuside.semisort import group_by
+from repro.ops import BatchOp, Broadcast, run_batch
+from repro.sim.machine import PIMMachine
+
+
+def _log2(n: int) -> float:
+    return max(1.0, math.log2(n)) if n > 1 else 1.0
+
+
+def _chunks(seq: Sequence, cap: int) -> List[list]:
+    """Split ``seq`` into the fewest balanced chunks of at most ``cap``."""
+    n = len(seq)
+    k = max(1, -(-n // cap))
+    base, extra = divmod(n, k)
+    out, start = [], 0
+    for j in range(k):
+        size = base + (1 if j < extra else 0)
+        out.append(list(seq[start:start + size]))
+        start += size
+    return out
+
+
+class _Node:
+    """One interior node: ``fences[i]`` separates ``children[i]``.
+
+    ``fences`` are subtree-minimum separators (``fences[0]`` is only
+    nominal: child 0 also covers everything below it), so routing is
+    ``bisect_right(fences, key) - 1`` clamped at 0.  ``kind`` says what
+    the children are (``"leaf"`` or ``"node"``).
+    """
+
+    __slots__ = ("fences", "children", "kind")
+
+    def __init__(self, fences: List, children: List[int], kind: str) -> None:
+        self.fences = fences
+        self.children = children
+        self.kind = kind
+
+
+def _child_of(node: _Node, key: Hashable) -> Tuple[int, str]:
+    i = max(0, bisect.bisect_right(node.fences, key) - 1)
+    return node.children[i], node.kind
+
+
+class PIMTree:
+    """Skew-resistant ordered map: push-pull search + shadow subtrees."""
+
+    #: Batch ops replayable through :meth:`apply_batch`.
+    BATCH_CAPS = frozenset({"get", "successor", "upsert", "delete", "range"})
+
+    def __init__(self, machine: PIMMachine, name: str = "pimtree",
+                 leaf_size: int = 16, fanout: int = 16,
+                 pull_threshold: Optional[int] = None,
+                 leaf_pull_threshold: Optional[int] = None,
+                 promote_threshold: int = 4) -> None:
+        self.machine = machine
+        self.name = name
+        self.leaf_size = max(2, leaf_size)
+        self.fanout = max(2, fanout)
+        self.pull_threshold = (pull_threshold if pull_threshold is not None
+                               else max(2, (self.fanout + 1) // 2))
+        self.leaf_pull_threshold = (
+            leaf_pull_threshold if leaf_pull_threshold is not None
+            else max(2, (self.leaf_size + 1) // 2))
+        self.promote_threshold = max(1, promote_threshold)
+        self.hash = KeyLevelHash(
+            machine.num_modules,
+            seed=machine.spawn_rng(stable_hash(name) & 0xFFFF)
+            .getrandbits(32))
+        # CPU-resident root + authoritative mirror of interior nodes.
+        self.root = _Node([], [], "leaf")
+        self.nodes: Dict[int, _Node] = {}
+        self.node_owner: Dict[int, int] = {}
+        self.parent: Dict[int, Optional[int]] = {}  # leaf/node id -> nid|root
+        # Leaf directory (CPU metadata, maintained exactly).
+        self.leaf_owner: Dict[int, int] = {}
+        self.leaf_next: Dict[int, Optional[int]] = {}
+        self.leaf_len: Dict[int, int] = {}
+        self.first_leaf: Optional[int] = None
+        # Shadow-subtree state.
+        self.shadows: Set[int] = set()
+        self.pull_counts: Dict[int, int] = {}
+        self._promo_queue: List[int] = []
+        #: The ``pimtree_shadow_stale`` fault flips this off: shadowed
+        #: nodes keep serving their stale replicas after splits.
+        self._shadow_invalidation = True
+        #: CPU-side search-traffic counters (not machine metrics).
+        self.stats: Dict[str, int] = {
+            "push_msgs": 0, "pull_msgs": 0, "shadow_msgs": 0,
+            "promotions": 0,
+        }
+        self.size = 0
+        self.height = 0  # interior levels below the root
+        self._next_id = 0
+        for module in machine.modules:
+            module.state.setdefault(name, {"leaf": {}, "node": {},
+                                           "shadow": {}})
+        if f"{name}:nd_step" not in machine._handlers:
+            machine.register_all(self._handlers())
+
+    # ------------------------------------------------------------------
+    # handlers (module-resident nodes, shadow replicas, leaves)
+    # ------------------------------------------------------------------
+
+    def _handlers(self) -> Dict[str, Any]:
+        name = self.name
+
+        def nstate(ctx):
+            return ctx.module.state[name]["node"]
+
+        def sstate(ctx):
+            return ctx.module.state[name]["shadow"]
+
+        def lstate(ctx):
+            return ctx.module.state[name]["leaf"]
+
+        def _store_node(store, nid, fences, children, kind, module):
+            old = store.get(nid)
+            if old is not None:
+                module.free_words(2 * len(old[1]))
+            store[nid] = (list(fences), list(children), kind)
+            module.alloc_words(2 * len(children))
+
+        def h_nd_store(ctx, nid, fences, children, kind, tag=None):
+            ctx.charge(len(children) + 1)
+            _store_node(nstate(ctx), nid, fences, children, kind, ctx.module)
+            ctx.reply(("ack",), tag=tag)
+
+        def h_nd_step(ctx, nid, key, qid, tag=None):
+            fences, children, kind = nstate(ctx)[nid]
+            ctx.charge(max(1, int(math.log2(len(children) + 1))))
+            i = max(0, bisect.bisect_right(fences, key) - 1)
+            ctx.reply(("step", qid, children[i], kind), tag=tag)
+
+        def h_nd_pull(ctx, nid, tag=None):
+            fences, children, kind = nstate(ctx)[nid]
+            ctx.charge(len(children) + 1)
+            ctx.reply(("pull", nid, tuple(fences), tuple(children), kind),
+                      size=max(1, len(children)), tag=tag)
+
+        def h_sh_store(ctx, nid, fences, children, kind, tag=None):
+            ctx.charge(len(children) + 1)
+            _store_node(sstate(ctx), nid, fences, children, kind, ctx.module)
+            ctx.reply(("ack",), tag=tag)
+
+        def h_sh_step(ctx, nid, key, qid, tag=None):
+            fences, children, kind = sstate(ctx)[nid]
+            ctx.charge(max(1, int(math.log2(len(children) + 1))))
+            i = max(0, bisect.bisect_right(fences, key) - 1)
+            ctx.reply(("step", qid, children[i], kind), tag=tag)
+
+        def h_sh_dump(ctx, tag=None):
+            shadows = sstate(ctx)
+            ctx.charge(len(shadows) + 1)
+            dump = tuple(sorted(
+                (nid, tuple(f), tuple(c), k)
+                for nid, (f, c, k) in shadows.items()))
+            ctx.reply(("shdump", ctx.module.mid, dump),
+                      size=max(1, len(dump)), tag=tag)
+
+        def h_lf_store(ctx, lid, items, tag=None):
+            leaves = lstate(ctx)
+            ctx.charge(len(items) + 1)
+            old = leaves.get(lid)
+            if old is not None:
+                ctx.module.free_words(2 * len(old))
+            leaves[lid] = [tuple(p) for p in items]
+            ctx.module.alloc_words(2 * len(items))
+            ctx.reply(("ack",), tag=tag)
+
+        def h_lf_get(ctx, lid, key, tag=None):
+            leaf = lstate(ctx)[lid]
+            ctx.charge(max(1, int(math.log2(len(leaf) + 1))))
+            i = bisect.bisect_left(leaf, (key,))
+            hit = i < len(leaf) and leaf[i][0] == key
+            ctx.reply(("lget", key, leaf[i][1] if hit else None, hit),
+                      tag=tag)
+
+        def h_lf_succ(ctx, lid, key, qid, tag=None):
+            leaf = lstate(ctx)[lid]
+            ctx.charge(max(1, int(math.log2(len(leaf) + 1))))
+            i = bisect.bisect_left(leaf, (key,))
+            found = leaf[i] if i < len(leaf) else None
+            ctx.reply(("lsucc", qid, found), tag=tag)
+
+        def h_lf_scan(ctx, lid, lo, hi, qid, tag=None):
+            leaf = lstate(ctx)[lid]
+            i = bisect.bisect_left(leaf, (lo,))
+            out = []
+            while i < len(leaf) and leaf[i][0] <= hi:
+                out.append(leaf[i])
+                i += 1
+            ctx.charge(len(out) + max(1, int(math.log2(len(leaf) + 1))))
+            last = leaf[-1][0] if leaf else None
+            ctx.reply(("lscan", qid, lid, tuple(out), last),
+                      size=max(1, len(out)), tag=tag)
+
+        def h_lf_write(ctx, lid, pairs, tag=None):
+            leaves = lstate(ctx)
+            leaf = leaves[lid]
+            ctx.charge(len(leaf) + len(pairs) + 1)
+            merged = dict(leaf)
+            merged.update(pairs)
+            new = sorted(merged.items())
+            grown = len(new) - len(leaf)
+            if grown > 0:
+                ctx.module.alloc_words(2 * grown)
+            leaves[lid] = new
+            ctx.reply(("lwrote", lid, len(new)), tag=tag)
+
+        def h_lf_del(ctx, lid, keys, tag=None):
+            leaves = lstate(ctx)
+            leaf = leaves[lid]
+            ctx.charge(len(leaf) + len(keys) + 1)
+            drop = set(keys)
+            new = [p for p in leaf if p[0] not in drop]
+            removed = len(leaf) - len(new)
+            if removed:
+                ctx.module.free_words(2 * removed)
+            leaves[lid] = new
+            ctx.reply(("ldel", lid, len(new), removed), tag=tag)
+
+        def h_lf_pull(ctx, lid, tag=None):
+            leaf = lstate(ctx)[lid]
+            ctx.charge(len(leaf) + 1)
+            ctx.reply(("lpull", lid, tuple(leaf)),
+                      size=max(1, len(leaf)), tag=tag)
+
+        return {
+            f"{name}:nd_store": h_nd_store,
+            f"{name}:nd_step": h_nd_step,
+            f"{name}:nd_pull": h_nd_pull,
+            f"{name}:sh_store": h_sh_store,
+            f"{name}:sh_step": h_sh_step,
+            f"{name}:sh_dump": h_sh_dump,
+            f"{name}:lf_store": h_lf_store,
+            f"{name}:lf_get": h_lf_get,
+            f"{name}:lf_succ": h_lf_succ,
+            f"{name}:lf_scan": h_lf_scan,
+            f"{name}:lf_write": h_lf_write,
+            f"{name}:lf_del": h_lf_del,
+            f"{name}:lf_pull": h_lf_pull,
+        }
+
+    # ------------------------------------------------------------------
+    # CPU-side helpers
+    # ------------------------------------------------------------------
+
+    def _new_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def _note_pull(self, nid: int) -> None:
+        count = self.pull_counts.get(nid, 0) + 1
+        self.pull_counts[nid] = count
+        if (count >= self.promote_threshold and nid not in self.shadows
+                and nid not in self._promo_queue):
+            self._promo_queue.append(nid)
+
+    def _next_nonempty(self, lid: Optional[int]) -> Optional[int]:
+        """First leaf at/after ``lid`` in the chain with items (CPU walk
+        over the directory; emptied leaves are skipped for free-ish)."""
+        hops = 0
+        while lid is not None and self.leaf_len.get(lid, 0) == 0:
+            lid = self.leaf_next.get(lid)
+            hops += 1
+        if hops:
+            self.machine.cpu.charge(float(hops), 1.0)
+        return lid
+
+    def _descend(self, machine: PIMMachine, queries: List[Tuple[int, Any]]):
+        """Route every ``(qid, key)`` to its covering leaf id.
+
+        The push-pull walk: per level, per node, ship the queries or
+        pull the node by the load rule; hot nodes answer from shadow
+        replicas sprayed across all modules.  A generator (used via
+        ``yield from``); returns ``{qid: lid}``.  Ends with a shadow
+        promotion broadcast when this batch's pulls made nodes hot.
+        """
+        name, p = self.name, machine.num_modules
+        done: Dict[int, int] = {}
+        at_node: Dict[int, Tuple[Any, int]] = {}  # qid -> (key, nid)
+        root = self.root
+        if not root.children:
+            return done
+        machine.cpu.charge(
+            len(queries) * max(1.0, math.log2(len(root.children) + 1)),
+            _log2(len(queries)))
+        for qid, key in queries:
+            child, kind = _child_of(root, key)
+            if kind == "leaf":
+                done[qid] = child
+            else:
+                at_node[qid] = (key, child)
+        while at_node:
+            by_node: Dict[int, List[Tuple[int, Any]]] = {}
+            for qid in sorted(at_node):
+                key, nid = at_node[qid]
+                by_node.setdefault(nid, []).append((qid, key))
+            msgs: List = []
+            pulled: Dict[int, List[Tuple[int, Any]]] = {}
+            for nid in sorted(by_node):
+                grp = by_node[nid]
+                if nid in self.shadows:
+                    for j, (qid, key) in enumerate(grp):
+                        msgs.append(((nid + qid) % p, f"{name}:sh_step",
+                                     (nid, key, qid), None))
+                    self.stats["shadow_msgs"] += len(grp)
+                elif len(grp) >= self.pull_threshold:
+                    msgs.append((self.node_owner[nid], f"{name}:nd_pull",
+                                 (nid,), None))
+                    pulled[nid] = grp
+                    self.stats["pull_msgs"] += 1
+                    self._note_pull(nid)
+                else:
+                    for qid, key in grp:
+                        msgs.append((self.node_owner[nid], f"{name}:nd_step",
+                                     (nid, key, qid), None))
+                    self.stats["push_msgs"] += len(grp)
+            replies = yield msgs
+            prev_at = at_node
+            at_node = {}
+            for r in replies:
+                if r.payload[0] == "step":
+                    _, qid, child, kind = r.payload
+                    key = prev_at[qid][0]
+                    if kind == "leaf":
+                        done[qid] = child
+                    else:
+                        at_node[qid] = (key, child)
+                else:
+                    _, nid, fences, children, kind = r.payload
+                    grp = pulled[nid]
+                    machine.cpu.charge(
+                        len(grp) * max(1.0, math.log2(len(children) + 1)),
+                        _log2(len(grp)))
+                    node = _Node(list(fences), list(children), kind)
+                    for qid, key in grp:
+                        child, ckind = _child_of(node, key)
+                        if ckind == "leaf":
+                            done[qid] = child
+                        else:
+                            at_node[qid] = (key, child)
+        promos = self._drain_promos()
+        if promos:
+            yield promos
+        return done
+
+    def _drain_promos(self) -> List[Broadcast]:
+        """Shadow promotions queued by this batch's pulls, as one
+        broadcast stage (replicas usable from the next batch on)."""
+        msgs: List[Broadcast] = []
+        for nid in self._promo_queue:
+            node = self.nodes.get(nid)
+            if node is None:
+                continue
+            msgs.append(Broadcast(
+                f"{self.name}:sh_store",
+                (nid, tuple(node.fences), tuple(node.children), node.kind),
+                None, max(1, len(node.children))))
+            self.shadows.add(nid)
+            self.stats["promotions"] += 1
+            self.stats["shadow_msgs"] += self.machine.num_modules
+        self._promo_queue = []
+        return msgs
+
+    # ------------------------------------------------------------------
+    # structural maintenance (planned on the CPU mirror)
+    # ------------------------------------------------------------------
+
+    def _plan_splits(self, contents: Dict[int, Sequence]) -> Tuple[List, Set[int]]:
+        """B+-style bottom-up splits for the oversize pulled leaves.
+
+        Mutates the CPU mirror and directory; returns ``(store_msgs,
+        changed_nids)`` -- the whole-node/leaf rewrites to push in one
+        stage, plus the interior nodes whose module (and shadow) copies
+        went stale.
+        """
+        name, cpu = self.name, self.machine.cpu
+        msgs: List = []
+        changed: Set[int] = set()
+        touched_parents: Set[Optional[int]] = set()
+        for lid in sorted(contents):
+            items = contents[lid]
+            chunks = _chunks(items, self.leaf_size)
+            cpu.charge(len(items) + len(self.root.children),
+                       _log2(len(items)))
+            old_next = self.leaf_next[lid]
+            self.leaf_len[lid] = len(chunks[0])
+            msgs.append((self.leaf_owner[lid], f"{name}:lf_store",
+                         (lid, tuple(chunks[0])), None,
+                         max(1, len(chunks[0]))))
+            pid = self.parent.get(lid)
+            node = self.root if pid is None else self.nodes[pid]
+            pos = node.children.index(lid)
+            prev = lid
+            for j, chunk in enumerate(chunks[1:], start=1):
+                nlid = self._new_id()
+                owner = self.hash.module_of(("leaf", nlid))
+                self.leaf_owner[nlid] = owner
+                self.leaf_len[nlid] = len(chunk)
+                self.leaf_next[prev] = nlid
+                prev = nlid
+                self.parent[nlid] = pid
+                node.fences.insert(pos + j, chunk[0][0])
+                node.children.insert(pos + j, nlid)
+                msgs.append((owner, f"{name}:lf_store",
+                             (nlid, tuple(chunk)), None,
+                             max(1, len(chunk))))
+            self.leaf_next[prev] = old_next
+            if pid is not None:
+                changed.add(pid)
+            touched_parents.add(pid)
+        # Cascade interior overflows bottom-up.
+        pending: Set[int] = {pid for pid in touched_parents
+                             if pid is not None}
+        while pending:
+            nxt: Set[int] = set()
+            for nid in sorted(pending):
+                if len(self.nodes[nid].children) > self.fanout:
+                    self._split_node(nid, changed, nxt)
+            pending = nxt
+        while len(self.root.children) > self.fanout:
+            self._split_root(changed)
+        for nid in sorted(changed):
+            node = self.nodes[nid]
+            msgs.append((self.node_owner[nid], f"{name}:nd_store",
+                         (nid, tuple(node.fences), tuple(node.children),
+                          node.kind), None, max(1, len(node.children))))
+        stale_shadows = sorted(changed & self.shadows)
+        if self._shadow_invalidation:
+            for nid in stale_shadows:
+                node = self.nodes[nid]
+                msgs.append(Broadcast(
+                    f"{name}:sh_store",
+                    (nid, tuple(node.fences), tuple(node.children),
+                     node.kind), None, max(1, len(node.children))))
+                self.stats["shadow_msgs"] += self.machine.num_modules
+        return msgs, changed
+
+    def _split_node(self, nid: int, changed: Set[int],
+                    cascade: Set[int]) -> None:
+        node = self.nodes[nid]
+        self.machine.cpu.charge(float(len(node.children)),
+                                _log2(len(node.children)))
+        fchunks = _chunks(node.fences, self.fanout)
+        cchunks = _chunks(node.children, self.fanout)
+        node.fences, node.children = fchunks[0], cchunks[0]
+        changed.add(nid)
+        pid = self.parent.get(nid)
+        pnode = self.root if pid is None else self.nodes[pid]
+        pos = pnode.children.index(nid)
+        for j in range(1, len(cchunks)):
+            nnid = self._new_id()
+            self.nodes[nnid] = _Node(fchunks[j], cchunks[j], node.kind)
+            self.node_owner[nnid] = self.hash.module_of(("node", nnid))
+            self.parent[nnid] = pid
+            for child in cchunks[j]:
+                self.parent[child] = nnid
+            pnode.fences.insert(pos + j, fchunks[j][0])
+            pnode.children.insert(pos + j, nnid)
+            changed.add(nnid)
+        if pid is not None:
+            changed.add(pid)
+            cascade.add(pid)
+
+    def _split_root(self, changed: Set[int]) -> None:
+        root = self.root
+        self.machine.cpu.charge(float(len(root.children)),
+                                _log2(len(root.children)))
+        fchunks = _chunks(root.fences, self.fanout)
+        cchunks = _chunks(root.children, self.fanout)
+        fences, children = [], []
+        for fch, cch in zip(fchunks, cchunks):
+            nnid = self._new_id()
+            self.nodes[nnid] = _Node(fch, cch, root.kind)
+            self.node_owner[nnid] = self.hash.module_of(("node", nnid))
+            self.parent[nnid] = None
+            for child in cch:
+                self.parent[child] = nnid
+            changed.add(nnid)
+            fences.append(fch[0])
+            children.append(nnid)
+        self.root = _Node(fences, children, "node")
+        self.height += 1
+
+    # ------------------------------------------------------------------
+    # public batched surface
+    # ------------------------------------------------------------------
+
+    def build(self, items: Sequence[Tuple[Hashable, Any]]) -> None:
+        """Bulk-load sorted-deduplicated ``items`` into an empty tree."""
+        if self.first_leaf is not None:
+            raise ValueError("build requires an empty tree")
+        run_batch(self.machine, _PTBuildOp(self, items))
+
+    def batch_get(self, keys: Sequence[Hashable]) -> List[Optional[Any]]:
+        return run_batch(self.machine, _PTGetOp(self, keys))
+
+    def batch_successor(self, keys: Sequence[Hashable],
+                        ) -> List[Optional[Tuple[Hashable, Any]]]:
+        return run_batch(self.machine, _PTSuccessorOp(self, keys))
+
+    def batch_range(self, ops: Sequence[Tuple[Hashable, Hashable]],
+                    ) -> List[List[Tuple[Hashable, Any]]]:
+        return run_batch(self.machine, _PTRangeOp(self, ops))
+
+    def batch_upsert(self, pairs: Sequence[Tuple[Hashable, Any]]) -> None:
+        run_batch(self.machine, _PTUpsertOp(self, pairs))
+
+    def batch_delete(self, keys: Sequence[Hashable]) -> None:
+        run_batch(self.machine, _PTDeleteOp(self, keys))
+
+    def apply_batch(self, op: str, payload: Sequence) -> Optional[list]:
+        """Uniform batch dispatch (contract: see
+        :meth:`repro.core.skiplist.PIMSkipList.apply_batch`)."""
+        if op == "get":
+            return self.batch_get(list(payload)) if payload else []
+        if op == "successor":
+            return self.batch_successor(list(payload)) if payload else []
+        if op == "upsert":
+            if payload:
+                self.batch_upsert(list(payload))
+            return None
+        if op == "delete":
+            if payload:
+                self.batch_delete(list(payload))
+            return None
+        if op == "range":
+            return self.batch_range(list(payload)) if payload else []
+        raise ValueError(f"apply_batch: unknown op {op!r}")
+
+    def check_integrity(self) -> None:
+        """Assert the structural invariants, dumping module state:
+
+        - the leaf chain covers every directory leaf exactly once, its
+          concatenation is strictly increasing, per-leaf sizes match
+          the directory, and the total matches ``self.size``;
+        - every interior node's module copy equals the CPU mirror;
+        - every module holds a shadow replica for exactly the promoted
+          nodes, each equal to the mirror (a stale replica -- the
+          ``pimtree_shadow_stale`` fault -- fails here).
+        """
+        run_batch(self.machine, _PTIntegrityOp(self))
+
+
+# ----------------------------------------------------------------------
+# ops
+# ----------------------------------------------------------------------
+
+class _PTOp(BatchOp):
+    """Base: handlers are registered by the tree's constructor."""
+
+    def __init__(self, tree: PIMTree, suffix: str) -> None:
+        self.tree = tree
+        self.name = f"{tree.name}:{suffix}"
+
+
+class _PTBuildOp(_PTOp):
+    def __init__(self, tree: PIMTree,
+                 items: Sequence[Tuple[Hashable, Any]]) -> None:
+        super().__init__(tree, "build")
+        self.items = items
+
+    def route(self, machine, plan):
+        tree = self.tree
+        merged: Dict[Hashable, Any] = {}
+        for k, v in self.items:
+            merged[k] = v
+        items = sorted(merged.items())
+        n = len(items)
+        if not items:
+            return None
+        machine.cpu.charge(n * _log2(n), _log2(n))
+        name = tree.name
+        msgs: List = []
+        level: List[Tuple[Any, int]] = []  # (min key, id)
+        prev: Optional[int] = None
+        for chunk in _chunks(items, tree.leaf_size):
+            lid = tree._new_id()
+            owner = tree.hash.module_of(("leaf", lid))
+            tree.leaf_owner[lid] = owner
+            tree.leaf_len[lid] = len(chunk)
+            tree.leaf_next[lid] = None
+            if prev is None:
+                tree.first_leaf = lid
+            else:
+                tree.leaf_next[prev] = lid
+            prev = lid
+            level.append((chunk[0][0], lid))
+            msgs.append((owner, f"{name}:lf_store", (lid, tuple(chunk)),
+                         None, max(1, len(chunk))))
+        kind = "leaf"
+        while len(level) > tree.fanout:
+            up: List[Tuple[Any, int]] = []
+            for chunk in _chunks(level, tree.fanout):
+                nid = tree._new_id()
+                node = _Node([f for f, _ in chunk], [c for _, c in chunk],
+                             kind)
+                tree.nodes[nid] = node
+                tree.node_owner[nid] = tree.hash.module_of(("node", nid))
+                for _, child in chunk:
+                    tree.parent[child] = nid
+                up.append((chunk[0][0], nid))
+                msgs.append((tree.node_owner[nid], f"{name}:nd_store",
+                             (nid, tuple(node.fences), tuple(node.children),
+                              node.kind), None, max(1, len(node.children))))
+            level = up
+            kind = "node"
+            tree.height += 1
+        tree.root = _Node([f for f, _ in level], [c for _, c in level],
+                          kind)
+        for _, child in level:
+            tree.parent[child] = None
+        tree.size = n
+        yield msgs
+        return None
+
+
+class _PTGetOp(_PTOp):
+    def __init__(self, tree: PIMTree, keys: Sequence[Hashable]) -> None:
+        super().__init__(tree, "batch_get")
+        self.keys = keys
+
+    def route(self, machine, plan):
+        tree, keys = self.tree, self.keys
+        groups = group_by(machine.cpu, list(range(len(keys))),
+                          key=lambda i: keys[i])
+        out: List[Optional[Any]] = [None] * len(keys)
+        if tree.first_leaf is None:
+            return out
+        distinct = sorted(groups)
+        target = yield from tree._descend(
+            machine, list(enumerate(distinct)))
+        by_leaf: Dict[int, List[Tuple[int, Any]]] = {}
+        for qid, key in enumerate(distinct):
+            by_leaf.setdefault(target[qid], []).append((qid, key))
+        name = tree.name
+        values: Dict[Any, Any] = {}
+        msgs: List = []
+        pulled: Dict[int, List[Any]] = {}
+        for lid in sorted(by_leaf):
+            grp = by_leaf[lid]
+            if tree.leaf_len.get(lid, 0) == 0:
+                for _, key in grp:
+                    values[key] = None
+            elif len(grp) >= tree.leaf_pull_threshold:
+                msgs.append((tree.leaf_owner[lid], f"{name}:lf_pull",
+                             (lid,), None))
+                pulled[lid] = [key for _, key in grp]
+                tree.stats["pull_msgs"] += 1
+            else:
+                for _, key in grp:
+                    msgs.append((tree.leaf_owner[lid], f"{name}:lf_get",
+                                 (lid, key), None))
+                tree.stats["push_msgs"] += len(grp)
+        if msgs:
+            replies = yield msgs
+            for r in replies:
+                if r.payload[0] == "lget":
+                    _, key, value, hit = r.payload
+                    values[key] = value if hit else None
+                else:
+                    _, lid, items = r.payload
+                    probe_keys = pulled[lid]
+                    machine.cpu.charge(
+                        len(probe_keys) * max(1.0,
+                                              math.log2(len(items) + 1)),
+                        _log2(len(probe_keys)))
+                    for key in probe_keys:
+                        i = bisect.bisect_left(items, (key,))
+                        hit = i < len(items) and items[i][0] == key
+                        values[key] = items[i][1] if hit else None
+        for key, idxs in groups.items():
+            for i in idxs:
+                out[i] = values[key]
+        machine.cpu.charge(float(len(keys)), _log2(len(keys)))
+        return out
+
+
+class _PTSuccessorOp(_PTOp):
+    def __init__(self, tree: PIMTree, keys: Sequence[Hashable]) -> None:
+        super().__init__(tree, "batch_successor")
+        self.keys = keys
+
+    def route(self, machine, plan):
+        tree, keys = self.tree, self.keys
+        groups = group_by(machine.cpu, list(range(len(keys))),
+                          key=lambda i: keys[i])
+        out: List[Optional[Tuple[Hashable, Any]]] = [None] * len(keys)
+        if tree.first_leaf is None:
+            return out
+        distinct = sorted(groups)
+        target = yield from tree._descend(
+            machine, list(enumerate(distinct)))
+        name = tree.name
+        found: Dict[Any, Optional[Tuple[Hashable, Any]]] = {}
+        # key -> the leaf currently probed (None -> chain exhausted).
+        pending: Dict[Any, Optional[int]] = {}
+        for qid, key in enumerate(distinct):
+            lid = tree._next_nonempty(target[qid])
+            if lid is None:
+                found[key] = None
+            else:
+                pending[key] = lid
+        while pending:
+            by_leaf: Dict[int, List[Any]] = {}
+            for key in sorted(pending):
+                by_leaf.setdefault(pending[key], []).append(key)
+            msgs: List = []
+            pulled: Dict[int, List[Any]] = {}
+            for lid in sorted(by_leaf):
+                grp = by_leaf[lid]
+                if len(grp) >= tree.leaf_pull_threshold:
+                    msgs.append((tree.leaf_owner[lid], f"{name}:lf_pull",
+                                 (lid,), None))
+                    pulled[lid] = grp
+                    tree.stats["pull_msgs"] += 1
+                else:
+                    for key in grp:
+                        msgs.append((tree.leaf_owner[lid], f"{name}:lf_succ",
+                                     (lid, key, key), None))
+                    tree.stats["push_msgs"] += len(grp)
+            replies = yield msgs
+            resolved: Dict[Any, Optional[Tuple[Hashable, Any]]] = {}
+            for r in replies:
+                if r.payload[0] == "lsucc":
+                    _, key, hit = r.payload
+                    resolved[key] = tuple(hit) if hit is not None else None
+                else:
+                    _, lid, items = r.payload
+                    grp = pulled[lid]
+                    machine.cpu.charge(
+                        len(grp) * max(1.0, math.log2(len(items) + 1)),
+                        _log2(len(grp)))
+                    for key in grp:
+                        i = bisect.bisect_left(items, (key,))
+                        resolved[key] = (tuple(items[i]) if i < len(items)
+                                         else None)
+            nxt: Dict[Any, Optional[int]] = {}
+            for key, lid in pending.items():
+                hit = resolved[key]
+                if hit is not None:
+                    found[key] = hit
+                    continue
+                # Every item here is < key; any later non-empty leaf's
+                # minimum exceeds this leaf's range, so it answers.
+                follow = tree._next_nonempty(tree.leaf_next.get(lid))
+                if follow is None:
+                    found[key] = None
+                else:
+                    nxt[key] = follow
+            pending = nxt
+        for key, idxs in groups.items():
+            for i in idxs:
+                out[i] = found[key]
+        machine.cpu.charge(float(len(keys)), _log2(len(keys)))
+        return out
+
+
+class _PTRangeOp(_PTOp):
+    def __init__(self, tree: PIMTree,
+                 ops: Sequence[Tuple[Hashable, Hashable]]) -> None:
+        super().__init__(tree, "batch_range")
+        self.ops = ops
+
+    def route(self, machine, plan):
+        tree, ops = self.tree, self.ops
+        out: List[List[Tuple[Hashable, Any]]] = [[] for _ in ops]
+        if tree.first_leaf is None:
+            return out
+        queries = [(i, lo) for i, (lo, _hi) in enumerate(ops)]
+        target = yield from tree._descend(machine, queries)
+        name = tree.name
+        # op index -> leaf currently scanned; ops hop their chains
+        # frontier-parallel (one stage per hop across all ops).
+        active: Dict[int, int] = {}
+        for i in range(len(ops)):
+            lid = tree._next_nonempty(target.get(i))
+            if lid is not None:
+                active[i] = lid
+        while active:
+            msgs = [(tree.leaf_owner[active[i]], f"{name}:lf_scan",
+                     (active[i], ops[i][0], ops[i][1], i), None)
+                    for i in sorted(active)]
+            tree.stats["push_msgs"] += len(msgs)
+            replies = yield msgs
+            nxt: Dict[int, int] = {}
+            for r in replies:
+                _, i, lid, items, last = r.payload
+                out[i].extend(tuple(p) for p in items)
+                hi = ops[i][1]
+                if last is None or last > hi:
+                    continue
+                follow = tree._next_nonempty(tree.leaf_next.get(lid))
+                if follow is not None:
+                    nxt[i] = follow
+            active = nxt
+        total = sum(len(rows) for rows in out)
+        machine.cpu.charge(total + len(ops), _log2(total + len(ops)))
+        return out
+
+
+class _PTUpsertOp(_PTOp):
+    def __init__(self, tree: PIMTree,
+                 pairs: Sequence[Tuple[Hashable, Any]]) -> None:
+        super().__init__(tree, "batch_upsert")
+        self.pairs = pairs
+
+    def route(self, machine, plan):
+        tree = self.tree
+        merged: Dict[Hashable, Any] = {}
+        for k, v in self.pairs:
+            merged[k] = v
+        machine.cpu.charge(2.0 * len(self.pairs), _log2(len(self.pairs)))
+        if not merged:
+            return None
+        if tree.first_leaf is None:
+            # Bootstrap: the first upsert bulk-loads the empty tree.
+            yield from _PTBuildOp(tree, sorted(merged.items())).route(
+                machine, plan)
+            return None
+        name = tree.name
+        distinct = sorted(merged)
+        target = yield from tree._descend(
+            machine, list(enumerate(distinct)))
+        by_leaf: Dict[int, List[Tuple[Hashable, Any]]] = {}
+        for qid, key in enumerate(distinct):
+            by_leaf.setdefault(target[qid], []).append((key, merged[key]))
+        msgs = [(tree.leaf_owner[lid], f"{name}:lf_write",
+                 (lid, tuple(by_leaf[lid])), None,
+                 max(1, len(by_leaf[lid])))
+                for lid in sorted(by_leaf)]
+        replies = yield msgs
+        oversize: List[int] = []
+        for r in replies:
+            _, lid, new_len = r.payload
+            tree.size += new_len - tree.leaf_len[lid]
+            tree.leaf_len[lid] = new_len
+            if new_len > tree.leaf_size:
+                oversize.append(lid)
+        if oversize:
+            replies = yield [(tree.leaf_owner[lid], f"{name}:lf_pull",
+                              (lid,), None) for lid in sorted(oversize)]
+            contents = {r.payload[1]: r.payload[2] for r in replies}
+            store_msgs, _changed = tree._plan_splits(contents)
+            yield store_msgs
+        return None
+
+
+class _PTDeleteOp(_PTOp):
+    def __init__(self, tree: PIMTree, keys: Sequence[Hashable]) -> None:
+        super().__init__(tree, "batch_delete")
+        self.keys = keys
+
+    def route(self, machine, plan):
+        tree = self.tree
+        groups = group_by(machine.cpu, list(self.keys), key=lambda k: k)
+        if not groups or tree.first_leaf is None:
+            return None
+        name = tree.name
+        distinct = sorted(groups)
+        target = yield from tree._descend(
+            machine, list(enumerate(distinct)))
+        by_leaf: Dict[int, List[Hashable]] = {}
+        for qid, key in enumerate(distinct):
+            lid = target[qid]
+            if tree.leaf_len.get(lid, 0) == 0:
+                continue  # nothing to delete there
+            by_leaf.setdefault(lid, []).append(key)
+        msgs = [(tree.leaf_owner[lid], f"{name}:lf_del",
+                 (lid, tuple(by_leaf[lid])), None,
+                 max(1, len(by_leaf[lid])))
+                for lid in sorted(by_leaf)]
+        if msgs:
+            replies = yield msgs
+            for r in replies:
+                _, lid, new_len, removed = r.payload
+                tree.leaf_len[lid] = new_len
+                tree.size -= removed
+        return None
+
+
+class _PTIntegrityOp(_PTOp):
+    def __init__(self, tree: PIMTree) -> None:
+        super().__init__(tree, "check_integrity")
+
+    def route(self, machine, plan):
+        tree, name = self.tree, self.tree.name
+        msgs: List = [(owner, f"{name}:lf_pull", (lid,), None)
+                      for lid, owner in sorted(tree.leaf_owner.items())]
+        msgs.extend((tree.node_owner[nid], f"{name}:nd_pull", (nid,), None)
+                    for nid in sorted(tree.nodes))
+        msgs.append(Broadcast(f"{name}:sh_dump", (), None, 1))
+        replies = yield msgs
+        leaves: Dict[int, tuple] = {}
+        nodes: Dict[int, tuple] = {}
+        shadow_dumps: Dict[int, tuple] = {}
+        for r in replies:
+            if r.payload[0] == "lpull":
+                leaves[r.payload[1]] = r.payload[2]
+            elif r.payload[0] == "pull":
+                _, nid, fences, children, kind = r.payload
+                nodes[nid] = (fences, children, kind)
+            else:
+                _, mid, dump = r.payload
+                shadow_dumps[mid] = dump
+        # Leaf chain: complete, ordered, sizes exact, total exact.
+        assert set(leaves) == set(tree.leaf_owner), \
+            f"leaf dump {sorted(leaves)} != directory " \
+            f"{sorted(tree.leaf_owner)}"
+        seen: List[int] = []
+        lid = tree.first_leaf
+        prev_key = None
+        total = 0
+        while lid is not None:
+            seen.append(lid)
+            items = leaves[lid]
+            assert len(items) == tree.leaf_len[lid], \
+                f"leaf {lid}: {len(items)} items != directory " \
+                f"{tree.leaf_len[lid]}"
+            for k, _v in items:
+                assert prev_key is None or k > prev_key, \
+                    f"leaf {lid}: key {k!r} <= predecessor {prev_key!r}"
+                prev_key = k
+            total += len(items)
+            lid = tree.leaf_next[lid]
+        assert sorted(seen) == sorted(tree.leaf_owner), \
+            f"chain visits {sorted(seen)} != directory " \
+            f"{sorted(tree.leaf_owner)}"
+        assert total == tree.size, \
+            f"{total} chained items != size {tree.size}"
+        # Interior module copies match the CPU mirror.
+        assert set(nodes) == set(tree.nodes), \
+            f"node dump {sorted(nodes)} != mirror {sorted(tree.nodes)}"
+        for nid, (fences, children, kind) in nodes.items():
+            mirror = tree.nodes[nid]
+            assert (list(fences) == list(mirror.fences)
+                    and list(children) == list(mirror.children)
+                    and kind == mirror.kind), \
+                f"node {nid}: module copy {fences}/{children}/{kind} != " \
+                f"mirror {mirror.fences}/{mirror.children}/{mirror.kind}"
+        # Shadow replicas: present on every module, none stray, each
+        # bit-equal to the mirror.
+        for mid in range(machine.num_modules):
+            dump = dict()
+            for nid, fences, children, kind in shadow_dumps.get(mid, ()):
+                dump[nid] = (fences, children, kind)
+            assert set(dump) == set(tree.shadows), \
+                f"module {mid}: shadow set {sorted(dump)} != promoted " \
+                f"{sorted(tree.shadows)}"
+            for nid, (fences, children, kind) in dump.items():
+                mirror = tree.nodes[nid]
+                assert (list(fences) == list(mirror.fences)
+                        and list(children) == list(mirror.children)
+                        and kind == mirror.kind), \
+                    f"module {mid}: stale shadow of node {nid}: " \
+                    f"{fences}/{children} != mirror " \
+                    f"{mirror.fences}/{mirror.children}"
+        return None

@@ -36,6 +36,7 @@ from repro.core.skiplist import PIMSkipList
 from repro.sim.machine import PIMMachine
 from repro.sim.metrics import MetricsDelta
 from repro.structures.lsm import PIMLSMStore
+from repro.structures.pimtree import PIMTree
 
 MUTATING_OPS = frozenset({"upsert", "delete"})
 
@@ -186,10 +187,22 @@ def _adapt_lsm(name: str, seed: int, items: Sequence[Tuple[Any, Any]],
     return ImplAdapter(name, lsm, machine)
 
 
+def _adapt_pimtree(name: str, seed: int, items: Sequence[Tuple[Any, Any]],
+                   num_modules: int, backend: Optional[str],
+                   storage: Optional[str] = None) -> ImplAdapter:
+    machine = PIMMachine(num_modules=num_modules, seed=seed, backend=backend)
+    # Tiny nodes and an eager promotion threshold so fuzz-sized sessions
+    # (tens of keys) still grow module-resident interior levels, take
+    # both push and pull branches, and promote shadow subtrees.
+    tree = PIMTree(machine, leaf_size=4, fanout=4, promote_threshold=2)
+    tree.build(items)
+    return ImplAdapter(name, tree, machine)
+
+
 #: name -> builder(name, seed, items, num_modules, backend).  The skip
 #: list, the five baselines (range/hash partition, fine-grained,
 #: sequential local skip list, naive batched search on the paper's
-#: structure), and the LSM foil.
+#: structure), the LSM foil, and the skew-resistant PIM-tree.
 IMPLEMENTATIONS: Dict[str, Callable[..., ImplAdapter]] = {
     "skiplist": _adapt_skiplist,
     "range_partition": _adapt_range_partition,
@@ -198,6 +211,7 @@ IMPLEMENTATIONS: Dict[str, Callable[..., ImplAdapter]] = {
     "local": _adapt_local,
     "naive_batch": _adapt_naive,
     "lsm": _adapt_lsm,
+    "pimtree": _adapt_pimtree,
 }
 
 DEFAULT_IMPLS: Tuple[str, ...] = tuple(IMPLEMENTATIONS)

@@ -35,6 +35,7 @@ from repro.core.skiplist import PIMSkipList
 from repro.recovery import DegradedResult, RecoveryManager
 from repro.sim.chaos import MACHINE_SCHEDULES, build_schedule
 from repro.sim.machine import PIMMachine
+from repro.structures.pimtree import PIMTree
 from repro.verify.differ import (
     Divergence,
     READ_OPS,
@@ -50,11 +51,24 @@ __all__ = [
     "ChaosReport",
     "MESSAGE_SCHEDULES",
     "OVERHEAD_ENVELOPES",
+    "STRUCTURE_FACTORIES",
     "chaos_containers",
     "chaos_matrix",
     "chaos_session",
     "check_chaos_determinism",
 ]
+
+#: Structures the chaos harness can put under a fault schedule.  Each
+#: factory builds a fresh *empty* structure on ``machine`` (``storage``
+#: only applies to the skip list).  The PIM-tree uses the same tiny
+#: geometry as its differ adapter, so chaos-sized sessions exercise
+#: interior levels, splits, and shadow promotion/rebroadcast.
+STRUCTURE_FACTORIES = {
+    "skiplist": lambda machine, storage: PIMSkipList(machine,
+                                                     storage=storage),
+    "pimtree": lambda machine, storage: PIMTree(
+        machine, leaf_size=4, fanout=4, promote_threshold=2),
+}
 
 #: Schedules with no crash events: safe for structures that issue
 #: unprotected module->module forwards outside the recovery manager
@@ -94,6 +108,7 @@ class ChaosReport:
     schedule: str
     num_modules: int
     num_batches: int
+    structure: str = "skiplist"
     divergences: List[Divergence] = field(default_factory=list)
     degraded: bool = False
     degraded_at: int = -1  # batch index at which the run quiesced
@@ -131,33 +146,41 @@ def chaos_session(session_seed: int, schedule: str, fault_seed: int = 0, *,
                   allow_restore: bool = True,
                   session: Optional[Session] = None,
                   storage: Optional[str] = None,
+                  structure: str = "skiplist",
                   check_overhead: bool = True) -> ChaosReport:
     """Replay one fuzz session under a machine-level fault schedule.
 
     ``session`` overrides the fuzzed one (the repro-replay path); its
-    seed then labels the report.  ``storage`` picks the skip list's
-    structure storage for the twin, the chaos run, and every standby a
-    recovery builds (``None`` defers to the environment override).  The
-    report carries a fingerprint of every observable (results, fault
-    statistics, rounds) for the bit-identical-rerun check.
+    seed then labels the report.  ``structure`` picks the structure
+    under chaos (see :data:`STRUCTURE_FACTORIES`); ``storage`` picks
+    the skip list's structure storage for the twin, the chaos run, and
+    every standby a recovery builds (``None`` defers to the environment
+    override).  The report carries a fingerprint of every observable
+    (results, fault statistics, rounds) for the bit-identical-rerun
+    check.
     """
     if schedule not in MACHINE_SCHEDULES:
         raise ValueError(f"unknown fault schedule {schedule!r}; known: "
                          f"{', '.join(sorted(MACHINE_SCHEDULES))}")
+    factory = STRUCTURE_FACTORIES.get(structure)
+    if factory is None:
+        raise ValueError(f"unknown chaos structure {structure!r}; known: "
+                         f"{', '.join(sorted(STRUCTURE_FACTORIES))}")
     if session is None:
         session = fuzz_session(session_seed, num_batches=num_batches,
                                batch_size=batch_size)
     items = initial_items_for(session)
     report = ChaosReport(session_seed=session.seed, fault_seed=fault_seed,
                          schedule=schedule, num_modules=num_modules,
-                         num_batches=len(session.batches))
+                         num_batches=len(session.batches),
+                         structure=structure)
 
     # Oracle answers + the fault-free twin's round count (the overhead
     # baseline; same machine seed, so the structure evolves identically
     # and the only difference under chaos is fault handling).
     oracle = SequentialOracle(items)
     twin_machine = PIMMachine(num_modules=num_modules, seed=session.seed)
-    twin = PIMSkipList(twin_machine, storage=storage)
+    twin = factory(twin_machine, storage)
     twin.build(items)
     expected: List = []
     for batch in session.batches:
@@ -169,10 +192,10 @@ def chaos_session(session_seed: int, schedule: str, fault_seed: int = 0, *,
     # in a recovery manager whose standby factory builds clean machines.
     machines: List[PIMMachine] = []
 
-    def standby() -> PIMSkipList:
+    def standby():
         m = PIMMachine(num_modules=num_modules, seed=session.seed)
         machines.append(m)
-        return PIMSkipList(m, storage=storage)
+        return factory(m, storage)
 
     chaotic = standby()
     chaotic.build(items)
@@ -186,8 +209,8 @@ def chaos_session(session_seed: int, schedule: str, fault_seed: int = 0, *,
 
     def diverge(i: int, op: str, kind: str, detail: str) -> None:
         report.divergences.append(Divergence(
-            seed=session.seed, batch_index=i, op=op, impl="skiplist+chaos",
-            kind=kind, detail=detail))
+            seed=session.seed, batch_index=i, op=op,
+            impl=f"{structure}+chaos", kind=kind, detail=detail))
 
     for i, batch in enumerate(session.batches):
         result = manager.run(batch.op, batch.payload)
@@ -252,6 +275,7 @@ def check_chaos_determinism(session_seed: int, schedule: str,
                             num_modules: int = 8, num_batches: int = 10,
                             batch_size: int = 16,
                             storage: Optional[str] = None,
+                            structure: str = "skiplist",
                             ) -> Optional[Divergence]:
     """Run the same chaos session twice; the fingerprints must match.
 
@@ -259,14 +283,14 @@ def check_chaos_determinism(session_seed: int, schedule: str,
     """
     kwargs = dict(num_modules=num_modules, num_batches=num_batches,
                   batch_size=batch_size, storage=storage,
-                  check_overhead=False)
+                  structure=structure, check_overhead=False)
     first = chaos_session(session_seed, schedule, fault_seed, **kwargs)
     second = chaos_session(session_seed, schedule, fault_seed, **kwargs)
     if first.fingerprint == second.fingerprint:
         return None
     return Divergence(
-        seed=session_seed, batch_index=-1, op="rerun", impl="skiplist+chaos",
-        kind="chaos_determinism",
+        seed=session_seed, batch_index=-1, op="rerun",
+        impl=f"{structure}+chaos", kind="chaos_determinism",
         detail=(f"schedule {schedule!r} fault_seed={fault_seed}: rerun "
                 f"fingerprint {second.fingerprint[:12]} != first "
                 f"{first.fingerprint[:12]} (stats {second.stats} vs "
@@ -295,12 +319,14 @@ def chaos_matrix(session_seeds: Sequence[int],
                  schedules: Sequence[str], fault_seed: int = 0, *,
                  num_modules: int = 8, num_batches: int = 10,
                  batch_size: int = 16,
-                 storage: Optional[str] = None) -> List[ChaosReport]:
+                 storage: Optional[str] = None,
+                 structure: str = "skiplist") -> List[ChaosReport]:
     """The full sweep: every session seed under every fault schedule."""
     return [
         chaos_session(seed, schedule, fault_seed,
                       num_modules=num_modules, num_batches=num_batches,
-                      batch_size=batch_size, storage=storage)
+                      batch_size=batch_size, storage=storage,
+                      structure=structure)
         for schedule in schedules
         for seed in session_seeds
     ]

@@ -33,6 +33,7 @@ from typing import List, Optional, Tuple
 
 from repro.verify.chaos import (
     MESSAGE_SCHEDULES,
+    STRUCTURE_FACTORIES,
     chaos_containers,
     chaos_session,
     check_chaos_determinism,
@@ -318,7 +319,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             report = chaos_session(
                 seed, schedule, args.fault_seed,
                 num_modules=args.modules, num_batches=args.batches,
-                batch_size=args.batch_size, storage=args.storage)
+                batch_size=args.batch_size, storage=args.storage,
+                structure=args.structure)
             runs += 1
             print(report.summary())
             if report.ok:
@@ -334,7 +336,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             div = check_chaos_determinism(
                 args.seed, schedule, args.fault_seed,
                 num_modules=args.modules, num_batches=args.batches,
-                batch_size=args.batch_size, storage=args.storage)
+                batch_size=args.batch_size, storage=args.storage,
+                structure=args.structure)
             if div is not None:
                 failures += 1
                 print(f"  {div}")
@@ -512,6 +515,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="structure storage for twin, chaos run and "
                          "standbys (default: structure default / "
                          "REPRO_STRUCT_STORAGE)")
+    ch.add_argument("--structure", choices=sorted(STRUCTURE_FACTORIES),
+                    default="skiplist",
+                    help="structure to put under chaos (default skiplist)")
     ch.add_argument("--no-shrink", action="store_true",
                     help="report divergences without shrinking")
     ch.add_argument("--no-determinism", action="store_true",

@@ -132,10 +132,27 @@ def _arena_succ_corrupt(adapter: ImplAdapter) -> None:
             arena.right[aid] = -1
 
 
+def _pimtree_shadow_stale(adapter: ImplAdapter) -> None:
+    """Disable the PIM-tree's shadow-subtree invalidation: promoted
+    nodes keep serving their broadcast replicas after leaf splits
+    change the authoritative copy, so hot reads route to leaves that no
+    longer hold the moved keys -- the classic cache-invalidation bug a
+    replicated index can grow.  Latent until a batch stream promotes a
+    shadow *and* splits a leaf under it; the differ's read comparison,
+    final-state check and the tree's shadow-vs-mirror integrity sweep
+    must all be able to see it.  A deliberate no-op on every other
+    implementation."""
+    from repro.structures.pimtree import PIMTree
+
+    if isinstance(adapter.impl, PIMTree):
+        adapter.impl._shadow_invalidation = False
+
+
 #: name -> storage corruptor (mutates the built structure's storage
 #: in place at injection time; deterministic given the same build).
 STORAGE_FAULTS: Dict[str, Callable[[ImplAdapter], None]] = {
     "arena_succ_corrupt": _arena_succ_corrupt,
+    "pimtree_shadow_stale": _pimtree_shadow_stale,
 }
 
 

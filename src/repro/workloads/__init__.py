@@ -15,6 +15,10 @@ exactly the workloads the paper reasons about:
 - Zipf-skewed batches (a realistic middle ground);
 - contiguous insert/delete runs (the worst case for batch pointer
   construction and splicing, Fig. 4).
+
+:mod:`repro.workloads.skew` combines these into the skew-spectrum
+registry: every ordered structure with a flatness expectation, swept by
+the experiment scripts and the regression gate from one list.
 """
 
 from repro.workloads.sessions import (
@@ -34,11 +38,23 @@ from repro.workloads.generators import (
     uniform_fresh_keys,
     zipf_batch,
 )
+from repro.workloads.skew import (
+    SKEW_STRUCTURES,
+    SkewEntry,
+    flatness,
+    skew_get_batches,
+    sweep_get,
+)
 
 __all__ = [
+    "SKEW_STRUCTURES",
     "Session",
     "SessionBatch",
+    "SkewEntry",
     "build_items",
+    "flatness",
+    "skew_get_batches",
+    "sweep_get",
     "generate_session",
     "replay_session",
     "summarize_replay",

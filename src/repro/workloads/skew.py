@@ -1,0 +1,142 @@
+"""The skew-spectrum registry: structures x skew levels, one sweep.
+
+The paper's guarantees are *distribution-independent*; each baseline's
+failure mode grows with some flavour of skew.  This module names the
+contestants once -- the experiment scripts and the regression gate used
+to hard-code their own structure lists, which is how a new structure
+(the PIM-tree) ships without ever facing the adversary.  Anything
+registered here is swept automatically.
+
+Each :class:`SkewEntry` carries its *flatness expectation*: flatness is
+``max(io) / io(uniform)`` across the skew levels of one sweep -- "what
+does skew cost, relative to the easy case?".  Skew-resistant structures
+bound it (``max_flatness``); skew-sensitive ones are pinned *above* a
+floor (``min_flatness``), so the sweep doubles as a canary that the
+adversarial workloads still bite.  A registry whose adversary stops
+hurting the strawmen is broken in a way a green run would hide.
+
+The sweep itself (:func:`sweep_get`) is measurement-only: build each
+structure from the same items on its own machine, replay the same
+batches, record the IO-time delta per skew level.  Assertions belong to
+the callers (benchmarks, the smoke test); the library just reports.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines import (
+    FineGrainedSkipList,
+    HashPartitionedMap,
+    RangePartitionedSkipList,
+)
+from repro.core.skiplist import PIMSkipList
+from repro.sim.machine import PIMMachine
+from repro.structures.pimtree import PIMTree
+from repro.workloads.generators import same_successor_batch, zipf_batch
+
+__all__ = [
+    "SKEW_STRUCTURES",
+    "SkewEntry",
+    "flatness",
+    "skew_get_batches",
+    "sweep_get",
+]
+
+
+@dataclass(frozen=True)
+class SkewEntry:
+    """One contestant in the skew sweep.
+
+    ``factory`` builds an *empty* structure on ``machine`` (items are
+    loaded by the sweep, so every contestant sees the same data).
+    ``max_flatness`` bounds ``max(io)/io(uniform)`` for skew-resistant
+    structures; ``min_flatness`` floors it for the skew-sensitive ones
+    whose blow-up is the experiment's point.  At most one is set.
+    """
+
+    name: str
+    factory: Callable[[PIMMachine], Any]
+    max_flatness: Optional[float] = None
+    min_flatness: Optional[float] = None
+
+
+#: name -> entry.  Ordering is presentation order in the reports.
+SKEW_STRUCTURES: Dict[str, SkewEntry] = {}
+
+
+def register_skew_structure(entry: SkewEntry) -> None:
+    """Add one contestant (collision-checked; tests sweep everything)."""
+    if entry.name in SKEW_STRUCTURES:
+        raise ValueError(f"skew structure {entry.name!r} registered twice")
+    if entry.max_flatness is not None and entry.min_flatness is not None:
+        raise ValueError(f"{entry.name!r}: max_flatness and min_flatness "
+                         f"are mutually exclusive")
+    SKEW_STRUCTURES[entry.name] = entry
+
+
+register_skew_structure(SkewEntry(
+    "ours", lambda m: PIMSkipList(m), max_flatness=1.5))
+register_skew_structure(SkewEntry(
+    "pimtree", lambda m: PIMTree(m), max_flatness=1.5))
+register_skew_structure(SkewEntry(
+    "range-part", lambda m: RangePartitionedSkipList(m), min_flatness=2.0))
+register_skew_structure(SkewEntry(
+    "hash-part", lambda m: HashPartitionedMap(m), max_flatness=1.5))
+# Fine-grained placement balances *storage*, not *traffic*: same-succ
+# queries funnel through one path's modules, so its flatness blows up
+# with the coarse partitionings (measured ~3.7x at P=32).
+register_skew_structure(SkewEntry(
+    "fine-grained", lambda m: FineGrainedSkipList(m), min_flatness=2.0))
+
+
+def skew_get_batches(keys: Sequence, b: int,
+                     seed: int) -> Dict[str, List]:
+    """The Get skew spectrum: uniform -> Zipf -> adversarial.
+
+    Zipf ranks over the *stored key order*, so skew concentrates on a
+    contiguous key region (poison for range partitioning).  The two
+    adversarial endpoints: every query the same key (one-hot, defeated
+    by dedup) and distinct keys sharing one successor's neighbourhood
+    (same-succ, the §4.2 pattern dedup cannot touch).
+    """
+    rng = random.Random(seed)
+    return {
+        "uniform": [rng.choice(keys) for _ in range(b)],
+        "zipf-1.2": zipf_batch(b, keys, alpha=1.2, seed=seed),
+        "zipf-2.0": zipf_batch(b, keys, alpha=2.0, seed=seed),
+        "same-succ": same_successor_batch(keys, b, random.Random(seed)),
+        "one-hot": [keys[0]] * b,
+    }
+
+
+def flatness(ios: Dict[str, float]) -> float:
+    """``max(io) / io(uniform)``: what does skew cost vs the easy case?"""
+    return max(ios.values()) / max(1.0, ios["uniform"])
+
+
+def sweep_get(items: Sequence[Tuple], batches: Dict[str, List], *,
+              num_modules: int, seed: int,
+              names: Optional[Sequence[str]] = None,
+              ) -> Dict[str, Dict[str, float]]:
+    """Replay every batch against every registered structure.
+
+    Returns ``{structure: {skew: io_time}}`` in registry order.  Each
+    structure gets its own machine (same seed) and a fresh build of the
+    same items, so the rows are directly comparable.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for name in (names if names is not None else SKEW_STRUCTURES):
+        entry = SKEW_STRUCTURES[name]  # KeyError on unknown names
+        machine = PIMMachine(num_modules=num_modules, seed=seed)
+        struct = entry.factory(machine)
+        struct.build(list(items))
+        ios: Dict[str, float] = {}
+        for skew, batch in batches.items():
+            before = machine.snapshot()
+            struct.apply_batch("get", list(batch))
+            ios[skew] = machine.delta_since(before).io_time
+        out[name] = ios
+    return out

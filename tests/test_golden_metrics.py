@@ -25,6 +25,8 @@ from repro.collectives import Collectives
 from repro.core.skiplist import PIMSkipList
 from repro.sim.machine import PIMMachine
 from repro.structures import PIMLSMStore, PIMPriorityQueue, PIMQueue
+from repro.structures.pimtree import PIMTree
+from repro.workloads import same_successor_batch, zipf_batch
 
 GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden",
                            "golden_metrics.json")
@@ -152,6 +154,42 @@ def _structure_workloads(out):
              lambda: pq.extract_min_batch(48), out)
 
 
+def _pimtree_workloads(out):
+    """PIM-tree accounting across the skew spectrum: uniform and Zipf
+    gets, the same-successor adversary twice (cold, then hot -- the
+    second replay runs over promoted shadow subtrees, so its round and
+    message counts pin the push-pull *and* shadow code paths), and a
+    mutation wave that splits leaves under a shadowed node."""
+    p, n = 16, 512
+    machine = PIMMachine(num_modules=p, seed=71)
+    tree = PIMTree(machine, leaf_size=8, fanout=4, promote_threshold=2)
+    rng = random.Random(606)
+    keys = sorted(rng.sample(range(1, 50_000), n))
+    _measure(machine, "pimtree/build",
+             lambda: tree.build([(k, k * 3) for k in keys]), out)
+    get_uniform = [rng.choice(keys) if i % 2 == 0 else rng.randrange(50_000)
+                   for i in range(64)]
+    _measure(machine, "pimtree/batch_get_uniform",
+             lambda: tree.apply_batch("get", get_uniform), out)
+    get_zipf = zipf_batch(64, keys, alpha=1.5, seed=606)
+    _measure(machine, "pimtree/batch_get_zipf",
+             lambda: tree.apply_batch("get", get_zipf), out)
+    adversary = same_successor_batch(keys, 64, random.Random(607))
+    _measure(machine, "pimtree/batch_successor_samesucc_cold",
+             lambda: tree.apply_batch("successor", list(adversary)), out)
+    _measure(machine, "pimtree/batch_successor_samesucc_hot",
+             lambda: tree.apply_batch("successor", list(adversary)), out)
+    upserts = [(rng.choice(keys), -1) if i % 3 == 0
+               else (rng.randrange(50_000, 90_000), i)
+               for i in range(128)]
+    _measure(machine, "pimtree/batch_upsert",
+             lambda: tree.apply_batch("upsert", upserts), out)
+    del_keys = [rng.choice(keys) for _ in range(64)]
+    _measure(machine, "pimtree/batch_delete",
+             lambda: tree.apply_batch("delete", del_keys), out)
+    tree.check_integrity()
+
+
 def compute_all() -> dict:
     out: dict = {}
     _skiplist_workloads(out)
@@ -159,6 +197,7 @@ def compute_all() -> dict:
     _collective_workloads(out)
     _qrqw_workloads(out)
     _structure_workloads(out)
+    _pimtree_workloads(out)
     return out
 
 

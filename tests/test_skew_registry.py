@@ -1,0 +1,90 @@
+"""Smoke tests for the skew-spectrum registry behind the skew bench.
+
+``bench_skew_spectrum.py`` used to hard-code its structure list and had
+no test coverage at all -- a new structure could ship without ever
+facing the skew adversary, and a broken sweep would only surface when
+someone ran the benchmarks by hand.  These tests pin the registry's
+contract at a reduced scale (P=16, n=512; the spectrum's separations
+are structural, not scale-dependent, and the simulator is
+deterministic, so the assertions cannot flake).
+"""
+
+import math
+
+from repro.workloads import build_items
+from repro.workloads.skew import (
+    SKEW_STRUCTURES,
+    SkewEntry,
+    flatness,
+    register_skew_structure,
+    skew_get_batches,
+    sweep_get,
+)
+
+import pytest
+
+P = 16
+N = 512
+
+
+def run_sweep():
+    items = build_items(N, stride=1000)
+    keys = [k for k, _ in items]
+    b = P * int(math.log2(P))
+    batches = skew_get_batches(keys, b, seed=3)
+    return batches, sweep_get(items, batches, num_modules=P, seed=3)
+
+
+class TestRegistry:
+    def test_expected_contestants_present(self):
+        assert {"ours", "pimtree", "range-part", "hash-part",
+                "fine-grained"} <= set(SKEW_STRUCTURES)
+
+    def test_every_entry_declares_one_expectation(self):
+        for name, entry in SKEW_STRUCTURES.items():
+            declared = [entry.max_flatness, entry.min_flatness]
+            assert sum(x is not None for x in declared) == 1, name
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="twice"):
+            register_skew_structure(SkewEntry(
+                "ours", lambda m: None, max_flatness=1.0))
+
+    def test_two_expectations_rejected(self):
+        with pytest.raises(ValueError, match="exclusive"):
+            register_skew_structure(SkewEntry(
+                "both", lambda m: None, max_flatness=1.0,
+                min_flatness=2.0))
+
+    def test_unknown_name_rejected_by_sweep(self):
+        with pytest.raises(KeyError):
+            sweep_get([(1, 1)], {"uniform": [1]}, num_modules=4, seed=0,
+                      names=["no-such-structure"])
+
+
+class TestSweep:
+    def test_spectrum_covers_uniform_to_adversarial(self):
+        batches, _ = run_sweep()
+        assert set(batches) == {"uniform", "zipf-1.2", "zipf-2.0",
+                                "same-succ", "one-hot"}
+        assert all(len(b) == P * int(math.log2(P))
+                   for b in batches.values())
+
+    def test_every_flatness_expectation_holds(self):
+        """The registered bounds ARE the experiment: resistant
+        structures stay flat, sensitive ones still blow up (the
+        adversary still bites -- a green sweep with a toothless
+        adversary would hide a broken workload generator)."""
+        _, out = run_sweep()
+        assert set(out) == set(SKEW_STRUCTURES)
+        for name, entry in SKEW_STRUCTURES.items():
+            flat = flatness(out[name])
+            if entry.max_flatness is not None:
+                assert flat <= entry.max_flatness, (name, flat)
+            else:
+                assert flat > entry.min_flatness, (name, flat)
+
+    def test_sweep_is_deterministic(self):
+        _, first = run_sweep()
+        _, second = run_sweep()
+        assert first == second
