@@ -50,6 +50,18 @@ ceiling, the plain skip list *exceeds* that same ceiling, and the
 PIM-tree's max per-module message load is at most the committed
 fraction (0.5) of the skip list's.
 
+The durability gate reads the committed ``BENCH_durable.json`` (see
+``bench_durable.py``): the modeled-fsync WAL append throughput must
+stay above a conservative fraction (0.25x) of the committed
+records/sec, the worst-case restart (longest gated log) must finish
+within the inverse ceiling (4x) of the committed RTO, the measured
+RTO must stay monotone in the checkpoint cadence (a tight cadence
+that restarts *slower* than a loose one means replay cost leaked into
+snapshot restore), and every re-measured restart must be exact
+(``ok``) -- a fast restart to the wrong state is a correctness bug,
+not a perf win.  ``--only-durable`` runs just this gate for a CI lane;
+``--no-durable`` skips it.
+
 The script also gates the serving layer against the committed
 ``BENCH_serve.json`` (see ``bench_serve.py``): the fault-free soak's
 sustained requests/sec must stay above a conservative fraction of the
@@ -88,7 +100,17 @@ SERVE_BASELINE_PATH = os.path.join(os.path.dirname(__file__),
                                    "BENCH_serve.json")
 PIMTREE_BASELINE_PATH = os.path.join(os.path.dirname(__file__),
                                      "BENCH_pimtree.json")
+DURABLE_BASELINE_PATH = os.path.join(os.path.dirname(__file__),
+                                     "BENCH_durable.json")
 GATE_SCENARIO = "macro_successor"
+
+#: WAL append throughput floor and restart-time ceiling, as fractions
+#: of the committed BENCH_durable.json numbers.  0.25x/4x is deliberately
+#: loose -- these are sub-second cells on shared CI runners; the gate
+#: exists to catch "the write path grew an O(n) scan", not scheduler
+#: jitter.
+DURABLE_THROUGHPUT_FLOOR = 0.25
+DURABLE_RTO_CEILING = 4.0
 
 #: The fault-free soak must sustain at least this fraction of the
 #: committed baseline's requests/sec.  A floor rather than a +/- band,
@@ -282,6 +304,89 @@ def check_pimtree(baseline_path: str, failures: list) -> None:
             f"skiplist's (ceiling {gates['load_ratio_ceiling']})")
 
 
+def check_durable(baseline_path: str, repeat: int,
+                  failures: list) -> None:
+    """Gate durability against the committed BENCH_durable.json.
+
+    - WAL append floor: measured modeled-fsync records/sec must be
+      >= ``DURABLE_THROUGHPUT_FLOOR`` x the committed number;
+    - RTO ceiling: the longest committed log-length cell, re-measured,
+      must restart within ``DURABLE_RTO_CEILING`` x its committed RTO;
+    - cadence monotonicity: the tightest checkpoint interval must not
+      restart slower than the loosest (both re-measured);
+    - exactness: every re-measured restart must report ``ok``.
+    """
+    from bench_durable import bench_restart, bench_wal_append
+
+    with open(baseline_path) as f:
+        doc = json.load(f)
+    if doc.get("config", {}).get("quick"):
+        failures.append(f"{baseline_path} is a --quick run; the durable "
+                        "gate needs a full-parameter baseline")
+        return
+
+    base_append = doc["wal_append"]
+    best = None
+    for _ in range(repeat):
+        rec = bench_wal_append(base_append["records"],
+                               base_append["pairs_per_record"],
+                               os_fsync=False)
+        if best is None or rec["seconds"] < best["seconds"]:
+            best = rec
+    floor = base_append["records_per_sec"] * DURABLE_THROUGHPUT_FLOOR
+    print(f"durable wal_append: baseline "
+          f"{base_append['records_per_sec']:.0f} rec/s, measured "
+          f"{best['records_per_sec']:.0f} rec/s (floor {floor:.0f})")
+    if best["records_per_sec"] < floor:
+        failures.append(
+            f"durable WAL append {best['records_per_sec']:.0f} rec/s is "
+            f"below the {DURABLE_THROUGHPUT_FLOOR:.0%}-of-baseline floor "
+            f"({floor:.0f} rec/s)")
+
+    base_cell = max(doc["rto_log_length"], key=lambda c: c["mutations"])
+    got = bench_restart(base_cell["mutations"],
+                        base_cell["checkpoint_every"], repeat)
+    limit = base_cell["rto_seconds"] * DURABLE_RTO_CEILING
+    print(f"durable rto log={base_cell['mutations']}: baseline "
+          f"{base_cell['rto_seconds']:.3f}s, measured "
+          f"{got['rto_seconds']:.3f}s (ceiling {limit:.3f}s), "
+          f"replayed {got['replayed_records']} record(s), "
+          f"{'ok' if got['ok'] else 'RESTART WRONG'}")
+    if got["rto_seconds"] > limit:
+        failures.append(
+            f"durable restart of a {base_cell['mutations']}-record log "
+            f"took {got['rto_seconds']:.3f}s, above the "
+            f"{DURABLE_RTO_CEILING:.0f}x-baseline ceiling ({limit:.3f}s)")
+    if not got["ok"]:
+        failures.append("durable restart re-measurement was not exact")
+
+    sweep = doc["rto_checkpoint_interval"]
+    tight_base = min(sweep, key=lambda c: c["checkpoint_every"])
+    loose_base = max(sweep, key=lambda c: c["checkpoint_every"])
+    tight = bench_restart(tight_base["mutations"],
+                          tight_base["checkpoint_every"], repeat)
+    loose = bench_restart(loose_base["mutations"],
+                          loose_base["checkpoint_every"], repeat)
+    print(f"durable rto cadence: interval="
+          f"{tight_base['checkpoint_every']} -> {tight['rto_seconds']:.3f}s "
+          f"({tight['replayed_records']} replayed), interval="
+          f"{loose_base['checkpoint_every']} -> {loose['rto_seconds']:.3f}s "
+          f"({loose['replayed_records']} replayed)")
+    if tight["rto_seconds"] > loose["rto_seconds"] * DURABLE_RTO_CEILING:
+        failures.append(
+            "durable RTO is not monotone in checkpoint cadence: interval="
+            f"{tight_base['checkpoint_every']} restarts in "
+            f"{tight['rto_seconds']:.3f}s vs "
+            f"{loose['rto_seconds']:.3f}s at interval="
+            f"{loose_base['checkpoint_every']} -- snapshot restore has "
+            "absorbed the replay cost it was meant to remove")
+    for cell in (tight, loose):
+        if not cell["ok"]:
+            failures.append(
+                f"durable restart at checkpoint interval "
+                f"{cell['checkpoint_every']} was not exact")
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", default=BASELINE_PATH,
@@ -306,6 +411,15 @@ def main() -> int:
                     help="run only the skew-adversary gate (it is exact "
                          "and machine-independent, so a CI lane can run "
                          "it without the wall-time gates' noise)")
+    ap.add_argument("--durable-baseline", default=DURABLE_BASELINE_PATH,
+                    help="durability baseline JSON (default: committed "
+                         "BENCH_durable)")
+    ap.add_argument("--no-durable", action="store_true",
+                    help="skip the durability gates")
+    ap.add_argument("--only-durable", action="store_true",
+                    help="run only the durability gates (WAL throughput "
+                         "floor + RTO ceiling + cadence monotonicity) "
+                         "for a CI lane")
     args = ap.parse_args()
     if args.repeat < 1:
         ap.error(f"--repeat must be >= 1, got {args.repeat}")
@@ -313,6 +427,10 @@ def main() -> int:
         ap.error(f"--threshold must be >= 0, got {args.threshold}")
     if args.only_pimtree and args.no_pimtree:
         ap.error("--only-pimtree and --no-pimtree are mutually exclusive")
+    if args.only_durable and args.no_durable:
+        ap.error("--only-durable and --no-durable are mutually exclusive")
+    if args.only_pimtree and args.only_durable:
+        ap.error("--only-pimtree and --only-durable are mutually exclusive")
     if args.only_pimtree:
         failures: list = []
         check_pimtree(args.pimtree_baseline, failures)
@@ -320,6 +438,14 @@ def main() -> int:
             print(f"REGRESSION: {msg}", file=sys.stderr)
         if not failures:
             print("ok: skew-adversary gate within threshold")
+        return 1 if failures else 0
+    if args.only_durable:
+        failures = []
+        check_durable(args.durable_baseline, args.repeat, failures)
+        for msg in failures:
+            print(f"REGRESSION: {msg}", file=sys.stderr)
+        if not failures:
+            print("ok: durability gates within threshold")
         return 1 if failures else 0
 
     with open(args.baseline) as f:
@@ -426,6 +552,9 @@ def main() -> int:
 
     if not args.no_pimtree:
         check_pimtree(args.pimtree_baseline, failures)
+
+    if not args.no_durable:
+        check_durable(args.durable_baseline, args.repeat, failures)
 
     if not args.no_chaos:
         report_protocol_price(

@@ -14,6 +14,10 @@ Three layers, composable:
   hardware, replays, and retries -- or returns a typed
   :class:`~repro.recovery.manager.DegradedResult` when recovery is
   disabled or exhausted.  Never a wrong answer.
+- :mod:`repro.recovery.durable` -- the host-crash half: an on-disk WAL
+  plus atomic snapshots under one state dir, so the manager's
+  checkpoint + log survive process death and restarts replay to
+  exactly the acked prefix (RPO = 0).
 """
 
 from repro.recovery.checkpoint import (
@@ -21,6 +25,12 @@ from repro.recovery.checkpoint import (
     checkpoint_structure,
     merged_lsm_items,
     restore_structure,
+)
+from repro.recovery.durable import (
+    DurabilityError,
+    DurabilityPolicy,
+    DurableStore,
+    WalCorruption,
 )
 from repro.recovery.manager import (
     MUTATING_OPS,
@@ -39,6 +49,10 @@ __all__ = [
     "Checkpoint",
     "DegradedReason",
     "DegradedResult",
+    "DurabilityError",
+    "DurabilityPolicy",
+    "DurableStore",
+    "WalCorruption",
     "MUTATING_OPS",
     "RecoveryEvent",
     "RecoveryManager",

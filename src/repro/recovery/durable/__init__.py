@@ -1,0 +1,53 @@
+"""Durable crash-consistent persistence for the recovery layer.
+
+The in-memory :class:`~repro.recovery.manager.RecoveryManager` survives
+*module* crashes; this package makes its checkpoint + log survive
+*host* crashes too: an on-disk WAL (:mod:`.wal`), atomic snapshot
+files (:mod:`.snapshot`), the :class:`~repro.recovery.durable.store.DurableStore`
+that composes them under one state dir (:mod:`.store`), and the
+offline checker/repairer behind ``repro fsck`` (:mod:`.fsck`).
+"""
+
+from repro.recovery.durable.fsck import FsckFinding, FsckReport, fsck
+from repro.recovery.durable.snapshot import (
+    list_snapshots,
+    load_snapshot,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.recovery.durable.store import (
+    DurabilityError,
+    DurabilityPolicy,
+    DurableStore,
+    OpenReport,
+    WalCorruption,
+)
+from repro.recovery.durable.wal import (
+    ScanIssue,
+    SegmentScan,
+    WalRecord,
+    WalWriter,
+    list_segments,
+    scan_segment,
+)
+
+__all__ = [
+    "DurabilityError",
+    "DurabilityPolicy",
+    "DurableStore",
+    "FsckFinding",
+    "FsckReport",
+    "OpenReport",
+    "ScanIssue",
+    "SegmentScan",
+    "WalCorruption",
+    "WalRecord",
+    "WalWriter",
+    "fsck",
+    "list_segments",
+    "list_snapshots",
+    "load_snapshot",
+    "read_snapshot",
+    "scan_segment",
+    "write_snapshot",
+]

@@ -1,0 +1,193 @@
+"""``repro fsck``: offline check / repair of a durable state dir.
+
+Check mode walks the snapshot set and every WAL segment with the same
+scanner the reopen path uses and reports everything it finds -- torn
+tails, mid-log corruption, LSN gaps, duplicate records, corrupt
+snapshots, orphaned ``.snap.tmp`` files -- without touching a byte.
+
+Repair mode makes the directory openable again and is explicit about
+the cost: torn tails are truncated (free -- a torn record was never
+acked), orphan tmps and corrupt-but-redundant snapshots are deleted
+(free -- retention keeps an older valid snapshot plus the segments to
+replay past it), and mid-log corruption is truncated *at the damage*
+with every later record counted as lost -- including whole later
+segments, which would otherwise start after an LSN gap.  That lost
+count is acked data; fsck reports it rather than hiding it, which is
+exactly why the reopen path refuses to do this silently.
+
+A directory whose every snapshot is corrupt is unrepairable (there is
+no state to replay onto); fsck says so and leaves it alone.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.recovery.durable.snapshot import (
+    list_orphan_tmps,
+    list_snapshots,
+    read_snapshot,
+)
+from repro.recovery.durable.wal import list_segments, scan_segment
+
+__all__ = ["FsckFinding", "FsckReport", "fsck"]
+
+
+@dataclass(frozen=True)
+class FsckFinding:
+    """One problem: ``kind`` matches the scanner's issue kinds plus
+    ``corrupt_snapshot`` / ``orphan_tmp`` / ``no_valid_snapshot`` /
+    ``segment_gap``; ``action`` is what repair did (empty in check
+    mode)."""
+
+    kind: str
+    path: str
+    detail: str
+    action: str = ""
+
+
+@dataclass
+class FsckReport:
+    """Everything one fsck pass saw (and, under ``--repair``, did)."""
+
+    root: str
+    findings: List[FsckFinding] = field(default_factory=list)
+    records_ok: int = 0
+    snapshots_ok: int = 0
+    #: Acked records destroyed by repairing mid-log corruption.
+    lost_records: int = 0
+    repaired: bool = False
+    #: False only when every snapshot is corrupt: nothing to repair onto.
+    repairable: bool = True
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def lines(self) -> List[str]:
+        """Human-readable report body, one finding per line."""
+        out = [f"fsck {self.root}: {self.snapshots_ok} snapshot(s), "
+               f"{self.records_ok} record(s) ok"]
+        for f in self.findings:
+            line = f"  {f.kind}: {os.path.basename(f.path)} -- {f.detail}"
+            if f.action:
+                line += f" [{f.action}]"
+            out.append(line)
+        if self.lost_records:
+            out.append(f"  LOST {self.lost_records} acked record(s) "
+                       f"repairing mid-log corruption")
+        if not self.repairable:
+            out.append("  UNREPAIRABLE: no valid snapshot to recover onto")
+        if self.clean:
+            out.append("  clean")
+        return out
+
+
+def fsck(root: str, repair: bool = False) -> FsckReport:
+    """Check (and with ``repair=True`` fix) the state dir at ``root``."""
+    report = FsckReport(root=root, repaired=repair)
+    if not os.path.isdir(root):
+        report.findings.append(FsckFinding(
+            kind="missing_dir", path=root, detail="state dir does not exist"))
+        return report
+
+    # Snapshots: every corrupt one is a finding; repair deletes it only
+    # while an older valid snapshot remains to fall back to.
+    valid_snaps = []
+    for info in list_snapshots(root):
+        if read_snapshot(info.path) is None:
+            report.findings.append(FsckFinding(
+                kind="corrupt_snapshot", path=info.path,
+                detail="truncated or checksum-failing snapshot",
+                action="deleted" if repair else ""))
+            if repair:
+                os.remove(info.path)
+        else:
+            valid_snaps.append(info)
+    report.snapshots_ok = len(valid_snaps)
+    if not valid_snaps:
+        report.findings.append(FsckFinding(
+            kind="no_valid_snapshot", path=root,
+            detail="every snapshot is corrupt or missing"))
+        report.repairable = False
+
+    for tmp in list_orphan_tmps(root):
+        report.findings.append(FsckFinding(
+            kind="orphan_tmp", path=tmp,
+            detail="snapshot tmp never renamed (crash before publish)",
+            action="deleted" if repair else ""))
+        if repair:
+            os.remove(tmp)
+
+    # Segments, in LSN order.  After the first hard damage, every later
+    # record is unreachable by replay (LSN gap), so repair truncates
+    # there and drops the later segments wholesale.
+    segments = list_segments(root)
+    poisoned = False
+    for idx, (first_lsn, path) in enumerate(segments):
+        last = idx == len(segments) - 1
+        if poisoned:
+            scan = scan_segment(path, expect_lsn=first_lsn)
+            report.lost_records += len(scan.records)
+            report.findings.append(FsckFinding(
+                kind="segment_gap", path=path,
+                detail=f"{len(scan.records)} record(s) stranded after "
+                       f"mid-log damage in an earlier segment",
+                action="deleted" if repair else ""))
+            if repair:
+                os.remove(path)
+            continue
+        scan = scan_segment(path, expect_lsn=first_lsn)
+        report.records_ok += len(scan.records)
+        for issue in scan.issues:
+            if issue.kind == "duplicate_lsn":
+                # Idempotently skipped by replay; nothing to fix.
+                report.findings.append(FsckFinding(
+                    kind=issue.kind, path=path, detail=issue.detail))
+            elif issue.kind == "torn_tail" and last:
+                report.findings.append(FsckFinding(
+                    kind=issue.kind, path=path, detail=issue.detail,
+                    action=(f"truncated to {scan.good_size} byte(s)"
+                            if repair else "")))
+                if repair:
+                    _truncate(path, scan.good_size)
+            else:
+                # corrupt_record / lsn_gap / torn data in a sealed
+                # segment: acked records after this point are lost if
+                # we repair; count them honestly.
+                report.findings.append(FsckFinding(
+                    kind=issue.kind, path=path, detail=issue.detail,
+                    action=(f"truncated to {scan.good_size} byte(s)"
+                            if repair else "")))
+                report.lost_records += _count_records_after(
+                    path, scan.good_size)
+                if repair:
+                    _truncate(path, scan.good_size)
+                poisoned = True
+    return report
+
+
+def _truncate(path: str, size: int) -> None:
+    with open(path, "r+b") as f:
+        f.truncate(size)
+
+
+def _count_records_after(path: str, good_size: int) -> int:
+    """Valid records recoverable in the damaged region (the honest
+    lower bound on what a repair-truncate destroys)."""
+    from repro.recovery.durable.wal import _try_decode_at, _valid_record_after
+    with open(path, "rb") as f:
+        data = f.read()
+    count = 0
+    off = good_size
+    while off < len(data):
+        start = _valid_record_after(data, off)
+        if start is None:
+            break
+        decoded = _try_decode_at(data, start)
+        assert decoded is not None
+        count += 1
+        off = decoded[1]
+    return count

@@ -1,0 +1,273 @@
+"""The on-disk write-ahead log: record codec, segment scan, writer.
+
+Every mutating batch becomes one **record**: an 8-byte little-endian
+header (``payload length``, ``crc32 of the payload``) followed by a
+canonical-JSON payload ``{"lsn": n, "op": ..., "payload": [...]}``.
+Records live in **segment** files named ``wal-<first_lsn>.log``; a new
+segment starts after every durable snapshot, so old segments can be
+pruned once the snapshots they back up fall out of retention.
+
+The scanner is the torn-write-tolerant half of the ARIES discipline
+(PAPERS.md: Mohan et al.): a crash can leave at most one partial
+record at the *tail* of the active segment, so a structurally broken
+or checksum-failing record with **nothing valid after it** is a torn
+tail -- expected, truncated, reported.  The same damage with a valid
+record *after* it cannot be produced by a crash on an ordered log; it
+is classified as mid-log corruption (a disk fault) and recovery
+refuses to silently skip it -- ``repro fsck --repair`` is the explicit
+path that truncates and reports what was lost.
+
+LSNs must increase by exactly one across the whole log.  A record
+whose LSN is not above its predecessor's is a **duplicate** (a crashed
+retry of an already-durable append, or the ``wal_dup_record`` disk
+fault) and is skipped idempotently; an LSN *gap* means records
+vanished and is treated as corruption.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "HEADER",
+    "MAX_RECORD_BYTES",
+    "ScanIssue",
+    "SegmentScan",
+    "WalRecord",
+    "WalWriter",
+    "decode_record",
+    "encode_record",
+    "list_segments",
+    "scan_segment",
+    "segment_name",
+]
+
+#: Record header: payload byte length + CRC32 of the payload bytes.
+HEADER = struct.Struct("<II")
+
+#: Sanity bound used by the scanner to reject garbage length prefixes
+#: quickly (a batch of a few thousand ops is ~100KB of JSON).
+MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+_SEG_PREFIX = "wal-"
+_SEG_SUFFIX = ".log"
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One durable mutating batch: ``lsn`` orders the whole log."""
+
+    lsn: int
+    op: str
+    payload: list
+
+
+def encode_record(record: WalRecord) -> bytes:
+    """Record -> header + canonical JSON bytes (stable across reruns)."""
+    body = json.dumps(
+        {"lsn": record.lsn, "op": record.op, "payload": record.payload},
+        sort_keys=True, separators=(",", ":")).encode("utf-8")
+    return HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+def decode_record(body: bytes) -> WalRecord:
+    """Payload bytes -> record; raises ``ValueError`` on malformed JSON."""
+    doc = json.loads(body.decode("utf-8"))
+    if not isinstance(doc, dict) or "lsn" not in doc or "op" not in doc:
+        raise ValueError("record payload missing lsn/op")
+    return WalRecord(lsn=int(doc["lsn"]), op=str(doc["op"]),
+                     payload=list(doc.get("payload", [])))
+
+
+def segment_name(first_lsn: int) -> str:
+    """Segment filename for records starting at ``first_lsn``."""
+    return f"{_SEG_PREFIX}{first_lsn:012d}{_SEG_SUFFIX}"
+
+
+def list_segments(root: str) -> List[Tuple[int, str]]:
+    """``(first_lsn, path)`` for every segment under ``root``, ordered."""
+    out = []
+    for name in os.listdir(root):
+        if name.startswith(_SEG_PREFIX) and name.endswith(_SEG_SUFFIX):
+            digits = name[len(_SEG_PREFIX):-len(_SEG_SUFFIX)]
+            if digits.isdigit():
+                out.append((int(digits), os.path.join(root, name)))
+    return sorted(out)
+
+
+@dataclass(frozen=True)
+class ScanIssue:
+    """One problem the scanner saw (kinds double as fsck issue kinds).
+
+    - ``torn_tail`` -- partial/checksum-failing record at the very end
+      (crash artifact; safe to truncate at ``offset``).
+    - ``corrupt_record`` -- damaged record with valid data after it
+      (disk fault; recovery must refuse, fsck repairs explicitly).
+    - ``duplicate_lsn`` -- record whose LSN is not above its
+      predecessor's (idempotently skipped).
+    - ``lsn_gap`` -- LSN jumped forward: records are missing.
+    """
+
+    kind: str
+    path: str
+    offset: int
+    detail: str
+
+
+@dataclass
+class SegmentScan:
+    """Everything one segment scan recovered."""
+
+    path: str
+    size: int
+    records: List[WalRecord] = field(default_factory=list)
+    issues: List[ScanIssue] = field(default_factory=list)
+    #: Byte offset of the end of the last good record: the truncation
+    #: point that repairs a torn tail (and the resume point for the
+    #: writer when this is the active segment).
+    good_size: int = 0
+
+    @property
+    def last_lsn(self) -> Optional[int]:
+        return self.records[-1].lsn if self.records else None
+
+
+def _try_decode_at(data: bytes, off: int) -> Optional[Tuple[WalRecord, int]]:
+    """Decode one well-formed record at ``off``, or ``None``."""
+    if len(data) - off < HEADER.size:
+        return None
+    length, crc = HEADER.unpack_from(data, off)
+    end = off + HEADER.size + length
+    if length > MAX_RECORD_BYTES or end > len(data):
+        return None
+    body = data[off + HEADER.size:end]
+    if zlib.crc32(body) != crc:
+        return None
+    try:
+        return decode_record(body), end
+    except (ValueError, UnicodeDecodeError):
+        return None
+
+
+def _valid_record_after(data: bytes, start: int) -> Optional[int]:
+    """First offset >= ``start`` where a whole valid record decodes."""
+    for cand in range(start, len(data) - HEADER.size + 1):
+        if _try_decode_at(data, cand) is not None:
+            return cand
+    return None
+
+
+def scan_segment(path: str, expect_lsn: Optional[int] = None) -> SegmentScan:
+    """Scan one segment: valid records, issues, safe truncation point.
+
+    ``expect_lsn`` is the LSN the first record must carry (the segment
+    name's first LSN, or the predecessor segment's last + 1); ``None``
+    skips continuity checking for the first record.
+    """
+    with open(path, "rb") as f:
+        data = f.read()
+    scan = SegmentScan(path=path, size=len(data))
+    off = 0
+    prev_lsn = None if expect_lsn is None else expect_lsn - 1
+    while off < len(data):
+        decoded = _try_decode_at(data, off)
+        if decoded is None:
+            # Structurally broken here.  A crash only ever damages the
+            # tail, so anything decodable *after* this point means the
+            # damage is mid-log -- a disk fault, not a torn write.
+            resync = _valid_record_after(data, off + 1)
+            kind = "torn_tail" if resync is None else "corrupt_record"
+            scan.issues.append(ScanIssue(
+                kind=kind, path=path, offset=off,
+                detail=(f"{len(data) - off} trailing byte(s) torn"
+                        if resync is None else
+                        f"damaged record at offset {off} with a valid "
+                        f"record at offset {resync} after it")))
+            return scan
+        record, end = decoded
+        if prev_lsn is not None and record.lsn <= prev_lsn:
+            scan.issues.append(ScanIssue(
+                kind="duplicate_lsn", path=path, offset=off,
+                detail=f"lsn {record.lsn} after {prev_lsn} "
+                       f"(duplicate; skipped)"))
+            off = end
+            scan.good_size = end
+            continue
+        if prev_lsn is not None and record.lsn != prev_lsn + 1:
+            scan.issues.append(ScanIssue(
+                kind="lsn_gap", path=path, offset=off,
+                detail=f"lsn jumped {prev_lsn} -> {record.lsn}: "
+                       f"record(s) missing"))
+            return scan
+        scan.records.append(record)
+        prev_lsn = record.lsn
+        off = end
+        scan.good_size = end
+    return scan
+
+
+class WalWriter:
+    """Appender for the active segment, with a modeled fsync boundary.
+
+    ``synced_size`` tracks the byte count guaranteed to survive a
+    crash: it advances only on :meth:`sync` (which flushes and, when
+    ``os_fsync`` is true, calls ``os.fsync``).  ``crash_truncate``
+    *is* the crash model: it discards everything after the last sync
+    and optionally leaves a torn fragment of the in-flight record --
+    exactly what a power cut does to an ordered log.
+    """
+
+    def __init__(self, path: str, *, next_lsn: int, synced_size: int,
+                 os_fsync: bool = True) -> None:
+        self.path = path
+        self.next_lsn = next_lsn
+        self.os_fsync = os_fsync
+        self.fsyncs = 0
+        self._f = open(path, "ab")
+        if self._f.tell() != synced_size:
+            # Reopen after a torn tail: drop the tail before appending.
+            self._f.truncate(synced_size)
+            self._f.seek(synced_size)
+        self.synced_size = synced_size
+        self._pending = 0
+
+    @property
+    def pending_records(self) -> int:
+        """Appended records not yet covered by a sync."""
+        return self._pending
+
+    def append(self, op: str, payload: list) -> WalRecord:
+        record = WalRecord(lsn=self.next_lsn, op=op, payload=payload)
+        self._f.write(encode_record(record))
+        self.next_lsn += 1
+        self._pending += 1
+        return record
+
+    def sync(self) -> None:
+        self._f.flush()
+        if self.os_fsync:
+            os.fsync(self._f.fileno())
+        self.fsyncs += 1
+        self.synced_size = self._f.tell()
+        self._pending = 0
+
+    def crash_truncate(self, torn_bytes: bytes = b"") -> None:
+        """Simulate power loss: unsynced bytes vanish, ``torn_bytes``
+        (a prefix of the record that was mid-write) survive."""
+        self._f.close()
+        with open(self.path, "r+b") as f:
+            f.truncate(self.synced_size)
+            if torn_bytes:
+                f.seek(self.synced_size)
+                f.write(torn_bytes)
+
+    def close(self) -> None:
+        if not self._f.closed:
+            if self._pending:
+                self.sync()
+            self._f.close()

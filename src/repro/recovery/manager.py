@@ -34,6 +34,15 @@ possibly-wrong answer.
 The serving layer (:mod:`repro.serve`) drives its circuit breaker and
 health state machine off the ``on_failure`` / ``on_recovery`` /
 ``on_degrade`` hooks; the manager itself stays policy-free.
+
+With a :class:`~repro.recovery.durable.store.DurableStore` attached
+(``durable=``), the checkpoint + log additionally survive *host*
+crashes: every successful mutating batch is appended to the on-disk
+WAL **before** ``run`` returns (so an acked write is a durable write,
+RPO = 0), the durable snapshot rotates in lockstep with the in-memory
+checkpoint, and constructing a manager over a state dir with prior
+state restores it -- checkpoint + WAL replay -- onto a fresh
+``rebuild()`` structure instead of using the one passed in.
 """
 
 from __future__ import annotations
@@ -48,6 +57,7 @@ from repro.recovery.checkpoint import (
     checkpoint_structure,
     restore_structure,
 )
+from repro.recovery.durable.store import DurableStore
 from repro.sim.errors import DeliveryTimeout, ModuleCrashed
 
 __all__ = ["DegradedReason", "DegradedResult", "MUTATING_OPS",
@@ -125,6 +135,18 @@ def _default_backoff(attempt: int) -> int:
     return min(1 << (attempt - 1), 8)
 
 
+def _wal_payload(payload: Sequence) -> list:
+    """Batch payload -> JSON-safe WAL form (pair tuples become lists)."""
+    return [list(p) if isinstance(p, tuple) else p for p in payload]
+
+
+def _replay_payload(op: str, payload: list) -> list:
+    """WAL form -> batch payload (upsert pairs back to tuples)."""
+    if op == "upsert":
+        return [tuple(p) if isinstance(p, list) else p for p in payload]
+    return list(payload)
+
+
 class RecoveryManager:
     """Run batches with crash recovery (see module docstring).
 
@@ -152,6 +174,7 @@ class RecoveryManager:
                  on_failure: Optional[Callable[[str, Exception], None]] = None,
                  on_recovery: Optional[Callable[["RecoveryEvent"], None]] = None,
                  on_degrade: Optional[Callable[[DegradedResult], None]] = None,
+                 durable: Optional[DurableStore] = None,
                  ) -> None:
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
@@ -173,7 +196,33 @@ class RecoveryManager:
         self.read_retries = 0  # in-place read retries actually spent
         self._log: List[Tuple[str, list]] = []
         self._mutations = 0
-        self.checkpoint: Checkpoint = checkpoint_structure(structure)
+        self.durable = durable
+        self.checkpoint: Checkpoint
+        if durable is not None and not durable.report.created:
+            # Reopened state dir: disk is the source of truth.  The
+            # passed-in structure is discarded; state comes back as
+            # snapshot restore + WAL replay onto clean hardware.
+            standby = rebuild()
+            assert durable.report.checkpoint is not None
+            restore_structure(durable.report.checkpoint, standby)
+            for record in durable.report.records:
+                standby.apply_batch(record.op, _replay_payload(record.op,
+                                                              record.payload))
+            self.structure = standby
+            self.checkpoint = durable.report.checkpoint
+            self._log = [(r.op, _replay_payload(r.op, r.payload))
+                         for r in durable.report.records]
+            self._mutations = len(self._log)
+            return
+        self.checkpoint = checkpoint_structure(structure)
+        if durable is not None:
+            durable.bootstrap(self.checkpoint)
+
+    @property
+    def restored_from_disk(self) -> bool:
+        """True when this manager's state came from a reopened state
+        dir rather than the structure passed to the constructor."""
+        return self.durable is not None and not self.durable.report.created
 
     # -- introspection ---------------------------------------------------
 
@@ -232,6 +281,10 @@ class RecoveryManager:
             return
         self._log.append((op, list(payload)))
         self._mutations += 1
+        if self.durable is not None:
+            # Durable-before-ack: run() only returns (and the serving
+            # layer only acks) after this record survives a crash.
+            self.durable.append(op, _wal_payload(payload))
         if self._mutations >= self.checkpoint_every:
             try:
                 self.checkpoint = checkpoint_structure(self.structure)
@@ -244,6 +297,8 @@ class RecoveryManager:
                 return
             self._log.clear()
             self._mutations = 0
+            if self.durable is not None:
+                self.durable.snapshot(self.checkpoint)
 
     def _recover(self, op: str, payload: Sequence, exc: Exception) -> Any:
         cause = f"{type(exc).__name__}: {exc}"

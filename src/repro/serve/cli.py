@@ -42,23 +42,43 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="client-program / machine seed (default 0)")
     parser.add_argument("--modules", type=int, default=8,
                         help="PIM modules per machine (default 8)")
+    parser.add_argument("--structure", default="skiplist",
+                        help="structure under serve: skiplist or pimtree "
+                             "(default skiplist)")
+    parser.add_argument("--state-dir", default=None, metavar="DIR",
+                        help="durable WAL+snapshot directory; answers are "
+                             "acked only after their record is on disk, "
+                             "and a restart resumes from DIR (default: "
+                             "in-memory only)")
     args = parser.parse_args(argv)
 
     if args.chaos != "none" and args.chaos not in MACHINE_SCHEDULES:
         print(f"unknown fault schedule {args.chaos!r}; known: none, "
               f"{', '.join(sorted(MACHINE_SCHEDULES))}", file=sys.stderr)
         return 2
+    from repro.verify.chaos import STRUCTURE_FACTORIES
+    if args.structure not in STRUCTURE_FACTORIES:
+        print(f"unknown structure {args.structure!r}; known: "
+              f"{', '.join(sorted(STRUCTURE_FACTORIES))}", file=sys.stderr)
+        return 2
 
+    from repro.serve.server import ServerConfig
     from repro.verify.soak import soak_session
 
+    config = None
+    if args.state_dir is not None:
+        config = ServerConfig(seed=args.seed, state_dir=args.state_dir)
     report = soak_session(args.chaos, args.fault_seed,
                           clients=args.clients, ops_per_client=args.ops,
-                          seed=args.seed, num_modules=args.modules)
+                          seed=args.seed, num_modules=args.modules,
+                          structure=args.structure, config=config)
 
     total = args.clients * args.ops
     print(f"served {total} requests from {args.clients} concurrent "
-          f"clients over a {args.modules}-module skip list "
-          f"(chaos: {args.chaos}, fault_seed {args.fault_seed})\n")
+          f"clients over a {args.modules}-module {args.structure} "
+          f"(chaos: {args.chaos}, fault_seed {args.fault_seed}"
+          + (f", state dir {args.state_dir}" if args.state_dir else "")
+          + ")\n")
     print(f"  answered exactly : {report.answered}")
     for reason, count in sorted(report.degraded.items()):
         print(f"  degraded ({reason:<14}): {count}")

@@ -153,7 +153,8 @@ class ResiliencePolicy:
         key = (id(chk), self.manager.log_size)
         if self._stale_cache is not None and self._stale_cache[0] == key:
             return self._stale_cache[1]
-        if chk.kind == "skiplist":
+        if chk.kind in ("skiplist", "pimtree"):
+            # Both checkpoint as a sorted (key, value) pair list.
             items = list(chk.payload)
         elif chk.kind == "lsm":
             items = merged_lsm_items(chk)

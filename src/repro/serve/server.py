@@ -41,6 +41,7 @@ from repro.recovery import (
     DegradedResult,
     RecoveryManager,
 )
+from repro.recovery.durable import DurabilityPolicy, DurableStore
 from repro.serve.admission import AdmissionController
 from repro.serve.coalesce import Coalescer, MergedBatch
 from repro.serve.errors import Refusal, RefusalReason, Request, ServerStalled
@@ -73,6 +74,9 @@ class ServerConfig:
     # liveness
     watchdog_ticks: int = 64
     seed: int = 0                    # jitter seed (backoff decorrelation)
+    # durability (None = in-memory only, the pre-PR-10 behaviour)
+    state_dir: Optional[str] = None  # WAL + snapshot directory
+    os_fsync: bool = True            # real fsyncs (False: modeled only)
 
 
 @dataclass(frozen=True)
@@ -110,13 +114,24 @@ class Server:
         self.caps = frozenset(getattr(type(structure), "BATCH_CAPS",
                                       frozenset()))
         self.health = HealthMonitor()
+        # With a state dir the journaled answer contract gains a leg:
+        # policy.execute -> manager.run only returns after the batch's
+        # WAL record is durable, so every acked answer survives a host
+        # crash (RPO = 0) and a restarted server resumes from disk.
+        self.durable: Optional[DurableStore] = None
+        if cfg.state_dir is not None:
+            self.durable = DurableStore.open(
+                cfg.state_dir,
+                DurabilityPolicy(snapshot_every=cfg.checkpoint_every,
+                                 os_fsync=cfg.os_fsync))
         self.manager = RecoveryManager(
             structure, rebuild,
             checkpoint_every=cfg.checkpoint_every,
             allow_restore=cfg.allow_restore,
             max_recoveries=cfg.max_recoveries,
             read_retry_attempts=cfg.read_retry_attempts,
-            retry_backoff=jittered_backoff(cfg.seed))
+            retry_backoff=jittered_backoff(cfg.seed),
+            durable=self.durable)
         self.policy = ResiliencePolicy(
             self.manager, self.health,
             breaker_threshold=cfg.breaker_threshold,
@@ -157,6 +172,8 @@ class Server:
                 req = state.queue.popleft()
                 self._refuse(req, RefusalReason.SHUTDOWN,
                              "server stopped with request queued")
+        if self.durable is not None:
+            self.durable.close()
         if self._failure is not None:
             raise self._failure
 
@@ -320,6 +337,10 @@ class Server:
             "journal_batches": len(self.journal),
             "rounds": (None if machine is None
                        else machine.metrics.rounds),
+            "durability": (None if self.durable is None
+                           else dict(self.durable.stats(),
+                                     restored=self.manager
+                                     .restored_from_disk)),
             "tenants": {name: state.metrics.as_dict()
                         for name, state in
                         sorted(self.admission.tenants.items())},

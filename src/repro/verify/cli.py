@@ -18,15 +18,22 @@
   fault schedules; every answer must match a sequential replay of the
   server's journal or be a typed refusal, and fault-free runs must
   refuse nothing.
+- ``durable`` -- certify crash-consistent persistence
+  (:mod:`repro.recovery.durable`): kill the store at every acked
+  record boundary and demand the restart equals the oracle's acked
+  prefix, then inject every registered disk fault into a completed
+  state dir and demand fsck or recovery catches it.
 - ``faults`` -- print the unified fault registry.
 
-``fuzz`` and ``chaos`` exit non-zero on any divergence and, when a
-repro was shrunk, print its path on the **last line** of output.
+``fuzz``, ``chaos``, ``soak`` and ``durable`` exit non-zero on any
+failure and, when a repro was written, print its path on the **last
+line** of output so scripts can ``tail -1`` straight into ``replay``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional, Tuple
@@ -213,9 +220,62 @@ def _shrink_and_write(session, args: argparse.Namespace, fault) -> str:
                  else "")))
 
 
+def _replay_soak(path: str, data: dict) -> bool:
+    """Re-run a soak repro; returns True when it (still) fails."""
+    from repro.verify.soak import check_soak_determinism, soak_session
+
+    kwargs = dict(clients=int(data["clients"]),
+                  ops_per_client=int(data["ops_per_client"]),
+                  seed=int(data["seed"]),
+                  num_modules=int(data["num_modules"]),
+                  structure=data.get("structure", "skiplist"))
+    schedule = data["schedule"]
+    fault_seed = int(data["fault_seed"])
+    if data.get("check") == "determinism":
+        same, first, second = check_soak_determinism(
+            schedule, fault_seed, **kwargs)
+        tag = "clean" if same else "STILL NOT DETERMINISTIC"
+        print(f"{path}: soak determinism {schedule!r} -> {tag}")
+        if not same:
+            print(f"  {first[:16]}... != {second[:16]}...")
+        return not same
+    report = soak_session(schedule, fault_seed, **kwargs)
+    tag = "STILL VIOLATES" if not report.ok else "clean"
+    print(f"{path}: {report.summary()} -> {tag}")
+    for v in report.violations:
+        print(f"  {v}")
+    return not report.ok
+
+
+def _replay_durable(path: str, data: dict) -> bool:
+    """Re-run a durable-sweep repro; returns True when it still fails."""
+    from repro.verify.durable import fault_sweep, kill_sweep
+
+    kwargs = dict(fault_seed=int(data["fault_seed"]),
+                  num_batches=int(data["num_batches"]),
+                  batch_size=int(data["batch_size"]),
+                  num_modules=int(data["num_modules"]),
+                  checkpoint_every=int(data["checkpoint_every"]))
+    if data["mode"] == "fault":
+        report = fault_sweep(int(data["session_seed"]),
+                             faults=data.get("faults"), **kwargs)
+    else:
+        report = kill_sweep(int(data["session_seed"]), **kwargs)
+    tag = "STILL VIOLATES" if not report.ok else "clean"
+    print(f"{path}: {report.summary()} -> {tag}")
+    for v in report.violations:
+        print(f"  {v}")
+    return not report.ok
+
+
 def _replay_one(path: str, args: argparse.Namespace) -> bool:
     """Replay one repro file; returns True when it (still) diverges."""
     data = load_repro(path)
+    kind = data.get("kind")
+    if kind == "soak":
+        return _replay_soak(path, data)
+    if kind == "durable":
+        return _replay_durable(path, data)
     session = session_from_dict(data)
     num_modules = args.modules
     if data.get("num_modules") and args.modules == 8:
@@ -386,6 +446,16 @@ def _shrink_chaos_and_write(seed: int, schedule: str,
               f"under schedule {schedule!r}"))
 
 
+def _write_param_repro(path: str, data: dict) -> str:
+    """Write a parameter-replay repro (soak/durable): no session body,
+    just the knobs ``verify replay`` needs to re-run the harness."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
 def cmd_soak(args: argparse.Namespace) -> int:
     from repro.verify.soak import check_soak_determinism, soak_session
 
@@ -404,33 +474,137 @@ def cmd_soak(args: argparse.Namespace) -> int:
                    if s.strip() != ""]
     failures = 0
     runs = 0
+    repro_paths: List[str] = []
+
+    def _soak_repro(schedule: str, fault_seed: int, *, check: str,
+                    clients: int, violations: List[str]) -> None:
+        data = {
+            "kind": "soak", "check": check, "schedule": schedule,
+            "fault_seed": fault_seed, "clients": clients,
+            "ops_per_client": args.ops, "seed": args.seed,
+            "num_modules": args.modules, "structure": args.structure,
+            "violations": violations[:20],
+        }
+        path = os.path.join(
+            args.repro_dir,
+            f"soak-{schedule}-f{fault_seed}-s{args.seed}.json")
+        repro_paths.append(_write_param_repro(path, data))
+        print(f"  soak repro written: {path}")
+
     for schedule in schedules:
         for fault_seed in (fault_seeds if schedule != "none" else [0]):
             report = soak_session(
                 schedule, fault_seed, clients=args.clients,
                 ops_per_client=args.ops, seed=args.seed,
-                num_modules=args.modules)
+                num_modules=args.modules, structure=args.structure)
             runs += 1
             print(report.summary())
             if not report.ok:
                 failures += 1
                 for v in report.violations:
                     print(f"  {v}")
+                _soak_repro(schedule, fault_seed, check="slo",
+                            clients=args.clients,
+                            violations=[str(v) for v in report.violations])
         if not args.no_determinism:
+            det_seed = fault_seeds[0] if schedule != "none" else 0
+            det_clients = min(args.clients, 32)
             same, first, second = check_soak_determinism(
-                schedule, fault_seeds[0] if schedule != "none" else 0,
-                clients=min(args.clients, 32), ops_per_client=args.ops,
-                seed=args.seed, num_modules=args.modules)
+                schedule, det_seed, clients=det_clients,
+                ops_per_client=args.ops, seed=args.seed,
+                num_modules=args.modules, structure=args.structure)
             if not same:
                 failures += 1
                 print(f"  soak {schedule!r} is NOT deterministic: "
                       f"{first[:16]}... != {second[:16]}...")
+                _soak_repro(schedule, det_seed, check="determinism",
+                            clients=det_clients,
+                            violations=[f"{first} != {second}"])
     if failures:
         print(f"\n{failures} soak failure(s) across {runs} run(s)")
+        if repro_paths:
+            # Same contract as fuzz/chaos: repro path on the last line.
+            print(repro_paths[-1])
         return 1
     print(f"\nall {runs} soak run(s) clean ({args.clients} clients x "
           f"{args.ops} ops, {len(schedules)} schedule(s), "
-          f"P={args.modules})")
+          f"P={args.modules}, structure={args.structure})")
+    return 0
+
+
+def cmd_durable(args: argparse.Namespace) -> int:
+    from repro.verify.durable import (
+        check_durable_determinism,
+        fault_sweep,
+        kill_sweep,
+    )
+    from repro.verify.faults import DISK_FAULTS
+
+    if args.faults is None:
+        faults: Optional[List[str]] = None
+    else:
+        faults = [s.strip() for s in args.faults.split(",") if s.strip()]
+        for name in faults:
+            if name not in DISK_FAULTS:
+                print(f"unknown disk fault {name!r}; known: "
+                      f"{', '.join(sorted(DISK_FAULTS))}", file=sys.stderr)
+                return 2
+    session_seeds = [int(s) for s in str(args.seeds).split(",")
+                     if s.strip() != ""]
+    fault_seeds = [int(s) for s in str(args.fault_seeds).split(",")
+                   if s.strip() != ""]
+    kwargs = dict(num_batches=args.batches, batch_size=args.batch_size,
+                  num_modules=args.modules,
+                  checkpoint_every=args.checkpoint_every)
+    failures = 0
+    runs = 0
+    repro_paths: List[str] = []
+
+    def _durable_repro(report) -> None:
+        data = dict(kind="durable", mode=report.mode,
+                    session_seed=report.session_seed,
+                    fault_seed=report.fault_seed, faults=faults,
+                    violations=[str(v) for v in report.violations][:20],
+                    **kwargs)
+        path = os.path.join(
+            args.repro_dir,
+            f"durable-{report.mode}-s{report.session_seed}"
+            f"-f{report.fault_seed}.json")
+        repro_paths.append(_write_param_repro(path, data))
+        print(f"  durable repro written: {path}")
+
+    for session_seed in session_seeds:
+        for fault_seed in fault_seeds:
+            for report in (
+                    kill_sweep(session_seed, fault_seed=fault_seed,
+                               **kwargs),
+                    fault_sweep(session_seed, fault_seed=fault_seed,
+                                faults=faults, **kwargs)):
+                runs += 1
+                print(report.summary())
+                if report.ok:
+                    continue
+                failures += 1
+                for v in report.violations:
+                    print(f"  {v}")
+                _durable_repro(report)
+        if not args.no_determinism:
+            same, first, second = check_durable_determinism(
+                session_seed, fault_seed=fault_seeds[0], **kwargs)
+            if not same:
+                failures += 1
+                print(f"  durable kill sweep seed={session_seed} is NOT "
+                      f"deterministic: {first[:16]}... != {second[:16]}...")
+    if failures:
+        print(f"\n{failures} durable failure(s) across {runs} sweep(s)")
+        if repro_paths:
+            # Same contract as fuzz/chaos/soak: path on the last line.
+            print(repro_paths[-1])
+        return 1
+    print(f"\nall {runs} durable sweep(s) exact "
+          f"({len(session_seeds)} session seed(s) x "
+          f"{len(fault_seeds)} fault seed(s), "
+          f"checkpoint_every={args.checkpoint_every})")
     return 0
 
 
@@ -550,9 +724,41 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="client-program / machine seed (default 0)")
     sk.add_argument("--modules", type=int, default=8,
                     help="PIM modules per machine (default 8)")
+    sk.add_argument("--structure", choices=sorted(STRUCTURE_FACTORIES),
+                    default="skiplist",
+                    help="structure under serve (default skiplist)")
     sk.add_argument("--no-determinism", action="store_true",
                     help="skip the bit-identical rerun check")
+    sk.add_argument("--repro-dir", default=DEFAULT_REPRO_DIR,
+                    help=f"where soak repros land "
+                         f"(default {DEFAULT_REPRO_DIR})")
     sk.set_defaults(fn=cmd_soak)
+
+    du = sub.add_parser("durable", help="certify crash-consistent "
+                                        "persistence (kill sweep + "
+                                        "disk-fault sweep)")
+    du.add_argument("--seeds", default="0,1,2",
+                    help="comma-separated session seeds (default 0,1,2)")
+    du.add_argument("--fault-seeds", default="1,2",
+                    help="comma-separated damage-placement seeds "
+                         "(default 1,2)")
+    du.add_argument("--batches", type=int, default=14,
+                    help="batches per session (default 14)")
+    du.add_argument("--batch-size", type=int, default=12,
+                    help="ops per batch (default 12)")
+    du.add_argument("--modules", type=int, default=8,
+                    help="PIM modules per machine (default 8)")
+    du.add_argument("--checkpoint-every", type=int, default=3,
+                    help="snapshot every N acked records (default 3)")
+    du.add_argument("--faults", default=None,
+                    help="comma-separated disk fault names "
+                         "(default: all registered disk faults)")
+    du.add_argument("--no-determinism", action="store_true",
+                    help="skip the bit-identical rerun check")
+    du.add_argument("--repro-dir", default=DEFAULT_REPRO_DIR,
+                    help=f"where durable repros land "
+                         f"(default {DEFAULT_REPRO_DIR})")
+    du.set_defaults(fn=cmd_durable)
 
     fl = sub.add_parser("faults", help="print the unified fault registry")
     fl.set_defaults(fn=cmd_faults)

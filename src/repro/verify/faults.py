@@ -23,15 +23,25 @@ see.  Faults exist at two levels and the registry names both:
   an otherwise-correct implementation.  The chaos harness
   (:mod:`repro.verify.chaos`) asserts the reliable-delivery protocol
   and recovery layer keep results exact anyway.
+- **disk** faults damage a closed durable state dir
+  (:mod:`repro.recovery.durable`) in place -- a torn WAL tail, a
+  bit-flipped record, a truncated snapshot, a snapshot that never got
+  renamed, a duplicated record.  Each ``damage(root, fault_seed)``
+  function is a pure function of the directory contents and the seed;
+  the durable harness (:mod:`repro.verify.durable`) asserts reopen or
+  ``repro fsck`` catches every one and the recovered state is still an
+  exact oracle prefix.
 
-The two levels answer different questions -- "does the verifier see
-bugs?" vs "does the machine survive faults?" -- so a name must say
-which it is.  Registration collision-checks the shared namespace; the
-CLI (``python -m repro verify fuzz --faults list``) enumerates it.
+The levels answer different questions -- "does the verifier see
+bugs?", "does the machine survive faults?", "does restart recover?" --
+so a name must say which it is.  Registration collision-checks the
+shared namespace; the CLI (``python -m repro verify fuzz --faults
+list``) enumerates it.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Sequence
 
@@ -156,6 +166,138 @@ STORAGE_FAULTS: Dict[str, Callable[[ImplAdapter], None]] = {
 }
 
 
+# ----------------------------------------------------------------------
+# disk-level faults (durable state-dir damage)
+# ----------------------------------------------------------------------
+
+def _newest_populated_segment(root: str):
+    """The last WAL segment holding at least one record, scanned."""
+    from repro.recovery.durable import list_segments, scan_segment
+
+    for first_lsn, path in reversed(list_segments(root)):
+        scan = scan_segment(path, expect_lsn=first_lsn)
+        if scan.records:
+            return path, scan
+    raise ValueError(f"no WAL records to damage under {root}")
+
+
+def _record_offsets(scan) -> list:
+    """Byte offset of each record in a clean scanned segment (canonical
+    encoding is deterministic, so re-encoding reproduces the layout)."""
+    from repro.recovery.durable.wal import encode_record
+
+    offsets, off = [], 0
+    for record in scan.records:
+        offsets.append(off)
+        off += len(encode_record(record))
+    return offsets
+
+
+def _damage_wal_torn_tail(root: str, fault_seed: int) -> str:
+    """Cut a seeded number of bytes off the WAL's final record -- the
+    canonical crash artifact.  Reopen must classify it as a torn tail,
+    truncate, and come back with exactly the previous record's state."""
+    from repro.recovery.durable.wal import encode_record
+    from repro.sim.chaos import _mix
+
+    path, scan = _newest_populated_segment(root)
+    rec_len = len(encode_record(scan.records[-1]))
+    cut = 1 + _mix(fault_seed, 0xD15C, 1) % (rec_len - 1)
+    with open(path, "r+b") as f:
+        f.truncate(scan.good_size - cut)
+    return (f"tore {cut} byte(s) off record lsn={scan.records[-1].lsn} "
+            f"in {path}")
+
+
+def _damage_wal_bitflip(root: str, fault_seed: int) -> str:
+    """Flip one seeded bit in a non-final WAL record (bit rot).  With a
+    valid record after it this is mid-log corruption: reopen must
+    refuse (never silently skip acked writes) and ``fsck --repair`` is
+    the explicit path out.  Falls back to the only record when the
+    segment holds just one (then it is tail damage: prefix state)."""
+    from repro.sim.chaos import _mix
+
+    path, scan = _newest_populated_segment(root)
+    offsets = _record_offsets(scan)
+    pool = offsets[:-1] or offsets
+    target = pool[_mix(fault_seed, 0xD15C, 2) % len(pool)]
+    end = offsets[offsets.index(target) + 1] if target != offsets[-1] \
+        else scan.good_size
+    byte = target + _mix(fault_seed, 0xD15C, 3) % (end - target)
+    bit = _mix(fault_seed, 0xD15C, 4) % 8
+    with open(path, "r+b") as f:
+        f.seek(byte)
+        old = f.read(1)[0]
+        f.seek(byte)
+        f.write(bytes([old ^ (1 << bit)]))
+    return f"flipped bit {bit} of byte {byte} in {path}"
+
+
+def _damage_snapshot_truncated(root: str, fault_seed: int) -> str:
+    """Truncate the newest snapshot to a seeded fraction.  Reopen must
+    fail its checksum and fall back to the previous snapshot + a longer
+    WAL replay (retention keeps the segments); with no older snapshot
+    it must raise a typed DurabilityError, never serve partial state."""
+    from repro.recovery.durable import list_snapshots
+    from repro.sim.chaos import _mix
+
+    snaps = list_snapshots(root)
+    if not snaps:
+        raise ValueError(f"no snapshot to damage under {root}")
+    path = snaps[-1].path
+    size = os.path.getsize(path)
+    keep = _mix(fault_seed, 0xD15C, 5) % max(1, size - 1)
+    with open(path, "r+b") as f:
+        f.truncate(keep)
+    return f"truncated {path} from {size} to {keep} byte(s)"
+
+
+def _damage_crash_before_rename(root: str, fault_seed: int) -> str:
+    """Un-publish the newest snapshot: move it back to its ``.tmp``
+    name, as if the host died between the tmp write and the atomic
+    rename.  Reopen must ignore the orphan and use the previous
+    snapshot; fsck must sweep the tmp."""
+    from repro.recovery.durable import list_snapshots
+
+    snaps = list_snapshots(root)
+    if not snaps:
+        raise ValueError(f"no snapshot to damage under {root}")
+    path = snaps[-1].path
+    os.rename(path, path + ".tmp")
+    return f"reverted {path} to its pre-rename .tmp name"
+
+
+def _damage_wal_dup_record(root: str, fault_seed: int) -> str:
+    """Duplicate one seeded WAL record in place (a crashed append
+    retried after its original did land).  Replay must skip the
+    duplicate idempotently: final state identical to the undamaged
+    log's."""
+    from repro.recovery.durable.wal import encode_record
+    from repro.sim.chaos import _mix
+
+    path, scan = _newest_populated_segment(root)
+    index = _mix(fault_seed, 0xD15C, 6) % len(scan.records)
+    blobs = [encode_record(r) for r in scan.records]
+    blobs.insert(index + 1, blobs[index])
+    with open(path, "r+b") as f:
+        tail = f.read()[scan.good_size:]
+        f.seek(0)
+        f.write(b"".join(blobs) + tail)
+    return (f"duplicated record lsn={scan.records[index].lsn} in {path}")
+
+
+#: name -> disk damage function ``(state_dir, fault_seed) -> detail``.
+#: Applied to a *closed* durable state dir; deterministic given the
+#: same directory contents and seed.
+DISK_FAULTS: Dict[str, Callable[[str, int], str]] = {
+    "wal_torn_tail": _damage_wal_torn_tail,
+    "wal_bitflip": _damage_wal_bitflip,
+    "snapshot_truncated": _damage_snapshot_truncated,
+    "crash_before_rename": _damage_crash_before_rename,
+    "wal_dup_record": _damage_wal_dup_record,
+}
+
+
 def inject_fault(adapter: ImplAdapter, fault_name: str) -> ImplAdapter:
     """Apply the named fault to ``adapter``; returns the adapter.
 
@@ -191,15 +333,18 @@ class FaultDef:
     it around an adapter's apply); ``build`` for machine faults (maps
     ``(fault_seed, num_modules)`` to a
     :class:`~repro.sim.chaos.FaultPlan` for
-    ``PIMMachine.install_fault_plan``).
+    ``PIMMachine.install_fault_plan``); ``damage`` for disk faults
+    (maps ``(state_dir, fault_seed)`` to a description of the damage
+    done in place).
     """
 
     name: str
-    level: str  # "adapter" | "storage" | "machine"
+    level: str  # "adapter" | "storage" | "machine" | "disk"
     description: str
     wrap: Optional[FaultFn] = None
     build: Optional[Callable[[int, int], FaultPlan]] = None
     corrupt: Optional[Callable[[ImplAdapter], None]] = None
+    damage: Optional[Callable[[str, int], str]] = None
 
 
 _MACHINE_DESCRIPTIONS: Dict[str, str] = {
@@ -240,7 +385,12 @@ for _name, _builder in MACHINE_SCHEDULES.items():
     _register(FaultDef(name=_name, level="machine",
                        description=_MACHINE_DESCRIPTIONS.get(_name, ""),
                        build=_builder))
-del _name, _fn, _cfn, _builder
+for _name, _dfn in DISK_FAULTS.items():
+    _register(FaultDef(
+        name=_name, level="disk",
+        description=" ".join((_dfn.__doc__ or "").split()).partition(".")[0],
+        damage=_dfn))
+del _name, _fn, _cfn, _builder, _dfn
 
 
 def get_fault(name: str) -> FaultDef:

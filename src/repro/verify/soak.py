@@ -37,11 +37,11 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core.skiplist import PIMSkipList
 from repro.recovery import DegradedReason, DegradedResult
 from repro.serve import Refusal, Server, ServerConfig
 from repro.sim.chaos import MACHINE_SCHEDULES, _mix, build_schedule
 from repro.sim.machine import PIMMachine
+from repro.verify.chaos import STRUCTURE_FACTORIES
 from repro.verify.oracle import SequentialOracle
 
 __all__ = ["SoakReport", "check_soak_determinism", "soak_matrix",
@@ -112,6 +112,7 @@ class SoakReport:
     seed: int
     clients: int
     ops_per_client: int
+    structure: str = "skiplist"
     answered: int = 0
     refused: Dict[str, int] = field(default_factory=dict)
     degraded: Dict[str, int] = field(default_factory=dict)
@@ -151,7 +152,8 @@ class SoakReport:
 
     def summary(self) -> str:
         verdict = "OK" if self.ok else f"{len(self.violations)} violation(s)"
-        return (f"soak {self.schedule}/f{self.fault_seed}/s{self.seed}: "
+        return (f"soak {self.schedule}/f{self.fault_seed}/s{self.seed}"
+                f"/{self.structure}: "
                 f"{self.clients} clients x {self.ops_per_client} ops -> "
                 f"{self.answered} answered, {self.total_refused} refused, "
                 f"{self.total_degraded} degraded | "
@@ -166,6 +168,7 @@ class SoakReport:
             "seed": self.seed,
             "clients": self.clients,
             "ops_per_client": self.ops_per_client,
+            "structure": self.structure,
             "answered": self.answered,
             "refused": dict(self.refused),
             "degraded": dict(self.degraded),
@@ -194,31 +197,40 @@ def soak_session(schedule: str = "none", fault_seed: int = 0, *,
                  clients: int = 64, ops_per_client: int = 8,
                  num_modules: int = 8, seed: int = 0,
                  key_space: Optional[int] = None,
+                 structure: str = "skiplist",
                  config: Optional[ServerConfig] = None) -> SoakReport:
     """Run one soak: ``clients`` concurrent streams under ``schedule``.
 
     ``schedule`` is a :data:`~repro.sim.chaos.MACHINE_SCHEDULES` name
     or ``"none"`` (fault-free baseline, where the refusal rate must be
-    exactly zero).  Returns a :class:`SoakReport`; ``report.ok`` is the
+    exactly zero).  ``structure`` picks the structure under serve from
+    the chaos harness's :data:`~repro.verify.chaos.STRUCTURE_FACTORIES`
+    (both expose the full batch-op surface, so the client mix is
+    unchanged).  Returns a :class:`SoakReport`; ``report.ok`` is the
     SLO verdict.
     """
     if schedule != "none" and schedule not in MACHINE_SCHEDULES:
         raise ValueError(
             f"unknown fault schedule {schedule!r}; known: none, "
             f"{', '.join(sorted(MACHINE_SCHEDULES))}")
+    factory = STRUCTURE_FACTORIES.get(structure)
+    if factory is None:
+        raise ValueError(f"unknown soak structure {structure!r}; known: "
+                         f"{', '.join(sorted(STRUCTURE_FACTORIES))}")
     if clients < 1 or ops_per_client < 1:
         raise ValueError("clients and ops_per_client must be >= 1")
     key_space = key_space or max(64, 2 * clients)
     report = SoakReport(schedule=schedule, fault_seed=fault_seed, seed=seed,
-                        clients=clients, ops_per_client=ops_per_client)
+                        clients=clients, ops_per_client=ops_per_client,
+                        structure=structure)
 
     initial = [(k, k * 3) for k in range(0, key_space, 2)]
     machines: List[PIMMachine] = []
 
-    def standby() -> PIMSkipList:
+    def standby() -> Any:
         m = PIMMachine(num_modules=num_modules, seed=seed)
         machines.append(m)
-        return PIMSkipList(m)
+        return factory(m, None)
 
     live = standby()
     live.build(initial)
@@ -227,6 +239,15 @@ def soak_session(schedule: str = "none", fault_seed: int = 0, *,
             build_schedule(schedule, fault_seed, num_modules))
     server = Server(live, standby,
                     config or ServerConfig(seed=seed))
+    if server.manager.restored_from_disk:
+        # Non-fresh state dir: the disk is the source of truth -- the
+        # manager just restored snapshot + WAL tail over the built
+        # structure, so the replay oracle must start from the restored
+        # state, not the synthetic build.
+        view = SequentialOracle(list(server.manager.checkpoint.payload))
+        for op, payload in server.manager._log:
+            view.apply_batch(op, payload)
+        initial = sorted(view.data.items())
 
     records: Dict[str, List[_Record]] = {}
 
@@ -390,22 +411,24 @@ def _verify_replay(report: SoakReport, records: Dict[str, List[_Record]],
 
 def check_soak_determinism(schedule: str, fault_seed: int = 0, *,
                            clients: int = 32, ops_per_client: int = 6,
-                           seed: int = 0,
-                           num_modules: int = 8) -> Tuple[bool, str, str]:
+                           seed: int = 0, num_modules: int = 8,
+                           structure: str = "skiplist",
+                           ) -> Tuple[bool, str, str]:
     """Run the same soak twice; fingerprints must be bit-identical."""
     first = soak_session(schedule, fault_seed, clients=clients,
                          ops_per_client=ops_per_client, seed=seed,
-                         num_modules=num_modules)
+                         num_modules=num_modules, structure=structure)
     second = soak_session(schedule, fault_seed, clients=clients,
                           ops_per_client=ops_per_client, seed=seed,
-                          num_modules=num_modules)
+                          num_modules=num_modules, structure=structure)
     return (first.fingerprint == second.fingerprint,
             first.fingerprint, second.fingerprint)
 
 
 def soak_matrix(schedules: List[str], fault_seeds: List[int], *,
                 clients: int = 64, ops_per_client: int = 8,
-                seed: int = 0, num_modules: int = 8) -> List[SoakReport]:
+                seed: int = 0, num_modules: int = 8,
+                structure: str = "skiplist") -> List[SoakReport]:
     """The certification sweep: every schedule x every fault seed."""
     reports = []
     for schedule in schedules:
@@ -413,5 +436,5 @@ def soak_matrix(schedules: List[str], fault_seeds: List[int], *,
             reports.append(soak_session(
                 schedule, fault_seed, clients=clients,
                 ops_per_client=ops_per_client, seed=seed,
-                num_modules=num_modules))
+                num_modules=num_modules, structure=structure))
     return reports

@@ -32,6 +32,7 @@ from repro.verify.chaos import (
 from repro.verify.oracle import SequentialOracle
 from repro.workloads.sessions import Session, SessionBatch
 from repro.verify.faults import (
+    DISK_FAULTS,
     FAULTS,
     REGISTRY,
     STORAGE_FAULTS,
@@ -210,8 +211,10 @@ class TestRegistry:
         assert set(fault_names("machine")) == set(MACHINE_SCHEDULES)
         assert set(fault_names("adapter")) == set(FAULTS)
         assert set(fault_names("storage")) == set(STORAGE_FAULTS)
+        assert set(fault_names("disk")) == set(DISK_FAULTS)
         assert set(fault_names()) == (set(MACHINE_SCHEDULES) | set(FAULTS)
-                                      | set(STORAGE_FAULTS))
+                                      | set(STORAGE_FAULTS)
+                                      | set(DISK_FAULTS))
 
     def test_levels_are_wired_for_use(self):
         for name in fault_names("machine"):
@@ -223,6 +226,9 @@ class TestRegistry:
         for name in fault_names("storage"):
             d = get_fault(name)
             assert d.level == "storage" and d.corrupt is not None
+        for name in fault_names("disk"):
+            d = get_fault(name)
+            assert d.level == "disk" and d.damage is not None
 
     def test_get_fault_raises_on_unknown(self):
         with pytest.raises(ValueError, match="unknown fault"):

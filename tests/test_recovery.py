@@ -478,3 +478,59 @@ class TestManagerHooksAndReadRetry:
         assert isinstance(result, DegradedResult)
         assert result.reason is DegradedReason.RECOVERY_EXHAUSTED
         assert recovered == [] and degrades == [result]
+
+
+def _crash_current_primary(machines) -> None:
+    """Wipe a module on the newest machine (the current primary).
+    Post-failover primaries have no fault plan yet; install an empty
+    one so the wipe surfaces as DeliveryTimeout (see _managed_skiplist)."""
+    m = machines[-1]
+    if m._chaos is None:
+        m.install_fault_plan(FaultPlan(FaultSpec(), seed=0))
+    m.wipe_module(2)
+
+
+class TestRecoveryLimitBoundary:
+    """``max_recoveries`` exactly at the limit: the N-th failover still
+    succeeds, the (N+1)-th crash degrades, and the hooks fire in
+    failure -> recovery order (failure -> degrade at exhaustion)."""
+
+    def test_nth_failover_succeeds_and_n_plus_first_degrades(self):
+        manager, machines = _managed_skiplist(max_recoveries=2)
+        keys = [k for k, _ in ITEMS]
+        values = [v for _, v in ITEMS]
+        for expected in (1, 2):  # recoveries 1..N all serve exactly
+            _crash_current_primary(machines)
+            assert manager.run("get", keys) == values
+            assert manager.recoveries == expected
+            assert manager.healthy
+        _crash_current_primary(machines)  # crash N+1: budget spent
+        result = manager.run("get", keys)
+        assert isinstance(result, DegradedResult)
+        assert result.reason is DegradedReason.RECOVERY_EXHAUSTED
+        assert manager.recoveries == 2  # the refusal burns no budget
+        assert not manager.healthy
+        # degraded mode is sticky: the next batch refuses immediately
+        again = manager.run("get", keys)
+        assert isinstance(again, DegradedResult)
+
+    def test_hooks_fire_failure_then_recovery_then_degrade(self):
+        calls = []
+        manager, machines = _managed_skiplist(
+            max_recoveries=1,
+            on_failure=lambda op, exc: calls.append(
+                ("failure", op, type(exc).__name__)),
+            on_recovery=lambda ev: calls.append(("recovery", ev.cause)),
+            on_degrade=lambda res: calls.append(("degrade", res.reason)))
+        keys = [k for k, _ in ITEMS]
+        _crash_current_primary(machines)
+        manager.run("get", keys)
+        assert [c[0] for c in calls] == ["failure", "recovery"]
+        assert calls[0][1:] == ("get", "DeliveryTimeout")
+        assert "DeliveryTimeout" in calls[1][1]
+        _crash_current_primary(machines)
+        result = manager.run("get", keys)
+        assert isinstance(result, DegradedResult)
+        assert [c[0] for c in calls] == ["failure", "recovery",
+                                        "failure", "degrade"]
+        assert calls[3][1] is DegradedReason.RECOVERY_EXHAUSTED

@@ -212,7 +212,8 @@ class TestVerifyCliExitCodes:
         assert rc == 0
         assert "soak run(s) clean" in capsys.readouterr().out
 
-    def test_soak_subcommand_fails_on_violation(self, capsys, monkeypatch):
+    def test_soak_subcommand_fails_on_violation_with_repro_path_last(
+            self, capsys, monkeypatch, tmp_path):
         import repro.verify.soak as soak_mod
 
         real = soak_mod.soak_session
@@ -227,15 +228,47 @@ class TestVerifyCliExitCodes:
 
         rc = verify_main(["soak", "--schedules", "none", "--clients", "4",
                           "--ops", "3", "--modules", "4",
-                          "--no-determinism"])
+                          "--no-determinism",
+                          "--repro-dir", str(tmp_path)])
         assert rc == 1
-        assert "forced violation" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "forced violation" in out
+        # Contract shared with fuzz/chaos: the repro path is the LAST
+        # line of stdout, so `tail -1` pipes straight into replay.
+        last = out.strip().splitlines()[-1].strip()
+        assert os.path.isfile(last), f"last line not a repro path: {last!r}"
+        assert last.endswith(".json")
+        import json
+
+        data = json.loads(open(last).read())
+        assert data["kind"] == "soak" and data["check"] == "slo"
+        # The un-sabotaged soak replays clean through `verify replay`.
+        monkeypatch.setattr(soak_mod, "soak_session", real)
+        rc = verify_main(["replay", last])
+        capsys.readouterr()
+        assert rc == 0
+
+    def test_soak_subcommand_runs_a_pimtree(self, capsys):
+        from repro.verify.cli import main as verify_main
+
+        rc = verify_main(["soak", "--schedules", "none", "--clients", "6",
+                          "--ops", "3", "--modules", "4",
+                          "--structure", "pimtree", "--no-determinism"])
+        assert rc == 0
+        assert "structure=pimtree" in capsys.readouterr().out
 
     def test_unknown_soak_schedule_exits_two(self, capsys):
         from repro.verify.cli import main as verify_main
 
         rc = verify_main(["soak", "--schedules", "gremlins"])
         assert rc == 2
+
+    def test_unknown_soak_structure_exits_two(self, capsys):
+        from repro.verify.cli import main as verify_main
+
+        with pytest.raises(SystemExit) as exc:
+            verify_main(["soak", "--structure", "gremlins"])
+        assert exc.value.code == 2
 
 
 class TestServeCli:
@@ -261,3 +294,19 @@ class TestServeCli:
         from repro.cli import main as cli_main
 
         assert cli_main(["serve", "--chaos", "gremlins"]) == 2
+
+    def test_serve_restart_from_state_dir_verifies_clean(
+            self, capsys, tmp_path):
+        # Second run on the same state dir restores the first run's
+        # mutations from disk; the replay oracle must be seeded with
+        # the restored state, not the synthetic build.
+        from repro.cli import main as cli_main
+
+        argv = ["serve", "--clients", "8", "--ops", "4", "--modules", "4",
+                "--state-dir", str(tmp_path / "state")]
+        assert cli_main(argv) == 0
+        capsys.readouterr()
+        assert cli_main(argv) == 0
+        out = capsys.readouterr().out
+        assert "SLO verified" in out
+        assert "state dir" in out
