@@ -9,14 +9,21 @@ Repair mode makes the directory openable again and is explicit about
 the cost: torn tails are truncated (free -- a torn record was never
 acked), orphan tmps and corrupt-but-redundant snapshots are deleted
 (free -- retention keeps an older valid snapshot plus the segments to
-replay past it), and mid-log corruption is truncated *at the damage*
-with every later record counted as lost -- including whole later
-segments, which would otherwise start after an LSN gap.  That lost
-count is acked data; fsck reports it rather than hiding it, which is
-exactly why the reopen path refuses to do this silently.
+replay past it), and mid-log corruption is handled snapshot-aware.
+Damage in a sealed segment whose every record the newest valid
+snapshot already covers costs nothing: that segment is redundant for
+replay, so repair drops it (plus any older snapshot that needed it)
+and keeps every later segment intact.  Damage in a segment replay
+*does* need is truncated *at the damage* with every later record
+counted as lost -- including whole later segments, which would
+otherwise start after an LSN gap.  That lost count is acked data; fsck
+reports it rather than hiding it, which is exactly why the reopen path
+refuses to do this silently.
 
 A directory whose every snapshot is corrupt is unrepairable (there is
-no state to replay onto); fsck says so and leaves it alone.
+no state to replay onto); fsck says so and leaves it alone -- even
+under ``--repair`` the corrupt snapshot files stay on disk, as the
+only remaining material for manual recovery.
 """
 
 from __future__ import annotations
@@ -39,8 +46,8 @@ __all__ = ["FsckFinding", "FsckReport", "fsck"]
 class FsckFinding:
     """One problem: ``kind`` matches the scanner's issue kinds plus
     ``corrupt_snapshot`` / ``orphan_tmp`` / ``no_valid_snapshot`` /
-    ``segment_gap``; ``action`` is what repair did (empty in check
-    mode)."""
+    ``segment_gap`` / ``stranded_snapshot``; ``action`` is what repair
+    did (empty in check mode)."""
 
     kind: str
     path: str
@@ -93,20 +100,27 @@ def fsck(root: str, repair: bool = False) -> FsckReport:
             kind="missing_dir", path=root, detail="state dir does not exist"))
         return report
 
-    # Snapshots: every corrupt one is a finding; repair deletes it only
-    # while an older valid snapshot remains to fall back to.
+    # Snapshots, two passes: classify them all first, then act.  Repair
+    # deletes a corrupt snapshot only while a valid one remains to fall
+    # back to; when every snapshot is corrupt the directory is
+    # unrepairable and the files stay put -- they are the only material
+    # left for manual recovery.
     valid_snaps = []
+    corrupt_snaps = []
     for info in list_snapshots(root):
         if read_snapshot(info.path) is None:
-            report.findings.append(FsckFinding(
-                kind="corrupt_snapshot", path=info.path,
-                detail="truncated or checksum-failing snapshot",
-                action="deleted" if repair else ""))
-            if repair:
-                os.remove(info.path)
+            corrupt_snaps.append(info)
         else:
             valid_snaps.append(info)
     report.snapshots_ok = len(valid_snaps)
+    delete_corrupt = repair and bool(valid_snaps)
+    for info in corrupt_snaps:
+        report.findings.append(FsckFinding(
+            kind="corrupt_snapshot", path=info.path,
+            detail="truncated or checksum-failing snapshot",
+            action="deleted" if delete_corrupt else ""))
+        if delete_corrupt:
+            os.remove(info.path)
     if not valid_snaps:
         report.findings.append(FsckFinding(
             kind="no_valid_snapshot", path=root,
@@ -121,9 +135,16 @@ def fsck(root: str, repair: bool = False) -> FsckReport:
         if repair:
             os.remove(tmp)
 
-    # Segments, in LSN order.  After the first hard damage, every later
-    # record is unreachable by replay (LSN gap), so repair truncates
-    # there and drops the later segments wholesale.
+    # Segments, in LSN order.  Hard damage in a sealed segment whose
+    # every record the newest valid snapshot already covers (its
+    # successor starts at or below snap_lsn + 1, so replay from that
+    # snapshot never reads it) loses nothing: repair drops the
+    # redundant segment -- and any older snapshot that needed it --
+    # keeping every later segment.  After hard damage in a segment
+    # replay *does* need, every later record is unreachable (LSN gap),
+    # so repair truncates at the damage and drops the later segments
+    # wholesale, counting each destroyed record as lost.
+    snap_lsn = valid_snaps[-1].lsn if valid_snaps else None
     segments = list_segments(root)
     poisoned = False
     for idx, (first_lsn, path) in enumerate(segments):
@@ -140,6 +161,34 @@ def fsck(root: str, repair: bool = False) -> FsckReport:
                 os.remove(path)
             continue
         scan = scan_segment(path, expect_lsn=first_lsn)
+        hard = [i for i in scan.issues
+                if i.kind != "duplicate_lsn"
+                and not (i.kind == "torn_tail" and last)]
+        if hard and not last and snap_lsn is not None \
+                and segments[idx + 1][0] <= snap_lsn + 1:
+            next_first = segments[idx + 1][0]
+            report.findings.append(FsckFinding(
+                kind=hard[0].kind, path=path,
+                detail=f"{hard[0].detail}; segment is redundant "
+                       f"(snapshot lsn {snap_lsn} covers it)",
+                action="deleted" if repair else ""))
+            if repair:
+                os.remove(path)
+            # Older snapshots whose replay runs through this segment
+            # can no longer reach the newest state.
+            for info in list(valid_snaps):
+                if info.lsn < next_first - 1 and info.lsn != snap_lsn:
+                    report.findings.append(FsckFinding(
+                        kind="stranded_snapshot", path=info.path,
+                        detail=f"snapshot lsn {info.lsn} cannot replay "
+                               f"past the damaged segment "
+                               f"{os.path.basename(path)}",
+                        action="deleted" if repair else ""))
+                    if repair:
+                        os.remove(info.path)
+                        valid_snaps.remove(info)
+                        report.snapshots_ok -= 1
+            continue
         report.records_ok += len(scan.records)
         for issue in scan.issues:
             if issue.kind == "duplicate_lsn":

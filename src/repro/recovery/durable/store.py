@@ -188,26 +188,42 @@ class DurableStore:
                         f"offset {issue.offset}: {issue.detail}",
                         issues=report.issues + [issue])
             if expect is not None and scan.records:
-                if scan.records[0].lsn != expect:
+                first = scan.records[0].lsn
+                # A forward jump whose missing LSNs the restored
+                # snapshot already covers is benign -- fsck repair
+                # drops redundant damaged segments, leaving exactly
+                # this shape.  Any other discontinuity lost replayable
+                # records.
+                if first != expect and not (expect < first <= snap_lsn + 1):
                     raise WalCorruption(
                         f"segment {os.path.basename(path)} starts at lsn "
-                        f"{scan.records[0].lsn}, expected {expect}",
+                        f"{first}, expected {expect}",
                         issues=report.issues)
             if scan.records:
                 expect = scan.records[-1].lsn + 1
             records.extend(r for r in scan.records if r.lsn > snap_lsn)
             if last:
                 last_scan = scan
+        if records and records[0].lsn != snap_lsn + 1:
+            raise WalCorruption(
+                f"first replayable record is lsn {records[0].lsn}, but the "
+                f"restored snapshot covers only up to lsn {snap_lsn}: "
+                f"record(s) missing", issues=report.issues)
         report.records = records
 
         store = cls(root, policy, report)
-        if last_scan is not None:
-            last_lsn = records[-1].lsn if records else snap_lsn
+        resume_lsn = records[-1].lsn if records else snap_lsn
+        if last_scan is not None and last_scan.last_lsn == resume_lsn:
             store._writer = WalWriter(
-                last_scan.path, next_lsn=last_lsn + 1,
+                last_scan.path, next_lsn=resume_lsn + 1,
                 synced_size=last_scan.good_size, os_fsync=policy.os_fsync)
         else:
-            store._start_segment(snap_lsn + 1)
+            # The active segment does not end at the resume point (an
+            # empty rotated segment, or one fsck truncated below the
+            # snapshot LSN): appending to it would write an LSN gap
+            # that poisons every future open, so rotate to a fresh
+            # segment instead.
+            store._start_segment(resume_lsn + 1)
         return store
 
     def bootstrap(self, chk: Checkpoint) -> None:

@@ -238,6 +238,34 @@ class TestDurableStore:
         with pytest.raises(DurabilityError):
             DurableStore.open(root, FAST)
 
+    def test_reopen_rotates_past_a_short_active_segment(self, tmp_path):
+        # An active segment that ends below the snapshot LSN (the shape
+        # an fsck truncation can leave): appending into it would write
+        # an LSN gap that poisons every future open, so the reopen path
+        # must rotate to a fresh segment at snap_lsn + 1 instead.
+        root = str(tmp_path)
+        write_snapshot(root, 3, _chk([(1, "a"), (2, "b")]), os_fsync=False)
+        _write_records(os.path.join(root, "wal-000000000001.log"),
+                       [WalRecord(1, "upsert", [[1, 1]])])
+        store = DurableStore.open(root, FAST)
+        assert store.report.records == []
+        store.append("upsert", [[9, 9]])  # lsn 4, in a fresh segment
+        store.close()
+        again = DurableStore.open(root, FAST)  # must not see an LSN gap
+        assert [r.lsn for r in again.report.records] == [4]
+        again.close()
+
+    def test_reopen_refuses_missing_replay_prefix(self, tmp_path):
+        # Records right after the snapshot are gone entirely (their
+        # segment vanished): replaying lsn 5.. onto lsn-0 state would
+        # serve wrong answers, so open must refuse.
+        root = str(tmp_path)
+        write_snapshot(root, 0, _chk([(1, "a")]), os_fsync=False)
+        _write_records(os.path.join(root, "wal-000000000005.log"),
+                       [WalRecord(5, "upsert", [[5, 5]])])
+        with pytest.raises(WalCorruption):
+            DurableStore.open(root, FAST)
+
     def test_bootstrap_twice_refused(self, tmp_path):
         store = self._boot(str(tmp_path))
         with pytest.raises(DurabilityError):
@@ -307,12 +335,70 @@ class TestFsck:
     def test_every_snapshot_corrupt_is_unrepairable(self, tmp_path):
         root = str(tmp_path)
         self._store(root)
-        for info in list_snapshots(root):
-            with open(info.path, "r+b") as f:
+        snap_paths = [info.path for info in list_snapshots(root)]
+        for path in snap_paths:
+            with open(path, "r+b") as f:
                 f.truncate(1)
         report = fsck(root, repair=True)
         assert not report.repairable
         assert any("UNREPAIRABLE" in line for line in report.lines())
+        # the corrupt files are the only material left for manual
+        # recovery; repair must leave them in place
+        assert all(os.path.exists(p) for p in snap_paths)
+
+    def _snapshotted_store(self, root: str) -> None:
+        """snap-0 + wal-1 (lsns 1-3) + snap-3 + wal-4 (lsns 4-6)."""
+        store = DurableStore.open(root, FAST)
+        store.bootstrap(_chk([(1, "a")]))
+        for i in range(2, 5):
+            store.append("upsert", [[i, i]])
+        store.snapshot(_chk([(i, "x") for i in range(1, 5)]))
+        for i in range(5, 8):
+            store.append("upsert", [[i, i]])
+        store.close()
+
+    def test_corrupt_newest_snapshot_repair_falls_back(self, tmp_path):
+        root = str(tmp_path)
+        self._snapshotted_store(root)
+        newest = list_snapshots(root)[-1].path
+        with open(newest, "r+b") as f:
+            f.truncate(3)
+        report = fsck(root, repair=True)
+        assert report.repairable and report.lost_records == 0
+        assert not os.path.exists(newest)  # older valid snap remains
+        store = DurableStore.open(root, FAST)  # longer replay, no loss
+        assert [r.lsn for r in store.report.records] == [1, 2, 3, 4, 5, 6]
+        store.close()
+
+    def test_mid_log_damage_under_snapshot_spares_later_segments(
+            self, tmp_path):
+        # The review repro: bit-flip lsn=2 inside wal-1 while snap-3
+        # and wal-4 are intact.  Replay from snap-3 never reads wal-1,
+        # so repair must drop the redundant damaged segment (and the
+        # snap-0 that needed it), keep wal-4's acked records, and leave
+        # a directory that survives reopen + append + reopen.
+        root = str(tmp_path)
+        self._snapshotted_store(root)
+        seg1 = dict(list_segments(root))[1]
+        off = len(encode_record(WalRecord(1, "upsert", [[2, 2]]))) + 12
+        with open(seg1, "r+b") as f:
+            f.seek(off)
+            byte = f.read(1)
+            f.seek(off)
+            f.write(bytes([byte[0] ^ 0xFF]))
+        report = fsck(root, repair=True)
+        assert report.repairable
+        assert report.lost_records == 0  # snap-3 already covers wal-1
+        assert not os.path.exists(seg1)
+        assert [i.lsn for i in list_snapshots(root)] == [3]
+        again = DurableStore.open(root, FAST)
+        assert [r.lsn for r in again.report.records] == [4, 5, 6]
+        again.append("upsert", [[99, 99]])  # lsn 7
+        again.close()
+        final = DurableStore.open(root, FAST)  # no LSN gap afterwards
+        assert [r.lsn for r in final.report.records] == [4, 5, 6, 7]
+        final.close()
+        assert fsck(root).clean
 
 
 ITEMS = [(k * 10, f"v{k}") for k in range(1, 13)]
